@@ -1,0 +1,102 @@
+#ifndef PROVDB_BENCH_BENCH_COMMON_H_
+#define PROVDB_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary reproduces one table or figure from the paper's §5 and prints
+// the corresponding rows/series. Absolute numbers differ from the paper's
+// 2009 Celeron/MySQL testbed; the *shapes* are what EXPERIMENTS.md checks.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "crypto/pki.h"
+
+namespace provdb::bench {
+
+/// Minimal --flag=value / --flag value parser for the harness binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "1";
+      }
+    }
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  bool GetBool(const std::string& name, bool fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "0" && it->second != "false";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// One CA + one participant with a paper-faithful RSA-1024 key, generated
+/// deterministically. Key generation takes ~0.1s; reused per binary.
+struct BenchPki {
+  std::unique_ptr<crypto::CertificateAuthority> ca;
+  std::unique_ptr<crypto::Participant> participant;
+  std::unique_ptr<crypto::ParticipantRegistry> registry;
+
+  static BenchPki Create(size_t rsa_bits = 1024, uint64_t seed = 0xBE7C) {
+    Rng rng(seed);
+    BenchPki pki;
+    pki.ca = std::make_unique<crypto::CertificateAuthority>(
+        crypto::CertificateAuthority::Create(rsa_bits, &rng).value());
+    pki.participant = std::make_unique<crypto::Participant>(
+        crypto::Participant::Create(1, "bench", rsa_bits, &rng, *pki.ca)
+            .value());
+    pki.registry =
+        std::make_unique<crypto::ParticipantRegistry>(pki.ca->public_key());
+    pki.registry->Register(pki.participant->certificate());
+    return pki;
+  }
+};
+
+/// Prints a standard bench header.
+inline void PrintHeader(const char* what, const char* paper_ref) {
+  std::printf("=== %s ===\n", what);
+  std::printf("reproduces: %s\n", paper_ref);
+}
+
+/// Formats "mean +- ci95" in milliseconds.
+inline std::string FormatMs(const RunningStats& stats) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10.2f +- %6.2f", stats.mean() * 1e3,
+                stats.ci95_half_width() * 1e3);
+  return buf;
+}
+
+}  // namespace provdb::bench
+
+#endif  // PROVDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,73 @@
+// Reproduces Figure 10: time overhead (hashing, signing, storing) for the
+// four mixed complex operations of Experimental Setup C (Table 2) — 500
+// primitives with an increasing share of deletes.
+//
+// Expected shape: total time decreases as the delete percentage rises
+// (deleted objects generate no records of their own).
+
+#include "setup_runner.h"
+
+namespace provdb::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int runs = static_cast<int>(flags.GetInt("runs", 3));
+  const size_t rsa_bits =
+      static_cast<size_t>(flags.GetInt("rsa-bits", 1024));
+
+  PrintHeader("Figure 10 — time overhead for mixed complex operations",
+              "Fig. 10, §5.2; Experimental Setup C (Table 2)");
+  std::printf("table 1 (8x4000), RSA-%zu, SHA-1, economical hashing; "
+              "runs: %d (paper: 100)\n\n",
+              rsa_bits, runs);
+
+  BenchPki pki = BenchPki::Create(rsa_bits);
+  const std::vector<workload::SyntheticTableSpec> specs = {
+      workload::PaperTableSpecs()[0]};
+
+  std::printf("%-30s %-10s %-14s %-12s %-12s\n",
+              "mix (del/ins/upd of 500)", "checksums", "total (ms)",
+              "hash (ms)", "sign (ms)");
+  double previous_total = -1;
+  bool monotonic = true;
+  for (const workload::MixSpec& mix : workload::PaperSetupCMixes()) {
+    RunningStats total, hash, sign;
+    uint64_t checksums = 0;
+    for (int r = 0; r < runs; ++r) {
+      ComplexOpResult result = RunComplexOp(
+          pki, provenance::HashingMode::kEconomical, specs,
+          /*data_seed=*/7, /*script_seed=*/200 + r,
+          [&mix](const workload::SyntheticLayout& layout, Rng* rng) {
+            return workload::MakeMixedScript(layout.tables[0], mix.deletes,
+                                             mix.inserts, mix.updates, rng);
+          });
+      total.Add(result.metrics.total_seconds());
+      hash.Add(result.metrics.hash_seconds);
+      sign.Add(result.metrics.sign_seconds);
+      checksums = result.metrics.checksums;
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu/%zu/%zu (%.1f%% deletes)",
+                  mix.deletes, mix.inserts, mix.updates,
+                  100.0 * static_cast<double>(mix.deletes) / 500.0);
+    std::printf("%-30s %-10llu %-14.1f %-12.1f %-12.1f\n", label,
+                static_cast<unsigned long long>(checksums),
+                total.mean() * 1e3, hash.mean() * 1e3, sign.mean() * 1e3);
+    if (previous_total >= 0 && total.mean() > previous_total) {
+      monotonic = false;
+    }
+    previous_total = total.mean();
+  }
+
+  std::printf(
+      "\nshape check: time overhead decreases as the delete share rises "
+      "(%s).\n",
+      monotonic ? "holds" : "VIOLATED");
+  return 0;
+}
+
+}  // namespace
+}  // namespace provdb::bench
+
+int main(int argc, char** argv) { return provdb::bench::Run(argc, argv); }

@@ -1,0 +1,83 @@
+// Re-derives Figure 3: the worked non-linear provenance example with
+// integrity checksums (objects A, B, C, D; checksums C1..C7), printed in
+// the paper's tabular form, then runs the data recipient's verification
+// procedure over D's bundle.
+
+#include <map>
+
+#include "bench_common.h"
+#include "provenance/tracked_database.h"
+#include "provenance/verifier.h"
+
+namespace provdb::bench {
+namespace {
+
+using provenance::OperationType;
+using provenance::ProvenanceRecord;
+using storage::Value;
+
+int Run() {
+  PrintHeader("Figure 3 — non-linear provenance with integrity checksums",
+              "Fig. 2/3, §3, Example 2/3");
+
+  Rng rng(0xF16);
+  auto ca = crypto::CertificateAuthority::Create(1024, &rng).value();
+  auto p1 = crypto::Participant::Create(1, "p1", 1024, &rng, ca).value();
+  auto p2 = crypto::Participant::Create(2, "p2", 1024, &rng, ca).value();
+  auto p3 = crypto::Participant::Create(3, "p3", 1024, &rng, ca).value();
+  crypto::ParticipantRegistry registry(ca.public_key());
+  registry.Register(p1.certificate());
+  registry.Register(p2.certificate());
+  registry.Register(p3.certificate());
+
+  provenance::TrackedDatabase db;
+  auto a = *db.Insert(p2, Value::String("a1"));                  // C1
+  auto b = *db.Insert(p2, Value::String("b1"));                  // C2
+  db.Update(p2, b, Value::String("b2")).ok();                    // C4
+  auto c = *db.Aggregate(p3, {a, b}, Value::String("c1"));       // C6
+  db.Update(p1, a, Value::String("a2")).ok();                    // C3
+  db.Update(p2, a, Value::String("a3")).ok();                    // C5
+  auto d = *db.Aggregate(p1, {a, c}, Value::String("d1"));       // C7
+
+  std::map<storage::ObjectId, const char*> names = {
+      {a, "A"}, {b, "B"}, {c, "C"}, {d, "D"}};
+
+  std::printf("\n%-6s %-12s %-16s %-8s %s\n", "seqID", "participant",
+              "input", "output", "checksum (first 16 hex)");
+  auto bundle = db.ExportForRecipient(d).value();
+  for (const ProvenanceRecord& rec : bundle.records) {
+    std::string inputs = "{";
+    for (size_t i = 0; i < rec.inputs.size(); ++i) {
+      if (i > 0) inputs += ",";
+      inputs += names.count(rec.inputs[i].object_id)
+                    ? names[rec.inputs[i].object_id]
+                    : "?";
+    }
+    inputs += "}";
+    std::string checksum_hex;
+    for (int i = 0; i < 8; ++i) {
+      char hex[3];
+      std::snprintf(hex, sizeof(hex), "%02x", rec.checksum[i]);
+      checksum_hex += hex;
+    }
+    std::printf("%-6llu p%-11llu %-16s %-8s %s... (%s)\n",
+                static_cast<unsigned long long>(rec.seq_id),
+                static_cast<unsigned long long>(rec.participant),
+                inputs.c_str(), names[rec.output.object_id],
+                checksum_hex.c_str(),
+                std::string(OperationTypeName(rec.op)).c_str());
+  }
+
+  provenance::ProvenanceVerifier verifier(&registry);
+  auto report = verifier.Verify(bundle);
+  std::printf("\nrecipient verification of D: %s\n",
+              report.ToString().c_str());
+  std::printf("(7 records = Fig. 3's C1..C7; both recipient checks of §3 "
+              "executed)\n");
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace provdb::bench
+
+int main() { return provdb::bench::Run(); }

@@ -1,0 +1,59 @@
+// Reproduces Figure 6: average time to hash each of the four synthetic
+// databases (whole-database recursive compound hash). The paper reports
+// roughly linear growth in the node count.
+
+#include "bench_common.h"
+#include "provenance/subtree_hasher.h"
+#include "storage/tree_store.h"
+#include "workload/synthetic.h"
+
+namespace provdb::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int runs = static_cast<int>(flags.GetInt("runs", 20));
+
+  PrintHeader("Figure 6 — average hashing time for a database",
+              "Fig. 6, §5.2 'Hashing'");
+  std::printf("runs per point: %d (paper: 100)\n\n", runs);
+  std::printf("%-22s %-10s %-22s %-14s\n", "tables", "nodes",
+              "hash time (ms, 95% CI)", "us per node");
+
+  const auto& specs = workload::PaperTableSpecs();
+  std::vector<workload::SyntheticTableSpec> cumulative;
+  std::string combo;
+  double first_per_node = 0;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    cumulative.push_back(specs[i]);
+    combo += (i == 0 ? "" : ",") + std::to_string(i + 1);
+
+    storage::TreeStore tree;
+    Rng rng(7);
+    auto layout = workload::BuildSyntheticDatabase(&tree, cumulative, &rng);
+    if (!layout.ok()) return 1;
+
+    provenance::SubtreeHasher hasher(&tree);
+    RunningStats stats;
+    for (int r = 0; r < runs; ++r) {
+      Stopwatch watch;
+      auto digest = hasher.HashSubtreeBasic(layout->root);
+      if (!digest.ok()) return 1;
+      stats.Add(watch.ElapsedSeconds());
+    }
+    double per_node = stats.mean() * 1e6 / static_cast<double>(tree.size());
+    if (i == 0) first_per_node = per_node;
+    std::printf("%-22s %-10zu %-22s %10.4f\n", combo.c_str(), tree.size(),
+                FormatMs(stats).c_str(), per_node);
+  }
+  std::printf(
+      "\nshape check: per-node cost should stay ~constant across sizes\n"
+      "(linear total growth, as in Fig. 6); first point: %.4f us/node\n",
+      first_per_node);
+  return 0;
+}
+
+}  // namespace
+}  // namespace provdb::bench
+
+int main(int argc, char** argv) { return provdb::bench::Run(argc, argv); }

@@ -1,0 +1,64 @@
+// Reproduces §5.2's large-scale experiment: streaming, row-at-a-time hash
+// of a "Title" table (paper: 18,962,041 rows / 56,886,125 nodes in 1226.7
+// seconds — 0.02156 ms per node on 2009 hardware). The paper's table was
+// proprietary; this uses the synthetic equivalent from
+// workload/title_source.h, exercising the identical streaming code path.
+//
+// Default row count is scaled down so the full bench suite stays fast;
+// pass --rows=18962041 for the paper's full size.
+
+#include "bench_common.h"
+#include "provenance/streaming_hasher.h"
+#include "workload/title_source.h"
+
+namespace provdb::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t rows =
+      static_cast<uint64_t>(flags.GetInt("rows", 1000000));
+
+  PrintHeader("Large-scale streaming hash of the 'Title' table",
+              "§5.2 'Hashing' (scale-out paragraph)");
+  std::printf("rows: %llu (paper: 18,962,041); 2 fields per row "
+              "(doc id int, title varchar)\n\n",
+              static_cast<unsigned long long>(rows));
+
+  workload::TitleTableSource source(rows, /*seed=*/0x717);
+  provenance::StreamingTableHasher table_hasher(
+      crypto::HashAlgorithm::kSha1, source.table_id(), source.table_value());
+  provenance::StreamingDatabaseHasher db_hasher(
+      crypto::HashAlgorithm::kSha1, source.database_id(),
+      source.database_value());
+
+  Stopwatch watch;
+  workload::TitleTableSource::Row row;
+  while (source.Next(&row)) {
+    table_hasher.AddRow(row.row_id, row.row_value, row.cells);
+  }
+  crypto::Digest table_hash = table_hasher.Finish();
+  db_hasher.AddTable(table_hash);
+  crypto::Digest db_hash = db_hasher.Finish();
+  double seconds = watch.ElapsedSeconds();
+
+  uint64_t nodes = source.TotalNodes();
+  std::printf("nodes hashed:        %llu\n",
+              static_cast<unsigned long long>(nodes));
+  std::printf("total time:          %.2f s\n", seconds);
+  std::printf("per-node time:       %.6f ms (paper: 0.02156 ms on a 2009 "
+              "Celeron)\n",
+              seconds * 1e3 / static_cast<double>(nodes));
+  std::printf("table hash:          %s\n", table_hash.ToHex().c_str());
+  std::printf("database hash:       %s\n", db_hash.ToHex().c_str());
+  std::printf(
+      "\nshape check: memory stays O(1) in the table size (one row at a\n"
+      "time), and per-node cost is within an order of magnitude of the\n"
+      "in-memory per-node cost reported by bench_fig6_hashing.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace provdb::bench
+
+int main(int argc, char** argv) { return provdb::bench::Run(argc, argv); }

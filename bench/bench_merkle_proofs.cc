@@ -1,0 +1,77 @@
+// Ablation: cost of Merkle inclusion proofs over the compound-object hash
+// (§4.3 extension). Measures proof size, build time, and verification
+// time for one cell as the table width (rows) grows — proof size is
+// dominated by the table node's fan-out, verification stays sublinear in
+// the database size.
+
+#include "bench_common.h"
+#include "provenance/merkle_proof.h"
+#include "provenance/subtree_hasher.h"
+#include "workload/synthetic.h"
+
+namespace provdb::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int runs = static_cast<int>(flags.GetInt("runs", 20));
+
+  PrintHeader("Merkle inclusion proofs over compound objects",
+              "§4.3 extension (no paper figure)");
+  std::printf("proving one cell of an 8-attribute table, varying rows; "
+              "runs: %d\n\n",
+              runs);
+
+  std::printf("%-8s %-10s %-12s %-12s %-22s %-22s\n", "rows", "nodes",
+              "proof (B)", "siblings", "build (ms, 95% CI)",
+              "verify (ms, 95% CI)");
+
+  for (int rows : {100, 500, 1000, 2000, 4000}) {
+    storage::TreeStore tree;
+    Rng rng(9);
+    auto layout =
+        workload::BuildSyntheticDatabase(&tree, {{8, rows}}, &rng);
+    if (!layout.ok()) return 1;
+    provenance::SubtreeHasher hasher(&tree);
+    crypto::Digest root_hash =
+        hasher.HashSubtreeBasic(layout->root).value();
+
+    storage::ObjectId row = layout->tables[0].rows[rows / 2];
+    storage::ObjectId cell = workload::CellIdOf(tree, row, 3).value();
+
+    RunningStats build_stats, verify_stats;
+    size_t proof_bytes = 0, siblings = 0;
+    for (int r = 0; r < runs; ++r) {
+      Stopwatch watch;
+      auto proof = provenance::BuildInclusionProof(
+          tree, cell, layout->root, crypto::HashAlgorithm::kSha1);
+      build_stats.Add(watch.ElapsedSeconds());
+      if (!proof.ok()) return 1;
+      proof_bytes = proof->Serialize().size();
+      siblings = proof->SiblingCount();
+
+      watch.Restart();
+      Status ok = provenance::VerifyInclusionProof(
+          *proof, root_hash, crypto::HashAlgorithm::kSha1);
+      verify_stats.Add(watch.ElapsedSeconds());
+      if (!ok.ok()) return 1;
+    }
+    std::printf("%-8d %-10zu %-12zu %-12zu %-22s %-22s\n", rows, tree.size(),
+                proof_bytes, siblings, FormatMs(build_stats).c_str(),
+                FormatMs(verify_stats).c_str());
+  }
+
+  std::printf(
+      "\nshape check: verification cost is O(path + fan-out) — far below\n"
+      "re-hashing the whole database; proof size grows with the table's\n"
+      "row fan-out (the depth-4 relational tree is wide, not deep).\n"
+      "note: proof *construction* by the data owner walks the subtree\n"
+      "(siblings' hashes), so build time tracks database size; owners\n"
+      "amortize it with the economical cache.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace provdb::bench
+
+int main(int argc, char** argv) { return provdb::bench::Run(argc, argv); }

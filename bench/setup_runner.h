@@ -1,0 +1,70 @@
+#ifndef PROVDB_BENCH_SETUP_RUNNER_H_
+#define PROVDB_BENCH_SETUP_RUNNER_H_
+
+// Executes one Table 2 complex operation against a freshly built
+// synthetic back-end database and reports the paper's overhead metrics.
+
+#include <functional>
+
+#include "bench_common.h"
+#include "provenance/tracked_database.h"
+#include "workload/operations.h"
+#include "workload/synthetic.h"
+
+namespace provdb::bench {
+
+/// Result of one complex-operation execution.
+struct ComplexOpResult {
+  provenance::OperationMetrics metrics;
+  uint64_t records = 0;            // checksums generated
+  uint64_t paper_schema_bytes = 0; // <seq,participant,oid,checksum> tuples
+};
+
+/// Builds a fresh back-end database from `specs` (untracked bootstrap,
+/// §5.1), generates a script with `make_script`, executes it as one
+/// complex operation, and returns the overhead metrics.
+inline ComplexOpResult RunComplexOp(
+    const BenchPki& pki, provenance::HashingMode mode,
+    const std::vector<workload::SyntheticTableSpec>& specs,
+    uint64_t data_seed, uint64_t script_seed,
+    const std::function<Result<workload::ComplexOpScript>(
+        const workload::SyntheticLayout&, Rng*)>& make_script) {
+  provenance::TrackedDatabaseOptions options;
+  options.hashing_mode = mode;
+  provenance::TrackedDatabase db(options);
+
+  Rng data_rng(data_seed);
+  auto layout =
+      workload::BuildSyntheticDatabase(&db.bootstrap_tree(), specs, &data_rng);
+  if (!layout.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 layout.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  Rng script_rng(script_seed);
+  auto script = make_script(*layout, &script_rng);
+  if (!script.ok()) {
+    std::fprintf(stderr, "script failed: %s\n",
+                 script.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  Status executed = workload::ExecuteAsComplexOperation(
+      &db, *pki.participant, *script, &script_rng);
+  if (!executed.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 executed.ToString().c_str());
+    std::exit(1);
+  }
+
+  ComplexOpResult result;
+  result.metrics = db.last_op_metrics();
+  result.records = db.provenance().record_count();
+  result.paper_schema_bytes = db.provenance().PaperSchemaBytes();
+  return result;
+}
+
+}  // namespace provdb::bench
+
+#endif  // PROVDB_BENCH_SETUP_RUNNER_H_

@@ -1,0 +1,155 @@
+// The paper's motivating scenario (Example 1, Figure 1): pharmaceutical
+// company TrustUsRx submits clinical-trial results to the FDA. Patient
+// data is a *compound object* whose cells have different provenance:
+//
+//   * PCP Paul collected Age and Weight,
+//   * the Perfect Saints Clinic produced Endocrine measurements,
+//   * PCP Pamela later amended the Endocrine value for patient #4555,
+//   * GoodStewards Labs determined White_Count from blood samples,
+//   * TrustUsRx aggregated all patient data into the submission.
+//
+// The FDA (data recipient) verifies the provenance — and catches
+// TrustUsRx when it tries to erase Pamela's amendment.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "crypto/pki.h"
+#include "provenance/attack.h"
+#include "provenance/tracked_database.h"
+#include "provenance/verifier.h"
+
+using namespace provdb;
+
+namespace {
+
+struct Patient {
+  int64_t id;
+  int64_t age;
+  double weight;
+  double endocrine;
+  int64_t white_count;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("TrustUsRx clinical trial — tamper-evident provenance demo\n");
+  std::printf("==========================================================\n\n");
+
+  // One certificate authority; four certified participants.
+  Rng rng(4555);
+  auto ca = crypto::CertificateAuthority::Create(1024, &rng).value();
+  auto paul = crypto::Participant::Create(1, "PCP Paul", 1024, &rng, ca).value();
+  auto clinic =
+      crypto::Participant::Create(2, "Perfect Saints Clinic", 1024, &rng, ca)
+          .value();
+  auto pamela =
+      crypto::Participant::Create(3, "PCP Pamela", 1024, &rng, ca).value();
+  auto lab = crypto::Participant::Create(4, "GoodStewards Labs", 1024, &rng, ca)
+                 .value();
+  auto trustusrx =
+      crypto::Participant::Create(5, "TrustUsRx", 1024, &rng, ca).value();
+
+  crypto::ParticipantRegistry fda_registry(ca.public_key());
+  for (const auto* p : {&paul, &clinic, &pamela, &lab, &trustusrx}) {
+    fda_registry.Register(p->certificate());
+  }
+
+  // --- Data collection, cell by cell, each by its true author ----------
+  provenance::TrackedDatabase db;
+  const Patient patients[] = {
+      {4553, 34, 71.2, 1.8, 6100},
+      {4554, 58, 84.9, 2.4, 7300},
+      {4555, 47, 66.0, 9.9, 5400},  // endocrine later amended by Pamela
+  };
+
+  std::vector<storage::ObjectId> patient_rows;
+  storage::ObjectId patient_4555_endocrine = storage::kInvalidObjectId;
+  for (const Patient& patient : patients) {
+    // Each patient record is a small compound object rooted at a row.
+    auto row = db.Insert(paul, storage::Value::Int(patient.id)).value();
+    db.Insert(paul, storage::Value::Int(patient.age), row).value();
+    db.Insert(paul, storage::Value::Double(patient.weight), row).value();
+    auto endocrine =
+        db.Insert(clinic, storage::Value::Double(patient.endocrine), row)
+            .value();
+    db.Insert(lab, storage::Value::Int(patient.white_count), row).value();
+    if (patient.id == 4555) {
+      patient_4555_endocrine = endocrine;
+    }
+    patient_rows.push_back(row);
+  }
+  std::printf("collected %zu patient records "
+              "(age/weight by Paul, endocrine by the clinic, WBC by the lab)\n",
+              patient_rows.size());
+
+  // Pamela amends the endocrine value for patient #4555 (Fig. 1). The
+  // update also generates an inherited record for the patient row.
+  db.Update(pamela, patient_4555_endocrine, storage::Value::Double(2.1)).ok();
+  std::printf("PCP Pamela amended patient #4555's endocrine value "
+              "(9.9 -> 2.1)\n");
+
+  // TrustUsRx aggregates the patient records into the FDA submission.
+  auto submission =
+      db.Aggregate(trustusrx, patient_rows,
+                   storage::Value::String("trial-results-v1")).value();
+  std::printf("TrustUsRx aggregated the trial submission (object %llu)\n\n",
+              static_cast<unsigned long long>(submission));
+
+  // --- The FDA receives and verifies ------------------------------------
+  provenance::RecipientBundle bundle =
+      db.ExportForRecipient(submission).value();
+  provenance::ProvenanceVerifier fda(&fda_registry);
+
+  auto report = fda.Verify(bundle);
+  std::printf("FDA verification: %s\n", report.ToString().c_str());
+
+  // The FDA can read the fine-grained history: who touched what.
+  std::printf("\nprovenance of the submission (%zu records):\n",
+              bundle.records.size());
+  std::map<crypto::ParticipantId, std::pair<std::string, int>> by_participant;
+  by_participant[1] = {"PCP Paul", 0};
+  by_participant[2] = {"Perfect Saints Clinic", 0};
+  by_participant[3] = {"PCP Pamela", 0};
+  by_participant[4] = {"GoodStewards Labs", 0};
+  by_participant[5] = {"TrustUsRx", 0};
+  for (const auto& rec : bundle.records) {
+    ++by_participant[rec.participant].second;
+  }
+  for (const auto& [id, entry] : by_participant) {
+    std::printf("  %-24s signed %d record(s)\n", entry.first.c_str(),
+                entry.second);
+  }
+
+  // --- TrustUsRx tries to falsify history --------------------------------
+  // Scrubbing Pamela's amendment would make the trial data look untouched.
+  std::printf("\nTrustUsRx attempts to remove Pamela's amendment...\n");
+  provenance::RecipientBundle doctored = bundle;
+  // The submission's provenance DAG contains Pamela's record for the
+  // patient row (the cell update was inherited upward, §4.2); that is the
+  // trace TrustUsRx must scrub.
+  size_t pamela_record = doctored.records.size();
+  for (size_t i = 0; i < doctored.records.size(); ++i) {
+    if (doctored.records[i].participant == pamela.id()) {
+      pamela_record = i;
+      break;
+    }
+  }
+  if (pamela_record == doctored.records.size()) {
+    std::printf("internal error: Pamela's record not found\n");
+    return 1;
+  }
+  provenance::attacks::RemoveRecordAndRenumber(&doctored, pamela_record).ok();
+  auto caught = fda.Verify(doctored);
+  std::printf("FDA verification of the doctored submission: %s\n",
+              caught.ok() ? "PASSED (!!)" : "REJECTED");
+  for (const auto& issue : caught.issues) {
+    std::printf("  - %s\n", issue.ToString().c_str());
+  }
+
+  std::printf("\nconclusion: the checksum chain pinned Pamela's amendment "
+              "into the history;\nits removal is cryptographically "
+              "detectable (requirements R2/R7).\n");
+  return report.ok() && !caught.ok() ? 0 : 1;
+}

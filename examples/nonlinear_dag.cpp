@@ -1,0 +1,76 @@
+// Walks the paper's Figure 2 / Figure 3 example end to end, printing the
+// provenance DAG and checksum table, then demonstrates the key property
+// of non-linear provenance: an aggregate's provenance object freezes the
+// input versions it consumed, while the inputs keep evolving.
+
+#include <cstdio>
+#include <map>
+
+#include "common/rng.h"
+#include "crypto/pki.h"
+#include "provenance/tracked_database.h"
+#include "provenance/verifier.h"
+
+using namespace provdb;
+
+int main() {
+  std::printf("non-linear provenance — the Figure 2/3 worked example\n");
+  std::printf("======================================================\n\n");
+
+  Rng rng(23);
+  auto ca = crypto::CertificateAuthority::Create(1024, &rng).value();
+  auto p1 = crypto::Participant::Create(1, "p1", 1024, &rng, ca).value();
+  auto p2 = crypto::Participant::Create(2, "p2", 1024, &rng, ca).value();
+  auto p3 = crypto::Participant::Create(3, "p3", 1024, &rng, ca).value();
+  crypto::ParticipantRegistry registry(ca.public_key());
+  for (const auto* p : {&p1, &p2, &p3}) registry.Register(p->certificate());
+
+  provenance::TrackedDatabase db;
+  auto a = db.Insert(p2, storage::Value::String("a1")).value();   // C1
+  auto b = db.Insert(p2, storage::Value::String("b1")).value();   // C2
+  db.Update(p2, b, storage::Value::String("b2")).ok();            // C4
+  auto c = db.Aggregate(p3, {a, b}, storage::Value::String("c1"))
+               .value();                                          // C6
+  db.Update(p1, a, storage::Value::String("a2")).ok();            // C3
+  db.Update(p2, a, storage::Value::String("a3")).ok();            // C5
+  auto d = db.Aggregate(p1, {a, c}, storage::Value::String("d1"))
+               .value();                                          // C7
+
+  std::map<storage::ObjectId, char> names = {
+      {a, 'A'}, {b, 'B'}, {c, 'C'}, {d, 'D'}};
+
+  auto print_provenance = [&](storage::ObjectId subject) {
+    auto bundle = db.ExportForRecipient(subject).value();
+    std::printf("provenance object of %c (%zu records):\n", names[subject],
+                bundle.records.size());
+    for (const auto& rec : bundle.records) {
+      std::string in = "{";
+      for (size_t i = 0; i < rec.inputs.size(); ++i) {
+        if (i) in += ",";
+        in += names[rec.inputs[i].object_id];
+      }
+      in += "}";
+      std::printf("  seq %llu  p%llu  %-9s in=%-6s out=%c\n",
+                  static_cast<unsigned long long>(rec.seq_id),
+                  static_cast<unsigned long long>(rec.participant),
+                  std::string(OperationTypeName(rec.op)).c_str(), in.c_str(),
+                  names[rec.output.object_id]);
+    }
+    provenance::ProvenanceVerifier verifier(&registry);
+    auto report = verifier.Verify(bundle);
+    std::printf("  verification: %s\n\n", report.ToString().c_str());
+    return bundle.records.size();
+  };
+
+  // D's provenance is the whole DAG (Figure 3's 7 rows).
+  size_t d_records = print_provenance(d);
+
+  // C's provenance *excludes* the updates of A that postdate the first
+  // aggregation: C consumed A at a1, so C3/C5 belong only to D's view.
+  size_t c_records = print_provenance(c);
+
+  std::printf("D's provenance covers %zu records; C's only %zu — the DAG\n"
+              "freezes each aggregate's input versions (Definition 1).\n",
+              d_records, c_records);
+  return d_records == 7 && c_records == 4 ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Quickstart: the smallest complete tour of the provdb public API.
+//
+//   1. Set up a PKI (certificate authority + participants).
+//   2. Track database operations with integrity checksums.
+//   3. Ship a data object + provenance to a recipient.
+//   4. Verify — and watch tampering get caught.
+//
+// Build & run:  ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "crypto/pki.h"
+#include "provenance/attack.h"
+#include "provenance/tracked_database.h"
+#include "provenance/verifier.h"
+
+using namespace provdb;  // examples prioritize brevity
+
+int main() {
+  std::printf("provdb quickstart\n=================\n\n");
+
+  // --- 1. PKI -----------------------------------------------------------
+  // Every participant holds an RSA key pair; a certificate authority binds
+  // participant ids to public keys. (Deterministic RNG for reproducible
+  // output; use a real entropy source in production.)
+  Rng rng(2024);
+  auto ca = crypto::CertificateAuthority::Create(1024, &rng).value();
+  auto alice = crypto::Participant::Create(1, "alice", 1024, &rng, ca).value();
+  auto bob = crypto::Participant::Create(2, "bob", 1024, &rng, ca).value();
+
+  crypto::ParticipantRegistry registry(ca.public_key());
+  registry.Register(alice.certificate());
+  registry.Register(bob.certificate());
+  std::printf("PKI ready: CA + %zu certified participants\n\n",
+              registry.size());
+
+  // --- 2. Tracked operations --------------------------------------------
+  // Every insert/update/aggregate writes a provenance record whose
+  // checksum is the acting participant's signature over
+  //   h(state before) | h(state after) | previous checksum.
+  provenance::TrackedDatabase db;
+
+  auto temperature = db.Insert(alice, storage::Value::Double(21.5)).value();
+  db.Update(bob, temperature, storage::Value::Double(22.0)).ok();
+  db.Update(alice, temperature, storage::Value::Double(22.5)).ok();
+
+  auto pressure = db.Insert(bob, storage::Value::Double(1013.0)).value();
+
+  // Aggregation merges histories: the result's provenance is a DAG.
+  auto report =
+      db.Aggregate(alice, {temperature, pressure},
+                   storage::Value::String("weather-report")).value();
+
+  std::printf("tracked %llu operations -> %llu provenance records\n",
+              5ull,
+              static_cast<unsigned long long>(db.provenance().record_count()));
+
+  // --- 3. Ship to a recipient --------------------------------------------
+  provenance::RecipientBundle bundle = db.ExportForRecipient(report).value();
+  Bytes wire = bundle.Serialize();
+  std::printf("recipient bundle: %zu records, %zu bytes on the wire\n\n",
+              bundle.records.size(), wire.size());
+
+  // --- 4. Verify ----------------------------------------------------------
+  auto received = provenance::RecipientBundle::Deserialize(wire).value();
+  provenance::ProvenanceVerifier verifier(&registry);
+
+  auto honest = verifier.Verify(received);
+  std::printf("honest bundle:   %s\n", honest.ToString().c_str());
+
+  // A recipient-side forgery: silently change the data.
+  provenance::RecipientBundle tampered = received;
+  provenance::attacks::TamperDataValue(&tampered, report,
+                                       storage::Value::String("faked"))
+      .ok();
+  auto caught = verifier.Verify(tampered);
+  std::printf("tampered bundle: %s\n", caught.ToString().c_str());
+
+  return honest.ok() && !caught.ok() ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+#include "common/bytes.h"
+
+namespace provdb {
+
+void AppendFixed32(Bytes* dst, uint32_t v) {
+  dst->push_back(static_cast<uint8_t>(v));
+  dst->push_back(static_cast<uint8_t>(v >> 8));
+  dst->push_back(static_cast<uint8_t>(v >> 16));
+  dst->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void AppendFixed64(Bytes* dst, uint64_t v) {
+  AppendFixed32(dst, static_cast<uint32_t>(v));
+  AppendFixed32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t ReadFixed32(ByteView src, size_t offset) {
+  return static_cast<uint32_t>(src[offset]) |
+         static_cast<uint32_t>(src[offset + 1]) << 8 |
+         static_cast<uint32_t>(src[offset + 2]) << 16 |
+         static_cast<uint32_t>(src[offset + 3]) << 24;
+}
+
+uint64_t ReadFixed64(ByteView src, size_t offset) {
+  return static_cast<uint64_t>(ReadFixed32(src, offset)) |
+         static_cast<uint64_t>(ReadFixed32(src, offset + 4)) << 32;
+}
+
+bool ConstantTimeEqual(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace provdb

@@ -1,0 +1,89 @@
+#ifndef PROVDB_COMMON_BYTES_H_
+#define PROVDB_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace provdb {
+
+/// Owning byte buffer used throughout the library for hashes, signatures,
+/// serialized records, and wire frames.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning read-only view over a byte range (a minimal Slice).
+class ByteView {
+ public:
+  ByteView() : data_(nullptr), size_(0) {}
+  ByteView(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  ByteView(const Bytes& b)  // NOLINT(google-explicit-constructor)
+      : data_(b.data()), size_(b.size()) {}
+  ByteView(std::string_view s)  // NOLINT(google-explicit-constructor)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Returns the sub-view [offset, offset+count); clamps to the view's end.
+  ByteView subview(size_t offset, size_t count = SIZE_MAX) const {
+    if (offset > size_) offset = size_;
+    size_t n = size_ - offset;
+    if (count < n) n = count;
+    return ByteView(data_ + offset, n);
+  }
+
+  /// Copies the viewed bytes into an owning buffer.
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+
+  /// Reinterprets the viewed bytes as a string.
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  bool operator==(const ByteView& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+/// Appends `src` to `dst`.
+inline void AppendBytes(Bytes* dst, ByteView src) {
+  dst->insert(dst->end(), src.data(), src.data() + src.size());
+}
+
+/// Appends the UTF-8 bytes of `s` to `dst`.
+inline void AppendString(Bytes* dst, std::string_view s) {
+  AppendBytes(dst, ByteView(s));
+}
+
+/// Appends a single byte.
+inline void AppendByte(Bytes* dst, uint8_t b) { dst->push_back(b); }
+
+/// Appends `v` in little-endian order (fixed 4 bytes).
+void AppendFixed32(Bytes* dst, uint32_t v);
+
+/// Appends `v` in little-endian order (fixed 8 bytes).
+void AppendFixed64(Bytes* dst, uint64_t v);
+
+/// Reads a little-endian uint32 at `offset`; caller guarantees bounds.
+uint32_t ReadFixed32(ByteView src, size_t offset);
+
+/// Reads a little-endian uint64 at `offset`; caller guarantees bounds.
+uint64_t ReadFixed64(ByteView src, size_t offset);
+
+/// Constant-time byte-equality; use when comparing secrets / MACs.
+bool ConstantTimeEqual(ByteView a, ByteView b);
+
+}  // namespace provdb
+
+#endif  // PROVDB_COMMON_BYTES_H_

@@ -1,0 +1,19 @@
+#ifndef PROVDB_COMMON_CRC32_H_
+#define PROVDB_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace provdb {
+
+/// Computes the CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of
+/// `data`. Used to frame records in the on-disk provenance log.
+uint32_t Crc32(ByteView data);
+
+/// Incrementally extends a CRC computed by Crc32 / Crc32Extend.
+uint32_t Crc32Extend(uint32_t crc, ByteView data);
+
+}  // namespace provdb
+
+#endif  // PROVDB_COMMON_CRC32_H_

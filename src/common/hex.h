@@ -1,0 +1,21 @@
+#ifndef PROVDB_COMMON_HEX_H_
+#define PROVDB_COMMON_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace provdb {
+
+/// Encodes `data` as lowercase hexadecimal ("deadbeef").
+std::string HexEncode(ByteView data);
+
+/// Decodes a hexadecimal string (case-insensitive). Fails on odd length or
+/// non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace provdb
+
+#endif  // PROVDB_COMMON_HEX_H_

@@ -1,0 +1,77 @@
+#ifndef PROVDB_COMMON_RESULT_H_
+#define PROVDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace provdb {
+
+/// Holds either a value of type `T` or a non-OK Status explaining why the
+/// value is absent. Mirrors absl::StatusOr / arrow::Result.
+///
+///   Result<int> r = ParsePort(text);
+///   if (!r.ok()) return r.status();
+///   int port = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` when this result is an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, returning the
+/// status from the enclosing function on error.
+#define PROVDB_CONCAT_INNER_(a, b) a##b
+#define PROVDB_CONCAT_(a, b) PROVDB_CONCAT_INNER_(a, b)
+#define PROVDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+#define PROVDB_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  PROVDB_ASSIGN_OR_RETURN_IMPL_(PROVDB_CONCAT_(provdb_result_, __LINE__),   \
+                                lhs, expr)
+
+}  // namespace provdb
+
+#endif  // PROVDB_COMMON_RESULT_H_

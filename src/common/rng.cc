@@ -1,0 +1,91 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace provdb {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(NextUint64());
+  }
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> [0,1) with full double precision.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+void Rng::NextBytes(Bytes* out, size_t n) {
+  out->clear();
+  out->reserve(n);
+  while (out->size() < n) {
+    uint64_t r = NextUint64();
+    for (int i = 0; i < 8 && out->size() < n; ++i) {
+      out->push_back(static_cast<uint8_t>(r >> (8 * i)));
+    }
+  }
+}
+
+std::string Rng::NextString(size_t n) {
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>('a' + NextBelow(26)));
+  }
+  return out;
+}
+
+}  // namespace provdb

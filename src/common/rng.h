@@ -1,0 +1,47 @@
+#ifndef PROVDB_COMMON_RNG_H_
+#define PROVDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace provdb {
+
+/// Deterministic, fast, non-cryptographic PRNG (xoshiro256**), seeded with
+/// SplitMix64. Used by workload generators and tests so every run is
+/// reproducible from a single seed.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform random 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform value in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling, so results are unbiased.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Fills `out` with `n` random bytes.
+  void NextBytes(Bytes* out, size_t n);
+
+  /// Random lowercase ASCII string of length `n`.
+  std::string NextString(size_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace provdb
+
+#endif  // PROVDB_COMMON_RNG_H_

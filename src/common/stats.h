@@ -1,0 +1,54 @@
+#ifndef PROVDB_COMMON_STATS_H_
+#define PROVDB_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace provdb {
+
+/// Aggregates repeated measurements and reports mean plus a 95% confidence
+/// interval, matching the paper's "average across 100 runs, including 95%
+/// confidence intervals" reporting style.
+class RunningStats {
+ public:
+  /// Adds one measurement.
+  void Add(double x) {
+    // Welford's online algorithm: numerically stable single pass.
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Half-width of the 95% confidence interval for the mean, using the
+  /// normal approximation (z = 1.96); adequate for the paper's 100 runs.
+  double ci95_half_width() const {
+    if (n_ < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace provdb
+
+#endif  // PROVDB_COMMON_STATS_H_

@@ -1,0 +1,613 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace provdb::crypto {
+
+namespace {
+
+constexpr uint64_t kLimbBase = 1ull << 32;
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Count of leading zero bits in a non-zero 32-bit limb.
+int CountLeadingZeros32(uint32_t x) {
+  int n = 0;
+  if ((x & 0xFFFF0000u) == 0) {
+    n += 16;
+    x <<= 16;
+  }
+  if ((x & 0xFF000000u) == 0) {
+    n += 8;
+    x <<= 8;
+  }
+  if ((x & 0xF0000000u) == 0) {
+    n += 4;
+    x <<= 4;
+  }
+  if ((x & 0xC0000000u) == 0) {
+    n += 2;
+    x <<= 2;
+  }
+  if ((x & 0x80000000u) == 0) {
+    n += 1;
+  }
+  return n;
+}
+
+}  // namespace
+
+void BigUInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+BigUInt::BigUInt(uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<uint32_t>(v));
+    uint32_t hi = static_cast<uint32_t>(v >> 32);
+    if (hi != 0) {
+      limbs_.push_back(hi);
+    }
+  }
+}
+
+BigUInt BigUInt::FromBytesBigEndian(ByteView bytes) {
+  BigUInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    // Byte i from the end belongs to limb i/4, shifted by 8*(i%4).
+    size_t from_end = bytes.size() - 1 - i;
+    out.limbs_[i / 4] |= static_cast<uint32_t>(bytes[from_end]) << (8 * (i % 4));
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<BigUInt> BigUInt::FromHexString(std::string_view hex) {
+  if (hex.empty()) {
+    return Status::InvalidArgument("empty hex string");
+  }
+  BigUInt out;
+  for (char c : hex) {
+    int nib = HexNibble(c);
+    if (nib < 0) {
+      return Status::InvalidArgument("non-hex character");
+    }
+    out = out.ShiftLeft(4);
+    if (nib != 0) {
+      out = Add(out, BigUInt(static_cast<uint64_t>(nib)));
+    }
+  }
+  return out;
+}
+
+Result<BigUInt> BigUInt::FromDecimalString(std::string_view dec) {
+  if (dec.empty()) {
+    return Status::InvalidArgument("empty decimal string");
+  }
+  BigUInt out;
+  const BigUInt ten(10);
+  for (char c : dec) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-decimal character");
+    }
+    out = Mul(out, ten);
+    out = Add(out, BigUInt(static_cast<uint64_t>(c - '0')));
+  }
+  return out;
+}
+
+Bytes BigUInt::ToBytesBigEndian() const {
+  if (limbs_.empty()) {
+    return Bytes{0};
+  }
+  Bytes out;
+  size_t total_bytes = (BitLength() + 7) / 8;
+  out.resize(total_bytes);
+  for (size_t i = 0; i < total_bytes; ++i) {
+    // Byte i from the end of the output.
+    uint32_t limb = limbs_[i / 4];
+    out[total_bytes - 1 - i] = static_cast<uint8_t>(limb >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+Result<Bytes> BigUInt::ToBytesBigEndianPadded(size_t width) const {
+  Bytes minimal = ToBytesBigEndian();
+  if (IsZero()) {
+    minimal.clear();
+  }
+  if (minimal.size() > width) {
+    return Status::OutOfRange("value does not fit in requested width");
+  }
+  Bytes out(width - minimal.size(), 0);
+  AppendBytes(&out, minimal);
+  return out;
+}
+
+std::string BigUInt::ToHexString() const {
+  if (limbs_.empty()) {
+    return "0";
+  }
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      int nib = (limbs_[i] >> shift) & 0xF;
+      if (leading && nib == 0) continue;
+      leading = false;
+      out.push_back(kDigits[nib]);
+    }
+  }
+  return out.empty() ? "0" : out;
+}
+
+std::string BigUInt::ToDecimalString() const {
+  if (limbs_.empty()) {
+    return "0";
+  }
+  // Repeatedly divide by 10^9 and emit 9-digit groups.
+  std::vector<uint32_t> work = limbs_;
+  std::string out;
+  while (!work.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<uint32_t>(cur / 1000000000ull);
+      rem = cur % 1000000000ull;
+    }
+    while (!work.empty() && work.back() == 0) {
+      work.pop_back();
+    }
+    std::string group = std::to_string(rem);
+    if (!work.empty()) {
+      group = std::string(9 - group.size(), '0') + group;
+    }
+    out = group + out;
+  }
+  return out;
+}
+
+size_t BigUInt::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  return limbs_.size() * 32 - CountLeadingZeros32(limbs_.back());
+}
+
+bool BigUInt::GetBit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+uint64_t BigUInt::ToUint64() const {
+  uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigUInt::Compare(const BigUInt& a, const BigUInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUInt BigUInt::Add(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Normalize();
+  return out;
+}
+
+BigUInt BigUInt::Sub(const BigUInt& a, const BigUInt& b) {
+  assert(Compare(a, b) >= 0 && "BigUInt::Sub requires a >= b");
+  BigUInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) {
+      diff -= b.limbs_[i];
+    }
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigUInt BigUInt::Mul(const BigUInt& a, const BigUInt& b) {
+  if (a.IsZero() || b.IsZero()) {
+    return BigUInt();
+  }
+  BigUInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a.limbs_[i];
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + b.limbs_.size()] += static_cast<uint32_t>(carry);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigUInt BigUInt::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigUInt out = *this;
+    return out;
+  }
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigUInt BigUInt::ShiftRight(size_t bits) const {
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) {
+    return BigUInt();
+  }
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<DivModResult> BigUInt::DivMod(const BigUInt& dividend,
+                                              const BigUInt& divisor) {
+  if (divisor.IsZero()) {
+    return Status::InvalidArgument("division by zero");
+  }
+  if (Compare(dividend, divisor) < 0) {
+    return DivModResult{BigUInt(), dividend};
+  }
+  // Single-limb fast path.
+  if (divisor.limbs_.size() == 1) {
+    uint64_t d = divisor.limbs_[0];
+    BigUInt q;
+    q.limbs_.assign(dividend.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = dividend.limbs_.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | dividend.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Normalize();
+    return DivModResult{std::move(q), BigUInt(rem)};
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D.
+  const size_t n = divisor.limbs_.size();
+  const size_t m = dividend.limbs_.size() - n;
+  const int shift = CountLeadingZeros32(divisor.limbs_.back());
+
+  // Normalized copies: v has its top bit set; u gains one extra limb.
+  BigUInt v_big = divisor.ShiftLeft(shift);
+  BigUInt u_big = dividend.ShiftLeft(shift);
+  std::vector<uint32_t> v = v_big.limbs_;
+  std::vector<uint32_t> u = u_big.limbs_;
+  u.resize(dividend.limbs_.size() + 1, 0);
+  v.resize(n, 0);
+
+  BigUInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat from the top two limbs of the current remainder.
+    uint64_t numerator =
+        (static_cast<uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    uint64_t q_hat = numerator / v[n - 1];
+    uint64_t r_hat = numerator % v[n - 1];
+
+    while (q_hat >= kLimbBase ||
+           q_hat * v[n - 2] > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v[n - 1];
+      if (r_hat >= kLimbBase) {
+        break;
+      }
+    }
+
+    // Multiply-and-subtract: u[j..j+n] -= q_hat * v.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(u[j + i]) -
+                     static_cast<int64_t>(product & 0xFFFFFFFFull) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[j + i] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(u[j + n]) -
+                   static_cast<int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    if (negative) {
+      diff += static_cast<int64_t>(kLimbBase);
+    }
+    u[j + n] = static_cast<uint32_t>(diff);
+
+    if (negative) {
+      // q_hat was one too large; add the divisor back.
+      --q_hat;
+      uint64_t add_carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u[j + i]) + v[i] + add_carry;
+        u[j + i] = static_cast<uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      u[j + n] = static_cast<uint32_t>(u[j + n] + add_carry);
+    }
+
+    q.limbs_[j] = static_cast<uint32_t>(q_hat);
+  }
+
+  q.Normalize();
+  BigUInt r;
+  r.limbs_.assign(u.begin(), u.begin() + n);
+  r.Normalize();
+  r = r.ShiftRight(shift);
+  return DivModResult{std::move(q), std::move(r)};
+}
+
+Result<BigUInt> BigUInt::Mod(const BigUInt& a, const BigUInt& m) {
+  PROVDB_ASSIGN_OR_RETURN(DivModResult dm, DivMod(a, m));
+  return dm.remainder;
+}
+
+Result<BigUInt> BigUInt::ModExp(const BigUInt& base, const BigUInt& exp,
+                                const BigUInt& m) {
+  if (m.IsZero()) {
+    return Status::InvalidArgument("modulus must be non-zero");
+  }
+  if (m == BigUInt(1)) {
+    return BigUInt();
+  }
+  if (m.IsOdd()) {
+    PROVDB_ASSIGN_OR_RETURN(MontgomeryContext ctx, MontgomeryContext::Create(m));
+    return ctx.ModExp(base, exp);
+  }
+  // Generic square-and-multiply for even moduli.
+  PROVDB_ASSIGN_OR_RETURN(BigUInt acc, Mod(base, m));
+  BigUInt result(1);
+  size_t bits = exp.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exp.GetBit(i)) {
+      PROVDB_ASSIGN_OR_RETURN(result, Mod(Mul(result, acc), m));
+    }
+    PROVDB_ASSIGN_OR_RETURN(acc, Mod(Mul(acc, acc), m));
+  }
+  return result;
+}
+
+BigUInt BigUInt::Gcd(BigUInt a, BigUInt b) {
+  while (!b.IsZero()) {
+    auto dm = DivMod(a, b);
+    a = std::move(b);
+    b = std::move(dm.value().remainder);
+  }
+  return a;
+}
+
+Result<BigUInt> BigUInt::ModInverse(const BigUInt& a, const BigUInt& m) {
+  if (m.IsZero()) {
+    return Status::InvalidArgument("modulus must be non-zero");
+  }
+  // Extended Euclid tracking only the t-coefficient, with explicit signs.
+  PROVDB_ASSIGN_OR_RETURN(BigUInt r, Mod(a, m));
+  BigUInt old_r = m;
+  BigUInt old_t;            // 0
+  BigUInt t(1);
+  bool old_t_neg = false;
+  bool t_neg = false;
+
+  while (!r.IsZero()) {
+    PROVDB_ASSIGN_OR_RETURN(DivModResult dm, DivMod(old_r, r));
+    const BigUInt& q = dm.quotient;
+
+    // new_t = old_t - q * t (signed).
+    BigUInt qt = Mul(q, t);
+    bool qt_neg = t_neg;
+    BigUInt new_t;
+    bool new_t_neg;
+    if (old_t_neg == qt_neg) {
+      // Same sign: magnitude subtraction, sign follows the larger.
+      if (Compare(old_t, qt) >= 0) {
+        new_t = Sub(old_t, qt);
+        new_t_neg = old_t_neg;
+      } else {
+        new_t = Sub(qt, old_t);
+        new_t_neg = !old_t_neg;
+      }
+    } else {
+      new_t = Add(old_t, qt);
+      new_t_neg = old_t_neg;
+    }
+    if (new_t.IsZero()) {
+      new_t_neg = false;
+    }
+
+    old_r = std::move(r);
+    r = std::move(dm.remainder);
+    old_t = std::move(t);
+    old_t_neg = t_neg;
+    t = std::move(new_t);
+    t_neg = new_t_neg;
+  }
+
+  if (old_r != BigUInt(1)) {
+    return Status::InvalidArgument("no modular inverse: gcd != 1");
+  }
+  if (old_t_neg) {
+    PROVDB_ASSIGN_OR_RETURN(BigUInt reduced, Mod(old_t, m));
+    if (reduced.IsZero()) {
+      return reduced;
+    }
+    return Sub(m, reduced);
+  }
+  return Mod(old_t, m);
+}
+
+// ---------------------------------------------------------------------
+// MontgomeryContext
+
+Result<MontgomeryContext> MontgomeryContext::Create(const BigUInt& modulus) {
+  if (!modulus.IsOdd() || modulus <= BigUInt(1)) {
+    return Status::InvalidArgument("Montgomery modulus must be odd and > 1");
+  }
+  MontgomeryContext ctx;
+  ctx.modulus_ = modulus;
+  ctx.num_limbs_ = modulus.limbs_.size();
+
+  // n' = -m^-1 mod 2^32 via Newton iteration (5 steps suffice for 32 bits).
+  uint32_t m0 = modulus.limbs_[0];
+  uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2 - m0 * inv;
+  }
+  ctx.n_prime_ = static_cast<uint32_t>(0u - inv);
+
+  BigUInt r = BigUInt(1).ShiftLeft(32 * ctx.num_limbs_);
+  auto r_mod = BigUInt::Mod(r, modulus);
+  auto r2_mod = BigUInt::Mod(BigUInt::Mul(r_mod.value(), r_mod.value()),
+                             modulus);
+  ctx.r_mod_m_ = std::move(r_mod).value();
+  ctx.r2_mod_m_ = std::move(r2_mod).value();
+  return ctx;
+}
+
+BigUInt MontgomeryContext::MulReduce(const BigUInt& a, const BigUInt& b) const {
+  const size_t n = num_limbs_;
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+  std::vector<uint32_t> t(n + 2, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t ai = i < a.limbs_.size() ? a.limbs_[i] : 0;
+
+    // t += a[i] * b
+    uint64_t carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      uint64_t bj = j < b.limbs_.size() ? b.limbs_[j] : 0;
+      uint64_t cur = t[j] + ai * bj + carry;
+      t[j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    uint64_t cur = t[n] + carry;
+    t[n] = static_cast<uint32_t>(cur);
+    t[n + 1] = static_cast<uint32_t>(t[n + 1] + (cur >> 32));
+
+    // t += (t[0] * n') * m; then t >>= 32 (one limb).
+    uint32_t u = static_cast<uint32_t>(t[0] * n_prime_);
+    carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      uint64_t cur2 = t[j] + static_cast<uint64_t>(u) * modulus_.limbs_[j] +
+                      carry;
+      t[j] = static_cast<uint32_t>(cur2);
+      carry = cur2 >> 32;
+    }
+    cur = t[n] + carry;
+    t[n] = static_cast<uint32_t>(cur);
+    t[n + 1] = static_cast<uint32_t>(t[n + 1] + (cur >> 32));
+
+    // Shift down one limb (t[0] is zero after the REDC step).
+    for (size_t j = 0; j <= n; ++j) {
+      t[j] = t[j + 1];
+    }
+    t[n + 1] = 0;
+  }
+
+  BigUInt out;
+  out.limbs_.assign(t.begin(), t.begin() + n + 1);
+  out.Normalize();
+  if (BigUInt::Compare(out, modulus_) >= 0) {
+    out = BigUInt::Sub(out, modulus_);
+  }
+  return out;
+}
+
+BigUInt MontgomeryContext::ToMontgomery(const BigUInt& a) const {
+  BigUInt reduced = a;
+  if (BigUInt::Compare(reduced, modulus_) >= 0) {
+    reduced = BigUInt::Mod(reduced, modulus_).value();
+  }
+  return MulReduce(reduced, r2_mod_m_);
+}
+
+BigUInt MontgomeryContext::FromMontgomery(const BigUInt& a) const {
+  return MulReduce(a, BigUInt(1));
+}
+
+BigUInt MontgomeryContext::ModExp(const BigUInt& base,
+                                  const BigUInt& exp) const {
+  BigUInt acc = ToMontgomery(base);
+  BigUInt result = r_mod_m_;  // 1 in Montgomery form.
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = MulReduce(result, result);
+    if (exp.GetBit(i)) {
+      result = MulReduce(result, acc);
+    }
+  }
+  return FromMontgomery(result);
+}
+
+}  // namespace provdb::crypto

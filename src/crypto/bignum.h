@@ -1,0 +1,157 @@
+#ifndef PROVDB_CRYPTO_BIGNUM_H_
+#define PROVDB_CRYPTO_BIGNUM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace provdb::crypto {
+
+struct DivModResult;
+
+/// Arbitrary-precision unsigned integer. Backing for the from-scratch RSA
+/// implementation (the paper's checksum signatures use 1024-bit RSA, §5.1).
+///
+/// Representation: little-endian vector of 32-bit limbs, normalized (no
+/// trailing zero limbs; zero is the empty vector). All arithmetic is
+/// schoolbook O(n^2) or better, which is ample for RSA-1024/2048 operand
+/// sizes; ModExp uses Montgomery multiplication for odd moduli.
+class BigUInt {
+ public:
+  /// Zero.
+  BigUInt() = default;
+
+  /// From a machine word.
+  explicit BigUInt(uint64_t v);
+
+  /// Parses a big-endian byte string (as found in signatures and keys).
+  static BigUInt FromBytesBigEndian(ByteView bytes);
+
+  /// Parses hex (no 0x prefix, case-insensitive).
+  static Result<BigUInt> FromHexString(std::string_view hex);
+
+  /// Parses decimal.
+  static Result<BigUInt> FromDecimalString(std::string_view dec);
+
+  /// Minimal-length big-endian bytes ("0" encodes as one zero byte).
+  Bytes ToBytesBigEndian() const;
+
+  /// Big-endian bytes left-padded with zeros to exactly `width` bytes.
+  /// Fails if the value does not fit.
+  Result<Bytes> ToBytesBigEndianPadded(size_t width) const;
+
+  std::string ToHexString() const;
+  std::string ToDecimalString() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+
+  /// Number of significant bits (0 for zero).
+  size_t BitLength() const;
+
+  /// Bit `i` (LSB = 0); bits beyond BitLength() read as 0.
+  bool GetBit(size_t i) const;
+
+  /// Value of the low 64 bits.
+  uint64_t ToUint64() const;
+
+  // -- Comparison ------------------------------------------------------
+  static int Compare(const BigUInt& a, const BigUInt& b);
+  bool operator==(const BigUInt& o) const { return Compare(*this, o) == 0; }
+  bool operator!=(const BigUInt& o) const { return Compare(*this, o) != 0; }
+  bool operator<(const BigUInt& o) const { return Compare(*this, o) < 0; }
+  bool operator<=(const BigUInt& o) const { return Compare(*this, o) <= 0; }
+  bool operator>(const BigUInt& o) const { return Compare(*this, o) > 0; }
+  bool operator>=(const BigUInt& o) const { return Compare(*this, o) >= 0; }
+
+  // -- Arithmetic ------------------------------------------------------
+  static BigUInt Add(const BigUInt& a, const BigUInt& b);
+
+  /// Requires a >= b (asserts in debug builds; wraps otherwise undefined).
+  static BigUInt Sub(const BigUInt& a, const BigUInt& b);
+
+  static BigUInt Mul(const BigUInt& a, const BigUInt& b);
+
+  /// Quotient and remainder; `divisor` must be non-zero.
+  static Result<DivModResult> DivMod(const BigUInt& dividend,
+                                     const BigUInt& divisor);
+
+  /// a mod m; `m` must be non-zero.
+  static Result<BigUInt> Mod(const BigUInt& a, const BigUInt& m);
+
+  BigUInt operator+(const BigUInt& o) const { return Add(*this, o); }
+  BigUInt operator-(const BigUInt& o) const { return Sub(*this, o); }
+  BigUInt operator*(const BigUInt& o) const { return Mul(*this, o); }
+
+  /// Left shift by `bits`.
+  BigUInt ShiftLeft(size_t bits) const;
+
+  /// Logical right shift by `bits`.
+  BigUInt ShiftRight(size_t bits) const;
+
+  // -- Number theory ---------------------------------------------------
+
+  /// (base ^ exp) mod m. Requires m != 0. Uses Montgomery multiplication
+  /// when m is odd (the RSA case), generic square-and-multiply otherwise.
+  static Result<BigUInt> ModExp(const BigUInt& base, const BigUInt& exp,
+                                const BigUInt& m);
+
+  /// Greatest common divisor.
+  static BigUInt Gcd(BigUInt a, BigUInt b);
+
+  /// Multiplicative inverse of a modulo m; fails when gcd(a, m) != 1.
+  static Result<BigUInt> ModInverse(const BigUInt& a, const BigUInt& m);
+
+ private:
+  friend class MontgomeryContext;
+
+  void Normalize();
+
+  std::vector<uint32_t> limbs_;
+};
+
+/// Quotient and remainder of an integer division.
+struct DivModResult {
+  BigUInt quotient;
+  BigUInt remainder;
+};
+
+/// Precomputed context for repeated modular multiplication modulo a fixed
+/// odd modulus (Montgomery REDC form). Exposed so RSA-CRT can reuse the
+/// per-prime contexts across many signatures.
+class MontgomeryContext {
+ public:
+  /// `modulus` must be odd and > 1.
+  static Result<MontgomeryContext> Create(const BigUInt& modulus);
+
+  const BigUInt& modulus() const { return modulus_; }
+
+  /// Converts into Montgomery form: a * R mod m.
+  BigUInt ToMontgomery(const BigUInt& a) const;
+
+  /// Converts out of Montgomery form: a * R^-1 mod m.
+  BigUInt FromMontgomery(const BigUInt& a) const;
+
+  /// Montgomery product: a * b * R^-1 mod m (operands in Montgomery form).
+  BigUInt MulReduce(const BigUInt& a, const BigUInt& b) const;
+
+  /// (base ^ exp) mod m, operands in ordinary (non-Montgomery) form.
+  BigUInt ModExp(const BigUInt& base, const BigUInt& exp) const;
+
+ private:
+  MontgomeryContext() = default;
+
+  BigUInt modulus_;
+  BigUInt r_mod_m_;   // R mod m, R = 2^(32 * limbs)
+  BigUInt r2_mod_m_;  // R^2 mod m
+  uint32_t n_prime_ = 0;  // -m^-1 mod 2^32
+  size_t num_limbs_ = 0;
+};
+
+}  // namespace provdb::crypto
+
+#endif  // PROVDB_CRYPTO_BIGNUM_H_

@@ -1,0 +1,9 @@
+#include "crypto/digest.h"
+
+#include "common/hex.h"
+
+namespace provdb::crypto {
+
+std::string Digest::ToHex() const { return HexEncode(view()); }
+
+}  // namespace provdb::crypto

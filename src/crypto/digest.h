@@ -1,0 +1,63 @@
+#ifndef PROVDB_CRYPTO_DIGEST_H_
+#define PROVDB_CRYPTO_DIGEST_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace provdb::crypto {
+
+/// Fixed-capacity message digest value. Avoids heap allocation on the
+/// hashing hot path (subtree hashing touches every node of the database).
+/// Capacity covers all supported algorithms (MD5 = 16, SHA-1 = 20,
+/// SHA-256 = 32 bytes).
+class Digest {
+ public:
+  static constexpr size_t kMaxSize = 32;
+
+  Digest() : size_(0) { bytes_.fill(0); }
+
+  /// Builds a digest from raw bytes. Truncates to kMaxSize (callers always
+  /// pass genuine digest output, so truncation never occurs in practice).
+  static Digest FromBytes(ByteView data) {
+    Digest d;
+    d.size_ = data.size() > kMaxSize ? kMaxSize : data.size();
+    std::memcpy(d.bytes_.data(), data.data(), d.size_);
+    return d;
+  }
+
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* mutable_data() { return bytes_.data(); }
+  size_t size() const { return size_; }
+  void set_size(size_t n) { size_ = n > kMaxSize ? kMaxSize : n; }
+  bool empty() const { return size_ == 0; }
+
+  ByteView view() const { return ByteView(bytes_.data(), size_); }
+  Bytes ToBytes() const { return view().ToBytes(); }
+  std::string ToHex() const;
+
+  bool operator==(const Digest& other) const {
+    return size_ == other.size_ &&
+           std::memcmp(bytes_.data(), other.bytes_.data(), size_) == 0;
+  }
+  bool operator!=(const Digest& other) const { return !(*this == other); }
+
+  /// Lexicographic order; usable as a map key.
+  bool operator<(const Digest& other) const {
+    int c = std::memcmp(bytes_.data(), other.bytes_.data(),
+                        size_ < other.size_ ? size_ : other.size_);
+    if (c != 0) return c < 0;
+    return size_ < other.size_;
+  }
+
+ private:
+  std::array<uint8_t, kMaxSize> bytes_;
+  size_t size_;
+};
+
+}  // namespace provdb::crypto
+
+#endif  // PROVDB_CRYPTO_DIGEST_H_

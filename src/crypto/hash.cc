@@ -1,0 +1,63 @@
+#include "crypto/hash.h"
+
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace provdb::crypto {
+
+std::string_view HashAlgorithmName(HashAlgorithm alg) {
+  switch (alg) {
+    case HashAlgorithm::kSha1:
+      return "SHA-1";
+    case HashAlgorithm::kSha256:
+      return "SHA-256";
+    case HashAlgorithm::kMd5:
+      return "MD5";
+  }
+  return "unknown";
+}
+
+size_t HashDigestSize(HashAlgorithm alg) {
+  switch (alg) {
+    case HashAlgorithm::kSha1:
+      return Sha1Hasher::kDigestSize;
+    case HashAlgorithm::kSha256:
+      return Sha256Hasher::kDigestSize;
+    case HashAlgorithm::kMd5:
+      return Md5Hasher::kDigestSize;
+  }
+  return 0;
+}
+
+std::unique_ptr<Hasher> CreateHasher(HashAlgorithm alg) {
+  switch (alg) {
+    case HashAlgorithm::kSha1:
+      return std::make_unique<Sha1Hasher>();
+    case HashAlgorithm::kSha256:
+      return std::make_unique<Sha256Hasher>();
+    case HashAlgorithm::kMd5:
+      return std::make_unique<Md5Hasher>();
+  }
+  return nullptr;
+}
+
+Digest HashBytes(HashAlgorithm alg, ByteView data) {
+  switch (alg) {
+    case HashAlgorithm::kSha1: {
+      Sha1Hasher h;
+      return h.Hash(data);
+    }
+    case HashAlgorithm::kSha256: {
+      Sha256Hasher h;
+      return h.Hash(data);
+    }
+    case HashAlgorithm::kMd5: {
+      Md5Hasher h;
+      return h.Hash(data);
+    }
+  }
+  return Digest();
+}
+
+}  // namespace provdb::crypto

@@ -1,0 +1,62 @@
+#ifndef PROVDB_CRYPTO_HASH_H_
+#define PROVDB_CRYPTO_HASH_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace provdb::crypto {
+
+/// Supported cryptographic hash algorithms. The paper uses SHA-1 ("SHA",
+/// 20-byte digests, §5.1); SHA-256 and MD5 are provided for ablations and
+/// because the paper names both SHA-1 and MD5 as candidates (§2.3).
+enum class HashAlgorithm {
+  kSha1,
+  kSha256,
+  kMd5,
+};
+
+/// Returns "SHA-1" / "SHA-256" / "MD5".
+std::string_view HashAlgorithmName(HashAlgorithm alg);
+
+/// Digest length in bytes for `alg`.
+size_t HashDigestSize(HashAlgorithm alg);
+
+/// Streaming hash interface. Implementations are reusable: after Finish(),
+/// call Reset() to begin a new message.
+class Hasher {
+ public:
+  virtual ~Hasher() = default;
+
+  /// Abandons any buffered input and starts a fresh message.
+  virtual void Reset() = 0;
+
+  /// Absorbs `data` into the running hash.
+  virtual void Update(ByteView data) = 0;
+
+  /// Completes the hash and returns the digest. The hasher must be Reset()
+  /// before further Update() calls.
+  virtual Digest Finish() = 0;
+
+  virtual size_t digest_size() const = 0;
+  virtual HashAlgorithm algorithm() const = 0;
+
+  /// Convenience: Reset + Update + Finish in one call.
+  Digest Hash(ByteView data) {
+    Reset();
+    Update(data);
+    return Finish();
+  }
+};
+
+/// Creates a hasher for `alg`.
+std::unique_ptr<Hasher> CreateHasher(HashAlgorithm alg);
+
+/// One-shot hash of `data` under `alg`.
+Digest HashBytes(HashAlgorithm alg, ByteView data);
+
+}  // namespace provdb::crypto
+
+#endif  // PROVDB_CRYPTO_HASH_H_

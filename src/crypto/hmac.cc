@@ -1,0 +1,39 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace provdb::crypto {
+
+Digest HmacCompute(HashAlgorithm alg, ByteView key, ByteView message) {
+  // All supported algorithms use a 64-byte block.
+  constexpr size_t kBlockSize = 64;
+
+  // Keys longer than a block are hashed first; shorter keys zero-padded.
+  uint8_t key_block[kBlockSize];
+  std::memset(key_block, 0, kBlockSize);
+  if (key.size() > kBlockSize) {
+    Digest kd = HashBytes(alg, key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlockSize];
+  uint8_t opad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5C;
+  }
+
+  auto hasher = CreateHasher(alg);
+  hasher->Update(ByteView(ipad, kBlockSize));
+  hasher->Update(message);
+  Digest inner = hasher->Finish();
+
+  hasher->Reset();
+  hasher->Update(ByteView(opad, kBlockSize));
+  hasher->Update(inner.view());
+  return hasher->Finish();
+}
+
+}  // namespace provdb::crypto

@@ -1,0 +1,17 @@
+#ifndef PROVDB_CRYPTO_HMAC_H_
+#define PROVDB_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+#include "crypto/hash.h"
+
+namespace provdb::crypto {
+
+/// HMAC (RFC 2104) over any supported hash algorithm. Used by the
+/// symmetric-key ablation signer (HMAC "signatures" are cheap but lose the
+/// paper's non-repudiation property R8 — see bench_crypto_micro).
+Digest HmacCompute(HashAlgorithm alg, ByteView key, ByteView message);
+
+}  // namespace provdb::crypto
+
+#endif  // PROVDB_CRYPTO_HMAC_H_

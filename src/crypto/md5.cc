@@ -1,0 +1,141 @@
+#include "crypto/md5.h"
+
+#include <cstring>
+
+namespace provdb::crypto {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline uint32_t LoadLittleEndian32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline void StoreLittleEndian32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+// T[i] = floor(abs(sin(i + 1)) * 2^32), per RFC 1321.
+constexpr uint32_t kSineTable[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+};
+
+constexpr int kShifts[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+}  // namespace
+
+void Md5Hasher::Reset() {
+  state_[0] = 0x67452301u;
+  state_[1] = 0xefcdab89u;
+  state_[2] = 0x98badcfeu;
+  state_[3] = 0x10325476u;
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Md5Hasher::Update(ByteView data) {
+  total_bytes_ += data.size();
+  size_t pos = 0;
+  if (buffered_ > 0) {
+    size_t need = kBlockSize - buffered_;
+    size_t take = data.size() < need ? data.size() : need;
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    pos += take;
+    if (buffered_ == kBlockSize) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (pos + kBlockSize <= data.size()) {
+    ProcessBlock(data.data() + pos);
+    pos += kBlockSize;
+  }
+  if (pos < data.size()) {
+    std::memcpy(buffer_, data.data() + pos, data.size() - pos);
+    buffered_ = data.size() - pos;
+  }
+}
+
+Digest Md5Hasher::Finish() {
+  uint64_t bit_length = total_bytes_ * 8;
+  uint8_t pad[kBlockSize * 2];
+  size_t pad_len = 0;
+  pad[pad_len++] = 0x80;
+  size_t rem = (buffered_ + 1) % kBlockSize;
+  size_t zeros = (rem <= 56) ? (56 - rem) : (kBlockSize + 56 - rem);
+  std::memset(pad + pad_len, 0, zeros);
+  pad_len += zeros;
+  // MD5 appends the bit length little-endian (unlike the SHA family).
+  for (int i = 0; i < 8; ++i) {
+    pad[pad_len++] = static_cast<uint8_t>(bit_length >> (8 * i));
+  }
+  uint64_t saved_total = total_bytes_;
+  Update(ByteView(pad, pad_len));
+  total_bytes_ = saved_total;
+
+  Digest d;
+  d.set_size(kDigestSize);
+  for (int i = 0; i < 4; ++i) {
+    StoreLittleEndian32(d.mutable_data() + 4 * i, state_[i]);
+  }
+  return d;
+}
+
+void Md5Hasher::ProcessBlock(const uint8_t* block) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = LoadLittleEndian32(block + 4 * i);
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (int i = 0; i < 64; ++i) {
+    uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    uint32_t temp = d;
+    d = c;
+    c = b;
+    b = b + Rotl(a + f + kSineTable[i] + m[g], kShifts[i]);
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+}  // namespace provdb::crypto

@@ -1,0 +1,38 @@
+#ifndef PROVDB_CRYPTO_MD5_H_
+#define PROVDB_CRYPTO_MD5_H_
+
+#include <cstdint>
+
+#include "crypto/hash.h"
+
+namespace provdb::crypto {
+
+/// MD5 (RFC 1321). 16-byte digests. Named by the paper (§2.3) as one of
+/// the two candidate hash functions; provided for ablation benchmarks.
+/// MD5 is cryptographically broken — do not use it outside reproductions.
+class Md5Hasher final : public Hasher {
+ public:
+  static constexpr size_t kDigestSize = 16;
+  static constexpr size_t kBlockSize = 64;
+
+  Md5Hasher() { Reset(); }
+
+  void Reset() override;
+  void Update(ByteView data) override;
+  Digest Finish() override;
+
+  size_t digest_size() const override { return kDigestSize; }
+  HashAlgorithm algorithm() const override { return HashAlgorithm::kMd5; }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[4];
+  uint64_t total_bytes_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffered_;
+};
+
+}  // namespace provdb::crypto
+
+#endif  // PROVDB_CRYPTO_MD5_H_

@@ -1,0 +1,106 @@
+#ifndef PROVDB_CRYPTO_RSA_H_
+#define PROVDB_CRYPTO_RSA_H_
+
+#include <cstddef>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/bignum.h"
+#include "crypto/digest.h"
+#include "crypto/hash.h"
+
+namespace provdb::crypto {
+
+/// RSA public key (n, e). Signature length equals ModulusBytes() — 128
+/// bytes for the paper's 1024-bit configuration (§5.1).
+struct RsaPublicKey {
+  BigUInt n;
+  BigUInt e;
+
+  size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+
+  /// Length-prefixed binary encoding (used inside PKI certificates).
+  Bytes Serialize() const;
+  static Result<RsaPublicKey> Deserialize(ByteView data);
+
+  bool operator==(const RsaPublicKey& o) const {
+    return n == o.n && e == o.e;
+  }
+};
+
+/// RSA private key with CRT components for fast signing.
+struct RsaPrivateKey {
+  BigUInt n;
+  BigUInt e;
+  BigUInt d;
+  BigUInt p;
+  BigUInt q;
+  BigUInt dp;    // d mod (p-1)
+  BigUInt dq;    // d mod (q-1)
+  BigUInt qinv;  // q^-1 mod p
+
+  size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+
+  RsaPublicKey PublicKey() const { return RsaPublicKey{n, e}; }
+};
+
+/// A generated key pair.
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  RsaPrivateKey private_key;
+};
+
+/// Miller–Rabin primality test with `rounds` random witnesses (plus the
+/// small deterministic bases). Returns true for "probably prime".
+bool IsProbablePrime(const BigUInt& n, Rng* rng, int rounds = 20);
+
+/// Generates a random probable prime with exactly `bits` bits (top two
+/// bits set so products reach the target modulus size).
+Result<BigUInt> GeneratePrime(size_t bits, Rng* rng);
+
+/// Generates an RSA key pair with an exactly `modulus_bits`-bit modulus and
+/// public exponent 65537. Deterministic given the RNG seed, which keeps
+/// tests and benchmarks reproducible. `modulus_bits` must be >= 128 and
+/// even. The paper's configuration is 1024.
+Result<RsaKeyPair> GenerateRsaKeyPair(size_t modulus_bits, Rng* rng);
+
+/// Signs a message digest: PKCS#1 v1.5-style encoding
+/// `0x00 01 FF..FF 00 <alg-tag byte> <digest>`, then RSA-CRT private-key
+/// exponentiation. (The alg tag is a 1-byte stand-in for the ASN.1
+/// DigestInfo header of full PKCS#1; the security argument is unchanged.)
+/// The result is exactly ModulusBytes() long.
+Result<Bytes> RsaSignDigest(const RsaPrivateKey& key, HashAlgorithm alg,
+                            const Digest& digest);
+
+/// Verifies a signature produced by RsaSignDigest. OK on success;
+/// kVerificationFailed when the signature does not match.
+Status RsaVerifyDigest(const RsaPublicKey& key, HashAlgorithm alg,
+                       const Digest& digest, ByteView signature);
+
+/// Precomputed signing context: builds the per-prime Montgomery contexts
+/// once and reuses them for every signature. Checksum generation signs
+/// thousands of records per complex operation, so this matters.
+class RsaSigningContext {
+ public:
+  static Result<RsaSigningContext> Create(const RsaPrivateKey& key);
+
+  /// Same encoding/semantics as RsaSignDigest.
+  Result<Bytes> SignDigest(HashAlgorithm alg, const Digest& digest) const;
+
+  const RsaPrivateKey& key() const { return key_; }
+
+ private:
+  RsaSigningContext(RsaPrivateKey key, MontgomeryContext p_ctx,
+                    MontgomeryContext q_ctx)
+      : key_(std::move(key)), p_ctx_(std::move(p_ctx)),
+        q_ctx_(std::move(q_ctx)) {}
+
+  RsaPrivateKey key_;
+  MontgomeryContext p_ctx_;
+  MontgomeryContext q_ctx_;
+};
+
+}  // namespace provdb::crypto
+
+#endif  // PROVDB_CRYPTO_RSA_H_

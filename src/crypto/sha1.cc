@@ -1,0 +1,125 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace provdb::crypto {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline uint32_t LoadBigEndian32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | static_cast<uint32_t>(p[3]);
+}
+
+inline void StoreBigEndian32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+void Sha1Hasher::Reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1Hasher::Update(ByteView data) {
+  total_bytes_ += data.size();
+  size_t pos = 0;
+  if (buffered_ > 0) {
+    size_t need = kBlockSize - buffered_;
+    size_t take = data.size() < need ? data.size() : need;
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    pos += take;
+    if (buffered_ == kBlockSize) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (pos + kBlockSize <= data.size()) {
+    ProcessBlock(data.data() + pos);
+    pos += kBlockSize;
+  }
+  if (pos < data.size()) {
+    std::memcpy(buffer_, data.data() + pos, data.size() - pos);
+    buffered_ = data.size() - pos;
+  }
+}
+
+Digest Sha1Hasher::Finish() {
+  uint64_t bit_length = total_bytes_ * 8;
+  uint8_t pad[kBlockSize * 2];
+  size_t pad_len = 0;
+  pad[pad_len++] = 0x80;
+  // Pad to 56 mod 64 (leaving 8 bytes for the length).
+  size_t rem = (buffered_ + 1) % kBlockSize;
+  size_t zeros = (rem <= 56) ? (56 - rem) : (kBlockSize + 56 - rem);
+  std::memset(pad + pad_len, 0, zeros);
+  pad_len += zeros;
+  for (int i = 7; i >= 0; --i) {
+    pad[pad_len++] = static_cast<uint8_t>(bit_length >> (8 * i));
+  }
+  // Feed padding through the normal path without re-counting its length.
+  uint64_t saved_total = total_bytes_;
+  Update(ByteView(pad, pad_len));
+  total_bytes_ = saved_total;
+
+  Digest d;
+  d.set_size(kDigestSize);
+  for (int i = 0; i < 5; ++i) {
+    StoreBigEndian32(d.mutable_data() + 4 * i, h_[i]);
+  }
+  return d;
+}
+
+void Sha1Hasher::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = LoadBigEndian32(block + 4 * i);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t temp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+}  // namespace provdb::crypto

@@ -1,0 +1,41 @@
+#ifndef PROVDB_CRYPTO_SHA1_H_
+#define PROVDB_CRYPTO_SHA1_H_
+
+#include <cstdint>
+
+#include "crypto/hash.h"
+
+namespace provdb::crypto {
+
+/// SHA-1 (FIPS PUB 180-1). 20-byte digests. This is the algorithm the
+/// paper's evaluation uses ("SHA", java.security.MessageDigest, §5.1).
+///
+/// Note: SHA-1 collisions are practical today; the library defaults match
+/// the paper for reproduction, and SHA-256 is a drop-in replacement via
+/// HashAlgorithm::kSha256 everywhere a hash algorithm is configurable.
+class Sha1Hasher final : public Hasher {
+ public:
+  static constexpr size_t kDigestSize = 20;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha1Hasher() { Reset(); }
+
+  void Reset() override;
+  void Update(ByteView data) override;
+  Digest Finish() override;
+
+  size_t digest_size() const override { return kDigestSize; }
+  HashAlgorithm algorithm() const override { return HashAlgorithm::kSha1; }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint64_t total_bytes_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffered_;
+};
+
+}  // namespace provdb::crypto
+
+#endif  // PROVDB_CRYPTO_SHA1_H_

@@ -1,0 +1,37 @@
+#ifndef PROVDB_CRYPTO_SHA256_H_
+#define PROVDB_CRYPTO_SHA256_H_
+
+#include <cstdint>
+
+#include "crypto/hash.h"
+
+namespace provdb::crypto {
+
+/// SHA-256 (FIPS PUB 180-2). 32-byte digests. Modern drop-in replacement
+/// for the paper's SHA-1 configuration.
+class Sha256Hasher final : public Hasher {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256Hasher() { Reset(); }
+
+  void Reset() override;
+  void Update(ByteView data) override;
+  Digest Finish() override;
+
+  size_t digest_size() const override { return kDigestSize; }
+  HashAlgorithm algorithm() const override { return HashAlgorithm::kSha256; }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint64_t total_bytes_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffered_;
+};
+
+}  // namespace provdb::crypto
+
+#endif  // PROVDB_CRYPTO_SHA256_H_

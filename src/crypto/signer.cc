@@ -1,0 +1,52 @@
+#include "crypto/signer.h"
+
+#include <string>
+
+#include "crypto/hmac.h"
+
+namespace provdb::crypto {
+
+Result<RsaSigner> RsaSigner::Create(const RsaPrivateKey& key,
+                                    HashAlgorithm alg) {
+  PROVDB_ASSIGN_OR_RETURN(RsaSigningContext ctx,
+                          RsaSigningContext::Create(key));
+  return RsaSigner(std::move(ctx), key.PublicKey(), alg);
+}
+
+Result<Bytes> RsaSigner::Sign(ByteView message) const {
+  Digest d = HashBytes(alg_, message);
+  return ctx_.SignDigest(alg_, d);
+}
+
+size_t RsaSigner::signature_size() const {
+  return public_key_.ModulusBytes();
+}
+
+std::string RsaSigner::scheme_name() const {
+  return "RSA-" + std::to_string(public_key_.n.BitLength()) + "/" +
+         std::string(HashAlgorithmName(alg_));
+}
+
+Status RsaSignatureVerifier::Verify(ByteView message,
+                                    ByteView signature) const {
+  Digest d = HashBytes(alg_, message);
+  return RsaVerifyDigest(key_, alg_, d, signature);
+}
+
+Result<Bytes> HmacSigner::Sign(ByteView message) const {
+  return HmacCompute(alg_, key_, message).ToBytes();
+}
+
+std::string HmacSigner::scheme_name() const {
+  return "HMAC/" + std::string(HashAlgorithmName(alg_));
+}
+
+Status HmacSigner::Verify(ByteView message, ByteView signature) const {
+  Digest expected = HmacCompute(alg_, key_, message);
+  if (!ConstantTimeEqual(expected.view(), signature)) {
+    return Status::VerificationFailed("HMAC mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace provdb::crypto

@@ -1,0 +1,97 @@
+#ifndef PROVDB_CRYPTO_SIGNER_H_
+#define PROVDB_CRYPTO_SIGNER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/hash.h"
+#include "crypto/rsa.h"
+
+namespace provdb::crypto {
+
+/// Produces signatures over arbitrary messages (hash-then-sign). The
+/// checksum scheme signs the concatenation `h(in)|h(out)|C_prev` with the
+/// acting participant's key — this is `S_SK_p(...)` in the paper (§2.3).
+class Signer {
+ public:
+  virtual ~Signer() = default;
+
+  /// Signs `message`. The returned signature has `signature_size()` bytes.
+  virtual Result<Bytes> Sign(ByteView message) const = 0;
+
+  /// Signature length in bytes (128 for RSA-1024, as in the paper).
+  virtual size_t signature_size() const = 0;
+
+  /// Human-readable scheme name, e.g. "RSA-1024/SHA-1".
+  virtual std::string scheme_name() const = 0;
+};
+
+/// Checks signatures produced by a matching Signer.
+class SignatureVerifier {
+ public:
+  virtual ~SignatureVerifier() = default;
+
+  /// OK when `signature` is a valid signature of `message`;
+  /// kVerificationFailed otherwise.
+  virtual Status Verify(ByteView message, ByteView signature) const = 0;
+};
+
+/// RSA hash-then-sign signer. Precomputes CRT Montgomery contexts once.
+class RsaSigner final : public Signer {
+ public:
+  static Result<RsaSigner> Create(const RsaPrivateKey& key,
+                                  HashAlgorithm alg = HashAlgorithm::kSha1);
+
+  Result<Bytes> Sign(ByteView message) const override;
+  size_t signature_size() const override;
+  std::string scheme_name() const override;
+
+  const RsaPublicKey& public_key() const { return public_key_; }
+
+ private:
+  RsaSigner(RsaSigningContext ctx, RsaPublicKey pub, HashAlgorithm alg)
+      : ctx_(std::move(ctx)), public_key_(std::move(pub)), alg_(alg) {}
+
+  RsaSigningContext ctx_;
+  RsaPublicKey public_key_;
+  HashAlgorithm alg_;
+};
+
+/// Verifier for RsaSigner signatures.
+class RsaSignatureVerifier final : public SignatureVerifier {
+ public:
+  RsaSignatureVerifier(RsaPublicKey key,
+                       HashAlgorithm alg = HashAlgorithm::kSha1)
+      : key_(std::move(key)), alg_(alg) {}
+
+  Status Verify(ByteView message, ByteView signature) const override;
+
+ private:
+  RsaPublicKey key_;
+  HashAlgorithm alg_;
+};
+
+/// Symmetric HMAC "signer" for the ablation benchmarks: roughly three
+/// orders of magnitude faster than RSA but sacrifices non-repudiation (R8)
+/// because every holder of the key can forge. Implements both interfaces.
+class HmacSigner final : public Signer, public SignatureVerifier {
+ public:
+  HmacSigner(Bytes key, HashAlgorithm alg = HashAlgorithm::kSha1)
+      : key_(std::move(key)), alg_(alg) {}
+
+  Result<Bytes> Sign(ByteView message) const override;
+  size_t signature_size() const override { return HashDigestSize(alg_); }
+  std::string scheme_name() const override;
+
+  Status Verify(ByteView message, ByteView signature) const override;
+
+ private:
+  Bytes key_;
+  HashAlgorithm alg_;
+};
+
+}  // namespace provdb::crypto
+
+#endif  // PROVDB_CRYPTO_SIGNER_H_

@@ -1,0 +1,71 @@
+#ifndef PROVDB_PROVENANCE_ATTACK_H_
+#define PROVDB_PROVENANCE_ATTACK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/pki.h"
+#include "provenance/bundle.h"
+#include "provenance/checksum.h"
+#include "provenance/record.h"
+
+namespace provdb::provenance::attacks {
+
+/// Tampering primitives modeling the §2.2 adversary. Each function mutates
+/// a RecipientBundle the way an attacker with write access to the
+/// provenance store (or the wire) would; the tests then assert that
+/// ProvenanceVerifier detects the tampering. Nothing here can forge
+/// another participant's signature — that is the point.
+
+/// R1: modify the input/output values recorded by (someone else's) record.
+/// Flips a bit of the output state hash of `record_index`.
+Status TamperRecordOutputHash(RecipientBundle* bundle, size_t record_index);
+
+/// R1 variant: flip a bit of an input state hash.
+Status TamperRecordInputHash(RecipientBundle* bundle, size_t record_index,
+                             size_t input_index);
+
+/// R2/R7: remove the record at `record_index` from the bundle.
+Status RemoveRecord(RecipientBundle* bundle, size_t record_index);
+
+/// R3/R6: splice a forged record into an object's chain between seqIDs.
+/// The attacker is a legitimate participant (has a valid key) and signs
+/// the forged record themselves, claiming an update
+/// `victim_object: fake_pre -> fake_post` at `seq_id`. Existing records
+/// are re-numbered upward to make room, which is exactly what colluders
+/// attempting R6 would need to do.
+Status InsertForgedRecord(RecipientBundle* bundle,
+                          const crypto::Participant& attacker,
+                          const ChecksumEngine& engine,
+                          storage::ObjectId victim_object, SeqId seq_id,
+                          const crypto::Digest& fake_pre,
+                          const crypto::Digest& fake_post);
+
+/// R4: modify the data object itself without submitting provenance.
+Status TamperDataValue(RecipientBundle* bundle, storage::ObjectId node,
+                       const storage::Value& new_value);
+
+/// R5: attribute the provenance object of `bundle` to a different data
+/// object: replaces the bundle's data with `other_data` and rewrites the
+/// subject. (The provenance records still describe the original object.)
+Status ReattributeProvenance(RecipientBundle* bundle,
+                             SubtreeSnapshot other_data);
+
+/// R5 variant: keep the data bytes but rename the object ids so the
+/// provenance of object A appears to describe object B.
+Status RenameDataObject(RecipientBundle* bundle, storage::ObjectId new_root);
+
+/// Rewrites the participant field of a record to frame `scapegoat`
+/// (combined R1/R8 attack: attribution forgery).
+Status ReassignRecordParticipant(RecipientBundle* bundle, size_t record_index,
+                                 crypto::ParticipantId scapegoat);
+
+/// R2 "clean removal" by a colluder who also repairs seqIDs: removes the
+/// record and renumbers successors down so the seqID sequence stays
+/// contiguous. Detection must then come from the checksum chain, not the
+/// numbering.
+Status RemoveRecordAndRenumber(RecipientBundle* bundle, size_t record_index);
+
+}  // namespace provdb::provenance::attacks
+
+#endif  // PROVDB_PROVENANCE_ATTACK_H_

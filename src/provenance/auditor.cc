@@ -1,0 +1,59 @@
+#include "provenance/auditor.h"
+
+#include <map>
+
+namespace provdb::provenance {
+
+StoreAuditor::StoreAuditor(const crypto::ParticipantRegistry* registry,
+                           crypto::HashAlgorithm alg)
+    : registry_(registry), engine_(alg) {}
+
+VerificationReport StoreAuditor::Audit(const ProvenanceStore& store,
+                                       const storage::TreeStore& tree) const {
+  VerificationReport report;
+
+  // Group all live records into per-object chains. Store chains are
+  // already seq-ordered (AddRecord enforces monotonicity).
+  std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>> chains;
+  for (uint64_t i = 0; i < store.record_count(); ++i) {
+    if (store.is_pruned(i)) {
+      continue;
+    }
+    const ProvenanceRecord& rec = store.record(i);
+    chains[rec.output.object_id].push_back(&rec);
+  }
+
+  // Check 2 over every chain.
+  VerifyRecordChains(*registry_, engine_, chains, &report);
+
+  // Check 1, in place: live tracked objects must hash to their latest
+  // record's output state. (Objects without chains are bootstrap data;
+  // chains whose object is gone correspond to deletions, which legally
+  // leave the final inherited ancestor records behind — those ancestors
+  // still exist, so a missing object with a chain tail means its whole
+  // subtree was removed; we only flag *live* mismatches, mirroring the
+  // recipient-side guarantee.)
+  SubtreeHasher hasher(&tree, engine_.algorithm());
+  for (const auto& [object, chain] : chains) {
+    if (!tree.Contains(object)) {
+      continue;
+    }
+    Result<crypto::Digest> current = hasher.HashSubtreeBasic(object);
+    if (!current.ok()) {
+      report.issues.push_back(VerificationIssue{
+          IssueKind::kSnapshotMalformed, object, 0,
+          current.status().message()});
+      continue;
+    }
+    const ProvenanceRecord* latest = chain.back();
+    if (!(current.value() == latest->output.state_hash)) {
+      report.issues.push_back(VerificationIssue{
+          IssueKind::kDataHashMismatch, object, latest->seq_id,
+          "live object state does not match its most recent provenance "
+          "record (undocumented modification, R4)"});
+    }
+  }
+  return report;
+}
+
+}  // namespace provdb::provenance

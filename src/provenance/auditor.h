@@ -1,0 +1,40 @@
+#ifndef PROVDB_PROVENANCE_AUDITOR_H_
+#define PROVDB_PROVENANCE_AUDITOR_H_
+
+#include "crypto/pki.h"
+#include "provenance/provenance_store.h"
+#include "provenance/subtree_hasher.h"
+#include "provenance/verifier.h"
+#include "storage/tree_store.h"
+
+namespace provdb::provenance {
+
+/// In-place audit of a whole deployment: where ProvenanceVerifier checks
+/// one recipient bundle, the auditor sweeps the entire provenance store
+/// and the live back-end database —
+///
+///   * every record chain re-verifies (the §3 check 2 over all objects),
+///   * every live object whose chain exists currently hashes to its most
+///     recent record's output state (check 1, applied in place), and
+///   * every chain tail object that no longer exists is reported unless
+///     its absence is explained by deletion semantics.
+///
+/// Run it periodically (or before exporting bundles) to catch tampering
+/// of the provenance database itself, not just of shipped bundles.
+class StoreAuditor {
+ public:
+  StoreAuditor(const crypto::ParticipantRegistry* registry,
+               crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1);
+
+  /// Audits `store` against the live `tree`. `report.ok()` iff clean.
+  VerificationReport Audit(const ProvenanceStore& store,
+                           const storage::TreeStore& tree) const;
+
+ private:
+  const crypto::ParticipantRegistry* registry_;
+  ChecksumEngine engine_;
+};
+
+}  // namespace provdb::provenance
+
+#endif  // PROVDB_PROVENANCE_AUDITOR_H_

@@ -1,0 +1,193 @@
+#include "provenance/bundle.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/varint.h"
+#include "provenance/serialization.h"
+#include "provenance/subtree_hasher.h"
+
+namespace provdb::provenance {
+
+Result<SubtreeSnapshot> SubtreeSnapshot::Capture(
+    const storage::TreeStore& tree, storage::ObjectId root) {
+  SubtreeSnapshot snapshot;
+  snapshot.root_ = root;
+  PROVDB_RETURN_IF_ERROR(
+      tree.VisitSubtree(root, [&](const storage::TreeNode& node, size_t) {
+        Node copy;
+        copy.id = node.id;
+        copy.value = node.value;
+        copy.parent = node.id == root ? storage::kInvalidObjectId : node.parent;
+        snapshot.nodes_.push_back(std::move(copy));
+        return Status::OK();
+      }));
+  return snapshot;
+}
+
+Result<crypto::Digest> SubtreeSnapshot::Hash(crypto::HashAlgorithm alg) const {
+  if (nodes_.empty()) {
+    return Status::FailedPrecondition("empty snapshot has no hash");
+  }
+  // Rebuild sorted child lists, then hash bottom-up.
+  std::map<storage::ObjectId, const Node*> by_id;
+  std::map<storage::ObjectId, std::vector<storage::ObjectId>> children;
+  for (const Node& node : nodes_) {
+    if (!by_id.emplace(node.id, &node).second) {
+      return Status::Corruption("duplicate node id in snapshot");
+    }
+  }
+  for (const Node& node : nodes_) {
+    if (node.id == root_) {
+      continue;
+    }
+    if (by_id.count(node.parent) == 0) {
+      return Status::Corruption("snapshot node " + std::to_string(node.id) +
+                                " has dangling parent");
+    }
+    children[node.parent].push_back(node.id);
+  }
+  for (auto& [id, kids] : children) {
+    std::sort(kids.begin(), kids.end());
+  }
+
+  // Iterative post-order from the root.
+  struct Frame {
+    storage::ObjectId id;
+    size_t next_child = 0;
+    std::vector<crypto::Digest> child_hashes;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_, 0, {}});
+  crypto::Digest result;
+  size_t visited = 0;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    auto kids_it = children.find(frame.id);
+    size_t num_kids = kids_it == children.end() ? 0 : kids_it->second.size();
+    if (frame.next_child < num_kids) {
+      stack.push_back({kids_it->second[frame.next_child++], 0, {}});
+      continue;
+    }
+    auto node_it = by_id.find(frame.id);
+    if (node_it == by_id.end()) {
+      return Status::Corruption("snapshot missing node " +
+                                std::to_string(frame.id));
+    }
+    crypto::Digest digest = HashTreeNode(alg, frame.id, node_it->second->value,
+                                         frame.child_hashes);
+    ++visited;
+    stack.pop_back();
+    if (stack.empty()) {
+      result = digest;
+    } else {
+      stack.back().child_hashes.push_back(digest);
+    }
+  }
+  if (visited != nodes_.size()) {
+    return Status::Corruption(
+        "snapshot has nodes unreachable from the root (cycle or orphan)");
+  }
+  return result;
+}
+
+Result<storage::Value> SubtreeSnapshot::ValueOf(storage::ObjectId id) const {
+  for (const Node& node : nodes_) {
+    if (node.id == id) {
+      return node.value;
+    }
+  }
+  return Status::NotFound("snapshot has no node " + std::to_string(id));
+}
+
+Status SubtreeSnapshot::TamperValue(storage::ObjectId id,
+                                    storage::Value value) {
+  for (Node& node : nodes_) {
+    if (node.id == id) {
+      node.value = std::move(value);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("snapshot has no node " + std::to_string(id));
+}
+
+void SubtreeSnapshot::TamperRootId(storage::ObjectId new_root) {
+  for (Node& node : nodes_) {
+    if (node.id == root_) {
+      node.id = new_root;
+    }
+    if (node.parent == root_) {
+      node.parent = new_root;
+    }
+  }
+  root_ = new_root;
+}
+
+Bytes SubtreeSnapshot::Serialize() const {
+  Bytes out;
+  AppendVarint64(&out, root_);
+  AppendVarint64(&out, nodes_.size());
+  for (const Node& node : nodes_) {
+    AppendVarint64(&out, node.id);
+    AppendVarint64(&out, node.parent);
+    node.value.CanonicalEncode(&out);
+  }
+  return out;
+}
+
+Result<SubtreeSnapshot> SubtreeSnapshot::Deserialize(ByteView data) {
+  VarintReader reader(data);
+  SubtreeSnapshot snapshot;
+  PROVDB_ASSIGN_OR_RETURN(snapshot.root_, reader.ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint64());
+  if (count > reader.remaining()) {
+    return Status::Corruption("snapshot node count exceeds payload");
+  }
+  snapshot.nodes_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Node node;
+    PROVDB_ASSIGN_OR_RETURN(node.id, reader.ReadVarint64());
+    PROVDB_ASSIGN_OR_RETURN(node.parent, reader.ReadVarint64());
+    size_t consumed = 0;
+    ByteView rest(data.data() + reader.position(),
+                  data.size() - reader.position());
+    PROVDB_ASSIGN_OR_RETURN(node.value,
+                            storage::Value::CanonicalDecode(rest, &consumed));
+    PROVDB_RETURN_IF_ERROR(reader.ReadRaw(consumed).status());
+    snapshot.nodes_.push_back(std::move(node));
+  }
+  return snapshot;
+}
+
+Bytes RecipientBundle::Serialize() const {
+  Bytes out;
+  AppendVarint64(&out, subject);
+  AppendLengthPrefixed(&out, data.Serialize());
+  AppendVarint64(&out, records.size());
+  for (const ProvenanceRecord& rec : records) {
+    AppendLengthPrefixed(&out, EncodeRecord(rec));
+  }
+  return out;
+}
+
+Result<RecipientBundle> RecipientBundle::Deserialize(ByteView data) {
+  VarintReader reader(data);
+  RecipientBundle bundle;
+  PROVDB_ASSIGN_OR_RETURN(bundle.subject, reader.ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(Bytes snapshot_raw, reader.ReadLengthPrefixed());
+  PROVDB_ASSIGN_OR_RETURN(bundle.data,
+                          SubtreeSnapshot::Deserialize(snapshot_raw));
+  PROVDB_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint64());
+  if (count > reader.remaining()) {
+    return Status::Corruption("bundle record count exceeds payload");
+  }
+  bundle.records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PROVDB_ASSIGN_OR_RETURN(Bytes rec_raw, reader.ReadLengthPrefixed());
+    PROVDB_ASSIGN_OR_RETURN(ProvenanceRecord rec, DecodeRecord(rec_raw));
+    bundle.records.push_back(std::move(rec));
+  }
+  return bundle;
+}
+
+}  // namespace provdb::provenance

@@ -1,0 +1,73 @@
+#ifndef PROVDB_PROVENANCE_BUNDLE_H_
+#define PROVDB_PROVENANCE_BUNDLE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/digest.h"
+#include "crypto/hash.h"
+#include "provenance/record.h"
+#include "storage/tree_store.h"
+#include "storage/value.h"
+
+namespace provdb::provenance {
+
+/// A standalone copy of a (compound) data object — what a data recipient
+/// actually receives, detached from the live database. Preserves object
+/// ids and structure so its recursive hash equals the live subtree's hash.
+class SubtreeSnapshot {
+ public:
+  struct Node {
+    storage::ObjectId id = storage::kInvalidObjectId;
+    storage::Value value;
+    storage::ObjectId parent = storage::kInvalidObjectId;  // 0 for the root
+  };
+
+  SubtreeSnapshot() = default;
+
+  /// Captures subtree(root) from a live tree (pre-order node list).
+  static Result<SubtreeSnapshot> Capture(const storage::TreeStore& tree,
+                                         storage::ObjectId root);
+
+  storage::ObjectId root() const { return root_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Recursive compound hash (identical to SubtreeHasher over the live
+  /// tree). Fails on malformed snapshots (dangling parents, cycles).
+  Result<crypto::Digest> Hash(crypto::HashAlgorithm alg) const;
+
+  /// Value of the node `id`, or kNotFound.
+  Result<storage::Value> ValueOf(storage::ObjectId id) const;
+
+  /// Replaces the value of node `id` *without* any provenance — this is
+  /// the attack primitive behind R4 tests. Honest code never calls this.
+  Status TamperValue(storage::ObjectId id, storage::Value value);
+
+  /// Rewrites the root id (and children's parent pointers) — the
+  /// re-attribution attack primitive behind R5 tests.
+  void TamperRootId(storage::ObjectId new_root);
+
+  Bytes Serialize() const;
+  static Result<SubtreeSnapshot> Deserialize(ByteView data);
+
+ private:
+  storage::ObjectId root_ = storage::kInvalidObjectId;
+  std::vector<Node> nodes_;
+};
+
+/// Everything a data recipient obtains: the data object plus its
+/// provenance object (the record DAG). ProvenanceVerifier consumes this.
+struct RecipientBundle {
+  storage::ObjectId subject = storage::kInvalidObjectId;
+  SubtreeSnapshot data;
+  std::vector<ProvenanceRecord> records;
+
+  Bytes Serialize() const;
+  static Result<RecipientBundle> Deserialize(ByteView data);
+};
+
+}  // namespace provdb::provenance
+
+#endif  // PROVDB_PROVENANCE_BUNDLE_H_

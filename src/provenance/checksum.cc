@@ -1,0 +1,45 @@
+#include "provenance/checksum.h"
+
+namespace provdb::provenance {
+
+Bytes ChecksumEngine::BuildInsertPayload(const crypto::Digest& out_hash) const {
+  // 0 | h(A, val) | 0 — the input slot is a digest-width zero block; the
+  // previous-checksum slot is empty (there is no previous checksum).
+  Bytes payload(crypto::HashDigestSize(alg_), 0);
+  AppendBytes(&payload, out_hash.view());
+  return payload;
+}
+
+Bytes ChecksumEngine::BuildUpdatePayload(const crypto::Digest& in_hash,
+                                         const crypto::Digest& out_hash,
+                                         ByteView prev_checksum) const {
+  Bytes payload;
+  payload.reserve(in_hash.size() + out_hash.size() + prev_checksum.size());
+  AppendBytes(&payload, in_hash.view());
+  AppendBytes(&payload, out_hash.view());
+  AppendBytes(&payload, prev_checksum);
+  return payload;
+}
+
+Bytes ChecksumEngine::BuildAggregatePayload(
+    const std::vector<crypto::Digest>& input_hashes,
+    const crypto::Digest& out_hash,
+    const std::vector<Bytes>& prev_checksums) const {
+  // h( h(A_1,v_1) | ... | h(A_n,v_n) ) — one digest summarizing all inputs.
+  Bytes concat_inputs;
+  concat_inputs.reserve(input_hashes.size() * crypto::HashDigestSize(alg_));
+  for (const crypto::Digest& h : input_hashes) {
+    AppendBytes(&concat_inputs, h.view());
+  }
+  crypto::Digest inputs_digest = crypto::HashBytes(alg_, concat_inputs);
+
+  Bytes payload;
+  AppendBytes(&payload, inputs_digest.view());
+  AppendBytes(&payload, out_hash.view());
+  for (const Bytes& prev : prev_checksums) {
+    AppendBytes(&payload, prev);
+  }
+  return payload;
+}
+
+}  // namespace provdb::provenance

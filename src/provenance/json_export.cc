@@ -1,0 +1,140 @@
+#include "provenance/json_export.h"
+
+#include <cstdio>
+
+#include "common/hex.h"
+
+namespace provdb::provenance {
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string ValueToJson(const storage::Value& value) {
+  switch (value.type()) {
+    case storage::ValueType::kNull:
+      return "null";
+    case storage::ValueType::kInt:
+      return std::to_string(value.AsInt());
+    case storage::ValueType::kDouble: {
+      // %.17g round-trips doubles; JSON has no Inf/NaN, so emit strings.
+      double d = value.AsDouble();
+      if (d != d) return "\"NaN\"";
+      if (d > 1.7976931348623157e308) return "\"Infinity\"";
+      if (d < -1.7976931348623157e308) return "\"-Infinity\"";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      return buf;
+    }
+    case storage::ValueType::kString:
+      return "\"" + JsonEscape(value.AsString()) + "\"";
+    case storage::ValueType::kBytes:
+      return "\"0x" + HexEncode(value.AsBlob()) + "\"";
+  }
+  return "null";
+}
+
+std::string ObjectStateToJson(const ObjectState& state) {
+  return "{\"object\":" + std::to_string(state.object_id) + ",\"hash\":\"" +
+         state.state_hash.ToHex() + "\"}";
+}
+
+}  // namespace
+
+std::string RecordToJson(const ProvenanceRecord& record) {
+  std::string out = "{";
+  out += "\"seq\":" + std::to_string(record.seq_id);
+  out += ",\"participant\":" + std::to_string(record.participant);
+  out += ",\"op\":\"" + std::string(OperationTypeName(record.op)) + "\"";
+  out += ",\"inherited\":" + std::string(record.inherited ? "true" : "false");
+  out += ",\"inputs\":[";
+  for (size_t i = 0; i < record.inputs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ObjectStateToJson(record.inputs[i]);
+  }
+  out += "],\"output\":" + ObjectStateToJson(record.output);
+  out += ",\"checksum\":\"" + HexEncode(record.checksum) + "\"";
+  if (record.has_output_snapshot) {
+    out += ",\"value\":" + ValueToJson(record.output_snapshot);
+  }
+  out += "}";
+  return out;
+}
+
+std::string BundleToJson(const RecipientBundle& bundle) {
+  std::string out = "{";
+  out += "\"subject\":" + std::to_string(bundle.subject);
+  out += ",\"data\":[";
+  const auto& nodes = bundle.data.nodes();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"id\":" + std::to_string(nodes[i].id);
+    out += ",\"parent\":" + std::to_string(nodes[i].parent);
+    out += ",\"value\":" + ValueToJson(nodes[i].value) + "}";
+  }
+  out += "],\"records\":[";
+  for (size_t i = 0; i < bundle.records.size(); ++i) {
+    if (i > 0) out += ",";
+    out += RecordToJson(bundle.records[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ReportToJson(const VerificationReport& report) {
+  std::string out = "{";
+  out += "\"ok\":" + std::string(report.ok() ? "true" : "false");
+  out += ",\"records_checked\":" + std::to_string(report.records_checked);
+  out +=
+      ",\"signatures_verified\":" + std::to_string(report.signatures_verified);
+  out += ",\"issues\":[";
+  for (size_t i = 0; i < report.issues.size(); ++i) {
+    if (i > 0) out += ",";
+    const VerificationIssue& issue = report.issues[i];
+    out += "{\"kind\":\"" + std::string(IssueKindName(issue.kind)) + "\"";
+    out += ",\"object\":" + std::to_string(issue.object);
+    out += ",\"seq\":" + std::to_string(issue.seq_id);
+    out += ",\"message\":\"" + JsonEscape(issue.message) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace provdb::provenance

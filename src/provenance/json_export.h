@@ -1,0 +1,36 @@
+#ifndef PROVDB_PROVENANCE_JSON_EXPORT_H_
+#define PROVDB_PROVENANCE_JSON_EXPORT_H_
+
+#include <string>
+
+#include "provenance/bundle.h"
+#include "provenance/record.h"
+#include "provenance/verifier.h"
+
+namespace provdb::provenance {
+
+/// JSON renderings of provenance artifacts for interoperability with
+/// non-C++ tooling (dashboards, notebooks, the W3C-PROV-adjacent
+/// ecosystem) and for human inspection. Hashes and checksums are emitted
+/// as lowercase hex. Output is deterministic (fixed key order), so it
+/// diffs and snapshots cleanly.
+///
+/// These renderings are *views*, not a verification surface — recipients
+/// verify the binary bundle; JSON is for reading.
+
+/// One record as a JSON object.
+std::string RecordToJson(const ProvenanceRecord& record);
+
+/// A full recipient bundle: subject, data snapshot, and records.
+std::string BundleToJson(const RecipientBundle& bundle);
+
+/// A verification report (issues and counters).
+std::string ReportToJson(const VerificationReport& report);
+
+/// Escapes a string per JSON (RFC 8259): quotes, backslashes, control
+/// characters. Exposed for tests.
+std::string JsonEscape(std::string_view raw);
+
+}  // namespace provdb::provenance
+
+#endif  // PROVDB_PROVENANCE_JSON_EXPORT_H_

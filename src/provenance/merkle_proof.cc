@@ -1,0 +1,166 @@
+#include "provenance/merkle_proof.h"
+
+#include "common/varint.h"
+#include "provenance/subtree_hasher.h"
+
+namespace provdb::provenance {
+
+size_t InclusionProof::SiblingCount() const {
+  size_t count = 0;
+  for (const ProofStep& step : steps) {
+    count += step.left_siblings.size() + step.right_siblings.size();
+  }
+  return count;
+}
+
+Bytes InclusionProof::Serialize() const {
+  Bytes out;
+  AppendVarint64(&out, subject);
+  AppendLengthPrefixed(&out, subject_hash.view());
+  AppendVarint64(&out, steps.size());
+  for (const ProofStep& step : steps) {
+    AppendVarint64(&out, step.parent_id);
+    step.parent_value.CanonicalEncode(&out);
+    AppendVarint64(&out, step.left_siblings.size());
+    for (const crypto::Digest& d : step.left_siblings) {
+      AppendLengthPrefixed(&out, d.view());
+    }
+    AppendVarint64(&out, step.right_siblings.size());
+    for (const crypto::Digest& d : step.right_siblings) {
+      AppendLengthPrefixed(&out, d.view());
+    }
+  }
+  return out;
+}
+
+Result<InclusionProof> InclusionProof::Deserialize(ByteView data) {
+  VarintReader reader(data);
+  InclusionProof proof;
+  PROVDB_ASSIGN_OR_RETURN(proof.subject, reader.ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(Bytes hash_raw, reader.ReadLengthPrefixed());
+  proof.subject_hash = crypto::Digest::FromBytes(hash_raw);
+  PROVDB_ASSIGN_OR_RETURN(uint64_t num_steps, reader.ReadVarint64());
+  if (num_steps > reader.remaining()) {
+    return Status::Corruption("proof step count exceeds payload");
+  }
+  proof.steps.reserve(num_steps);
+  for (uint64_t s = 0; s < num_steps; ++s) {
+    ProofStep step;
+    PROVDB_ASSIGN_OR_RETURN(step.parent_id, reader.ReadVarint64());
+    size_t consumed = 0;
+    ByteView rest(data.data() + reader.position(),
+                  data.size() - reader.position());
+    PROVDB_ASSIGN_OR_RETURN(step.parent_value,
+                            storage::Value::CanonicalDecode(rest, &consumed));
+    PROVDB_RETURN_IF_ERROR(reader.ReadRaw(consumed).status());
+    for (std::vector<crypto::Digest>* side :
+         {&step.left_siblings, &step.right_siblings}) {
+      PROVDB_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint64());
+      if (count > reader.remaining()) {
+        return Status::Corruption("sibling count exceeds payload");
+      }
+      side->reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        PROVDB_ASSIGN_OR_RETURN(Bytes raw, reader.ReadLengthPrefixed());
+        side->push_back(crypto::Digest::FromBytes(raw));
+      }
+    }
+    proof.steps.push_back(std::move(step));
+  }
+  return proof;
+}
+
+Result<InclusionProof> BuildInclusionProof(const storage::TreeStore& tree,
+                                           storage::ObjectId target,
+                                           storage::ObjectId root,
+                                           crypto::HashAlgorithm alg) {
+  PROVDB_RETURN_IF_ERROR(tree.GetNode(root).status());
+  PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* target_node,
+                          tree.GetNode(target));
+
+  // The target must lie inside subtree(root).
+  {
+    bool found = target == root;
+    for (storage::ObjectId anc : tree.AncestorsOf(target)) {
+      if (anc == root) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "target " + std::to_string(target) + " is not inside subtree(" +
+          std::to_string(root) + ")");
+    }
+  }
+
+  SubtreeHasher hasher(&tree, alg);
+  InclusionProof proof;
+  proof.subject = target;
+  PROVDB_ASSIGN_OR_RETURN(proof.subject_hash, hasher.HashSubtreeBasic(target));
+  (void)target_node;
+
+  storage::ObjectId current = target;
+  while (current != root) {
+    PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* node,
+                            tree.GetNode(current));
+    storage::ObjectId parent_id = node->parent;
+    PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* parent,
+                            tree.GetNode(parent_id));
+
+    ProofStep step;
+    step.parent_id = parent_id;
+    step.parent_value = parent->value;
+    bool before = true;
+    for (storage::ObjectId child : parent->children) {
+      if (child == current) {
+        before = false;
+        continue;
+      }
+      PROVDB_ASSIGN_OR_RETURN(crypto::Digest sibling,
+                              hasher.HashSubtreeBasic(child));
+      (before ? step.left_siblings : step.right_siblings)
+          .push_back(sibling);
+    }
+    proof.steps.push_back(std::move(step));
+    current = parent_id;
+  }
+  return proof;
+}
+
+Status VerifyInclusionProof(const InclusionProof& proof,
+                            const crypto::Digest& trusted_root_hash,
+                            crypto::HashAlgorithm alg) {
+  crypto::Digest running = proof.subject_hash;
+  for (const ProofStep& step : proof.steps) {
+    std::vector<crypto::Digest> children;
+    children.reserve(step.left_siblings.size() + 1 +
+                     step.right_siblings.size());
+    children.insert(children.end(), step.left_siblings.begin(),
+                    step.left_siblings.end());
+    children.push_back(running);
+    children.insert(children.end(), step.right_siblings.begin(),
+                    step.right_siblings.end());
+    running = HashTreeNode(alg, step.parent_id, step.parent_value, children);
+  }
+  if (!(running == trusted_root_hash)) {
+    return Status::VerificationFailed(
+        "inclusion proof does not reproduce the trusted root digest");
+  }
+  return Status::OK();
+}
+
+Status VerifyLeafInclusion(const InclusionProof& proof,
+                           const storage::Value& leaf_value,
+                           const crypto::Digest& trusted_root_hash,
+                           crypto::HashAlgorithm alg) {
+  crypto::Digest leaf_hash =
+      HashTreeNode(alg, proof.subject, leaf_value, {});
+  if (!(leaf_hash == proof.subject_hash)) {
+    return Status::VerificationFailed(
+        "claimed leaf value does not match the proof's subject hash");
+  }
+  return VerifyInclusionProof(proof, trusted_root_hash, alg);
+}
+
+}  // namespace provdb::provenance

@@ -1,0 +1,77 @@
+#ifndef PROVDB_PROVENANCE_MERKLE_PROOF_H_
+#define PROVDB_PROVENANCE_MERKLE_PROOF_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/digest.h"
+#include "crypto/hash.h"
+#include "storage/tree_store.h"
+#include "storage/value.h"
+
+namespace provdb::provenance {
+
+/// Inclusion proofs over the compound-object hash (§4.3). Because
+/// h(subtree(A)) is a Merkle-style hash, a prover holding the full object
+/// can convince a verifier who knows only the root digest that a specific
+/// descendant (e.g. one cell) has a specific state — without shipping the
+/// rest of the object. This composes with provenance verification: the
+/// recipient first verifies the provenance object to trust the root
+/// digest, then checks individual fine-grained facts against it.
+///
+/// A proof is the path from the target to the root. Each step carries the
+/// parent's identity/value and the hashes of the target's siblings, split
+/// around the target's position (children are ordered by ascending id, so
+/// the position is part of what is proven).
+struct ProofStep {
+  storage::ObjectId parent_id = storage::kInvalidObjectId;
+  storage::Value parent_value;
+  /// Hashes of the children preceding / following the carried child.
+  std::vector<crypto::Digest> left_siblings;
+  std::vector<crypto::Digest> right_siblings;
+};
+
+/// Proof that `subject` (with subtree hash `subject_hash`) is part of the
+/// compound object whose recursive hash the verifier trusts.
+struct InclusionProof {
+  storage::ObjectId subject = storage::kInvalidObjectId;
+  /// h(subtree(subject)) — what the proof anchors to the root.
+  crypto::Digest subject_hash;
+  /// Steps from the subject's parent up to (and including) the root.
+  std::vector<ProofStep> steps;
+
+  /// Total sibling hashes carried (the dominant size factor; wide nodes
+  /// such as a 4000-row table contribute their full fan-out).
+  size_t SiblingCount() const;
+
+  Bytes Serialize() const;
+  static Result<InclusionProof> Deserialize(ByteView data);
+};
+
+/// Builds the inclusion proof for `target` within subtree(`root`).
+/// `target` may be any descendant of `root` (or `root` itself, yielding an
+/// empty-step proof). O(path length + total fan-out along the path).
+Result<InclusionProof> BuildInclusionProof(const storage::TreeStore& tree,
+                                           storage::ObjectId target,
+                                           storage::ObjectId root,
+                                           crypto::HashAlgorithm alg);
+
+/// Recomputes the root digest implied by `proof` and compares it against
+/// `trusted_root_hash`. OK iff they match, i.e. iff an object with id
+/// `proof.subject` and subtree hash `proof.subject_hash` occurs at the
+/// proven position inside the trusted compound object.
+Status VerifyInclusionProof(const InclusionProof& proof,
+                            const crypto::Digest& trusted_root_hash,
+                            crypto::HashAlgorithm alg);
+
+/// Convenience: proves a *leaf* value (e.g. one cell). Builds the leaf
+/// hash from (id, value) and delegates to VerifyInclusionProof.
+Status VerifyLeafInclusion(const InclusionProof& proof,
+                           const storage::Value& leaf_value,
+                           const crypto::Digest& trusted_root_hash,
+                           crypto::HashAlgorithm alg);
+
+}  // namespace provdb::provenance
+
+#endif  // PROVDB_PROVENANCE_MERKLE_PROOF_H_

@@ -1,0 +1,219 @@
+#include "provenance/provenance_store.h"
+
+#include <algorithm>
+#include <set>
+
+#include "provenance/serialization.h"
+
+namespace provdb::provenance {
+
+Result<uint64_t> ProvenanceStore::AddRecord(ProvenanceRecord record) {
+  auto& chain = by_output_[record.output.object_id];
+  if (!chain.empty()) {
+    const ProvenanceRecord& last = records_[chain.back()];
+    if (record.seq_id <= last.seq_id) {
+      return Status::FailedPrecondition(
+          "records for object " + std::to_string(record.output.object_id) +
+          " must have increasing seqIDs (have " +
+          std::to_string(last.seq_id) + ", got " +
+          std::to_string(record.seq_id) + ")");
+    }
+  }
+  uint64_t index = records_.size();
+  paper_schema_bytes_ += 12 + record.checksum.size();
+  checksum_bytes_ += record.checksum.size();
+  if (record.op == OperationType::kAggregate) {
+    for (const ObjectState& input : record.inputs) {
+      ++aggregation_input_refs_[input.object_id];
+    }
+  }
+  chain.push_back(index);
+  records_.push_back(std::move(record));
+  pruned_.push_back(false);
+  ++live_count_;
+  return index;
+}
+
+Result<size_t> ProvenanceStore::PruneObject(storage::ObjectId id) {
+  auto refs = aggregation_input_refs_.find(id);
+  if (refs != aggregation_input_refs_.end() && refs->second > 0) {
+    return Status::FailedPrecondition(
+        "object " + std::to_string(id) + " is an aggregation input of " +
+        std::to_string(refs->second) +
+        " record(s); its provenance is still referenced downstream");
+  }
+  auto it = by_output_.find(id);
+  if (it == by_output_.end()) {
+    return static_cast<size_t>(0);
+  }
+  size_t dropped = 0;
+  for (uint64_t index : it->second) {
+    if (pruned_[index]) {
+      continue;
+    }
+    const ProvenanceRecord& rec = records_[index];
+    paper_schema_bytes_ -= 12 + rec.checksum.size();
+    checksum_bytes_ -= rec.checksum.size();
+    if (rec.op == OperationType::kAggregate) {
+      for (const ObjectState& input : rec.inputs) {
+        auto in_refs = aggregation_input_refs_.find(input.object_id);
+        if (in_refs != aggregation_input_refs_.end() && in_refs->second > 0) {
+          --in_refs->second;
+        }
+      }
+    }
+    pruned_[index] = true;
+    --live_count_;
+    ++dropped;
+  }
+  by_output_.erase(it);
+  return dropped;
+}
+
+std::vector<uint64_t> ProvenanceStore::ChainOf(storage::ObjectId id) const {
+  auto it = by_output_.find(id);
+  if (it == by_output_.end()) {
+    return {};
+  }
+  return it->second;
+}
+
+Result<const ProvenanceRecord*> ProvenanceStore::LatestFor(
+    storage::ObjectId id) const {
+  auto it = by_output_.find(id);
+  if (it == by_output_.end() || it->second.empty()) {
+    return Status::NotFound("no provenance records for object " +
+                            std::to_string(id));
+  }
+  return &records_[it->second.back()];
+}
+
+namespace {
+
+/// Work item of the DAG closure: include an object's chain up to and
+/// including `end_pos`.
+struct Prefix {
+  storage::ObjectId object;
+  size_t end_pos;
+};
+
+}  // namespace
+
+std::vector<ProvenanceRecord> ProvenanceStore::CollectClosure(
+    std::vector<std::pair<storage::ObjectId, size_t>> seeds) const {
+  std::set<uint64_t> included;
+  std::vector<Prefix> work;
+  for (const auto& [object, end_pos] : seeds) {
+    work.push_back({object, end_pos});
+  }
+
+  while (!work.empty()) {
+    Prefix prefix = work.back();
+    work.pop_back();
+    auto it = by_output_.find(prefix.object);
+    if (it == by_output_.end()) {
+      continue;  // untracked input (bootstrap data): no history to include
+    }
+    const std::vector<uint64_t>& chain = it->second;
+    for (size_t pos = 0; pos <= prefix.end_pos && pos < chain.size(); ++pos) {
+      uint64_t idx = chain[pos];
+      if (!included.insert(idx).second) {
+        continue;  // already included (shared history via the DAG)
+      }
+      const ProvenanceRecord& rec = records_[idx];
+      if (rec.op != OperationType::kAggregate) {
+        continue;
+      }
+      // Follow each aggregation input back to the record that produced
+      // the exact input state (matching output hash), then include that
+      // input's chain up to there.
+      for (const ObjectState& input : rec.inputs) {
+        auto input_chain_it = by_output_.find(input.object_id);
+        if (input_chain_it == by_output_.end()) {
+          continue;  // untracked input
+        }
+        const std::vector<uint64_t>& input_chain = input_chain_it->second;
+        // Scan from the end: the matching record is the latest one whose
+        // output state equals the recorded input state.
+        for (size_t pos2 = input_chain.size(); pos2-- > 0;) {
+          const ProvenanceRecord& cand = records_[input_chain[pos2]];
+          if (cand.output.state_hash == input.state_hash &&
+              cand.seq_id < rec.seq_id) {
+            work.push_back({input.object_id, pos2});
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<ProvenanceRecord> out;
+  out.reserve(included.size());
+  for (uint64_t idx : included) {  // std::set iterates in ascending order
+    out.push_back(records_[idx]);
+  }
+  return out;
+}
+
+Result<std::vector<ProvenanceRecord>> ProvenanceStore::ExtractProvenance(
+    storage::ObjectId subject) const {
+  auto subject_chain = by_output_.find(subject);
+  if (subject_chain == by_output_.end() || subject_chain->second.empty()) {
+    return Status::NotFound("no provenance records for object " +
+                            std::to_string(subject));
+  }
+  return CollectClosure({{subject, subject_chain->second.size() - 1}});
+}
+
+Result<std::vector<ProvenanceRecord>> ProvenanceStore::ExtractProvenanceDeep(
+    storage::ObjectId subject,
+    const std::vector<storage::ObjectId>& descendants) const {
+  auto subject_chain = by_output_.find(subject);
+  if (subject_chain == by_output_.end() || subject_chain->second.empty()) {
+    return Status::NotFound("no provenance records for object " +
+                            std::to_string(subject));
+  }
+  std::vector<std::pair<storage::ObjectId, size_t>> seeds;
+  seeds.emplace_back(subject, subject_chain->second.size() - 1);
+  for (storage::ObjectId descendant : descendants) {
+    auto it = by_output_.find(descendant);
+    if (it != by_output_.end() && !it->second.empty()) {
+      seeds.emplace_back(descendant, it->second.size() - 1);
+    }
+  }
+  return CollectClosure(std::move(seeds));
+}
+
+uint64_t ProvenanceStore::SerializedBytes() const {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < records_.size(); ++i) {
+    if (!pruned_[i]) {
+      total += EncodeRecord(records_[i]).size();
+    }
+  }
+  return total;
+}
+
+Status ProvenanceStore::SaveToLog(storage::RecordLog* log) const {
+  for (uint64_t i = 0; i < records_.size(); ++i) {
+    if (!pruned_[i]) {
+      log->Append(EncodeRecord(records_[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ProvenanceStore> ProvenanceStore::LoadFromLog(
+    const storage::RecordLog& log) {
+  ProvenanceStore store;
+  Status status = log.ForEach([&](uint64_t, ByteView payload) {
+    PROVDB_ASSIGN_OR_RETURN(ProvenanceRecord rec, DecodeRecord(payload));
+    return store.AddRecord(std::move(rec)).status();
+  });
+  if (!status.ok()) {
+    return status;
+  }
+  return store;
+}
+
+}  // namespace provdb::provenance

@@ -1,0 +1,119 @@
+#ifndef PROVDB_PROVENANCE_PROVENANCE_STORE_H_
+#define PROVDB_PROVENANCE_PROVENANCE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/record.h"
+#include "storage/record_log.h"
+
+namespace provdb::provenance {
+
+/// The provenance database (§5.1): an append-only collection of provenance
+/// records with a per-output-object index. A provenance *object* —
+/// Definition 1's partially-ordered record set for one data object — is
+/// materialized on demand by ExtractProvenance, which follows aggregation
+/// edges transitively (the non-linear DAG of Figure 2).
+class ProvenanceStore {
+ public:
+  ProvenanceStore() = default;
+
+  ProvenanceStore(const ProvenanceStore&) = delete;
+  ProvenanceStore& operator=(const ProvenanceStore&) = delete;
+  ProvenanceStore(ProvenanceStore&&) = default;
+  ProvenanceStore& operator=(ProvenanceStore&&) = default;
+
+  /// Appends a record; returns its stable index. Records for the same
+  /// output object must arrive in increasing seqID order (enforced).
+  Result<uint64_t> AddRecord(ProvenanceRecord record);
+
+  uint64_t record_count() const { return records_.size(); }
+
+  const ProvenanceRecord& record(uint64_t index) const {
+    return records_[index];
+  }
+
+  /// Mutable access — exists solely so the attack simulator and tests can
+  /// model a tampering adversary. Honest code never calls this.
+  ProvenanceRecord* mutable_record(uint64_t index) {
+    return &records_[index];
+  }
+
+  /// Indices of the records whose *output* object is `id`, in seqID order
+  /// (the object's chain, §3).
+  std::vector<uint64_t> ChainOf(storage::ObjectId id) const;
+
+  /// Latest (greatest-seqID) record for `id`, or kNotFound.
+  Result<const ProvenanceRecord*> LatestFor(storage::ObjectId id) const;
+
+  /// Materializes the provenance object for `subject`: its full chain plus,
+  /// transitively, the chains (up to the matching state) of every
+  /// aggregation input. Records are returned in index order, which is a
+  /// linear extension of the seqID partial order.
+  Result<std::vector<ProvenanceRecord>> ExtractProvenance(
+      storage::ObjectId subject) const;
+
+  /// Fine-grained variant: everything ExtractProvenance returns, plus the
+  /// full chains of `descendants` (every object inside the shipped
+  /// compound object, so recipients see cell-level history — e.g. exactly
+  /// who amended which cell — not just the subject's inherited records).
+  Result<std::vector<ProvenanceRecord>> ExtractProvenanceDeep(
+      storage::ObjectId subject,
+      const std::vector<storage::ObjectId>& descendants) const;
+
+  /// Space occupied under the paper's experiment schema (§5.1):
+  /// <SeqID(int), Participant(int), Oid(int), Checksum(binary(128))>,
+  /// i.e. 12 bytes + the actual checksum width per record. This is the
+  /// metric behind Figures 9 and 11.
+  uint64_t PaperSchemaBytes() const { return paper_schema_bytes_; }
+
+  /// Total bytes of the stored checksums alone.
+  uint64_t ChecksumBytes() const { return checksum_bytes_; }
+
+  /// Size of the full serialized records (hashes, snapshots, framing
+  /// excluded) — what RecordLog persistence would store.
+  uint64_t SerializedBytes() const;
+
+  /// Persists all live records into `log` (EncodeRecord payloads).
+  Status SaveToLog(storage::RecordLog* log) const;
+
+  /// Rebuilds a store from a record log.
+  static Result<ProvenanceStore> LoadFromLog(const storage::RecordLog& log);
+
+  /// Footnote-3 optimization: after an object is deleted, its provenance
+  /// object is no longer relevant and its records may be dropped. Refuses
+  /// (kFailedPrecondition) when the object is an aggregation input of any
+  /// record — that history *is* still referenced by downstream provenance
+  /// and pruning it would break verification of the aggregate (this is
+  /// also why local chaining makes pruning safe at all, §3.2). Returns
+  /// the number of records pruned.
+  Result<size_t> PruneObject(storage::ObjectId id);
+
+  /// True when `index` refers to a pruned (tombstoned) record.
+  bool is_pruned(uint64_t index) const { return pruned_[index]; }
+
+  /// Records currently live (record_count() minus pruned ones).
+  uint64_t live_record_count() const { return live_count_; }
+
+ private:
+  /// Shared DAG-closure walk behind both Extract variants: includes each
+  /// seed object's chain up to the given position, following aggregation
+  /// edges transitively.
+  std::vector<ProvenanceRecord> CollectClosure(
+      std::vector<std::pair<storage::ObjectId, size_t>> seeds) const;
+
+  std::vector<ProvenanceRecord> records_;
+  std::vector<bool> pruned_;
+  std::unordered_map<storage::ObjectId, std::vector<uint64_t>> by_output_;
+  /// Objects consumed by some aggregation (prune-protected).
+  std::unordered_map<storage::ObjectId, uint64_t> aggregation_input_refs_;
+  uint64_t live_count_ = 0;
+  uint64_t paper_schema_bytes_ = 0;
+  uint64_t checksum_bytes_ = 0;
+};
+
+}  // namespace provdb::provenance
+
+#endif  // PROVDB_PROVENANCE_PROVENANCE_STORE_H_

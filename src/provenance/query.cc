@@ -1,0 +1,109 @@
+#include "provenance/query.h"
+
+namespace provdb::provenance {
+
+std::string LineageSummary::ToString() const {
+  std::string out = "lineage: " + std::to_string(record_count) +
+                    " records (" + std::to_string(insert_count) + " ins, " +
+                    std::to_string(update_count) + " upd, " +
+                    std::to_string(aggregate_count) + " agg; " +
+                    std::to_string(inherited_count) + " inherited), " +
+                    std::to_string(participants.size()) + " participant(s), " +
+                    std::to_string(contributing_objects.size()) +
+                    " contributing object(s), max seq " +
+                    std::to_string(max_seq_id);
+  return out;
+}
+
+Result<LineageSummary> SummarizeLineage(const ProvenanceStore& store,
+                                        storage::ObjectId subject) {
+  PROVDB_ASSIGN_OR_RETURN(std::vector<ProvenanceRecord> records,
+                          store.ExtractProvenance(subject));
+  LineageSummary summary;
+  for (const ProvenanceRecord& rec : records) {
+    ++summary.record_count;
+    summary.participants.insert(rec.participant);
+    if (rec.output.object_id != subject) {
+      summary.contributing_objects.insert(rec.output.object_id);
+    }
+    switch (rec.op) {
+      case OperationType::kInsert:
+        ++summary.insert_count;
+        break;
+      case OperationType::kUpdate:
+        ++summary.update_count;
+        break;
+      case OperationType::kAggregate:
+        ++summary.aggregate_count;
+        break;
+    }
+    if (rec.inherited) {
+      ++summary.inherited_count;
+    }
+    if (rec.seq_id > summary.max_seq_id) {
+      summary.max_seq_id = rec.seq_id;
+    }
+  }
+  return summary;
+}
+
+std::vector<uint64_t> RecordsByParticipant(const ProvenanceStore& store,
+                                           crypto::ParticipantId participant) {
+  std::vector<uint64_t> out;
+  for (uint64_t i = 0; i < store.record_count(); ++i) {
+    if (!store.is_pruned(i) && store.record(i).participant == participant) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<bool> ParticipantTouched(const ProvenanceStore& store,
+                                storage::ObjectId subject,
+                                crypto::ParticipantId participant) {
+  PROVDB_ASSIGN_OR_RETURN(std::vector<ProvenanceRecord> records,
+                          store.ExtractProvenance(subject));
+  for (const ProvenanceRecord& rec : records) {
+    if (rec.participant == participant) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<ProvenanceRecord>> HistorySlice(
+    const ProvenanceStore& store, storage::ObjectId subject, SeqId from_seq,
+    SeqId to_seq) {
+  if (from_seq > to_seq) {
+    return Status::InvalidArgument("from_seq must be <= to_seq");
+  }
+  std::vector<uint64_t> chain = store.ChainOf(subject);
+  if (chain.empty()) {
+    return Status::NotFound("no provenance records for object " +
+                            std::to_string(subject));
+  }
+  std::vector<ProvenanceRecord> out;
+  for (uint64_t index : chain) {
+    const ProvenanceRecord& rec = store.record(index);
+    if (rec.seq_id >= from_seq && rec.seq_id <= to_seq) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<ObjectState>> DirectSources(const ProvenanceStore& store,
+                                               storage::ObjectId subject) {
+  std::vector<uint64_t> chain = store.ChainOf(subject);
+  if (chain.empty()) {
+    return Status::NotFound("no provenance records for object " +
+                            std::to_string(subject));
+  }
+  const ProvenanceRecord& first = store.record(chain.front());
+  if (first.op != OperationType::kAggregate) {
+    return std::vector<ObjectState>{};
+  }
+  return first.inputs;
+}
+
+}  // namespace provdb::provenance

@@ -1,0 +1,39 @@
+#include "provenance/record.h"
+
+#include "common/hex.h"
+
+namespace provdb::provenance {
+
+std::string_view OperationTypeName(OperationType op) {
+  switch (op) {
+    case OperationType::kInsert:
+      return "insert";
+    case OperationType::kUpdate:
+      return "update";
+    case OperationType::kAggregate:
+      return "aggregate";
+  }
+  return "unknown";
+}
+
+std::string ProvenanceRecord::ToString() const {
+  std::string out = "[seq=" + std::to_string(seq_id) +
+                    " p=" + std::to_string(participant) + " " +
+                    std::string(OperationTypeName(op));
+  if (inherited) {
+    out += " (inherited)";
+  }
+  out += " in={";
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(inputs[i].object_id);
+  }
+  out += "} out=" + std::to_string(output.object_id);
+  if (has_output_snapshot) {
+    out += "=" + output_snapshot.ToString();
+  }
+  out += " C=" + HexEncode(checksum).substr(0, 16) + "...]";
+  return out;
+}
+
+}  // namespace provdb::provenance

@@ -1,0 +1,20 @@
+#ifndef PROVDB_PROVENANCE_SERIALIZATION_H_
+#define PROVDB_PROVENANCE_SERIALIZATION_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "provenance/record.h"
+
+namespace provdb::provenance {
+
+/// Binary wire encoding of a provenance record. Used for persistence in
+/// the RecordLog and for shipping recipient bundles. The format is
+/// versioned with a leading tag byte so it can evolve.
+Bytes EncodeRecord(const ProvenanceRecord& record);
+
+/// Parses a record written by EncodeRecord.
+Result<ProvenanceRecord> DecodeRecord(ByteView data);
+
+}  // namespace provdb::provenance
+
+#endif  // PROVDB_PROVENANCE_SERIALIZATION_H_

@@ -1,0 +1,70 @@
+#include "provenance/streaming_hasher.h"
+
+#include "common/varint.h"
+#include "provenance/subtree_hasher.h"
+
+namespace provdb::provenance {
+
+namespace {
+
+// The (tag-less) header of a node-hash preimage: varint(id) || value.
+Bytes NodeHeader(storage::ObjectId id, const storage::Value& value) {
+  Bytes header;
+  AppendVarint64(&header, id);
+  value.CanonicalEncode(&header);
+  return header;
+}
+
+}  // namespace
+
+StreamingTableHasher::StreamingTableHasher(crypto::HashAlgorithm alg,
+                                           storage::ObjectId table_id,
+                                           const storage::Value& table_value)
+    : alg_(alg), table_hasher_(crypto::CreateHasher(alg)) {
+  // Tables with rows are interior nodes; the empty-table case (leaf tag)
+  // cannot occur in the streaming workloads, so the interior tag is
+  // committed up front and the header streamed immediately.
+  uint8_t tag = kInteriorNodeTag;
+  table_hasher_->Update(ByteView(&tag, 1));
+  Bytes header = NodeHeader(table_id, table_value);
+  table_hasher_->Update(header);
+}
+
+void StreamingTableHasher::AddRow(
+    storage::ObjectId row_id, const storage::Value& row_value,
+    const std::vector<std::pair<storage::ObjectId, storage::Value>>& cells) {
+  std::vector<crypto::Digest> cell_hashes;
+  cell_hashes.reserve(cells.size());
+  for (const auto& [cell_id, cell_value] : cells) {
+    cell_hashes.push_back(HashTreeNode(alg_, cell_id, cell_value, {}));
+    ++nodes_hashed_;
+  }
+  crypto::Digest row_hash = HashTreeNode(alg_, row_id, row_value, cell_hashes);
+  ++nodes_hashed_;
+  table_hasher_->Update(row_hash.view());
+  ++rows_hashed_;
+}
+
+crypto::Digest StreamingTableHasher::Finish() {
+  ++nodes_hashed_;  // the table node itself
+  return table_hasher_->Finish();
+}
+
+StreamingDatabaseHasher::StreamingDatabaseHasher(
+    crypto::HashAlgorithm alg, storage::ObjectId database_id,
+    const storage::Value& database_value)
+    : hasher_(crypto::CreateHasher(alg)) {
+  uint8_t tag = kInteriorNodeTag;
+  hasher_->Update(ByteView(&tag, 1));
+  Bytes header = NodeHeader(database_id, database_value);
+  hasher_->Update(header);
+}
+
+void StreamingDatabaseHasher::AddTable(const crypto::Digest& table_hash) {
+  hasher_->Update(table_hash.view());
+  ++tables_added_;
+}
+
+crypto::Digest StreamingDatabaseHasher::Finish() { return hasher_->Finish(); }
+
+}  // namespace provdb::provenance

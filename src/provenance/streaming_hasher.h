@@ -1,0 +1,73 @@
+#ifndef PROVDB_PROVENANCE_STREAMING_HASHER_H_
+#define PROVDB_PROVENANCE_STREAMING_HASHER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/digest.h"
+#include "crypto/hash.h"
+#include "storage/tree_store.h"
+#include "storage/value.h"
+
+namespace provdb::provenance {
+
+/// Streaming computation of a table's compound hash for databases larger
+/// than memory (§5.2): "read one row at a time, hashing the row and the
+/// cells in it, and updating the table's hash value with the row's hash
+/// value". The resulting digest is bit-identical to the in-memory
+/// SubtreeHasher over the equivalent tree (ids, values, and child order
+/// must match; rows must be fed in ascending id order).
+class StreamingTableHasher {
+ public:
+  StreamingTableHasher(crypto::HashAlgorithm alg, storage::ObjectId table_id,
+                       const storage::Value& table_value);
+
+  /// Hashes one row: `cells` must be sorted by ascending cell id.
+  /// The row hash is folded into the running table hash; cell hashes are
+  /// not retained, so memory stays O(1) in the table size.
+  void AddRow(storage::ObjectId row_id, const storage::Value& row_value,
+              const std::vector<std::pair<storage::ObjectId, storage::Value>>&
+                  cells);
+
+  /// Completes and returns the table hash. The hasher is then exhausted.
+  crypto::Digest Finish();
+
+  /// Rows fed so far.
+  uint64_t rows_hashed() const { return rows_hashed_; }
+
+  /// Total node-hash computations (cells + rows; the final table hash adds
+  /// one more at Finish).
+  uint64_t nodes_hashed() const { return nodes_hashed_; }
+
+ private:
+  crypto::HashAlgorithm alg_;
+  std::unique_ptr<crypto::Hasher> table_hasher_;
+  uint64_t rows_hashed_ = 0;
+  uint64_t nodes_hashed_ = 0;
+};
+
+/// Folds streamed table hashes into a database hash, completing §5.2's
+/// scheme: "when all tables are hashed, we get the final hash value of the
+/// database". Tables must be added in ascending id order.
+class StreamingDatabaseHasher {
+ public:
+  StreamingDatabaseHasher(crypto::HashAlgorithm alg,
+                          storage::ObjectId database_id,
+                          const storage::Value& database_value);
+
+  /// Adds a completed table digest (from StreamingTableHasher::Finish).
+  void AddTable(const crypto::Digest& table_hash);
+
+  /// Completes and returns the database hash.
+  crypto::Digest Finish();
+
+ private:
+  std::unique_ptr<crypto::Hasher> hasher_;
+  uint64_t tables_added_ = 0;
+};
+
+}  // namespace provdb::provenance
+
+#endif  // PROVDB_PROVENANCE_STREAMING_HASHER_H_

@@ -1,0 +1,163 @@
+#include "provenance/tracked_relational.h"
+
+namespace provdb::provenance {
+
+TrackedRelationalDatabase::TrackedRelationalDatabase(
+    const std::string& name, const crypto::Participant& creator,
+    TrackedDatabaseOptions options)
+    : db_(options) {
+  root_ = db_.Insert(creator, storage::Value::String(name)).value();
+}
+
+Result<storage::ObjectId> TrackedRelationalDatabase::CreateTable(
+    const crypto::Participant& p, const std::string& table_name,
+    std::vector<std::string> columns) {
+  if (tables_by_name_.count(table_name) > 0) {
+    return Status::AlreadyExists("table '" + table_name + "' already exists");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("a table needs at least one column");
+  }
+  PROVDB_ASSIGN_OR_RETURN(
+      storage::ObjectId table,
+      db_.Insert(p, storage::Value::String(table_name), root_));
+  tables_by_name_[table_name] = table;
+  columns_by_table_[table] = std::move(columns);
+  return table;
+}
+
+Result<storage::ObjectId> TrackedRelationalDatabase::InsertRow(
+    const crypto::Participant& p, storage::ObjectId table,
+    const std::vector<storage::Value>& cells) {
+  auto cols = columns_by_table_.find(table);
+  if (cols == columns_by_table_.end()) {
+    return Status::NotFound("unknown table id " + std::to_string(table));
+  }
+  if (cells.size() != cols->second.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(cells.size()) + " cells; table has " +
+        std::to_string(cols->second.size()) + " columns");
+  }
+  PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* table_node,
+                          db_.tree().GetNode(table));
+  int64_t ordinal = static_cast<int64_t>(table_node->children.size());
+
+  PROVDB_RETURN_IF_ERROR(db_.BeginComplexOperation(p));
+  auto row_or = db_.Insert(p, storage::Value::Int(ordinal), table);
+  if (!row_or.ok()) {
+    db_.EndComplexOperation().ok();
+    return row_or.status();
+  }
+  for (const storage::Value& cell : cells) {
+    Status s = db_.Insert(p, cell, *row_or).status();
+    if (!s.ok()) {
+      db_.EndComplexOperation().ok();
+      return s;
+    }
+  }
+  PROVDB_RETURN_IF_ERROR(db_.EndComplexOperation());
+  return *row_or;
+}
+
+Status TrackedRelationalDatabase::UpdateCell(const crypto::Participant& p,
+                                             storage::ObjectId row,
+                                             const std::string& column,
+                                             const storage::Value& value) {
+  PROVDB_ASSIGN_OR_RETURN(storage::ObjectId table, TableOf(row));
+  PROVDB_ASSIGN_OR_RETURN(size_t index, ColumnIndex(table, column));
+  return UpdateCell(p, row, index, value);
+}
+
+Status TrackedRelationalDatabase::UpdateCell(const crypto::Participant& p,
+                                             storage::ObjectId row,
+                                             size_t column_index,
+                                             const storage::Value& value) {
+  PROVDB_ASSIGN_OR_RETURN(storage::ObjectId cell, CellId(row, column_index));
+  return db_.Update(p, cell, value);
+}
+
+Status TrackedRelationalDatabase::DeleteRow(const crypto::Participant& p,
+                                            storage::ObjectId row) {
+  PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* row_node,
+                          db_.tree().GetNode(row));
+  std::vector<storage::ObjectId> cells = row_node->children;
+  PROVDB_RETURN_IF_ERROR(db_.BeginComplexOperation(p));
+  for (storage::ObjectId cell : cells) {
+    Status s = db_.Delete(p, cell);
+    if (!s.ok()) {
+      db_.EndComplexOperation().ok();
+      return s;
+    }
+  }
+  Status s = db_.Delete(p, row);
+  if (!s.ok()) {
+    db_.EndComplexOperation().ok();
+    return s;
+  }
+  return db_.EndComplexOperation();
+}
+
+Result<storage::ObjectId> TrackedRelationalDatabase::TableId(
+    const std::string& table_name) const {
+  auto it = tables_by_name_.find(table_name);
+  if (it == tables_by_name_.end()) {
+    return Status::NotFound("table '" + table_name + "' does not exist");
+  }
+  return it->second;
+}
+
+Result<size_t> TrackedRelationalDatabase::ColumnIndex(
+    storage::ObjectId table, const std::string& column) const {
+  auto it = columns_by_table_.find(table);
+  if (it == columns_by_table_.end()) {
+    return Status::NotFound("unknown table id " + std::to_string(table));
+  }
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    if (it->second[i] == column) {
+      return i;
+    }
+  }
+  return Status::NotFound("no column '" + column + "'");
+}
+
+Result<storage::ObjectId> TrackedRelationalDatabase::CellId(
+    storage::ObjectId row, size_t column_index) const {
+  PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* row_node,
+                          db_.tree().GetNode(row));
+  if (column_index >= row_node->children.size()) {
+    return Status::OutOfRange("column index " + std::to_string(column_index) +
+                              " out of range");
+  }
+  return row_node->children[column_index];
+}
+
+Result<storage::Value> TrackedRelationalDatabase::GetCell(
+    storage::ObjectId row, size_t column_index) const {
+  PROVDB_ASSIGN_OR_RETURN(storage::ObjectId cell, CellId(row, column_index));
+  PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* node,
+                          db_.tree().GetNode(cell));
+  return node->value;
+}
+
+Result<std::vector<storage::ObjectId>> TrackedRelationalDatabase::RowsOf(
+    storage::ObjectId table) const {
+  if (columns_by_table_.count(table) == 0) {
+    return Status::NotFound("unknown table id " + std::to_string(table));
+  }
+  PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* node,
+                          db_.tree().GetNode(table));
+  return node->children;
+}
+
+Result<storage::ObjectId> TrackedRelationalDatabase::TableOf(
+    storage::ObjectId row) const {
+  PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* node,
+                          db_.tree().GetNode(row));
+  if (columns_by_table_.count(node->parent) == 0) {
+    return Status::NotFound("object " + std::to_string(row) +
+                            " is not a row of a known table");
+  }
+  return node->parent;
+}
+
+}  // namespace provdb::provenance

@@ -1,0 +1,84 @@
+#ifndef PROVDB_PROVENANCE_TRACKED_RELATIONAL_H_
+#define PROVDB_PROVENANCE_TRACKED_RELATIONAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/pki.h"
+#include "provenance/tracked_database.h"
+#include "storage/value.h"
+
+namespace provdb::provenance {
+
+/// Relational convenience layer over TrackedDatabase: the §5.1 depth-4
+/// schema (database → tables → rows → cells) with named tables and
+/// columns, where every mutation is attributed to a participant and emits
+/// integrity-checksummed provenance (including inherited records).
+///
+///   TrackedRelationalDatabase db("trial", creator);
+///   auto t   = db.CreateTable(alice, "patients", {"age", "weight"});
+///   auto row = db.InsertRow(alice, *t, {Value::Int(44), Value::Double(81)});
+///   db.UpdateCell(bob, *row, 0, Value::Int(45));
+///
+/// Row-level operations run as complex operations (§4.4), so inserting a
+/// row emits one record per new object plus the inherited table/root
+/// records — not one record per cell per ancestor.
+class TrackedRelationalDatabase {
+ public:
+  /// Creates the database root (attributed to `creator`).
+  TrackedRelationalDatabase(const std::string& name,
+                            const crypto::Participant& creator,
+                            TrackedDatabaseOptions options = {});
+
+  TrackedDatabase& tracked() { return db_; }
+  const TrackedDatabase& tracked() const { return db_; }
+  storage::ObjectId root() const { return root_; }
+
+  /// Creates an empty table with the given column schema.
+  Result<storage::ObjectId> CreateTable(const crypto::Participant& p,
+                                        const std::string& table_name,
+                                        std::vector<std::string> columns);
+
+  /// Inserts a row (one cell per column) as a single complex operation.
+  Result<storage::ObjectId> InsertRow(const crypto::Participant& p,
+                                      storage::ObjectId table,
+                                      const std::vector<storage::Value>& cells);
+
+  /// Updates one cell (primitive operation with inheritance).
+  Status UpdateCell(const crypto::Participant& p, storage::ObjectId row,
+                    const std::string& column, const storage::Value& value);
+  Status UpdateCell(const crypto::Participant& p, storage::ObjectId row,
+                    size_t column_index, const storage::Value& value);
+
+  /// Deletes a whole row (cells first) as a single complex operation.
+  Status DeleteRow(const crypto::Participant& p, storage::ObjectId row);
+
+  /// Lookup helpers.
+  Result<storage::ObjectId> TableId(const std::string& table_name) const;
+  Result<size_t> ColumnIndex(storage::ObjectId table,
+                             const std::string& column) const;
+  Result<storage::ObjectId> CellId(storage::ObjectId row,
+                                   size_t column_index) const;
+  Result<storage::Value> GetCell(storage::ObjectId row,
+                                 size_t column_index) const;
+  Result<std::vector<storage::ObjectId>> RowsOf(storage::ObjectId table) const;
+
+  /// Ships the whole database (or any granularity) to a recipient.
+  Result<RecipientBundle> Export(storage::ObjectId subject) {
+    return db_.ExportForRecipient(subject);
+  }
+
+ private:
+  Result<storage::ObjectId> TableOf(storage::ObjectId row) const;
+
+  TrackedDatabase db_;
+  storage::ObjectId root_;
+  std::map<std::string, storage::ObjectId> tables_by_name_;
+  std::map<storage::ObjectId, std::vector<std::string>> columns_by_table_;
+};
+
+}  // namespace provdb::provenance
+
+#endif  // PROVDB_PROVENANCE_TRACKED_RELATIONAL_H_

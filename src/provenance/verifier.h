@@ -1,0 +1,104 @@
+#ifndef PROVDB_PROVENANCE_VERIFIER_H_
+#define PROVDB_PROVENANCE_VERIFIER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/pki.h"
+#include "provenance/bundle.h"
+#include "provenance/checksum.h"
+#include "provenance/record.h"
+
+namespace provdb::provenance {
+
+/// Classification of verification failures, each annotated with the §2.2
+/// requirement whose violation it witnesses.
+enum class IssueKind {
+  /// The shipped data does not hash to the latest record's output — the
+  /// object was modified without provenance (R4) or the provenance was
+  /// re-attributed to different data (R5).
+  kDataHashMismatch,
+  /// The snapshot root is not the bundle subject (re-attribution, R5).
+  kSubjectMismatch,
+  /// The bundle has no records for the subject at all.
+  kMissingRecords,
+  /// An update's input state does not match the previous record's output —
+  /// a record was removed (R2/R7), inserted (R3/R6), or its values
+  /// modified (R1).
+  kChainLinkBroken,
+  /// seqIDs of a chain are not the required consecutive sequence.
+  kSeqViolation,
+  /// A record's checksum fails signature verification (R1, R8).
+  kBadSignature,
+  /// The signing participant has no CA-endorsed certificate (R8).
+  kUnknownParticipant,
+  /// A record is structurally invalid (e.g. update without input).
+  kMalformedRecord,
+  /// An aggregation input cannot be resolved to any record in the bundle,
+  /// yet a previous checksum was signed for it.
+  kAggregateInputUnresolved,
+  /// The data snapshot itself is structurally corrupt.
+  kSnapshotMalformed,
+};
+
+std::string_view IssueKindName(IssueKind kind);
+
+/// One verification failure.
+struct VerificationIssue {
+  IssueKind kind;
+  storage::ObjectId object = storage::kInvalidObjectId;
+  SeqId seq_id = 0;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Outcome of verifying a recipient bundle.
+struct VerificationReport {
+  std::vector<VerificationIssue> issues;
+  uint64_t records_checked = 0;
+  uint64_t signatures_verified = 0;
+
+  bool ok() const { return issues.empty(); }
+  bool HasIssue(IssueKind kind) const;
+  std::string ToString() const;
+};
+
+/// Core of check 2 (§3): given per-object record chains (each sorted by
+/// seqID), recompute every checksum payload and verify every signature,
+/// appending issues and counters to `report`. Shared by the recipient-side
+/// ProvenanceVerifier and the in-place StoreAuditor.
+void VerifyRecordChains(
+    const crypto::ParticipantRegistry& registry, const ChecksumEngine& engine,
+    const std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>&
+        chains,
+    VerificationReport* report);
+
+/// The data recipient's verification procedure (§3):
+///   1. the data object matches the output of its most recent provenance
+///      record, and
+///   2. every stored checksum re-verifies from the record's input/output
+///      states and the previous checksum(s) under the acting participant's
+///      certified public key.
+/// Together these detect every attack in the threat model (R1–R8), as
+/// argued in §3.1.
+class ProvenanceVerifier {
+ public:
+  /// `registry` resolves participant ids to CA-endorsed public keys and
+  /// must outlive the verifier.
+  ProvenanceVerifier(const crypto::ParticipantRegistry* registry,
+                     crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1);
+
+  /// Runs all checks over `bundle` and reports every issue found (the
+  /// verifier does not stop at the first failure).
+  VerificationReport Verify(const RecipientBundle& bundle) const;
+
+ private:
+  const crypto::ParticipantRegistry* registry_;
+  ChecksumEngine engine_;
+};
+
+}  // namespace provdb::provenance
+
+#endif  // PROVDB_PROVENANCE_VERIFIER_H_

@@ -1,0 +1,105 @@
+#include "storage/record_log.h"
+
+#include <cstdio>
+
+#include "common/crc32.h"
+#include "common/varint.h"
+
+namespace provdb::storage {
+
+uint64_t RecordLog::Append(ByteView payload) {
+  uint64_t index = offsets_.size();
+  offsets_.push_back(arena_.size());
+  lengths_.push_back(static_cast<uint32_t>(payload.size()));
+  AppendBytes(&arena_, payload);
+  return index;
+}
+
+Result<ByteView> RecordLog::Get(uint64_t index) const {
+  if (index >= offsets_.size()) {
+    return Status::OutOfRange("record index " + std::to_string(index) +
+                              " out of range");
+  }
+  return ByteView(arena_.data() + offsets_[index], lengths_[index]);
+}
+
+uint64_t RecordLog::total_frame_bytes() const {
+  uint64_t total = 0;
+  for (uint32_t len : lengths_) {
+    Bytes varint;
+    AppendVarint64(&varint, len);
+    total += varint.size() + len + 4;  // length + payload + crc32
+  }
+  return total;
+}
+
+Status RecordLog::ForEach(
+    const std::function<Status(uint64_t, ByteView)>& fn) const {
+  for (uint64_t i = 0; i < offsets_.size(); ++i) {
+    PROVDB_RETURN_IF_ERROR(
+        fn(i, ByteView(arena_.data() + offsets_[i], lengths_[i])));
+  }
+  return Status::OK();
+}
+
+Status RecordLog::SaveToFile(const std::string& path) const {
+  Bytes framed;
+  framed.reserve(total_frame_bytes());
+  for (uint64_t i = 0; i < offsets_.size(); ++i) {
+    ByteView payload(arena_.data() + offsets_[i], lengths_[i]);
+    AppendVarint64(&framed, payload.size());
+    AppendBytes(&framed, payload);
+    AppendFixed32(&framed, Crc32(payload));
+  }
+
+  std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + tmp_path + " for writing");
+  }
+  size_t written = framed.empty()
+                       ? 0
+                       : std::fwrite(framed.data(), 1, framed.size(), f);
+  bool flush_ok = std::fclose(f) == 0;
+  if (written != framed.size() || !flush_ok) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("short write to " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<RecordLog> RecordLog::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for reading");
+  }
+  Bytes content;
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.insert(content.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  RecordLog log;
+  VarintReader reader(content);
+  while (!reader.done()) {
+    PROVDB_ASSIGN_OR_RETURN(uint64_t len, reader.ReadVarint64());
+    PROVDB_ASSIGN_OR_RETURN(Bytes payload, reader.ReadRaw(len));
+    PROVDB_ASSIGN_OR_RETURN(Bytes crc_raw, reader.ReadRaw(4));
+    uint32_t stored_crc = ReadFixed32(crc_raw, 0);
+    if (stored_crc != Crc32(payload)) {
+      return Status::Corruption("CRC mismatch in record " +
+                                std::to_string(log.record_count()) + " of " +
+                                path);
+    }
+    log.Append(payload);
+  }
+  return log;
+}
+
+}  // namespace provdb::storage

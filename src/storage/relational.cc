@@ -1,0 +1,104 @@
+#include "storage/relational.h"
+
+namespace provdb::storage {
+
+RelationalDatabase::RelationalDatabase(const std::string& name) : name_(name) {
+  root_ = tree_.Insert(Value::String(name)).value();
+}
+
+Result<ObjectId> RelationalDatabase::CreateTable(
+    const std::string& table_name, std::vector<std::string> columns) {
+  if (tables_by_name_.count(table_name) > 0) {
+    return Status::AlreadyExists("table '" + table_name + "' already exists");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("a table needs at least one column");
+  }
+  PROVDB_ASSIGN_OR_RETURN(ObjectId table,
+                          tree_.Insert(Value::String(table_name), root_));
+  tables_by_name_[table_name] = table;
+  columns_by_table_[table] = std::move(columns);
+  return table;
+}
+
+Result<ObjectId> RelationalDatabase::InsertRow(ObjectId table,
+                                               const std::vector<Value>& cells) {
+  auto cols_it = columns_by_table_.find(table);
+  if (cols_it == columns_by_table_.end()) {
+    return Status::NotFound("unknown table id " + std::to_string(table));
+  }
+  if (cells.size() != cols_it->second.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(cells.size()) + " cells; table has " +
+        std::to_string(cols_it->second.size()) + " columns");
+  }
+  PROVDB_ASSIGN_OR_RETURN(const TreeNode* table_node, tree_.GetNode(table));
+  int64_t ordinal = static_cast<int64_t>(table_node->children.size());
+  PROVDB_ASSIGN_OR_RETURN(ObjectId row,
+                          tree_.Insert(Value::Int(ordinal), table));
+  for (const Value& cell : cells) {
+    PROVDB_RETURN_IF_ERROR(tree_.Insert(cell, row).status());
+  }
+  return row;
+}
+
+Result<ObjectId> RelationalDatabase::CellId(ObjectId row,
+                                            size_t column_index) const {
+  PROVDB_ASSIGN_OR_RETURN(const TreeNode* row_node, tree_.GetNode(row));
+  if (column_index >= row_node->children.size()) {
+    return Status::OutOfRange("column index " + std::to_string(column_index) +
+                              " out of range");
+  }
+  return row_node->children[column_index];
+}
+
+Status RelationalDatabase::UpdateCell(ObjectId row, size_t column_index,
+                                      const Value& value) {
+  PROVDB_ASSIGN_OR_RETURN(ObjectId cell, CellId(row, column_index));
+  return tree_.Update(cell, value);
+}
+
+Result<Value> RelationalDatabase::GetCell(ObjectId row,
+                                          size_t column_index) const {
+  PROVDB_ASSIGN_OR_RETURN(ObjectId cell, CellId(row, column_index));
+  PROVDB_ASSIGN_OR_RETURN(const TreeNode* node, tree_.GetNode(cell));
+  return node->value;
+}
+
+Status RelationalDatabase::DeleteRow(ObjectId row) {
+  PROVDB_ASSIGN_OR_RETURN(const TreeNode* row_node, tree_.GetNode(row));
+  std::vector<ObjectId> cells = row_node->children;
+  for (ObjectId cell : cells) {
+    PROVDB_RETURN_IF_ERROR(tree_.Delete(cell));
+  }
+  return tree_.Delete(row);
+}
+
+Result<ObjectId> RelationalDatabase::TableId(
+    const std::string& table_name) const {
+  auto it = tables_by_name_.find(table_name);
+  if (it == tables_by_name_.end()) {
+    return Status::NotFound("table '" + table_name + "' does not exist");
+  }
+  return it->second;
+}
+
+Result<std::vector<std::string>> RelationalDatabase::Columns(
+    ObjectId table) const {
+  auto it = columns_by_table_.find(table);
+  if (it == columns_by_table_.end()) {
+    return Status::NotFound("unknown table id " + std::to_string(table));
+  }
+  return it->second;
+}
+
+Result<std::vector<ObjectId>> RelationalDatabase::RowsOf(
+    ObjectId table) const {
+  if (columns_by_table_.count(table) == 0) {
+    return Status::NotFound("unknown table id " + std::to_string(table));
+  }
+  PROVDB_ASSIGN_OR_RETURN(const TreeNode* node, tree_.GetNode(table));
+  return node->children;
+}
+
+}  // namespace provdb::storage

@@ -1,0 +1,72 @@
+#ifndef PROVDB_STORAGE_RELATIONAL_H_
+#define PROVDB_STORAGE_RELATIONAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/tree_store.h"
+
+namespace provdb::storage {
+
+/// Relational facade over the forest model: one depth-4 tree per database
+/// (§5.1) — root (database) → tables → rows → cells. Operations here are
+/// *untracked* (no provenance records); they are used to bootstrap initial
+/// database states and by the pure-hashing experiments (Fig. 6). Tracked
+/// mutation goes through provenance::TrackedDatabase instead.
+class RelationalDatabase {
+ public:
+  /// Creates a database with a single root node carrying `name`.
+  explicit RelationalDatabase(const std::string& name);
+
+  const TreeStore& tree() const { return tree_; }
+  TreeStore& mutable_tree() { return tree_; }
+  ObjectId root() const { return root_; }
+  const std::string& name() const { return name_; }
+
+  /// Creates a table node under the root. Column names define the schema;
+  /// each row must supply exactly one cell per column.
+  Result<ObjectId> CreateTable(const std::string& table_name,
+                               std::vector<std::string> columns);
+
+  /// Inserts a row (value = row ordinal) with one cell per column.
+  Result<ObjectId> InsertRow(ObjectId table, const std::vector<Value>& cells);
+
+  /// Updates the cell at `column_index` of `row`.
+  Status UpdateCell(ObjectId row, size_t column_index, const Value& value);
+
+  /// Deletes all cells of `row`, then the row itself (leaf-wise, matching
+  /// the primitive operation model).
+  Status DeleteRow(ObjectId row);
+
+  /// The object id of the cell at `column_index` of `row`.
+  Result<ObjectId> CellId(ObjectId row, size_t column_index) const;
+
+  /// The current value of the cell at `column_index` of `row`.
+  Result<Value> GetCell(ObjectId row, size_t column_index) const;
+
+  /// Table id by name.
+  Result<ObjectId> TableId(const std::string& table_name) const;
+
+  /// Column names of `table`.
+  Result<std::vector<std::string>> Columns(ObjectId table) const;
+
+  /// Row object ids of `table`, ascending.
+  Result<std::vector<ObjectId>> RowsOf(ObjectId table) const;
+
+  /// Total node count of the database tree (root + tables + rows + cells);
+  /// the x-axis of Figure 6.
+  size_t NodeCount() const { return tree_.size(); }
+
+ private:
+  TreeStore tree_;
+  ObjectId root_;
+  std::string name_;
+  std::map<std::string, ObjectId> tables_by_name_;
+  std::map<ObjectId, std::vector<std::string>> columns_by_table_;
+};
+
+}  // namespace provdb::storage
+
+#endif  // PROVDB_STORAGE_RELATIONAL_H_

@@ -1,0 +1,194 @@
+#include "storage/tree_store.h"
+
+#include <algorithm>
+
+namespace provdb::storage {
+
+void TreeStore::AttachChild(TreeNode* parent, ObjectId child) {
+  auto& kids = parent->children;
+  kids.insert(std::lower_bound(kids.begin(), kids.end(), child), child);
+}
+
+Result<ObjectId> TreeStore::Insert(const Value& value, ObjectId parent) {
+  TreeNode* parent_node = nullptr;
+  if (parent != kInvalidObjectId) {
+    auto it = nodes_.find(parent);
+    if (it == nodes_.end()) {
+      return Status::NotFound("parent object " + std::to_string(parent) +
+                              " does not exist");
+    }
+    parent_node = &it->second;
+  }
+  ObjectId id = AllocateId();
+  TreeNode node;
+  node.id = id;
+  node.value = value;
+  node.parent = parent;
+  nodes_.emplace(id, std::move(node));
+  if (parent_node != nullptr) {
+    AttachChild(parent_node, id);
+  }
+  return id;
+}
+
+Status TreeStore::Delete(ObjectId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("object " + std::to_string(id) +
+                            " does not exist");
+  }
+  if (!it->second.is_leaf()) {
+    return Status::FailedPrecondition(
+        "only leaf objects can be deleted by the primitive Delete");
+  }
+  ObjectId parent = it->second.parent;
+  if (parent != kInvalidObjectId) {
+    auto& kids = nodes_.at(parent).children;
+    kids.erase(std::remove(kids.begin(), kids.end(), id), kids.end());
+  }
+  nodes_.erase(it);
+  return Status::OK();
+}
+
+Status TreeStore::Update(ObjectId id, Value value) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("object " + std::to_string(id) +
+                            " does not exist");
+  }
+  it->second.value = std::move(value);
+  return Status::OK();
+}
+
+ObjectId TreeStore::CopySubtree(ObjectId source, ObjectId new_parent) {
+  const TreeNode& src = nodes_.at(source);
+  ObjectId id = AllocateId();
+  TreeNode copy;
+  copy.id = id;
+  copy.value = src.value;
+  copy.parent = new_parent;
+  // Children of the source, captured before inserting (nodes_ may rehash).
+  std::vector<ObjectId> src_children = src.children;
+  nodes_.emplace(id, std::move(copy));
+  for (ObjectId child : src_children) {
+    ObjectId child_copy = CopySubtree(child, id);
+    AttachChild(&nodes_.at(id), child_copy);
+  }
+  return id;
+}
+
+Result<ObjectId> TreeStore::Aggregate(const std::vector<ObjectId>& input_roots,
+                                      const Value& root_value) {
+  if (input_roots.empty()) {
+    return Status::InvalidArgument("aggregate requires at least one input");
+  }
+  for (ObjectId id : input_roots) {
+    if (!Contains(id)) {
+      return Status::NotFound("aggregate input " + std::to_string(id) +
+                              " does not exist");
+    }
+  }
+  ObjectId root = AllocateId();
+  TreeNode node;
+  node.id = root;
+  node.value = root_value;
+  nodes_.emplace(root, std::move(node));
+  for (ObjectId input : input_roots) {
+    ObjectId copy = CopySubtree(input, root);
+    AttachChild(&nodes_.at(root), copy);
+  }
+  return root;
+}
+
+Result<const TreeNode*> TreeStore::GetNode(ObjectId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("object " + std::to_string(id) +
+                            " does not exist");
+  }
+  return &it->second;
+}
+
+Result<size_t> TreeStore::SubtreeSize(ObjectId id) const {
+  size_t count = 0;
+  PROVDB_RETURN_IF_ERROR(VisitSubtree(id, [&](const TreeNode&, size_t) {
+    ++count;
+    return Status::OK();
+  }));
+  return count;
+}
+
+std::vector<ObjectId> TreeStore::SortedRoots() const {
+  std::vector<ObjectId> roots;
+  for (const auto& [id, node] : nodes_) {
+    if (node.is_root()) {
+      roots.push_back(id);
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  return roots;
+}
+
+Status TreeStore::VisitSubtree(
+    ObjectId root,
+    const std::function<Status(const TreeNode&, size_t depth)>& fn) const {
+  auto it = nodes_.find(root);
+  if (it == nodes_.end()) {
+    return Status::NotFound("object " + std::to_string(root) +
+                            " does not exist");
+  }
+  // Explicit stack to survive deep trees; children pushed in reverse so
+  // the smallest id pops first (pre-order, ascending).
+  struct Frame {
+    ObjectId id;
+    size_t depth;
+  };
+  std::vector<Frame> stack{{root, 0}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const TreeNode& node = nodes_.at(frame.id);
+    PROVDB_RETURN_IF_ERROR(fn(node, frame.depth));
+    for (size_t i = node.children.size(); i-- > 0;) {
+      stack.push_back({node.children[i], frame.depth + 1});
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<ObjectId> TreeStore::AncestorsOf(ObjectId id) const {
+  std::vector<ObjectId> out;
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return out;
+  }
+  ObjectId cur = it->second.parent;
+  while (cur != kInvalidObjectId) {
+    out.push_back(cur);
+    cur = nodes_.at(cur).parent;
+  }
+  return out;
+}
+
+Result<ObjectId> TreeStore::RootOf(ObjectId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("object " + std::to_string(id) +
+                            " does not exist");
+  }
+  ObjectId cur = id;
+  while (nodes_.at(cur).parent != kInvalidObjectId) {
+    cur = nodes_.at(cur).parent;
+  }
+  return cur;
+}
+
+Result<size_t> TreeStore::DepthOf(ObjectId id) const {
+  if (!Contains(id)) {
+    return Status::NotFound("object " + std::to_string(id) +
+                            " does not exist");
+  }
+  return AncestorsOf(id).size();
+}
+
+}  // namespace provdb::storage

@@ -1,0 +1,111 @@
+#ifndef PROVDB_STORAGE_TREE_STORE_H_
+#define PROVDB_STORAGE_TREE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace provdb::storage {
+
+/// Uniquely identifies a data object (the `A`, `B`, ... of the paper).
+/// Ids are never reused, so a deleted object's id stays retired.
+using ObjectId = uint64_t;
+
+/// Sentinel: "no object" / "no parent".
+constexpr ObjectId kInvalidObjectId = 0;
+
+/// One atomic object of the extended data model (§4.1): a triple
+/// (id, value, {child_ids}). A compound object is the subtree rooted at a
+/// node.
+struct TreeNode {
+  ObjectId id = kInvalidObjectId;
+  Value value;
+  ObjectId parent = kInvalidObjectId;
+  /// Kept sorted ascending — this is the paper's "pre-defined total order
+  /// over atomic objects" that makes compound hashes deterministic (§4.3).
+  std::vector<ObjectId> children;
+
+  bool is_leaf() const { return children.empty(); }
+  bool is_root() const { return parent == kInvalidObjectId; }
+};
+
+/// The back-end database D, modeled abstractly as a forest (§4.1). In the
+/// relational reading, depth-4 trees represent database → tables → rows →
+/// cells. The store supports the paper's four primitive operations:
+/// Insert (leaf), Delete (leaf), Update, and Aggregate.
+class TreeStore {
+ public:
+  TreeStore() = default;
+
+  // Movable but not copyable (copies of a database are never implicit).
+  TreeStore(const TreeStore&) = delete;
+  TreeStore& operator=(const TreeStore&) = delete;
+  TreeStore(TreeStore&&) = default;
+  TreeStore& operator=(TreeStore&&) = default;
+
+  /// Inserts a new object with `value` under `parent`
+  /// (kInvalidObjectId = new root). Returns the fresh object id.
+  Result<ObjectId> Insert(const Value& value,
+                          ObjectId parent = kInvalidObjectId);
+
+  /// Removes a leaf object. Fails with kFailedPrecondition on interior
+  /// nodes (the primitive model only deletes leaves, §4.1).
+  Status Delete(ObjectId id);
+
+  /// Replaces the value of an existing object.
+  Status Update(ObjectId id, Value value);
+
+  /// Aggregate({A_1..A_n}, B): deep-copies the input subtrees (fresh ids)
+  /// as children of a new root object with value `root_value`. Inputs are
+  /// left untouched, matching Figure 2 where A keeps evolving after
+  /// C = Aggregate(A, B). Returns the new root's id.
+  Result<ObjectId> Aggregate(const std::vector<ObjectId>& input_roots,
+                             const Value& root_value);
+
+  /// Node lookup; the pointer is invalidated by subsequent mutations.
+  Result<const TreeNode*> GetNode(ObjectId id) const;
+
+  bool Contains(ObjectId id) const { return nodes_.count(id) > 0; }
+
+  /// Total live objects in the forest.
+  size_t size() const { return nodes_.size(); }
+
+  /// Number of objects in subtree(id), including the root.
+  Result<size_t> SubtreeSize(ObjectId id) const;
+
+  /// Root object ids, ascending.
+  std::vector<ObjectId> SortedRoots() const;
+
+  /// Pre-order traversal of subtree(root); children visited in ascending
+  /// id order (the global total order). The callback may not mutate the
+  /// store. Stops early if the callback returns a non-OK status.
+  Status VisitSubtree(
+      ObjectId root,
+      const std::function<Status(const TreeNode&, size_t depth)>& fn) const;
+
+  /// Ancestors of `id`, nearest first (parent, grandparent, ..., root).
+  /// Empty for roots and unknown ids.
+  std::vector<ObjectId> AncestorsOf(ObjectId id) const;
+
+  /// The root of the tree containing `id` (`id` itself if it is a root).
+  Result<ObjectId> RootOf(ObjectId id) const;
+
+  /// Depth of `id` below its root (root = 0).
+  Result<size_t> DepthOf(ObjectId id) const;
+
+ private:
+  ObjectId AllocateId() { return next_id_++; }
+  ObjectId CopySubtree(ObjectId source, ObjectId new_parent);
+  void AttachChild(TreeNode* parent, ObjectId child);
+
+  std::unordered_map<ObjectId, TreeNode> nodes_;
+  ObjectId next_id_ = 1;  // 0 is kInvalidObjectId
+};
+
+}  // namespace provdb::storage
+
+#endif  // PROVDB_STORAGE_TREE_STORE_H_

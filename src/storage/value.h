@@ -1,0 +1,77 @@
+#ifndef PROVDB_STORAGE_VALUE_H_
+#define PROVDB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace provdb::storage {
+
+/// Value type tags, also used as serialization discriminators.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kBytes = 4,
+};
+
+/// The atomic value stored in a database object (a cell, or the name of a
+/// row/table/database node). Values are immutable once constructed.
+class Value {
+ public:
+  /// Null value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+  static Value Blob(Bytes v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (checked by std::get).
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  const Bytes& AsBlob() const { return std::get<Bytes>(data_); }
+
+  /// Canonical byte encoding: 1-byte type tag + fixed/length-prefixed
+  /// payload. Two Values compare equal iff their encodings are identical,
+  /// so hashing the encoding is collision-free across types (an Int(3) and
+  /// a String("3") hash differently).
+  void CanonicalEncode(Bytes* out) const;
+
+  /// Parses a value previously written by CanonicalEncode. `consumed`
+  /// receives the number of bytes read.
+  static Result<Value> CanonicalDecode(ByteView data, size_t* consumed);
+
+  /// Approximate in-memory footprint in bytes (used for space accounting).
+  size_t ApproximateSize() const;
+
+  /// Debug rendering, e.g. `42`, `"abc"`, `null`.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(Bytes v) : data_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string, Bytes> data_;
+};
+
+}  // namespace provdb::storage
+
+#endif  // PROVDB_STORAGE_VALUE_H_

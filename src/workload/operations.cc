@@ -1,0 +1,229 @@
+#include "workload/operations.h"
+
+#include <algorithm>
+
+namespace provdb::workload {
+
+namespace {
+
+/// First `count` elements of a Fisher-Yates partial shuffle of `items`.
+std::vector<storage::ObjectId> SampleDistinct(
+    std::vector<storage::ObjectId> items, size_t count, Rng* rng) {
+  if (count > items.size()) {
+    count = items.size();
+  }
+  for (size_t i = 0; i < count; ++i) {
+    size_t j = i + static_cast<size_t>(rng->NextBelow(items.size() - i));
+    std::swap(items[i], items[j]);
+  }
+  items.resize(count);
+  return items;
+}
+
+/// `count` distinct column indices out of `num_columns`.
+std::vector<size_t> SampleColumns(size_t num_columns, size_t count, Rng* rng) {
+  std::vector<size_t> cols(num_columns);
+  for (size_t i = 0; i < num_columns; ++i) {
+    cols[i] = i;
+  }
+  if (count > num_columns) {
+    count = num_columns;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    size_t j = i + static_cast<size_t>(rng->NextBelow(num_columns - i));
+    std::swap(cols[i], cols[j]);
+  }
+  cols.resize(count);
+  return cols;
+}
+
+}  // namespace
+
+Result<ComplexOpScript> MakeUpdateScript(
+    const SyntheticLayout::TableLayout& table, size_t num_updates,
+    size_t num_rows, Rng* rng) {
+  if (num_rows == 0 || num_updates == 0) {
+    return Status::InvalidArgument("need at least one row and one update");
+  }
+  if (num_rows > table.rows.size()) {
+    return Status::InvalidArgument("table has only " +
+                                   std::to_string(table.rows.size()) +
+                                   " rows");
+  }
+  size_t per_row = num_updates / num_rows;
+  size_t remainder = num_updates % num_rows;
+  if (per_row + (remainder > 0 ? 1 : 0) >
+      static_cast<size_t>(table.num_attributes)) {
+    return Status::InvalidArgument(
+        "more distinct cell updates per row than the table has attributes");
+  }
+
+  ComplexOpScript script;
+  script.table = table.table_id;
+  script.num_attributes = table.num_attributes;
+  std::vector<storage::ObjectId> rows =
+      SampleDistinct(table.rows, num_rows, rng);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    size_t cells_here = per_row + (r < remainder ? 1 : 0);
+    std::vector<size_t> cols = SampleColumns(
+        static_cast<size_t>(table.num_attributes), cells_here, rng);
+    for (size_t col : cols) {
+      PrimitiveOp op;
+      op.kind = PrimitiveOp::Kind::kUpdateCell;
+      op.row = rows[r];
+      op.column = col;
+      op.value = static_cast<int64_t>(rng->NextBelow(1000000));
+      script.ops.push_back(op);
+    }
+  }
+  return script;
+}
+
+Result<ComplexOpScript> MakeDeleteScript(
+    const SyntheticLayout::TableLayout& table, size_t num_rows, Rng* rng) {
+  if (num_rows > table.rows.size()) {
+    return Status::InvalidArgument("table has only " +
+                                   std::to_string(table.rows.size()) +
+                                   " rows");
+  }
+  ComplexOpScript script;
+  script.table = table.table_id;
+  script.num_attributes = table.num_attributes;
+  for (storage::ObjectId row : SampleDistinct(table.rows, num_rows, rng)) {
+    PrimitiveOp op;
+    op.kind = PrimitiveOp::Kind::kDeleteRow;
+    op.row = row;
+    script.ops.push_back(op);
+  }
+  return script;
+}
+
+Result<ComplexOpScript> MakeInsertScript(
+    const SyntheticLayout::TableLayout& table, size_t num_rows, Rng* rng) {
+  ComplexOpScript script;
+  script.table = table.table_id;
+  script.num_attributes = table.num_attributes;
+  for (size_t i = 0; i < num_rows; ++i) {
+    PrimitiveOp op;
+    op.kind = PrimitiveOp::Kind::kInsertRow;
+    op.value = static_cast<int64_t>(rng->NextBelow(1000000));
+    script.ops.push_back(op);
+  }
+  return script;
+}
+
+Result<ComplexOpScript> MakeMixedScript(
+    const SyntheticLayout::TableLayout& table, size_t deletes, size_t inserts,
+    size_t updates, Rng* rng) {
+  if (deletes + updates > table.rows.size()) {
+    return Status::InvalidArgument(
+        "not enough rows for disjoint delete and update targets");
+  }
+  // Disjoint row samples: deleted rows must not also be update targets.
+  std::vector<storage::ObjectId> sample =
+      SampleDistinct(table.rows, deletes + updates, rng);
+
+  ComplexOpScript script;
+  script.table = table.table_id;
+  script.num_attributes = table.num_attributes;
+  for (size_t i = 0; i < deletes; ++i) {
+    PrimitiveOp op;
+    op.kind = PrimitiveOp::Kind::kDeleteRow;
+    op.row = sample[i];
+    script.ops.push_back(op);
+  }
+  for (size_t i = 0; i < inserts; ++i) {
+    PrimitiveOp op;
+    op.kind = PrimitiveOp::Kind::kInsertRow;
+    op.value = static_cast<int64_t>(rng->NextBelow(1000000));
+    script.ops.push_back(op);
+  }
+  for (size_t i = 0; i < updates; ++i) {
+    PrimitiveOp op;
+    op.kind = PrimitiveOp::Kind::kUpdateCell;
+    op.row = sample[deletes + i];
+    op.column = static_cast<size_t>(
+        rng->NextBelow(static_cast<uint64_t>(table.num_attributes)));
+    op.value = static_cast<int64_t>(rng->NextBelow(1000000));
+    script.ops.push_back(op);
+  }
+  // Shuffle the primitive order, as a realistic interleaved transaction.
+  for (size_t i = script.ops.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng->NextBelow(i));
+    std::swap(script.ops[i - 1], script.ops[j]);
+  }
+  return script;
+}
+
+namespace {
+
+// Runs the script's primitives inside an already-begun complex operation.
+Status ExecutePrimitives(provenance::TrackedDatabase* db,
+                         const crypto::Participant& p,
+                         const ComplexOpScript& script, Rng* rng) {
+  for (const PrimitiveOp& op : script.ops) {
+    switch (op.kind) {
+      case PrimitiveOp::Kind::kUpdateCell: {
+        PROVDB_ASSIGN_OR_RETURN(storage::ObjectId cell,
+                                CellIdOf(db->tree(), op.row, op.column));
+        PROVDB_RETURN_IF_ERROR(
+            db->Update(p, cell, storage::Value::Int(op.value)));
+        break;
+      }
+      case PrimitiveOp::Kind::kDeleteRow: {
+        PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* row,
+                                db->tree().GetNode(op.row));
+        std::vector<storage::ObjectId> cells = row->children;
+        for (storage::ObjectId cell : cells) {
+          PROVDB_RETURN_IF_ERROR(db->Delete(p, cell));
+        }
+        PROVDB_RETURN_IF_ERROR(db->Delete(p, op.row));
+        break;
+      }
+      case PrimitiveOp::Kind::kInsertRow: {
+        PROVDB_ASSIGN_OR_RETURN(
+            storage::ObjectId row,
+            db->Insert(p, storage::Value::Int(op.value), script.table));
+        for (int c = 0; c < script.num_attributes; ++c) {
+          PROVDB_RETURN_IF_ERROR(
+              db->Insert(p,
+                         storage::Value::Int(static_cast<int64_t>(
+                             rng->NextBelow(1000000))),
+                         row)
+                  .status());
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ExecuteAsComplexOperation(provenance::TrackedDatabase* db,
+                                 const crypto::Participant& p,
+                                 const ComplexOpScript& script, Rng* rng) {
+  PROVDB_RETURN_IF_ERROR(db->BeginComplexOperation(p));
+  Status body = ExecutePrimitives(db, p, script, rng);
+  if (!body.ok()) {
+    // Close the operation so the database stays usable; the mutations
+    // applied so far are still documented with records.
+    db->EndComplexOperation().ok();
+    return body;
+  }
+  return db->EndComplexOperation();
+}
+
+const std::vector<MixSpec>& PaperSetupCMixes() {
+  // Table 2, Experimental Setup C: four mixes of 500 operations each.
+  static const std::vector<MixSpec> mixes = {
+      {96, 189, 215},   // 19.2% / 37.8% / 43%
+      {183, 152, 165},  // 36.6% / 30.4% / 33%
+      {285, 106, 109},  // 57%   / 21.2% / 21.8%
+      {391, 49, 60},    // 78.2% / 9.8%  / 12%
+  };
+  return mixes;
+}
+
+}  // namespace provdb::workload

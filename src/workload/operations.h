@@ -1,0 +1,73 @@
+#ifndef PROVDB_WORKLOAD_OPERATIONS_H_
+#define PROVDB_WORKLOAD_OPERATIONS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/pki.h"
+#include "provenance/tracked_database.h"
+#include "workload/synthetic.h"
+
+namespace provdb::workload {
+
+/// One primitive of a synthetic complex operation (row-granularity inserts
+/// and deletes; cell-granularity updates), as in Table 2 of the paper.
+struct PrimitiveOp {
+  enum class Kind { kInsertRow, kDeleteRow, kUpdateCell };
+  Kind kind = Kind::kUpdateCell;
+  /// Row the primitive targets (kDeleteRow / kUpdateCell); ignored for
+  /// inserts.
+  storage::ObjectId row = storage::kInvalidObjectId;
+  /// Column for kUpdateCell.
+  size_t column = 0;
+  /// New value (kUpdateCell) / cell values seed (kInsertRow).
+  int64_t value = 0;
+};
+
+/// A scripted complex operation against one synthetic table.
+struct ComplexOpScript {
+  storage::ObjectId table = storage::kInvalidObjectId;
+  int num_attributes = 0;
+  std::vector<PrimitiveOp> ops;
+};
+
+/// Experimental Setup A (Fig. 7): `num_updates` cell updates spread over
+/// `num_rows` distinct rows of the table (one or more cells per row).
+Result<ComplexOpScript> MakeUpdateScript(
+    const SyntheticLayout::TableLayout& table, size_t num_updates,
+    size_t num_rows, Rng* rng);
+
+/// Experimental Setup B items: all-deletes / all-inserts scripts.
+Result<ComplexOpScript> MakeDeleteScript(
+    const SyntheticLayout::TableLayout& table, size_t num_rows, Rng* rng);
+Result<ComplexOpScript> MakeInsertScript(
+    const SyntheticLayout::TableLayout& table, size_t num_rows, Rng* rng);
+
+/// Experimental Setup C (Figs. 10/11): a mixed script of `deletes` row
+/// deletions, `inserts` row insertions, and `updates` cell updates, in
+/// shuffled order. Deleted rows are chosen distinct from updated rows.
+Result<ComplexOpScript> MakeMixedScript(
+    const SyntheticLayout::TableLayout& table, size_t deletes, size_t inserts,
+    size_t updates, Rng* rng);
+
+/// Executes `script` as a single complex operation (§4.4) on `db`,
+/// attributed to `p`. Row deletion expands into leaf-wise primitive
+/// deletes (cells, then the row); row insertion inserts the row node and
+/// its cells. Metrics are available via db->last_op_metrics().
+Status ExecuteAsComplexOperation(provenance::TrackedDatabase* db,
+                                 const crypto::Participant& p,
+                                 const ComplexOpScript& script, Rng* rng);
+
+/// The four Setup C mixes from Table 2, as (deletes, inserts, updates) out
+/// of 500 operations.
+struct MixSpec {
+  size_t deletes;
+  size_t inserts;
+  size_t updates;
+};
+const std::vector<MixSpec>& PaperSetupCMixes();
+
+}  // namespace provdb::workload
+
+#endif  // PROVDB_WORKLOAD_OPERATIONS_H_

@@ -1,0 +1,26 @@
+#include "workload/title_source.h"
+
+namespace provdb::workload {
+
+TitleTableSource::TitleTableSource(uint64_t num_rows, uint64_t seed)
+    : num_rows_(num_rows), rng_(seed) {}
+
+bool TitleTableSource::Next(Row* row) {
+  if (produced_ >= num_rows_) {
+    return false;
+  }
+  storage::ObjectId base = 3 + produced_ * 3;
+  row->row_id = base;
+  row->row_value = storage::Value::Int(static_cast<int64_t>(produced_));
+  row->cells.clear();
+  row->cells.emplace_back(
+      base + 1,
+      storage::Value::Int(static_cast<int64_t>(rng_.NextBelow(100000000))));
+  size_t title_len = 10 + static_cast<size_t>(rng_.NextBelow(40));
+  row->cells.emplace_back(base + 2,
+                          storage::Value::String(rng_.NextString(title_len)));
+  ++produced_;
+  return true;
+}
+
+}  // namespace provdb::workload

@@ -1,0 +1,96 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace provdb {
+namespace {
+
+TEST(ByteViewTest, DefaultIsEmpty) {
+  ByteView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+}
+
+TEST(ByteViewTest, ViewsBytesWithoutCopy) {
+  Bytes data = {1, 2, 3, 4};
+  ByteView view(data);
+  EXPECT_EQ(view.size(), 4u);
+  EXPECT_EQ(view.data(), data.data());
+  EXPECT_EQ(view[2], 3);
+}
+
+TEST(ByteViewTest, ViewsStringView) {
+  ByteView view(std::string_view("abc"));
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 'a');
+  EXPECT_EQ(view.ToString(), "abc");
+}
+
+TEST(ByteViewTest, SubviewClampsToBounds) {
+  Bytes data = {10, 20, 30, 40, 50};
+  ByteView view(data);
+  ByteView mid = view.subview(1, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0], 20);
+  EXPECT_EQ(view.subview(4).size(), 1u);
+  EXPECT_EQ(view.subview(9).size(), 0u);
+  EXPECT_EQ(view.subview(2, 100).size(), 3u);
+}
+
+TEST(ByteViewTest, EqualityComparesContents) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ByteView(a) == ByteView(b));
+  EXPECT_FALSE(ByteView(a) == ByteView(c));
+  EXPECT_FALSE(ByteView(a) == ByteView(a).subview(0, 2));
+  EXPECT_TRUE(ByteView() == ByteView());
+}
+
+TEST(BytesTest, AppendHelpers) {
+  Bytes out;
+  AppendString(&out, "hi");
+  AppendByte(&out, 0xFF);
+  Bytes more = {1, 2};
+  AppendBytes(&out, more);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], 'h');
+  EXPECT_EQ(out[2], 0xFF);
+  EXPECT_EQ(out[4], 2);
+}
+
+TEST(BytesTest, Fixed32RoundTrip) {
+  Bytes out;
+  AppendFixed32(&out, 0xDEADBEEFu);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0xEF);  // little-endian
+  EXPECT_EQ(ReadFixed32(out, 0), 0xDEADBEEFu);
+}
+
+TEST(BytesTest, Fixed64RoundTrip) {
+  Bytes out;
+  AppendFixed64(&out, 0x0123456789ABCDEFull);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(ReadFixed64(out, 0), 0x0123456789ABCDEFull);
+}
+
+TEST(BytesTest, FixedReadsAtOffset) {
+  Bytes out;
+  AppendFixed32(&out, 1);
+  AppendFixed32(&out, 0xCAFEBABEu);
+  EXPECT_EQ(ReadFixed32(out, 4), 0xCAFEBABEu);
+}
+
+TEST(ConstantTimeEqualTest, MatchesMemcmpSemantics) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+  EXPECT_TRUE(ConstantTimeEqual(ByteView(), ByteView()));
+}
+
+}  // namespace
+}  // namespace provdb

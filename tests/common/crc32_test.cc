@@ -1,0 +1,39 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace provdb {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32 (IEEE) check values.
+  EXPECT_EQ(Crc32(ByteView(std::string_view("123456789"))), 0xCBF43926u);
+  EXPECT_EQ(Crc32(ByteView(std::string_view("a"))), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32(ByteView(std::string_view("abc"))), 0x352441C2u);
+  EXPECT_EQ(Crc32(ByteView()), 0x00000000u);
+}
+
+TEST(Crc32Test, ExtendMatchesOneShot) {
+  std::string full = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= full.size(); split += 7) {
+    uint32_t part = Crc32(ByteView(std::string_view(full).substr(0, split)));
+    uint32_t whole =
+        Crc32Extend(part, ByteView(std::string_view(full).substr(split)));
+    EXPECT_EQ(whole, Crc32(ByteView(std::string_view(full)))) << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  Bytes data(64, 0x5A);
+  uint32_t original = Crc32(data);
+  for (size_t byte = 0; byte < data.size(); byte += 9) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      Bytes mutated = data;
+      mutated[byte] ^= static_cast<uint8_t>(1 << bit);
+      EXPECT_NE(Crc32(mutated), original) << byte << ":" << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace provdb

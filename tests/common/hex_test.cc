@@ -1,0 +1,54 @@
+#include "common/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace provdb {
+namespace {
+
+TEST(HexTest, EncodeEmpty) { EXPECT_EQ(HexEncode(ByteView()), ""); }
+
+TEST(HexTest, EncodeBytes) {
+  Bytes data = {0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(HexEncode(data), "0001abff");
+}
+
+TEST(HexTest, DecodeLowercase) {
+  auto decoded = HexDecode("deadbeef");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (Bytes{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(HexTest, DecodeUppercaseAndMixed) {
+  auto decoded = HexDecode("DeAdBeEf");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (Bytes{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(HexTest, DecodeEmptyIsEmpty) {
+  auto decoded = HexDecode("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(HexTest, OddLengthFails) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+  EXPECT_EQ(HexDecode("abc").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HexTest, NonHexCharacterFails) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+  EXPECT_FALSE(HexDecode("a ").ok());
+}
+
+TEST(HexTest, RoundTripAllByteValues) {
+  Bytes all;
+  for (int i = 0; i < 256; ++i) {
+    all.push_back(static_cast<uint8_t>(i));
+  }
+  auto decoded = HexDecode(HexEncode(all));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, all);
+}
+
+}  // namespace
+}  // namespace provdb

@@ -1,0 +1,74 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace provdb {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, CiShrinksWithSampleCount) {
+  Rng rng(1);
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.Add(rng.NextDouble());
+  Rng rng2(1);
+  for (int i = 0; i < 1000; ++i) large.Add(rng2.NextDouble());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(RunningStatsTest, CiCoversTrueMeanUsually) {
+  // 95% CI over uniform[0,1) samples should cover 0.5 for most seeds.
+  int covered = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    RunningStats stats;
+    for (int i = 0; i < 100; ++i) {
+      stats.Add(rng.NextDouble());
+    }
+    double lo = stats.mean() - stats.ci95_half_width();
+    double hi = stats.mean() + stats.ci95_half_width();
+    if (lo <= 0.5 && 0.5 <= hi) ++covered;
+  }
+  EXPECT_GE(covered, 34);  // ~95% of 40, with slack
+}
+
+TEST(RunningStatsTest, ConstantSamplesHaveZeroVariance) {
+  RunningStats stats;
+  for (int i = 0; i < 50; ++i) stats.Add(3.25);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.25);
+  EXPECT_NEAR(stats.variance(), 0.0, 1e-18);
+  EXPECT_NEAR(stats.ci95_half_width(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace provdb

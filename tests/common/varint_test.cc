@@ -1,0 +1,130 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace provdb {
+namespace {
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  for (uint64_t v : {0ull, 1ull, 127ull}) {
+    Bytes out;
+    AppendVarint64(&out, v);
+    EXPECT_EQ(out.size(), 1u) << v;
+    VarintReader reader(out);
+    auto back = reader.ReadVarint64();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(VarintTest, BoundaryLengths) {
+  struct Case {
+    uint64_t value;
+    size_t bytes;
+  };
+  const Case cases[] = {
+      {127, 1},           {128, 2},
+      {16383, 2},         {16384, 3},
+      {(1ull << 35) - 1, 5}, {1ull << 35, 6},
+      {std::numeric_limits<uint64_t>::max(), 10},
+  };
+  for (const Case& c : cases) {
+    Bytes out;
+    AppendVarint64(&out, c.value);
+    EXPECT_EQ(out.size(), c.bytes) << c.value;
+  }
+}
+
+TEST(VarintTest, RoundTripRandom) {
+  Rng rng(99);
+  Bytes out;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix magnitudes so all byte lengths are exercised.
+    uint64_t v = rng.NextUint64() >> rng.NextBelow(64);
+    values.push_back(v);
+    AppendVarint64(&out, v);
+  }
+  VarintReader reader(out);
+  for (uint64_t v : values) {
+    auto back = reader.ReadVarint64();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(VarintTest, SignedZigzagRoundTrip) {
+  const std::vector<int64_t> cases = {
+      0, 1, -1, 63, -64, 1234567, -1234567,
+      std::numeric_limits<int64_t>::max(),
+      std::numeric_limits<int64_t>::min()};
+  for (int64_t v : cases) {
+    Bytes out;
+    AppendVarintSigned64(&out, v);
+    VarintReader reader(out);
+    auto back = reader.ReadVarintSigned64();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(VarintTest, SmallNegativesAreShort) {
+  Bytes out;
+  AppendVarintSigned64(&out, -1);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(VarintTest, TruncatedVarintIsCorruption) {
+  Bytes out;
+  AppendVarint64(&out, 300);  // two bytes
+  out.pop_back();
+  VarintReader reader(out);
+  auto back = reader.ReadVarint64();
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, OverlongVarintIsCorruption) {
+  Bytes out(11, 0x80);  // 11 continuation bytes: too long for 64 bits
+  VarintReader reader(out);
+  EXPECT_FALSE(reader.ReadVarint64().ok());
+}
+
+TEST(VarintTest, LengthPrefixedRoundTrip) {
+  Bytes out;
+  AppendLengthPrefixed(&out, ByteView(std::string_view("hello")));
+  AppendLengthPrefixed(&out, ByteView());  // empty payload
+  VarintReader reader(out);
+  auto first = reader.ReadLengthPrefixed();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(ByteView(*first).ToString(), "hello");
+  auto second = reader.ReadLengthPrefixed();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->empty());
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(VarintTest, LengthPrefixedOverrunIsCorruption) {
+  Bytes out;
+  AppendVarint64(&out, 100);  // claims 100 bytes, provides none
+  VarintReader reader(out);
+  EXPECT_FALSE(reader.ReadLengthPrefixed().ok());
+}
+
+TEST(VarintTest, ReadRawBounds) {
+  Bytes out = {1, 2, 3};
+  VarintReader reader(out);
+  auto two = reader.ReadRaw(2);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(*two, (Bytes{1, 2}));
+  EXPECT_FALSE(reader.ReadRaw(2).ok());  // only one byte left
+  EXPECT_TRUE(reader.ReadRaw(1).ok());
+}
+
+}  // namespace
+}  // namespace provdb

@@ -1,0 +1,98 @@
+// Known-answer vectors for BigUInt, computed with an independent
+// arbitrary-precision implementation (CPython ints). These pin exact
+// results on multi-limb operands, complementing the property tests in
+// bignum_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.h"
+
+namespace provdb::crypto {
+namespace {
+
+// 521-bit operand.
+constexpr const char* kA =
+    "d8972a846916419f828b9d2434e465e150bd9c66b3ad3c2d6d1a3d1fa7bc8960a923b8c1"
+    "e9392456de3eb13b9046685257bdd640fb06671ad11c80317fa3b1799d";
+// 489-bit operand.
+constexpr const char* kB =
+    "706b65a6a48b8148f6b38a088ca65ed389b74d0fb132e706298fadc1a606cb0fb39a1de6"
+    "44815ef6d13b8faa1837f8a88b17fc695a07a0ca6e0822e8f3";
+// 512-bit odd modulus with the top bit set.
+constexpr const char* kM =
+    "f50bea63371ecd7b27cd813047229389571aa8766c307511b2b9437a28df6ec4ce4a2bbd"
+    "c241330b01a9e71fde8a774bcf36d58b4737819096da1dac72ff5d2b";
+constexpr const char* kE = "562b0f79c37459ee";
+
+BigUInt FromHex(const char* hex) {
+  return BigUInt::FromHexString(hex).value();
+}
+
+TEST(BigUIntVectorsTest, Addition) {
+  EXPECT_EQ(BigUInt::Add(FromHex(kA), FromHex(kB)).ToHexString(),
+            "d8972a84d981a74627171e6d2b97efe9dd63fb3a3d64893d1e4d2425d14c3722"
+            "4f2a83d19cd3423d22c010326181f7fc6ff5cee9861e63842b2420fbedabd462"
+            "90");
+}
+
+TEST(BigUIntVectorsTest, Subtraction) {
+  EXPECT_EQ(BigUInt::Sub(FromHex(kA), FromHex(kB)).ToHexString(),
+            "d8972a83f8aadbf8de001bdb3e30dbd8c4173d9329f5ef1dbbe756197e2cdb9f"
+            "031cedb2359f067099bd5244bf0ad8a83f85dd986fee6ab17714df67119b8e90"
+            "aa");
+}
+
+TEST(BigUIntVectorsTest, Multiplication) {
+  EXPECT_EQ(BigUInt::Mul(FromHex(kA), FromHex(kB)).ToHexString(),
+            "5f1cffc954545707f3fc49b287935e690ee391c8abc3ce5087afa32d92b6e399"
+            "299dd34391c1003b83197e3a28fda7b9faaf220b0fa4d3df12c918f26d4f6652"
+            "5e81270f24bb27ee4a0b8c76e4dae8caae6ac5300e3c098b4b6ccd132df37a63"
+            "4730fef840f9f9a73a382d4a2d3f1bb9fc50990c0c5877f415564686b807");
+}
+
+TEST(BigUIntVectorsTest, Division) {
+  auto dm = BigUInt::DivMod(FromHex(kA), FromHex(kB));
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ(dm->quotient.ToHexString(), "1ed376ede");
+  EXPECT_EQ(dm->remainder.ToHexString(),
+            "4987e76963f6478013069ac1c0fe5ffbcfd91976354a06f9f24e598e6bf80471"
+            "254698b2749a1d418b5be864a48b515f0c136c61604c66479921e0ce3");
+}
+
+TEST(BigUIntVectorsTest, ModularExponentiation) {
+  auto r = BigUInt::ModExp(FromHex(kA), FromHex(kE), FromHex(kM));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToHexString(),
+            "32c869b0e9ee49795556cc9df5fddba77b4138efb848446c98216954e6d39c41"
+            "1a0a810bcaf29d42b8472ac221c7814a8cd7a7800da816717edb8eb8a78490df");
+}
+
+TEST(BigUIntVectorsTest, GcdIsOne) {
+  EXPECT_EQ(BigUInt::Gcd(FromHex(kA), FromHex(kB)), BigUInt(1));
+}
+
+TEST(BigUIntVectorsTest, ModularInverse) {
+  auto inv = BigUInt::ModInverse(FromHex(kB), FromHex(kM));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->ToHexString(),
+            "9a963897e0f0ee01a5f4a4524a858bbaf8b5c4aca51ef4bf8169c511a8fd65ce"
+            "043fdb4eb9790c1323fcb0d5f83ec7210aa09e9d76c4cdf85c2d1d95e81667f7");
+}
+
+TEST(BigUIntVectorsTest, DecimalConversion) {
+  EXPECT_EQ(FromHex(kA).ToDecimalString(),
+            "2904003723044805790862381663070934428184522455171085489933007050"
+            "0882108956560804053473990009951267293665772697442723169153964879"
+            "89783988846775628220467345821");
+  auto back = BigUInt::FromDecimalString(FromHex(kA).ToDecimalString());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, FromHex(kA));
+}
+
+TEST(BigUIntVectorsTest, BitLengths) {
+  EXPECT_EQ(FromHex(kA).BitLength(), 520u);
+  EXPECT_EQ(FromHex(kM).BitLength(), 512u);
+}
+
+}  // namespace
+}  // namespace provdb::crypto

@@ -1,0 +1,65 @@
+#include "crypto/digest.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace provdb::crypto {
+namespace {
+
+TEST(DigestTest, DefaultIsEmpty) {
+  Digest d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.ToHex(), "");
+}
+
+TEST(DigestTest, FromBytesCopies) {
+  Bytes raw = {0xDE, 0xAD, 0xBE, 0xEF};
+  Digest d = Digest::FromBytes(raw);
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.ToHex(), "deadbeef");
+  raw[0] = 0;  // original mutation does not affect the digest
+  EXPECT_EQ(d.ToHex(), "deadbeef");
+}
+
+TEST(DigestTest, FromBytesTruncatesAtCapacity) {
+  Bytes big(64, 0xAA);
+  Digest d = Digest::FromBytes(big);
+  EXPECT_EQ(d.size(), Digest::kMaxSize);
+}
+
+TEST(DigestTest, EqualityIsContentAndLengthSensitive) {
+  Digest a = Digest::FromBytes(Bytes{1, 2, 3});
+  Digest b = Digest::FromBytes(Bytes{1, 2, 3});
+  Digest c = Digest::FromBytes(Bytes{1, 2, 4});
+  Digest d = Digest::FromBytes(Bytes{1, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(DigestTest, OrderingUsableAsMapKey) {
+  std::map<Digest, int> m;
+  m[Digest::FromBytes(Bytes{1})] = 1;
+  m[Digest::FromBytes(Bytes{2})] = 2;
+  m[Digest::FromBytes(Bytes{1, 0})] = 3;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[Digest::FromBytes(Bytes{2})], 2);
+}
+
+TEST(DigestTest, ViewAndToBytesAgree) {
+  Digest d = Digest::FromBytes(Bytes{9, 8, 7});
+  EXPECT_EQ(d.view().ToBytes(), d.ToBytes());
+  EXPECT_EQ(d.ToBytes(), (Bytes{9, 8, 7}));
+}
+
+TEST(DigestTest, MutableDataSupportsInPlaceTampering) {
+  // The attack simulator relies on this to flip bits.
+  Digest d = Digest::FromBytes(Bytes{0x00, 0x01});
+  d.mutable_data()[0] = 0xFF;
+  EXPECT_EQ(d.ToHex(), "ff01");
+}
+
+}  // namespace
+}  // namespace provdb::crypto

@@ -1,0 +1,72 @@
+// HMAC tests against RFC 2202 vectors.
+
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace provdb::crypto {
+namespace {
+
+TEST(HmacTest, Rfc2202Sha1Case1) {
+  Bytes key(20, 0x0b);
+  Digest mac =
+      HmacCompute(HashAlgorithm::kSha1, key, ByteView(std::string_view("Hi There")));
+  EXPECT_EQ(mac.ToHex(), "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacTest, Rfc2202Sha1Case2) {
+  Digest mac = HmacCompute(
+      HashAlgorithm::kSha1, ByteView(std::string_view("Jefe")),
+      ByteView(std::string_view("what do ya want for nothing?")));
+  EXPECT_EQ(mac.ToHex(), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacTest, Rfc2202Sha1Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  Digest mac = HmacCompute(HashAlgorithm::kSha1, key, data);
+  EXPECT_EQ(mac.ToHex(), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacTest, Rfc2202Md5Case1) {
+  Bytes key(16, 0x0b);
+  Digest mac = HmacCompute(HashAlgorithm::kMd5, key,
+                           ByteView(std::string_view("Hi There")));
+  EXPECT_EQ(mac.ToHex(), "9294727a3638bb1c13f48ef8158bfc9d");
+}
+
+TEST(HmacTest, Rfc4231Sha256Case2) {
+  Digest mac = HmacCompute(
+      HashAlgorithm::kSha256, ByteView(std::string_view("Jefe")),
+      ByteView(std::string_view("what do ya want for nothing?")));
+  EXPECT_EQ(mac.ToHex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 2202 case 6: 80-byte key (> block size).
+  Bytes key(80, 0xaa);
+  Digest mac = HmacCompute(
+      HashAlgorithm::kSha1, key,
+      ByteView(std::string_view("Test Using Larger Than Block-Size Key - "
+                                "Hash Key First")));
+  EXPECT_EQ(mac.ToHex(), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacTest, DifferentKeysDifferentMacs) {
+  Bytes key1 = {1, 2, 3};
+  Bytes key2 = {1, 2, 4};
+  ByteView msg(std::string_view("same message"));
+  EXPECT_NE(HmacCompute(HashAlgorithm::kSha1, key1, msg).ToHex(),
+            HmacCompute(HashAlgorithm::kSha1, key2, msg).ToHex());
+}
+
+TEST(HmacTest, EmptyKeyAndMessageWork) {
+  Digest mac = HmacCompute(HashAlgorithm::kSha1, ByteView(), ByteView());
+  EXPECT_EQ(mac.size(), 20u);
+}
+
+}  // namespace
+}  // namespace provdb::crypto

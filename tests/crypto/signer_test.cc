@@ -1,0 +1,91 @@
+#include "crypto/signer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace provdb::crypto {
+namespace {
+
+const RsaKeyPair& SharedPair() {
+  static const RsaKeyPair* pair = [] {
+    Rng rng(0x515);
+    return new RsaKeyPair(GenerateRsaKeyPair(512, &rng).value());
+  }();
+  return *pair;
+}
+
+TEST(RsaSignerTest, SignVerifyRoundTrip) {
+  auto signer = RsaSigner::Create(SharedPair().private_key);
+  ASSERT_TRUE(signer.ok());
+  RsaSignatureVerifier verifier(SharedPair().public_key);
+
+  ByteView msg(std::string_view("the message"));
+  auto sig = signer->Sign(msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig->size(), signer->signature_size());
+  EXPECT_TRUE(verifier.Verify(msg, *sig).ok());
+  EXPECT_FALSE(
+      verifier.Verify(ByteView(std::string_view("another")), *sig).ok());
+}
+
+TEST(RsaSignerTest, SchemeNameDescribesKeyAndHash) {
+  auto signer = RsaSigner::Create(SharedPair().private_key,
+                                  HashAlgorithm::kSha256);
+  ASSERT_TRUE(signer.ok());
+  EXPECT_EQ(signer->scheme_name(), "RSA-512/SHA-256");
+}
+
+TEST(RsaSignerTest, HashAlgorithmMustMatchBetweenSignerAndVerifier) {
+  auto signer = RsaSigner::Create(SharedPair().private_key,
+                                  HashAlgorithm::kSha1);
+  ASSERT_TRUE(signer.ok());
+  ByteView msg(std::string_view("msg"));
+  auto sig = signer->Sign(msg);
+  ASSERT_TRUE(sig.ok());
+  RsaSignatureVerifier wrong_alg(SharedPair().public_key,
+                                 HashAlgorithm::kSha256);
+  EXPECT_FALSE(wrong_alg.Verify(msg, *sig).ok());
+}
+
+TEST(HmacSignerTest, SymmetricRoundTrip) {
+  Bytes key = {1, 2, 3, 4, 5};
+  HmacSigner signer(key);
+  ByteView msg(std::string_view("payload"));
+  auto mac = signer.Sign(msg);
+  ASSERT_TRUE(mac.ok());
+  EXPECT_EQ(mac->size(), 20u);  // SHA-1 width
+  EXPECT_TRUE(signer.Verify(msg, *mac).ok());
+  EXPECT_FALSE(
+      signer.Verify(ByteView(std::string_view("other")), *mac).ok());
+}
+
+TEST(HmacSignerTest, DifferentKeysCannotVerify) {
+  HmacSigner a(Bytes{1, 2, 3});
+  HmacSigner b(Bytes{1, 2, 4});
+  ByteView msg(std::string_view("payload"));
+  auto mac = a.Sign(msg);
+  ASSERT_TRUE(mac.ok());
+  EXPECT_FALSE(b.Verify(msg, *mac).ok());
+}
+
+TEST(HmacSignerTest, SchemeName) {
+  HmacSigner signer(Bytes{1}, HashAlgorithm::kSha256);
+  EXPECT_EQ(signer.scheme_name(), "HMAC/SHA-256");
+  EXPECT_EQ(signer.signature_size(), 32u);
+}
+
+TEST(SignerTest, PolymorphicUseThroughBaseInterface) {
+  auto rsa = RsaSigner::Create(SharedPair().private_key);
+  ASSERT_TRUE(rsa.ok());
+  HmacSigner hmac(Bytes{9, 9, 9});
+  std::vector<const Signer*> signers = {&rsa.value(), &hmac};
+  for (const Signer* s : signers) {
+    auto sig = s->Sign(ByteView(std::string_view("poly")));
+    ASSERT_TRUE(sig.ok());
+    EXPECT_EQ(sig->size(), s->signature_size());
+  }
+}
+
+}  // namespace
+}  // namespace provdb::crypto

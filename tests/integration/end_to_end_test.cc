@@ -1,0 +1,187 @@
+// End-to-end integration: tracked operations -> provenance records with
+// checksums -> recipient bundle -> verification, including the Figure 2
+// non-linear scenario and tamper detection across module boundaries.
+
+#include <gtest/gtest.h>
+
+#include "provenance/attack.h"
+#include "provenance/tracked_database.h"
+#include "provenance/verifier.h"
+#include "testing/test_pki.h"
+
+namespace provdb::provenance {
+namespace {
+
+using storage::ObjectId;
+using storage::Value;
+using testing_pki = provdb::testing::TestPki;
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  const crypto::Participant& p1() { return testing_pki::Instance().participant(0); }
+  const crypto::Participant& p2() { return testing_pki::Instance().participant(1); }
+  const crypto::Participant& p3() { return testing_pki::Instance().participant(2); }
+
+  ProvenanceVerifier MakeVerifier() {
+    return ProvenanceVerifier(&testing_pki::Instance().registry());
+  }
+};
+
+// Reproduces Figure 2: A and B inserted by p2, updated several times,
+// C = Aggregate(A@a1? no: A original and updated B) ... concretely:
+//   p2 inserts A=a1, B=b1; p1 updates A->a2; p2 updates B->b2;
+//   p2 updates A->a3; p3 aggregates {A(a1-era snapshot is gone; we use
+//   current states}, producing the DAG shape; p1 aggregates {A, C} -> D.
+TEST_F(EndToEndTest, NonLinearProvenanceVerifies) {
+  TrackedDatabase db;
+  auto a = db.Insert(p2(), Value::String("a1"));
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = db.Insert(p2(), Value::String("b1"));
+  ASSERT_TRUE(b.ok());
+
+  ASSERT_TRUE(db.Update(p1(), *a, Value::String("a2")).ok());
+  ASSERT_TRUE(db.Update(p2(), *b, Value::String("b2")).ok());
+
+  auto c = db.Aggregate(p3(), {*a, *b}, Value::String("c1"));
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+
+  ASSERT_TRUE(db.Update(p2(), *a, Value::String("a3")).ok());
+
+  auto d = db.Aggregate(p1(), {*a, *c}, Value::String("d1"));
+  ASSERT_TRUE(d.ok());
+
+  auto bundle = db.ExportForRecipient(*d);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+
+  // D's provenance object must include the history of A, B, and C.
+  bool saw_a = false, saw_b = false, saw_c = false;
+  for (const ProvenanceRecord& rec : bundle->records) {
+    saw_a |= rec.output.object_id == *a;
+    saw_b |= rec.output.object_id == *b;
+    saw_c |= rec.output.object_id == *c;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+  EXPECT_TRUE(saw_c);
+
+  VerificationReport report = MakeVerifier().Verify(*bundle);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.signatures_verified, 5u);
+}
+
+TEST_F(EndToEndTest, CompoundObjectsWithInheritanceVerify) {
+  TrackedDatabase db;
+  auto root = db.Insert(p1(), Value::String("db"));
+  ASSERT_TRUE(root.ok());
+  auto table = db.Insert(p1(), Value::String("patients"), *root);
+  ASSERT_TRUE(table.ok());
+  auto row = db.Insert(p2(), Value::Int(0), *table);
+  ASSERT_TRUE(row.ok());
+  auto age = db.Insert(p2(), Value::Int(44), *row);
+  ASSERT_TRUE(age.ok());
+  auto weight = db.Insert(p2(), Value::Double(81.5), *row);
+  ASSERT_TRUE(weight.ok());
+
+  // Update a cell: the row, table, and root inherit records.
+  ASSERT_TRUE(db.Update(p3(), *age, Value::Int(45)).ok());
+
+  // Export at every granularity; each bundle verifies independently.
+  for (ObjectId subject : {*age, *row, *table, *root}) {
+    auto bundle = db.ExportForRecipient(subject);
+    ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+    VerificationReport report = MakeVerifier().Verify(*bundle);
+    EXPECT_TRUE(report.ok())
+        << "subject " << subject << ": " << report.ToString();
+  }
+
+  // The update produced an actual record for the cell plus inherited
+  // records for row, table, and root.
+  EXPECT_EQ(db.last_op_metrics().checksums, 4u);
+}
+
+TEST_F(EndToEndTest, TamperingDetectedAfterRoundTrip) {
+  TrackedDatabase db;
+  auto a = db.Insert(p1(), Value::String("v1"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(db.Update(p2(), *a, Value::String("v2")).ok());
+  ASSERT_TRUE(db.Update(p1(), *a, Value::String("v3")).ok());
+
+  auto bundle = db.ExportForRecipient(*a);
+  ASSERT_TRUE(bundle.ok());
+
+  // Serialize / deserialize (the wire trip a real recipient would see).
+  Bytes wire = bundle->Serialize();
+  auto received = RecipientBundle::Deserialize(wire);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_TRUE(MakeVerifier().Verify(*received).ok());
+
+  // R4: tamper the shipped data without provenance.
+  RecipientBundle tampered = *received;
+  ASSERT_TRUE(
+      attacks::TamperDataValue(&tampered, *a, Value::String("evil")).ok());
+  VerificationReport report = MakeVerifier().Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kDataHashMismatch));
+}
+
+TEST_F(EndToEndTest, ComplexOperationProducesOneRecordPerTouchedObject) {
+  TrackedDatabase db;
+  auto root = db.Insert(p1(), Value::String("db"));
+  auto table = db.Insert(p1(), Value::String("t"), *root);
+  std::vector<ObjectId> rows, cells;
+  for (int r = 0; r < 3; ++r) {
+    auto row = db.Insert(p1(), Value::Int(r), *table);
+    rows.push_back(*row);
+    for (int c = 0; c < 2; ++c) {
+      auto cell = db.Insert(p1(), Value::Int(10 * r + c), *row);
+      cells.push_back(*cell);
+    }
+  }
+
+  uint64_t before = db.provenance().record_count();
+  ASSERT_TRUE(db.BeginComplexOperation(p2()).ok());
+  // Update both cells of row 0 and one cell of row 1.
+  ASSERT_TRUE(db.Update(p2(), cells[0], Value::Int(100)).ok());
+  ASSERT_TRUE(db.Update(p2(), cells[1], Value::Int(101)).ok());
+  ASSERT_TRUE(db.Update(p2(), cells[2], Value::Int(102)).ok());
+  ASSERT_TRUE(db.EndComplexOperation().ok());
+
+  // Records: 3 cells + 2 rows + table + root = 7 (not 3 x 4 = 12).
+  EXPECT_EQ(db.provenance().record_count() - before, 7u);
+
+  auto bundle = db.ExportForRecipient(*root);
+  ASSERT_TRUE(bundle.ok());
+  VerificationReport report = MakeVerifier().Verify(*bundle);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(EndToEndTest, BasicAndEconomicalModesAgreeOnHashesAndVerify) {
+  TrackedDatabaseOptions basic_opts;
+  basic_opts.hashing_mode = HashingMode::kBasic;
+  TrackedDatabase basic_db(basic_opts);
+  TrackedDatabase econ_db;  // economical default
+
+  for (TrackedDatabase* db : {&basic_db, &econ_db}) {
+    auto root = db->Insert(p1(), Value::String("db"));
+    auto table = db->Insert(p1(), Value::String("t"), *root);
+    auto row = db->Insert(p1(), Value::Int(0), *table);
+    auto cell = db->Insert(p1(), Value::Int(7), *row);
+    ASSERT_TRUE(db->Update(p2(), *cell, Value::Int(8)).ok());
+  }
+
+  // Same operations, same ids (fresh stores) -> identical hashes.
+  auto h_basic = basic_db.CurrentHash(1);
+  auto h_econ = econ_db.CurrentHash(1);
+  ASSERT_TRUE(h_basic.ok());
+  ASSERT_TRUE(h_econ.ok());
+  EXPECT_EQ(h_basic->ToHex(), h_econ->ToHex());
+
+  for (TrackedDatabase* db : {&basic_db, &econ_db}) {
+    auto bundle = db->ExportForRecipient(1);
+    ASSERT_TRUE(bundle.ok());
+    EXPECT_TRUE(MakeVerifier().Verify(*bundle).ok());
+  }
+}
+
+}  // namespace
+}  // namespace provdb::provenance

@@ -1,0 +1,297 @@
+// The §2.2 security-requirement suite: one adversarial scenario per
+// requirement R1-R8, each asserting that the data recipient's verifier
+// detects the attack. The attackers here are *legitimate participants*
+// (they hold certified keys and can sign as themselves) — they just cannot
+// forge other participants' signatures.
+
+#include "provenance/attack.h"
+
+#include <gtest/gtest.h>
+
+#include "provenance/tracked_database.h"
+#include "provenance/verifier.h"
+#include "testing/test_pki.h"
+
+namespace provdb::provenance {
+namespace {
+
+using provdb::testing::TestPki;
+using storage::ObjectId;
+using storage::Value;
+
+class AttackTest : public ::testing::Test {
+ protected:
+  // victim writes an honest 3-record history of object A.
+  void SetUp() override {
+    a_ = *db_.Insert(victim(), Value::String("v1"));
+    ASSERT_TRUE(db_.Update(victim(), a_, Value::String("v2")).ok());
+    ASSERT_TRUE(db_.Update(victim(), a_, Value::String("v3")).ok());
+    bundle_ = *db_.ExportForRecipient(a_);
+    ASSERT_TRUE(Verify(bundle_).ok());  // honest bundle is clean
+  }
+
+  const crypto::Participant& victim() {
+    return TestPki::Instance().participant(0);
+  }
+  const crypto::Participant& attacker() {
+    return TestPki::Instance().participant(1);
+  }
+  const crypto::Participant& colluder() {
+    return TestPki::Instance().participant(2);
+  }
+
+  VerificationReport Verify(const RecipientBundle& bundle) {
+    ProvenanceVerifier verifier(&TestPki::Instance().registry());
+    return verifier.Verify(bundle);
+  }
+
+  size_t RecordIndexAtSeq(const RecipientBundle& bundle, SeqId seq) {
+    for (size_t i = 0; i < bundle.records.size(); ++i) {
+      if (bundle.records[i].seq_id == seq) return i;
+    }
+    ADD_FAILURE() << "no record at seq " << seq;
+    return 0;
+  }
+
+  TrackedDatabase db_;
+  ObjectId a_ = storage::kInvalidObjectId;
+  RecipientBundle bundle_;
+};
+
+// R1: an attacker cannot modify the contents of other participants'
+// records (input/output values) without detection.
+TEST_F(AttackTest, R1_TamperOutputHashDetected) {
+  RecipientBundle tampered = bundle_;
+  ASSERT_TRUE(attacks::TamperRecordOutputHash(
+                  &tampered, RecordIndexAtSeq(tampered, 1))
+                  .ok());
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kBadSignature));
+}
+
+TEST_F(AttackTest, R1_TamperInputHashDetected) {
+  RecipientBundle tampered = bundle_;
+  ASSERT_TRUE(attacks::TamperRecordInputHash(
+                  &tampered, RecordIndexAtSeq(tampered, 1), 0)
+                  .ok());
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  // Both the chain link and the signature break.
+  EXPECT_TRUE(report.HasIssue(IssueKind::kBadSignature));
+  EXPECT_TRUE(report.HasIssue(IssueKind::kChainLinkBroken));
+}
+
+// R2: an attacker cannot remove other participants' records.
+TEST_F(AttackTest, R2_RemoveMiddleRecordDetected) {
+  RecipientBundle tampered = bundle_;
+  ASSERT_TRUE(
+      attacks::RemoveRecord(&tampered, RecordIndexAtSeq(tampered, 1)).ok());
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  // The seq gap and the broken checksum chain both witness the removal.
+  EXPECT_TRUE(report.HasIssue(IssueKind::kSeqViolation) ||
+              report.HasIssue(IssueKind::kChainLinkBroken) ||
+              report.HasIssue(IssueKind::kBadSignature));
+}
+
+TEST_F(AttackTest, R2_RemoveWithRenumberingStillDetected) {
+  // A smarter attacker renumbers seqIDs after removal; the checksum chain
+  // still breaks because record @2 signed C_1 as its predecessor.
+  RecipientBundle tampered = bundle_;
+  ASSERT_TRUE(attacks::RemoveRecordAndRenumber(
+                  &tampered, RecordIndexAtSeq(tampered, 1))
+                  .ok());
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kBadSignature) ||
+              report.HasIssue(IssueKind::kChainLinkBroken));
+}
+
+TEST_F(AttackTest, R2_TruncateHistoryHeadDetected) {
+  RecipientBundle tampered = bundle_;
+  ASSERT_TRUE(
+      attacks::RemoveRecord(&tampered, RecordIndexAtSeq(tampered, 0)).ok());
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+}
+
+// R3: an attacker cannot insert records (other than appending the most
+// recent one via a proper operation).
+TEST_F(AttackTest, R3_SpliceForgedRecordDetected) {
+  RecipientBundle tampered = bundle_;
+  crypto::Digest fake_pre = tampered.records[RecordIndexAtSeq(tampered, 0)]
+                                .output.state_hash;
+  Bytes fake_raw(20, 0x66);
+  crypto::Digest fake_post = crypto::Digest::FromBytes(fake_raw);
+  ChecksumEngine engine;
+  ASSERT_TRUE(attacks::InsertForgedRecord(&tampered, attacker(), engine, a_,
+                                          /*seq_id=*/1, fake_pre, fake_post)
+                  .ok());
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  // The successor (originally at seq 1) signed different inputs/prev, so
+  // its signature check or link check fails.
+  EXPECT_TRUE(report.HasIssue(IssueKind::kBadSignature) ||
+              report.HasIssue(IssueKind::kChainLinkBroken));
+}
+
+// R4: modifying the data object without submitting provenance is caught.
+TEST_F(AttackTest, R4_DataModifiedWithoutProvenanceDetected) {
+  RecipientBundle tampered = bundle_;
+  ASSERT_TRUE(
+      attacks::TamperDataValue(&tampered, a_, Value::String("forged")).ok());
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kDataHashMismatch));
+}
+
+// R5: provenance cannot be re-attributed to a different data object.
+TEST_F(AttackTest, R5_ReattributeToOtherObjectDetected) {
+  // The attacker owns object B and tries to pass A's provenance off as
+  // describing B's (different) data.
+  auto b = db_.Insert(attacker(), Value::String("other-data"));
+  ASSERT_TRUE(b.ok());
+  auto b_snapshot = SubtreeSnapshot::Capture(db_.tree(), *b);
+  ASSERT_TRUE(b_snapshot.ok());
+
+  RecipientBundle tampered = bundle_;
+  ASSERT_TRUE(
+      attacks::ReattributeProvenance(&tampered, std::move(*b_snapshot)).ok());
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kMissingRecords) ||
+              report.HasIssue(IssueKind::kDataHashMismatch));
+}
+
+TEST_F(AttackTest, R5_RenamingObjectIdsDetected) {
+  // Keep the data bytes, rename the root id so the records "describe" a
+  // different object. The object id is inside every hashed state, so the
+  // hash no longer matches.
+  RecipientBundle tampered = bundle_;
+  attacks::RenameDataObject(&tampered, 4242);
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kMissingRecords) ||
+              report.HasIssue(IssueKind::kDataHashMismatch));
+}
+
+// R6: colluders cannot insert records *for a non-colluding participant*.
+TEST_F(AttackTest, R6_ColludersCannotForgeVictimRecord) {
+  // Attacker and colluder fabricate a record and attribute it to the
+  // victim. They cannot produce the victim's signature, so they sign with
+  // the attacker's key and rewrite the participant field.
+  RecipientBundle tampered = bundle_;
+  crypto::Digest fake_pre =
+      tampered.records[RecordIndexAtSeq(tampered, 0)].output.state_hash;
+  Bytes fake_raw(20, 0x67);
+  ChecksumEngine engine;
+  ASSERT_TRUE(attacks::InsertForgedRecord(
+                  &tampered, attacker(), engine, a_, 1, fake_pre,
+                  crypto::Digest::FromBytes(fake_raw))
+                  .ok());
+  // Frame the victim.
+  ASSERT_TRUE(attacks::ReassignRecordParticipant(
+                  &tampered, tampered.records.size() - 1, victim().id())
+                  .ok());
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kBadSignature));
+}
+
+// R7: colluders cannot selectively remove a non-colluder's records that
+// sit between their own.
+TEST_F(AttackTest, R7_SelectiveRemovalBetweenColludersDetected) {
+  // History: attacker(seq0) -> victim(seq1) -> colluder(seq2). The two
+  // colluding endpoints excise the victim's record.
+  TrackedDatabase db;
+  ObjectId x = *db.Insert(attacker(), Value::String("x1"));
+  ASSERT_TRUE(db.Update(victim(), x, Value::String("x2")).ok());
+  ASSERT_TRUE(db.Update(colluder(), x, Value::String("x3")).ok());
+  RecipientBundle bundle = *db.ExportForRecipient(x);
+  ASSERT_TRUE(Verify(bundle).ok());
+
+  size_t victim_idx = 0;
+  for (size_t i = 0; i < bundle.records.size(); ++i) {
+    if (bundle.records[i].participant == victim().id()) victim_idx = i;
+  }
+  ASSERT_TRUE(attacks::RemoveRecordAndRenumber(&bundle, victim_idx).ok());
+  VerificationReport report = Verify(bundle);
+  EXPECT_FALSE(report.ok());
+  // The colluder's record signed the victim's checksum as its previous;
+  // with the victim's record gone its signature cannot re-verify.
+  EXPECT_TRUE(report.HasIssue(IssueKind::kBadSignature) ||
+              report.HasIssue(IssueKind::kChainLinkBroken));
+}
+
+// R8: participants cannot repudiate their records.
+TEST_F(AttackTest, R8_RecordsAreNonRepudiable) {
+  // Every record in the honest bundle verifies under exactly the claimed
+  // participant's certified key — so a participant cannot later deny
+  // having produced it (only their key could have signed it)...
+  VerificationReport honest = Verify(bundle_);
+  EXPECT_TRUE(honest.ok());
+  EXPECT_EQ(honest.signatures_verified, bundle_.records.size());
+
+  // ...and re-attributing a genuine record to someone else fails, so the
+  // true author is pinned.
+  RecipientBundle reattributed = bundle_;
+  ASSERT_TRUE(attacks::ReassignRecordParticipant(
+                  &reattributed, RecordIndexAtSeq(reattributed, 1),
+                  attacker().id())
+                  .ok());
+  VerificationReport report = Verify(reattributed);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kBadSignature));
+}
+
+TEST_F(AttackTest, UncertifiedParticipantDetected) {
+  RecipientBundle tampered = bundle_;
+  ASSERT_TRUE(attacks::ReassignRecordParticipant(
+                  &tampered, RecordIndexAtSeq(tampered, 1), 999)
+                  .ok());
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kUnknownParticipant));
+}
+
+TEST_F(AttackTest, TamperChecksumItselfDetected) {
+  RecipientBundle tampered = bundle_;
+  tampered.records[RecordIndexAtSeq(tampered, 0)].checksum[0] ^= 0x01;
+  VerificationReport report = Verify(tampered);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kBadSignature));
+}
+
+TEST_F(AttackTest, AggregateInputTamperingDetected) {
+  // Build a DAG and tamper with the aggregation's recorded input state.
+  TrackedDatabase db;
+  ObjectId p = *db.Insert(victim(), Value::String("p1"));
+  ObjectId q = *db.Insert(victim(), Value::String("q1"));
+  auto agg = db.Aggregate(attacker(), {p, q}, Value::String("agg"));
+  ASSERT_TRUE(agg.ok());
+  RecipientBundle bundle = *db.ExportForRecipient(*agg);
+  ASSERT_TRUE(Verify(bundle).ok());
+
+  for (size_t i = 0; i < bundle.records.size(); ++i) {
+    if (bundle.records[i].op == OperationType::kAggregate) {
+      ASSERT_TRUE(attacks::TamperRecordInputHash(&bundle, i, 0).ok());
+      break;
+    }
+  }
+  VerificationReport report = Verify(bundle);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasIssue(IssueKind::kBadSignature) ||
+              report.HasIssue(IssueKind::kAggregateInputUnresolved));
+}
+
+TEST_F(AttackTest, HonestAppendIsNotAnAttack) {
+  // Appending a *properly documented* record is allowed (footnote to R3):
+  // the attacker performs a real update through the system.
+  ASSERT_TRUE(db_.Update(attacker(), a_, Value::String("v4")).ok());
+  RecipientBundle fresh = *db_.ExportForRecipient(a_);
+  EXPECT_TRUE(Verify(fresh).ok());
+}
+
+}  // namespace
+}  // namespace provdb::provenance

@@ -1,0 +1,162 @@
+#include "provenance/bundle.h"
+
+#include <gtest/gtest.h>
+
+#include "provenance/subtree_hasher.h"
+
+namespace provdb::provenance {
+namespace {
+
+using storage::ObjectId;
+using storage::TreeStore;
+using storage::Value;
+
+struct SmallTree {
+  TreeStore tree;
+  ObjectId root, row, c1, c2;
+
+  SmallTree() {
+    root = *tree.Insert(Value::String("r"));
+    row = *tree.Insert(Value::Int(0), root);
+    c1 = *tree.Insert(Value::Int(1), row);
+    c2 = *tree.Insert(Value::Int(2), row);
+  }
+};
+
+TEST(SubtreeSnapshotTest, CaptureCopiesSubtree) {
+  SmallTree t;
+  auto snap = SubtreeSnapshot::Capture(t.tree, t.root);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->root(), t.root);
+  EXPECT_EQ(snap->nodes().size(), 4u);
+  EXPECT_EQ(*snap->ValueOf(t.c1), Value::Int(1));
+  EXPECT_FALSE(snap->ValueOf(999).ok());
+}
+
+TEST(SubtreeSnapshotTest, CaptureOfSubtreeExcludesSiblings) {
+  SmallTree t;
+  auto snap = SubtreeSnapshot::Capture(t.tree, t.row);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->nodes().size(), 3u);
+  EXPECT_FALSE(snap->ValueOf(t.root).ok());
+}
+
+TEST(SubtreeSnapshotTest, CaptureMissingRootFails) {
+  TreeStore tree;
+  EXPECT_FALSE(SubtreeSnapshot::Capture(tree, 1).ok());
+}
+
+TEST(SubtreeSnapshotTest, HashMatchesLiveTree) {
+  SmallTree t;
+  SubtreeHasher hasher(&t.tree);
+  for (ObjectId subject : {t.root, t.row, t.c1}) {
+    auto snap = SubtreeSnapshot::Capture(t.tree, subject);
+    ASSERT_TRUE(snap.ok());
+    auto snap_hash = snap->Hash(crypto::HashAlgorithm::kSha1);
+    ASSERT_TRUE(snap_hash.ok());
+    EXPECT_EQ(*snap_hash, *hasher.HashSubtreeBasic(subject)) << subject;
+  }
+}
+
+TEST(SubtreeSnapshotTest, HashIndependentOfLaterTreeMutation) {
+  SmallTree t;
+  auto snap = SubtreeSnapshot::Capture(t.tree, t.root);
+  auto before = snap->Hash(crypto::HashAlgorithm::kSha1);
+  ASSERT_TRUE(t.tree.Update(t.c1, Value::Int(999)).ok());
+  auto after = snap->Hash(crypto::HashAlgorithm::kSha1);
+  EXPECT_EQ(*before, *after);
+}
+
+TEST(SubtreeSnapshotTest, TamperValueChangesHash) {
+  SmallTree t;
+  auto snap = SubtreeSnapshot::Capture(t.tree, t.root);
+  auto before = snap->Hash(crypto::HashAlgorithm::kSha1);
+  ASSERT_TRUE(snap->TamperValue(t.c1, Value::Int(666)).ok());
+  auto after = snap->Hash(crypto::HashAlgorithm::kSha1);
+  EXPECT_NE(*before, *after);
+  EXPECT_FALSE(snap->TamperValue(999, Value::Int(0)).ok());
+}
+
+TEST(SubtreeSnapshotTest, TamperRootIdRewritesStructure) {
+  SmallTree t;
+  auto snap = SubtreeSnapshot::Capture(t.tree, t.root);
+  snap->TamperRootId(777);
+  EXPECT_EQ(snap->root(), 777u);
+  // Still structurally valid (children re-pointed), so it hashes — to a
+  // different digest than before.
+  auto h = snap->Hash(crypto::HashAlgorithm::kSha1);
+  ASSERT_TRUE(h.ok());
+}
+
+TEST(SubtreeSnapshotTest, SerializeRoundTrip) {
+  SmallTree t;
+  auto snap = SubtreeSnapshot::Capture(t.tree, t.root);
+  Bytes wire = snap->Serialize();
+  auto back = SubtreeSnapshot::Deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->root(), snap->root());
+  EXPECT_EQ(back->nodes().size(), snap->nodes().size());
+  EXPECT_EQ(*back->Hash(crypto::HashAlgorithm::kSha1),
+            *snap->Hash(crypto::HashAlgorithm::kSha1));
+}
+
+TEST(SubtreeSnapshotTest, MalformedSnapshotsRejectedByHash) {
+  // Dangling parent.
+  SubtreeSnapshot snap;
+  {
+    SmallTree t;
+    snap = *SubtreeSnapshot::Capture(t.tree, t.row);
+  }
+  Bytes wire = snap.Serialize();
+  auto parsed = SubtreeSnapshot::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok());
+
+  // Empty snapshot has no hash.
+  SubtreeSnapshot empty;
+  EXPECT_FALSE(empty.Hash(crypto::HashAlgorithm::kSha1).ok());
+}
+
+TEST(SubtreeSnapshotTest, DeserializeGarbageFails) {
+  Bytes garbage = {0xFF, 0x00, 0x12};
+  EXPECT_FALSE(SubtreeSnapshot::Deserialize(garbage).ok());
+}
+
+TEST(RecipientBundleTest, SerializeRoundTripWithRecords) {
+  SmallTree t;
+  RecipientBundle bundle;
+  bundle.subject = t.root;
+  bundle.data = *SubtreeSnapshot::Capture(t.tree, t.root);
+
+  ProvenanceRecord rec;
+  rec.seq_id = 0;
+  rec.participant = 2;
+  rec.op = OperationType::kInsert;
+  rec.output = ObjectState{t.root, crypto::Digest::FromBytes(Bytes(20, 1))};
+  rec.checksum = Bytes(64, 0xEE);
+  bundle.records.push_back(rec);
+
+  Bytes wire = bundle.Serialize();
+  auto back = RecipientBundle::Deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->subject, t.root);
+  ASSERT_EQ(back->records.size(), 1u);
+  EXPECT_EQ(back->records[0].checksum, rec.checksum);
+  EXPECT_EQ(*back->data.Hash(crypto::HashAlgorithm::kSha1),
+            *bundle.data.Hash(crypto::HashAlgorithm::kSha1));
+}
+
+TEST(RecipientBundleTest, TruncatedWireFails) {
+  SmallTree t;
+  RecipientBundle bundle;
+  bundle.subject = t.root;
+  bundle.data = *SubtreeSnapshot::Capture(t.tree, t.root);
+  Bytes wire = bundle.Serialize();
+  for (size_t len = 1; len + 1 < wire.size(); len += 3) {
+    EXPECT_FALSE(
+        RecipientBundle::Deserialize(ByteView(wire.data(), len)).ok())
+        << len;
+  }
+}
+
+}  // namespace
+}  // namespace provdb::provenance

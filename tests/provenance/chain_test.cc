@@ -1,0 +1,88 @@
+#include "provenance/chain.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace provdb::provenance {
+namespace {
+
+TEST(LocalChainStateTest, MissingTailHasExistsFalse) {
+  LocalChainState chains;
+  LocalChainState::Tail tail = chains.Get(7);
+  EXPECT_FALSE(tail.exists);
+  EXPECT_TRUE(tail.checksum.empty());
+  EXPECT_EQ(chains.size(), 0u);
+}
+
+TEST(LocalChainStateTest, SetAndGet) {
+  LocalChainState chains;
+  chains.Set(7, 3, Bytes{1, 2, 3});
+  LocalChainState::Tail tail = chains.Get(7);
+  EXPECT_TRUE(tail.exists);
+  EXPECT_EQ(tail.seq_id, 3u);
+  EXPECT_EQ(tail.checksum, (Bytes{1, 2, 3}));
+}
+
+TEST(LocalChainStateTest, ObjectsAreIndependent) {
+  LocalChainState chains;
+  chains.Set(1, 5, Bytes{1});
+  chains.Set(2, 9, Bytes{2});
+  EXPECT_EQ(chains.Get(1).seq_id, 5u);
+  EXPECT_EQ(chains.Get(2).seq_id, 9u);
+  EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST(LocalChainStateTest, EraseDropsChain) {
+  LocalChainState chains;
+  chains.Set(1, 5, Bytes{1});
+  chains.Erase(1);
+  EXPECT_FALSE(chains.Get(1).exists);
+  chains.Erase(1);  // idempotent
+}
+
+TEST(LocalChainStateTest, OverwriteAdvancesTail) {
+  LocalChainState chains;
+  chains.Set(1, 0, Bytes{1});
+  chains.Set(1, 1, Bytes{2});
+  EXPECT_EQ(chains.Get(1).seq_id, 1u);
+  EXPECT_EQ(chains.Get(1).checksum, (Bytes{2}));
+}
+
+TEST(GlobalChainStateTest, SingleSharedTail) {
+  GlobalChainState global;
+  EXPECT_FALSE(global.Get().exists);
+  global.WithLock([](GlobalChainState& g) {
+    g.Set(1, Bytes{1});
+    return 0;
+  });
+  EXPECT_TRUE(global.Get().exists);
+  EXPECT_EQ(global.Get().seq_id, 1u);
+}
+
+TEST(GlobalChainStateTest, WithLockSerializesWriters) {
+  // Two threads appending through the lock never lose an increment — this
+  // is the serialization bottleneck of §3.2's rejected design.
+  GlobalChainState global;
+  global.WithLock([](GlobalChainState& g) {
+    g.Set(0, Bytes{0});
+    return 0;
+  });
+  constexpr int kPerThread = 2000;
+  auto worker = [&global]() {
+    for (int i = 0; i < kPerThread; ++i) {
+      global.WithLock([](GlobalChainState& g) {
+        GlobalChainState::Tail tail = g.Get();
+        g.Set(tail.seq_id + 1, Bytes{static_cast<uint8_t>(tail.seq_id)});
+        return 0;
+      });
+    }
+  };
+  std::thread t1(worker), t2(worker);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(global.Get().seq_id, 2u * kPerThread);
+}
+
+}  // namespace
+}  // namespace provdb::provenance

@@ -1,0 +1,119 @@
+// Decoder robustness: the wire parsers (records, snapshots, bundles,
+// proofs, values, public keys) must never crash, hang, or over-allocate
+// on arbitrary input — only return a clean error or a (harmless) value.
+// Exercised with random byte strings and with bit-mutated valid
+// encodings.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/rsa.h"
+#include "provenance/bundle.h"
+#include "provenance/merkle_proof.h"
+#include "provenance/serialization.h"
+#include "storage/value.h"
+
+namespace provdb::provenance {
+namespace {
+
+using storage::Value;
+
+// A valid record encoding to mutate.
+Bytes ValidRecordBytes() {
+  ProvenanceRecord rec;
+  rec.seq_id = 3;
+  rec.participant = 2;
+  rec.op = OperationType::kAggregate;
+  rec.inputs.push_back(
+      ObjectState{1, crypto::Digest::FromBytes(Bytes(20, 0x11))});
+  rec.inputs.push_back(
+      ObjectState{2, crypto::Digest::FromBytes(Bytes(20, 0x22))});
+  rec.output = ObjectState{5, crypto::Digest::FromBytes(Bytes(20, 0x33))};
+  rec.checksum = Bytes(64, 0x44);
+  rec.output_snapshot = Value::String("snap");
+  rec.has_output_snapshot = true;
+  return EncodeRecord(rec);
+}
+
+Bytes ValidBundleBytes() {
+  storage::TreeStore tree;
+  auto root = tree.Insert(Value::String("r")).value();
+  tree.Insert(Value::Int(1), root).value();
+  RecipientBundle bundle;
+  bundle.subject = root;
+  bundle.data = SubtreeSnapshot::Capture(tree, root).value();
+  ProvenanceRecord rec;
+  rec.output = ObjectState{root, crypto::Digest::FromBytes(Bytes(20, 1))};
+  rec.checksum = Bytes(64, 2);
+  bundle.records.push_back(rec);
+  return bundle.Serialize();
+}
+
+class DecoderFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecoderFuzzTest, RandomBytesNeverCrashDecoders) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 400; ++trial) {
+    Bytes junk;
+    rng.NextBytes(&junk, rng.NextBelow(300));
+    // None of these may crash; results are simply ignored.
+    DecodeRecord(junk).ok();
+    SubtreeSnapshot::Deserialize(junk).ok();
+    RecipientBundle::Deserialize(junk).ok();
+    InclusionProof::Deserialize(junk).ok();
+    Value::CanonicalDecode(junk, nullptr).ok();
+    crypto::RsaPublicKey::Deserialize(junk).ok();
+  }
+  SUCCEED();
+}
+
+TEST_P(DecoderFuzzTest, MutatedRecordsEitherFailOrDecodeCleanly) {
+  Rng rng(GetParam() + 1);
+  Bytes valid = ValidRecordBytes();
+  int decoded = 0, rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    Bytes mutated = valid;
+    // 1-3 random byte mutations.
+    size_t n = 1 + rng.NextBelow(3);
+    for (size_t i = 0; i < n; ++i) {
+      mutated[rng.NextBelow(mutated.size())] =
+          static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    auto rec = DecodeRecord(mutated);
+    if (rec.ok()) {
+      ++decoded;
+      // A successful decode must re-encode without crashing.
+      EncodeRecord(*rec);
+    } else {
+      ++rejected;
+    }
+  }
+  // Both outcomes occur across 400 trials; neither crashes.
+  EXPECT_GT(decoded + rejected, 0);
+}
+
+TEST_P(DecoderFuzzTest, TruncatedBundlesAlwaysRejected) {
+  Rng rng(GetParam() + 2);
+  Bytes valid = ValidBundleBytes();
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t len = rng.NextBelow(valid.size());  // strict prefix
+    auto bundle =
+        RecipientBundle::Deserialize(ByteView(valid.data(), len));
+    EXPECT_FALSE(bundle.ok()) << "prefix " << len << " decoded";
+  }
+}
+
+TEST_P(DecoderFuzzTest, RoundTripStabilityUnderReEncoding) {
+  // decode(encode(x)) == x implies encode(decode(encode(x))) ==
+  // encode(x): the encoding is a fixed point.
+  Bytes valid = ValidRecordBytes();
+  auto rec = DecodeRecord(valid);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(EncodeRecord(*rec), valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzzTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace provdb::provenance

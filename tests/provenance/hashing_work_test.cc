@@ -1,0 +1,125 @@
+// Deterministic work-asymptotics tests: the paper's Basic vs Economical
+// cost model (§4.3) expressed in exact node-hash counts, independent of
+// wall-clock noise. These pin the complexity claims behind Figure 7.
+
+#include <gtest/gtest.h>
+
+#include "provenance/tracked_database.h"
+#include "testing/test_pki.h"
+#include "workload/synthetic.h"
+
+namespace provdb::provenance {
+namespace {
+
+using provdb::testing::TestPki;
+using storage::ObjectId;
+
+constexpr int kRows = 50;
+constexpr int kAttrs = 8;
+// Nodes of the depth-4 tree: root + table + rows + cells.
+constexpr uint64_t kNodes = 1 + 1 + kRows + kRows * kAttrs;
+
+class HashingWorkTest : public ::testing::TestWithParam<HashingMode> {
+ protected:
+  void SetUp() override {
+    TrackedDatabaseOptions options;
+    options.hashing_mode = GetParam();
+    db_ = std::make_unique<TrackedDatabase>(options);
+    Rng rng(55);
+    auto layout = workload::BuildSyntheticDatabase(
+        &db_->bootstrap_tree(), {{kAttrs, kRows}}, &rng);
+    ASSERT_TRUE(layout.ok());
+    layout_ = *layout;
+  }
+
+  const crypto::Participant& p() { return TestPki::Instance().participant(0); }
+
+  ObjectId Cell(size_t row, size_t col) {
+    return workload::CellIdOf(db_->tree(), layout_.tables[0].rows[row], col)
+        .value();
+  }
+
+  std::unique_ptr<TrackedDatabase> db_;
+  workload::SyntheticLayout layout_;
+};
+
+TEST_P(HashingWorkTest, FirstUpdateWorksColdThenWarm) {
+  // First tracked update: both modes must compute the whole tree once for
+  // the input state. Basic additionally re-walks for the output; the
+  // economical cache then turns subsequent updates into path-work.
+  ASSERT_TRUE(db_->Update(p(), Cell(0, 0), storage::Value::Int(1)).ok());
+  uint64_t first = db_->last_op_metrics().nodes_hashed;
+
+  ASSERT_TRUE(db_->Update(p(), Cell(1, 1), storage::Value::Int(2)).ok());
+  uint64_t second = db_->last_op_metrics().nodes_hashed;
+
+  if (GetParam() == HashingMode::kBasic) {
+    // Exactly two full walks per update, every time.
+    EXPECT_EQ(first, 2 * kNodes);
+    EXPECT_EQ(second, 2 * kNodes);
+  } else {
+    // Cold: one full input walk + the dirty output path
+    // (cell + row + table + root = 4).
+    EXPECT_EQ(first, kNodes + 4);
+    // Warm: input states are cache reads; only the dirty path re-hashes.
+    EXPECT_EQ(second, 4u);
+  }
+}
+
+TEST_P(HashingWorkTest, ComplexOpWorkMatchesSetupAModel) {
+  // Warm up (prime caches / establish steady state).
+  ASSERT_TRUE(db_->Update(p(), Cell(0, 0), storage::Value::Int(9)).ok());
+  db_->ResetMetrics();
+
+  // Complex op updating one cell in each of 10 rows.
+  ASSERT_TRUE(db_->BeginComplexOperation(p()).ok());
+  for (size_t r = 0; r < 10; ++r) {
+    ASSERT_TRUE(
+        db_->Update(p(), Cell(r, 2), storage::Value::Int(100 + r)).ok());
+  }
+  ASSERT_TRUE(db_->EndComplexOperation().ok());
+  uint64_t work = db_->last_op_metrics().nodes_hashed;
+
+  if (GetParam() == HashingMode::kBasic) {
+    // One input walk at first touch + one output walk at End.
+    EXPECT_EQ(work, 2 * kNodes);
+  } else {
+    // Output recompute: 10 cells + 10 rows + table + root.
+    EXPECT_EQ(work, 10 + 10 + 1 + 1u);
+  }
+}
+
+TEST_P(HashingWorkTest, DeleteWorkIsAncestorBound) {
+  ASSERT_TRUE(db_->Update(p(), Cell(0, 0), storage::Value::Int(9)).ok());
+  db_->ResetMetrics();
+
+  ASSERT_TRUE(db_->Delete(p(), Cell(5, 5)).ok());
+  uint64_t work = db_->last_op_metrics().nodes_hashed;
+  if (GetParam() == HashingMode::kBasic) {
+    // Input walk (kNodes) + output walk (kNodes - deleted node).
+    EXPECT_EQ(work, kNodes + kNodes - 1);
+  } else {
+    // Only the ancestors re-hash: row + table + root.
+    EXPECT_EQ(work, 3u);
+  }
+}
+
+TEST_P(HashingWorkTest, ChecksumCountIndependentOfHashingMode) {
+  ASSERT_TRUE(db_->BeginComplexOperation(p()).ok());
+  for (size_t r = 0; r < 5; ++r) {
+    ASSERT_TRUE(db_->Update(p(), Cell(r, 0), storage::Value::Int(7)).ok());
+  }
+  ASSERT_TRUE(db_->EndComplexOperation().ok());
+  // 5 cells + 5 rows + table + root, regardless of mode.
+  EXPECT_EQ(db_->last_op_metrics().checksums, 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, HashingWorkTest,
+                         ::testing::Values(HashingMode::kBasic,
+                                           HashingMode::kEconomical),
+                         [](const auto& info) {
+                           return std::string(HashingModeName(info.param));
+                         });
+
+}  // namespace
+}  // namespace provdb::provenance

@@ -1,0 +1,118 @@
+#include "provenance/json_export.h"
+
+#include <gtest/gtest.h>
+
+#include "provenance/attack.h"
+#include "provenance/tracked_database.h"
+#include "testing/test_pki.h"
+
+namespace provdb::provenance {
+namespace {
+
+using provdb::testing::TestPki;
+using storage::Value;
+
+TEST(JsonEscapeTest, PassesThroughPlainText) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonExportTest, RecordRendersAllFields) {
+  ProvenanceRecord rec;
+  rec.seq_id = 7;
+  rec.participant = 3;
+  rec.op = OperationType::kUpdate;
+  rec.inherited = true;
+  rec.inputs.push_back(
+      ObjectState{4, crypto::Digest::FromBytes(Bytes{0xAB, 0xCD})});
+  rec.output = ObjectState{4, crypto::Digest::FromBytes(Bytes{0xEF})};
+  rec.checksum = Bytes{0x01, 0x02};
+  rec.output_snapshot = Value::String("say \"hi\"");
+  rec.has_output_snapshot = true;
+
+  std::string json = RecordToJson(rec);
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"participant\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"update\""), std::string::npos);
+  EXPECT_NE(json.find("\"inherited\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"hash\":\"abcd\""), std::string::npos);
+  EXPECT_NE(json.find("\"checksum\":\"0102\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":\"say \\\"hi\\\"\""), std::string::npos);
+}
+
+TEST(JsonExportTest, ValueKindsRenderDistinctly) {
+  auto json_of = [](Value v) {
+    ProvenanceRecord rec;
+    rec.output_snapshot = std::move(v);
+    rec.has_output_snapshot = true;
+    return RecordToJson(rec);
+  };
+  EXPECT_NE(json_of(Value::Null()).find("\"value\":null"),
+            std::string::npos);
+  EXPECT_NE(json_of(Value::Int(-9)).find("\"value\":-9"), std::string::npos);
+  EXPECT_NE(json_of(Value::Double(1.5)).find("\"value\":1.5"),
+            std::string::npos);
+  EXPECT_NE(json_of(Value::Blob({0xFF})).find("\"value\":\"0xff\""),
+            std::string::npos);
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(json_of(Value::Double(nan)).find("\"value\":\"NaN\""),
+            std::string::npos);
+}
+
+TEST(JsonExportTest, BundleRoundIsWellFormedAndDeterministic) {
+  TrackedDatabase db;
+  const auto& p1 = TestPki::Instance().participant(0);
+  auto a = db.Insert(p1, Value::String("v1")).value();
+  db.Update(p1, a, Value::String("v2")).ok();
+  auto bundle = db.ExportForRecipient(a).value();
+
+  std::string json = BundleToJson(bundle);
+  EXPECT_EQ(json, BundleToJson(bundle));  // deterministic
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Balanced braces/brackets (coarse well-formedness check).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(json.find("\"records\":["), std::string::npos);
+}
+
+TEST(JsonExportTest, ReportRendersIssues) {
+  TrackedDatabase db;
+  const auto& p1 = TestPki::Instance().participant(0);
+  auto a = db.Insert(p1, Value::String("v1")).value();
+  auto bundle = db.ExportForRecipient(a).value();
+  attacks::TamperDataValue(&bundle, a, Value::String("evil")).ok();
+
+  ProvenanceVerifier verifier(&TestPki::Instance().registry());
+  auto report = verifier.Verify(bundle);
+  std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"DataHashMismatch\""), std::string::npos);
+
+  auto clean = db.ExportForRecipient(a).value();
+  std::string clean_json = ReportToJson(verifier.Verify(clean));
+  EXPECT_NE(clean_json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(clean_json.find("\"issues\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace provdb::provenance

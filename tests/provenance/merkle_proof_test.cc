@@ -1,0 +1,187 @@
+#include "provenance/merkle_proof.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "provenance/subtree_hasher.h"
+#include "workload/synthetic.h"
+
+namespace provdb::provenance {
+namespace {
+
+using storage::ObjectId;
+using storage::TreeStore;
+using storage::Value;
+
+constexpr auto kAlg = crypto::HashAlgorithm::kSha1;
+
+class MerkleProofTest : public ::testing::Test {
+ protected:
+  // root -> {table} -> rows -> cells (3 rows x 3 cells).
+  void SetUp() override {
+    root_ = *tree_.Insert(Value::String("db"));
+    table_ = *tree_.Insert(Value::String("t"), root_);
+    for (int r = 0; r < 3; ++r) {
+      ObjectId row = *tree_.Insert(Value::Int(r), table_);
+      rows_.push_back(row);
+      for (int c = 0; c < 3; ++c) {
+        cells_.push_back(*tree_.Insert(Value::Int(10 * r + c), row));
+      }
+    }
+    SubtreeHasher hasher(&tree_, kAlg);
+    root_hash_ = *hasher.HashSubtreeBasic(root_);
+  }
+
+  TreeStore tree_;
+  ObjectId root_, table_;
+  std::vector<ObjectId> rows_, cells_;
+  crypto::Digest root_hash_;
+};
+
+TEST_F(MerkleProofTest, LeafProofVerifies) {
+  for (ObjectId cell : cells_) {
+    auto proof = BuildInclusionProof(tree_, cell, root_, kAlg);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_EQ(proof->subject, cell);
+    EXPECT_EQ(proof->steps.size(), 3u);  // row, table, root
+    EXPECT_TRUE(VerifyInclusionProof(*proof, root_hash_, kAlg).ok());
+  }
+}
+
+TEST_F(MerkleProofTest, InteriorProofVerifies) {
+  auto proof = BuildInclusionProof(tree_, rows_[1], root_, kAlg);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof->steps.size(), 2u);  // table, root
+  EXPECT_TRUE(VerifyInclusionProof(*proof, root_hash_, kAlg).ok());
+}
+
+TEST_F(MerkleProofTest, SelfProofIsEmptySteps) {
+  auto proof = BuildInclusionProof(tree_, root_, root_, kAlg);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(proof->steps.empty());
+  EXPECT_EQ(proof->subject_hash, root_hash_);
+  EXPECT_TRUE(VerifyInclusionProof(*proof, root_hash_, kAlg).ok());
+}
+
+TEST_F(MerkleProofTest, ProofAgainstSubtreeRoot) {
+  // Prove a cell against its *row* hash rather than the database root.
+  SubtreeHasher hasher(&tree_, kAlg);
+  crypto::Digest row_hash = *hasher.HashSubtreeBasic(rows_[0]);
+  auto proof = BuildInclusionProof(tree_, cells_[0], rows_[0], kAlg);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_EQ(proof->steps.size(), 1u);
+  EXPECT_TRUE(VerifyInclusionProof(*proof, row_hash, kAlg).ok());
+  // The same proof does NOT verify against the database root.
+  EXPECT_FALSE(VerifyInclusionProof(*proof, root_hash_, kAlg).ok());
+}
+
+TEST_F(MerkleProofTest, TargetOutsideSubtreeRejected) {
+  ObjectId stranger = *tree_.Insert(Value::Int(99));  // separate root
+  EXPECT_FALSE(BuildInclusionProof(tree_, stranger, root_, kAlg).ok());
+  EXPECT_FALSE(BuildInclusionProof(tree_, root_, rows_[0], kAlg).ok());
+}
+
+TEST_F(MerkleProofTest, MissingObjectsRejected) {
+  EXPECT_FALSE(BuildInclusionProof(tree_, 9999, root_, kAlg).ok());
+  EXPECT_FALSE(BuildInclusionProof(tree_, cells_[0], 9999, kAlg).ok());
+}
+
+TEST_F(MerkleProofTest, TamperedSubjectHashFails) {
+  auto proof = BuildInclusionProof(tree_, cells_[0], root_, kAlg);
+  ASSERT_TRUE(proof.ok());
+  proof->subject_hash.mutable_data()[0] ^= 1;
+  EXPECT_FALSE(VerifyInclusionProof(*proof, root_hash_, kAlg).ok());
+}
+
+TEST_F(MerkleProofTest, TamperedSiblingFails) {
+  auto proof = BuildInclusionProof(tree_, cells_[0], root_, kAlg);
+  ASSERT_TRUE(proof.ok());
+  ASSERT_FALSE(proof->steps[0].right_siblings.empty());
+  proof->steps[0].right_siblings[0].mutable_data()[0] ^= 1;
+  EXPECT_FALSE(VerifyInclusionProof(*proof, root_hash_, kAlg).ok());
+}
+
+TEST_F(MerkleProofTest, PositionIsProven) {
+  // Moving the subject between sibling positions must break the proof:
+  // swap a left sibling into the hole.
+  auto proof = BuildInclusionProof(tree_, cells_[1], root_, kAlg);
+  ASSERT_TRUE(proof.ok());
+  ProofStep& step = proof->steps[0];
+  ASSERT_FALSE(step.left_siblings.empty());
+  std::swap(step.left_siblings[0], proof->subject_hash);
+  EXPECT_FALSE(VerifyInclusionProof(*proof, root_hash_, kAlg).ok());
+}
+
+TEST_F(MerkleProofTest, WrongValueForLeafFails) {
+  auto proof = BuildInclusionProof(tree_, cells_[0], root_, kAlg);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(
+      VerifyLeafInclusion(*proof, Value::Int(0), root_hash_, kAlg).ok());
+  EXPECT_FALSE(
+      VerifyLeafInclusion(*proof, Value::Int(1), root_hash_, kAlg).ok());
+}
+
+TEST_F(MerkleProofTest, StaleProofFailsAfterUpdateElsewhere) {
+  // A proof anchors a *specific* root state; any change in the tree
+  // yields a new root hash the old proof no longer matches.
+  auto proof = BuildInclusionProof(tree_, cells_[0], root_, kAlg);
+  ASSERT_TRUE(proof.ok());
+  ASSERT_TRUE(tree_.Update(cells_[8], Value::Int(777)).ok());
+  SubtreeHasher hasher(&tree_, kAlg);
+  crypto::Digest new_root = *hasher.HashSubtreeBasic(root_);
+  EXPECT_FALSE(VerifyInclusionProof(*proof, new_root, kAlg).ok());
+  EXPECT_TRUE(VerifyInclusionProof(*proof, root_hash_, kAlg).ok());
+}
+
+TEST_F(MerkleProofTest, SerializationRoundTrip) {
+  auto proof = BuildInclusionProof(tree_, cells_[4], root_, kAlg);
+  ASSERT_TRUE(proof.ok());
+  Bytes wire = proof->Serialize();
+  auto back = InclusionProof::Deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->subject, proof->subject);
+  EXPECT_EQ(back->subject_hash, proof->subject_hash);
+  EXPECT_EQ(back->steps.size(), proof->steps.size());
+  EXPECT_TRUE(VerifyInclusionProof(*back, root_hash_, kAlg).ok());
+  EXPECT_FALSE(InclusionProof::Deserialize(Bytes{0xFF}).ok());
+}
+
+TEST_F(MerkleProofTest, SiblingCountMatchesFanOut) {
+  auto proof = BuildInclusionProof(tree_, cells_[0], root_, kAlg);
+  ASSERT_TRUE(proof.ok());
+  // cell step: 2 siblings; row step: 2; table step: 0 (table is the only
+  // child of root)... root has 1 child (table), table has 3 rows.
+  EXPECT_EQ(proof->SiblingCount(), 2u + 2u + 0u);
+}
+
+TEST_F(MerkleProofTest, WorksOnSyntheticTableScale) {
+  TreeStore tree;
+  Rng rng(5);
+  auto layout =
+      workload::BuildSyntheticDatabase(&tree, {{8, 100}}, &rng);
+  ASSERT_TRUE(layout.ok());
+  SubtreeHasher hasher(&tree, kAlg);
+  crypto::Digest root_hash = *hasher.HashSubtreeBasic(layout->root);
+
+  ObjectId row = layout->tables[0].rows[42];
+  ObjectId cell = *workload::CellIdOf(tree, row, 3);
+  auto proof = BuildInclusionProof(tree, cell, layout->root, kAlg);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(VerifyInclusionProof(*proof, root_hash, kAlg).ok());
+  // Proof size is dominated by the table's row fan-out (99 siblings) plus
+  // the row's cells (7) — far less than the 901-node database.
+  EXPECT_EQ(proof->SiblingCount(), 7u + 99u + 0u);
+}
+
+TEST_F(MerkleProofTest, AlgorithmsAreNotInterchangeable) {
+  auto proof = BuildInclusionProof(tree_, cells_[0], root_, kAlg);
+  ASSERT_TRUE(proof.ok());
+  SubtreeHasher sha256(&tree_, crypto::HashAlgorithm::kSha256);
+  crypto::Digest root256 = *sha256.HashSubtreeBasic(root_);
+  EXPECT_FALSE(
+      VerifyInclusionProof(*proof, root256, crypto::HashAlgorithm::kSha256)
+          .ok());
+}
+
+}  // namespace
+}  // namespace provdb::provenance

@@ -1,0 +1,271 @@
+// Property-based suites over randomized operation histories:
+//
+//   P1 (soundness):    every honestly produced bundle verifies, for every
+//                      hashing mode x hash algorithm x random seed.
+//   P2 (tamper-evidence): any single random mutation of a bundle's
+//                      signed surface is detected.
+//   P3 (mode equivalence): Basic and Economical hashing produce identical
+//                      records for identical histories.
+//
+// These sweep the same invariants the hand-written tests pin down, but
+// across a much larger slice of the input space.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "provenance/tracked_database.h"
+#include "provenance/verifier.h"
+#include "testing/test_pki.h"
+
+namespace provdb::provenance {
+namespace {
+
+using provdb::testing::TestPki;
+using storage::ObjectId;
+using storage::Value;
+
+// Applies `steps` random primitive operations to `db`, tracking live
+// leaf-ish objects. Returns an object that still exists (preferring one
+// with history) to use as the bundle subject.
+ObjectId RunRandomHistory(TrackedDatabase* db, Rng* rng, int steps,
+                          const TestPki& pki) {
+  std::vector<ObjectId> roots;
+  std::vector<ObjectId> leaves;
+
+  auto random_participant = [&]() -> const crypto::Participant& {
+    return pki.participant(rng->NextBelow(TestPki::kNumParticipants));
+  };
+
+  // Seed with a couple of root objects.
+  for (int i = 0; i < 2; ++i) {
+    ObjectId root =
+        db->Insert(random_participant(),
+                   Value::Int(static_cast<int64_t>(rng->NextUint64())))
+            .value();
+    roots.push_back(root);
+    leaves.push_back(root);
+  }
+
+  for (int step = 0; step < steps; ++step) {
+    int action = static_cast<int>(rng->NextBelow(100));
+    if (action < 30 && !leaves.empty()) {
+      // Update a random live object.
+      ObjectId target = leaves[rng->NextBelow(leaves.size())];
+      if (db->tree().Contains(target)) {
+        EXPECT_TRUE(
+            db->Update(random_participant(), target,
+                       Value::Int(static_cast<int64_t>(rng->NextUint64())))
+                .ok());
+      }
+    } else if (action < 60) {
+      // Insert under a random existing object (or as a new root).
+      ObjectId parent = storage::kInvalidObjectId;
+      if (!leaves.empty() && rng->NextBool(0.8)) {
+        parent = leaves[rng->NextBelow(leaves.size())];
+        if (!db->tree().Contains(parent)) parent = storage::kInvalidObjectId;
+      }
+      auto inserted =
+          db->Insert(random_participant(),
+                     Value::Int(static_cast<int64_t>(rng->NextUint64())),
+                     parent);
+      EXPECT_TRUE(inserted.ok());
+      leaves.push_back(*inserted);
+      if (parent == storage::kInvalidObjectId) roots.push_back(*inserted);
+    } else if (action < 75 && !leaves.empty()) {
+      // Delete a random live leaf.
+      ObjectId target = leaves[rng->NextBelow(leaves.size())];
+      if (db->tree().Contains(target) &&
+          db->tree().GetNode(target).value()->is_leaf()) {
+        EXPECT_TRUE(db->Delete(random_participant(), target).ok());
+      }
+    } else if (!roots.empty()) {
+      // Aggregate 1-3 random existing roots.
+      std::vector<ObjectId> inputs;
+      size_t n = 1 + rng->NextBelow(3);
+      for (size_t i = 0; i < n; ++i) {
+        ObjectId candidate = roots[rng->NextBelow(roots.size())];
+        if (db->tree().Contains(candidate)) inputs.push_back(candidate);
+      }
+      if (!inputs.empty()) {
+        auto agg = db->Aggregate(
+            random_participant(), inputs,
+            Value::Int(static_cast<int64_t>(rng->NextUint64())));
+        EXPECT_TRUE(agg.ok());
+        roots.push_back(*agg);
+        leaves.push_back(*agg);
+      }
+    }
+  }
+
+  // Pick a live subject with provenance, preferring later (richer) ones.
+  for (size_t i = roots.size(); i-- > 0;) {
+    if (db->tree().Contains(roots[i]) &&
+        !db->provenance().ChainOf(roots[i]).empty()) {
+      return roots[i];
+    }
+  }
+  return roots[0];
+}
+
+// ---------------------------------------------------------------------
+// P1: honest histories always verify.
+
+class HonestHistoryTest
+    : public ::testing::TestWithParam<
+          std::tuple<HashingMode, crypto::HashAlgorithm, uint64_t>> {};
+
+TEST_P(HonestHistoryTest, AlwaysVerifies) {
+  auto [mode, alg, seed] = GetParam();
+  TrackedDatabaseOptions options;
+  options.hashing_mode = mode;
+  options.hash_algorithm = alg;
+  TrackedDatabase db(options);
+  Rng rng(seed);
+  const TestPki& pki = TestPki::InstanceFor(alg);
+  ObjectId subject = RunRandomHistory(&db, &rng, 40, pki);
+
+  auto bundle = db.ExportForRecipient(subject);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  ProvenanceVerifier verifier(&pki.registry(), alg);
+  auto report = verifier.Verify(*bundle);
+  EXPECT_TRUE(report.ok()) << "mode=" << HashingModeName(mode) << " alg="
+                           << crypto::HashAlgorithmName(alg) << " seed="
+                           << seed << "\n"
+                           << report.ToString();
+
+  // Wire round trip preserves verifiability.
+  auto received = RecipientBundle::Deserialize(bundle->Serialize());
+  ASSERT_TRUE(received.ok());
+  EXPECT_TRUE(verifier.Verify(*received).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAlgorithmsSeeds, HonestHistoryTest,
+    ::testing::Combine(
+        ::testing::Values(HashingMode::kBasic, HashingMode::kEconomical),
+        ::testing::Values(crypto::HashAlgorithm::kSha1,
+                          crypto::HashAlgorithm::kSha256,
+                          crypto::HashAlgorithm::kMd5),
+        ::testing::Values(11u, 22u, 33u)));
+
+// ---------------------------------------------------------------------
+// P2: any single random mutation is detected.
+
+class TamperFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TamperFuzzTest, RandomMutationDetected) {
+  uint64_t seed = GetParam();
+  TrackedDatabase db;
+  Rng rng(seed);
+  ObjectId subject = RunRandomHistory(&db, &rng, 30, TestPki::Instance());
+  auto bundle_or = db.ExportForRecipient(subject);
+  ASSERT_TRUE(bundle_or.ok());
+  RecipientBundle honest = *bundle_or;
+
+  ProvenanceVerifier verifier(&TestPki::Instance().registry());
+  ASSERT_TRUE(verifier.Verify(honest).ok());
+
+  // 24 independent random mutations of the honest bundle.
+  for (int trial = 0; trial < 24; ++trial) {
+    RecipientBundle tampered = honest;
+    Rng mut(seed * 1000 + trial);
+    int kind = static_cast<int>(mut.NextBelow(6));
+    size_t r = mut.NextBelow(tampered.records.size());
+    ProvenanceRecord& rec = tampered.records[r];
+    const char* what = "?";
+    switch (kind) {
+      case 0:
+        what = "flip checksum byte";
+        rec.checksum[mut.NextBelow(rec.checksum.size())] ^=
+            static_cast<uint8_t>(1 + mut.NextBelow(255));
+        break;
+      case 1:
+        what = "flip output hash byte";
+        rec.output.state_hash
+            .mutable_data()[mut.NextBelow(rec.output.state_hash.size())] ^=
+            static_cast<uint8_t>(1 + mut.NextBelow(255));
+        break;
+      case 2:
+        if (rec.inputs.empty()) {
+          what = "flip checksum byte (no inputs)";
+          rec.checksum[0] ^= 0x01;
+        } else {
+          what = "flip input hash byte";
+          rec.inputs[mut.NextBelow(rec.inputs.size())]
+              .state_hash.mutable_data()[0] ^= 0x01;
+        }
+        break;
+      case 3:
+        what = "remove record";
+        tampered.records.erase(tampered.records.begin() + r);
+        break;
+      case 4:
+        what = "shift seq id";
+        rec.seq_id += 1 + mut.NextBelow(5);
+        break;
+      case 5:
+        what = "reassign participant";
+        rec.participant =
+            rec.participant % TestPki::kNumParticipants + 1;  // different id
+        break;
+    }
+    auto report = verifier.Verify(tampered);
+    EXPECT_FALSE(report.ok())
+        << "undetected mutation: " << what << " on record " << r
+        << " (seed " << seed << ", trial " << trial << ")";
+  }
+
+  // Data-side mutations: every node of the shipped snapshot is covered.
+  for (const auto& node : honest.data.nodes()) {
+    RecipientBundle tampered = honest;
+    ASSERT_TRUE(
+        tampered.data.TamperValue(node.id, Value::String("evil")).ok());
+    EXPECT_FALSE(verifier.Verify(tampered).ok())
+        << "undetected data tamper at node " << node.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TamperFuzzTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+// ---------------------------------------------------------------------
+// P3: Basic and Economical modes are observationally equivalent.
+
+class ModeEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModeEquivalenceTest, IdenticalRecordsForIdenticalHistories) {
+  uint64_t seed = GetParam();
+  TrackedDatabaseOptions basic_opts;
+  basic_opts.hashing_mode = HashingMode::kBasic;
+  TrackedDatabase basic_db(basic_opts);
+  TrackedDatabase econ_db;  // economical
+
+  Rng rng1(seed), rng2(seed);
+  ObjectId s1 = RunRandomHistory(&basic_db, &rng1, 35, TestPki::Instance());
+  ObjectId s2 = RunRandomHistory(&econ_db, &rng2, 35, TestPki::Instance());
+  ASSERT_EQ(s1, s2);
+
+  ASSERT_EQ(basic_db.provenance().record_count(),
+            econ_db.provenance().record_count());
+  for (uint64_t i = 0; i < basic_db.provenance().record_count(); ++i) {
+    const ProvenanceRecord& a = basic_db.provenance().record(i);
+    const ProvenanceRecord& b = econ_db.provenance().record(i);
+    EXPECT_EQ(a.seq_id, b.seq_id) << i;
+    EXPECT_EQ(a.output.object_id, b.output.object_id) << i;
+    // State hashes must agree exactly — the two strategies compute the
+    // same function with different caching.
+    EXPECT_EQ(a.output.state_hash, b.output.state_hash) << i;
+    ASSERT_EQ(a.inputs.size(), b.inputs.size()) << i;
+    for (size_t j = 0; j < a.inputs.size(); ++j) {
+      EXPECT_EQ(a.inputs[j], b.inputs[j]) << i << "/" << j;
+    }
+    // Checksums agree too (PKCS#1 v1.5 signing is deterministic).
+    EXPECT_EQ(a.checksum, b.checksum) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModeEquivalenceTest,
+                         ::testing::Values(7u, 77u, 777u, 7777u));
+
+}  // namespace
+}  // namespace provdb::provenance

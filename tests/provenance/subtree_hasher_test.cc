@@ -1,0 +1,223 @@
+#include "provenance/subtree_hasher.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace provdb::provenance {
+namespace {
+
+using storage::ObjectId;
+using storage::TreeStore;
+using storage::Value;
+
+// Builds the Figure 4 example: (A,a,{B,C}), (B,b,{D}), (C,c,{}), (D,d,{}).
+struct Figure4Tree {
+  TreeStore tree;
+  ObjectId a, b, c, d;
+
+  Figure4Tree() {
+    a = *tree.Insert(Value::String("a"));
+    b = *tree.Insert(Value::String("b"), a);
+    c = *tree.Insert(Value::String("c"), a);
+    d = *tree.Insert(Value::String("d"), b);
+  }
+};
+
+TEST(SubtreeHasherTest, LeafHashMatchesAtomicHash) {
+  TreeStore tree;
+  ObjectId leaf = *tree.Insert(Value::Int(7));
+  SubtreeHasher hasher(&tree);
+  auto subtree = hasher.HashSubtreeBasic(leaf);
+  ASSERT_TRUE(subtree.ok());
+  EXPECT_EQ(*subtree, hasher.HashAtomic(leaf, Value::Int(7)));
+}
+
+TEST(SubtreeHasherTest, Figure5RecursiveStructure) {
+  // h_A = h((A,a,{B,C}) | h_B | h_C); h_B = h((B,b,{D}) | h_D).
+  Figure4Tree fig;
+  SubtreeHasher hasher(&fig.tree);
+  crypto::Digest h_d = hasher.HashAtomic(fig.d, Value::String("d"));
+  crypto::Digest h_c = hasher.HashAtomic(fig.c, Value::String("c"));
+  crypto::Digest h_b = HashTreeNode(hasher.algorithm(), fig.b,
+                                    Value::String("b"), {h_d});
+  crypto::Digest h_a = HashTreeNode(hasher.algorithm(), fig.a,
+                                    Value::String("a"), {h_b, h_c});
+  EXPECT_EQ(*hasher.HashSubtreeBasic(fig.d), h_d);
+  EXPECT_EQ(*hasher.HashSubtreeBasic(fig.b), h_b);
+  EXPECT_EQ(*hasher.HashSubtreeBasic(fig.a), h_a);
+}
+
+TEST(SubtreeHasherTest, HashDependsOnObjectId) {
+  // Identical values under different ids hash differently — required for
+  // detecting provenance re-attribution (R5).
+  TreeStore tree;
+  ObjectId x = *tree.Insert(Value::Int(5));
+  ObjectId y = *tree.Insert(Value::Int(5));
+  SubtreeHasher hasher(&tree);
+  EXPECT_NE(*hasher.HashSubtreeBasic(x), *hasher.HashSubtreeBasic(y));
+}
+
+TEST(SubtreeHasherTest, HashDependsOnValue) {
+  Figure4Tree fig;
+  SubtreeHasher hasher(&fig.tree);
+  crypto::Digest before = *hasher.HashSubtreeBasic(fig.a);
+  ASSERT_TRUE(fig.tree.Update(fig.d, Value::String("d'")).ok());
+  EXPECT_NE(*hasher.HashSubtreeBasic(fig.a), before);
+}
+
+TEST(SubtreeHasherTest, HashDependsOnStructure) {
+  // Moving a value from a child into the parent must change the hash even
+  // if the multiset of values is unchanged.
+  TreeStore t1, t2;
+  ObjectId r1 = *t1.Insert(Value::String("x"));
+  t1.Insert(Value::String("y"), r1).value();
+  ObjectId r2 = *t2.Insert(Value::String("x"));
+  ObjectId mid = *t2.Insert(Value::Null(), r2);
+  t2.Insert(Value::String("y"), mid).value();
+  SubtreeHasher h1(&t1), h2(&t2);
+  EXPECT_NE(*h1.HashSubtreeBasic(r1), *h2.HashSubtreeBasic(r2));
+}
+
+TEST(SubtreeHasherTest, LeafInteriorDomainSeparation) {
+  // A leaf whose value bytes happen to equal an interior node's encoding
+  // cannot collide, thanks to the node tags.
+  TreeStore tree;
+  ObjectId leaf = *tree.Insert(Value::Null());
+  SubtreeHasher hasher(&tree);
+  crypto::Digest leaf_hash = *hasher.HashSubtreeBasic(leaf);
+  crypto::Digest interior_hash =
+      HashTreeNode(hasher.algorithm(), leaf, Value::Null(),
+                   {crypto::Digest()});
+  EXPECT_NE(leaf_hash, interior_hash);
+}
+
+TEST(SubtreeHasherTest, NodesHashedCounter) {
+  Figure4Tree fig;
+  SubtreeHasher hasher(&fig.tree);
+  hasher.HashSubtreeBasic(fig.a).value();
+  EXPECT_EQ(hasher.nodes_hashed(), 4u);
+  hasher.HashSubtreeBasic(fig.a).value();
+  EXPECT_EQ(hasher.nodes_hashed(), 8u);  // basic never caches
+  hasher.ResetCounters();
+  EXPECT_EQ(hasher.nodes_hashed(), 0u);
+}
+
+TEST(SubtreeHasherTest, MissingRootFails) {
+  TreeStore tree;
+  SubtreeHasher hasher(&tree);
+  EXPECT_FALSE(hasher.HashSubtreeBasic(42).ok());
+}
+
+TEST(SubtreeHasherTest, AlgorithmsProduceDistinctHashes) {
+  Figure4Tree fig;
+  SubtreeHasher sha1(&fig.tree, crypto::HashAlgorithm::kSha1);
+  SubtreeHasher sha256(&fig.tree, crypto::HashAlgorithm::kSha256);
+  SubtreeHasher md5(&fig.tree, crypto::HashAlgorithm::kMd5);
+  EXPECT_EQ(sha1.HashSubtreeBasic(fig.a)->size(), 20u);
+  EXPECT_EQ(sha256.HashSubtreeBasic(fig.a)->size(), 32u);
+  EXPECT_EQ(md5.HashSubtreeBasic(fig.a)->size(), 16u);
+}
+
+// ---------------------------------------------------------------------
+// EconomicalHasher
+
+TEST(EconomicalHasherTest, AgreesWithBasicOnFreshTree) {
+  Figure4Tree fig;
+  SubtreeHasher basic(&fig.tree);
+  EconomicalHasher econ(&fig.tree);
+  EXPECT_EQ(*econ.HashSubtree(fig.a), *basic.HashSubtreeBasic(fig.a));
+}
+
+TEST(EconomicalHasherTest, SecondHashIsFullyCached) {
+  Figure4Tree fig;
+  EconomicalHasher econ(&fig.tree);
+  econ.HashSubtree(fig.a).value();
+  EXPECT_EQ(econ.nodes_hashed(), 4u);
+  econ.HashSubtree(fig.a).value();
+  EXPECT_EQ(econ.nodes_hashed(), 4u);  // no additional work
+}
+
+TEST(EconomicalHasherTest, UpdateRehashesOnlyDirtyPath) {
+  Figure4Tree fig;
+  EconomicalHasher econ(&fig.tree);
+  econ.HashSubtree(fig.a).value();
+  ASSERT_TRUE(fig.tree.Update(fig.d, Value::String("d'")).ok());
+  econ.Invalidate(fig.d);
+  econ.ResetCounters();
+  econ.HashSubtree(fig.a).value();
+  // Only D, B (D's parent), and A (root) are rehashed; C is reused.
+  EXPECT_EQ(econ.nodes_hashed(), 3u);
+}
+
+TEST(EconomicalHasherTest, StaysConsistentWithBasicAcrossRandomUpdates) {
+  Rng rng(31);
+  TreeStore tree;
+  ObjectId root = *tree.Insert(Value::Int(0));
+  std::vector<ObjectId> leaves;
+  for (int r = 0; r < 5; ++r) {
+    ObjectId row = *tree.Insert(Value::Int(r), root);
+    for (int c = 0; c < 6; ++c) {
+      leaves.push_back(*tree.Insert(Value::Int(c), row));
+    }
+  }
+  SubtreeHasher basic(&tree);
+  EconomicalHasher econ(&tree);
+  econ.HashSubtree(root).value();
+  for (int step = 0; step < 100; ++step) {
+    ObjectId leaf = leaves[rng.NextBelow(leaves.size())];
+    ASSERT_TRUE(
+        tree.Update(leaf, Value::Int(static_cast<int64_t>(rng.NextUint64())))
+            .ok());
+    econ.Invalidate(leaf);
+    ASSERT_EQ(*econ.HashSubtree(root), *basic.HashSubtreeBasic(root))
+        << "divergence at step " << step;
+  }
+}
+
+TEST(EconomicalHasherTest, InsertionHandledViaInvalidate) {
+  Figure4Tree fig;
+  SubtreeHasher basic(&fig.tree);
+  EconomicalHasher econ(&fig.tree);
+  econ.HashSubtree(fig.a).value();
+  ObjectId e = *fig.tree.Insert(Value::String("e"), fig.c);
+  econ.Invalidate(e);
+  EXPECT_EQ(*econ.HashSubtree(fig.a), *basic.HashSubtreeBasic(fig.a));
+}
+
+TEST(EconomicalHasherTest, DeletionHandledViaForgetAndInvalidate) {
+  Figure4Tree fig;
+  SubtreeHasher basic(&fig.tree);
+  EconomicalHasher econ(&fig.tree);
+  econ.HashSubtree(fig.a).value();
+  ASSERT_TRUE(fig.tree.Delete(fig.d).ok());
+  econ.Forget(fig.d);
+  econ.Invalidate(fig.b);
+  EXPECT_EQ(*econ.HashSubtree(fig.a), *basic.HashSubtreeBasic(fig.a));
+  EXPECT_FALSE(econ.CachedDigest(fig.d).ok());
+}
+
+TEST(EconomicalHasherTest, CachedDigestOnlyWhenClean) {
+  Figure4Tree fig;
+  EconomicalHasher econ(&fig.tree);
+  EXPECT_FALSE(econ.CachedDigest(fig.a).ok());  // nothing cached yet
+  econ.HashSubtree(fig.a).value();
+  EXPECT_TRUE(econ.CachedDigest(fig.a).ok());
+  EXPECT_TRUE(econ.CachedDigest(fig.d).ok());
+  econ.Invalidate(fig.d);
+  EXPECT_FALSE(econ.CachedDigest(fig.d).ok());
+  EXPECT_FALSE(econ.CachedDigest(fig.a).ok());  // ancestor dirtied
+  EXPECT_TRUE(econ.CachedDigest(fig.c).ok());   // sibling untouched
+}
+
+TEST(EconomicalHasherTest, PartialSubtreeHashFillsOnlyThatSubtree) {
+  Figure4Tree fig;
+  EconomicalHasher econ(&fig.tree);
+  econ.HashSubtree(fig.b).value();
+  EXPECT_EQ(econ.nodes_hashed(), 2u);  // B and D only
+  EXPECT_TRUE(econ.CachedDigest(fig.b).ok());
+  EXPECT_FALSE(econ.CachedDigest(fig.a).ok());
+}
+
+}  // namespace
+}  // namespace provdb::provenance

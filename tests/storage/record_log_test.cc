@@ -1,0 +1,154 @@
+#include "storage/record_log.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+
+namespace provdb::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Bytes Payload(std::string_view s) { return ByteView(s).ToBytes(); }
+
+TEST(RecordLogTest, AppendAndGet) {
+  RecordLog log;
+  EXPECT_EQ(log.record_count(), 0u);
+  uint64_t i0 = log.Append(Payload("first"));
+  uint64_t i1 = log.Append(Payload("second"));
+  EXPECT_EQ(i0, 0u);
+  EXPECT_EQ(i1, 1u);
+  EXPECT_EQ(log.record_count(), 2u);
+  EXPECT_EQ(log.Get(0)->ToString(), "first");
+  EXPECT_EQ(log.Get(1)->ToString(), "second");
+  EXPECT_FALSE(log.Get(2).ok());
+}
+
+TEST(RecordLogTest, EmptyPayloadAllowed) {
+  RecordLog log;
+  log.Append(ByteView());
+  EXPECT_EQ(log.record_count(), 1u);
+  EXPECT_TRUE(log.Get(0)->empty());
+}
+
+TEST(RecordLogTest, ByteAccounting) {
+  RecordLog log;
+  log.Append(Payload("abc"));
+  log.Append(Payload("defgh"));
+  EXPECT_EQ(log.total_payload_bytes(), 8u);
+  // frame = varint(3)+3+4 + varint(5)+5+4 = 8 + 10 + 2 varint bytes
+  EXPECT_EQ(log.total_frame_bytes(), 18u);
+}
+
+TEST(RecordLogTest, ForEachVisitsInOrder) {
+  RecordLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.Append(Payload("p" + std::to_string(i)));
+  }
+  std::vector<std::string> seen;
+  ASSERT_TRUE(log.ForEach([&](uint64_t index, ByteView payload) {
+    EXPECT_EQ(index, seen.size());
+    seen.push_back(payload.ToString());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen[7], "p7");
+}
+
+TEST(RecordLogTest, ForEachPropagatesError) {
+  RecordLog log;
+  log.Append(Payload("a"));
+  log.Append(Payload("b"));
+  int visits = 0;
+  Status s = log.ForEach([&](uint64_t, ByteView) {
+    ++visits;
+    return Status::Internal("boom");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(RecordLogTest, SaveLoadRoundTrip) {
+  std::string path = TempPath("log_roundtrip.bin");
+  RecordLog log;
+  Rng rng(42);
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 50; ++i) {
+    Bytes p;
+    rng.NextBytes(&p, rng.NextBelow(200));
+    payloads.push_back(p);
+    log.Append(p);
+  }
+  ASSERT_TRUE(log.SaveToFile(path).ok());
+
+  auto loaded = RecordLog::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->record_count(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(loaded->Get(i)->ToBytes(), payloads[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, EmptyLogRoundTrips) {
+  std::string path = TempPath("log_empty.bin");
+  RecordLog log;
+  ASSERT_TRUE(log.SaveToFile(path).ok());
+  auto loaded = RecordLog::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->record_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, CorruptionDetectedOnLoad) {
+  std::string path = TempPath("log_corrupt.bin");
+  RecordLog log;
+  log.Append(Payload("payload-one"));
+  log.Append(Payload("payload-two"));
+  ASSERT_TRUE(log.SaveToFile(path).ok());
+
+  // Flip one payload byte on disk.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 3, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, 3, SEEK_SET);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+
+  auto loaded = RecordLog::LoadFromFile(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, TruncationDetectedOnLoad) {
+  std::string path = TempPath("log_truncated.bin");
+  RecordLog log;
+  log.Append(Bytes(100, 0x55));
+  ASSERT_TRUE(log.SaveToFile(path).ok());
+
+  // Truncate the file mid-record.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(truncate(path.c_str(), 50), 0);
+  std::fclose(f);
+
+  EXPECT_FALSE(RecordLog::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, MissingFileFailsCleanly) {
+  auto loaded = RecordLog::LoadFromFile(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace provdb::storage

@@ -1,0 +1,132 @@
+#include "storage/relational.h"
+
+#include <gtest/gtest.h>
+
+namespace provdb::storage {
+namespace {
+
+class RelationalTest : public ::testing::Test {
+ protected:
+  RelationalTest() : db_("testdb") {}
+
+  ObjectId MakePatientsTable() {
+    auto table = db_.CreateTable("patients", {"age", "weight"});
+    EXPECT_TRUE(table.ok());
+    return *table;
+  }
+
+  RelationalDatabase db_;
+};
+
+TEST_F(RelationalTest, FreshDatabaseHasOnlyRoot) {
+  EXPECT_EQ(db_.NodeCount(), 1u);
+  EXPECT_EQ(db_.name(), "testdb");
+  auto root = db_.tree().GetNode(db_.root());
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->value, Value::String("testdb"));
+}
+
+TEST_F(RelationalTest, CreateTableAddsNodeUnderRoot) {
+  ObjectId table = MakePatientsTable();
+  EXPECT_EQ(db_.NodeCount(), 2u);
+  EXPECT_EQ((*db_.tree().GetNode(table))->parent, db_.root());
+  EXPECT_EQ(*db_.TableId("patients"), table);
+  EXPECT_EQ(*db_.Columns(table),
+            (std::vector<std::string>{"age", "weight"}));
+}
+
+TEST_F(RelationalTest, DuplicateTableNameFails) {
+  MakePatientsTable();
+  EXPECT_FALSE(db_.CreateTable("patients", {"x"}).ok());
+}
+
+TEST_F(RelationalTest, EmptySchemaFails) {
+  EXPECT_FALSE(db_.CreateTable("empty", {}).ok());
+}
+
+TEST_F(RelationalTest, InsertRowCreatesRowAndCells) {
+  ObjectId table = MakePatientsTable();
+  auto row = db_.InsertRow(table, {Value::Int(44), Value::Double(81.5)});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(db_.NodeCount(), 5u);  // root + table + row + 2 cells
+  EXPECT_EQ(*db_.GetCell(*row, 0), Value::Int(44));
+  EXPECT_EQ(*db_.GetCell(*row, 1), Value::Double(81.5));
+}
+
+TEST_F(RelationalTest, InsertRowArityChecked) {
+  ObjectId table = MakePatientsTable();
+  EXPECT_FALSE(db_.InsertRow(table, {Value::Int(44)}).ok());
+  EXPECT_FALSE(db_.InsertRow(table, {Value::Int(1), Value::Int(2),
+                                     Value::Int(3)})
+                   .ok());
+  EXPECT_FALSE(db_.InsertRow(999, {Value::Int(44)}).ok());
+}
+
+TEST_F(RelationalTest, UpdateCell) {
+  ObjectId table = MakePatientsTable();
+  auto row = db_.InsertRow(table, {Value::Int(44), Value::Double(81.5)});
+  ASSERT_TRUE(db_.UpdateCell(*row, 0, Value::Int(45)).ok());
+  EXPECT_EQ(*db_.GetCell(*row, 0), Value::Int(45));
+  EXPECT_FALSE(db_.UpdateCell(*row, 5, Value::Int(0)).ok());
+  EXPECT_FALSE(db_.UpdateCell(999, 0, Value::Int(0)).ok());
+}
+
+TEST_F(RelationalTest, DeleteRowRemovesRowAndCells) {
+  ObjectId table = MakePatientsTable();
+  auto row1 = db_.InsertRow(table, {Value::Int(1), Value::Double(1.0)});
+  auto row2 = db_.InsertRow(table, {Value::Int(2), Value::Double(2.0)});
+  size_t before = db_.NodeCount();
+  ASSERT_TRUE(db_.DeleteRow(*row1).ok());
+  EXPECT_EQ(db_.NodeCount(), before - 3);  // row + 2 cells
+  EXPECT_FALSE(db_.tree().Contains(*row1));
+  EXPECT_TRUE(db_.tree().Contains(*row2));
+  EXPECT_EQ(db_.RowsOf(table)->size(), 1u);
+}
+
+TEST_F(RelationalTest, RowsOfListsAscending) {
+  ObjectId table = MakePatientsTable();
+  std::vector<ObjectId> rows;
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back(
+        *db_.InsertRow(table, {Value::Int(i), Value::Double(i)}));
+  }
+  EXPECT_EQ(*db_.RowsOf(table), rows);
+}
+
+TEST_F(RelationalTest, RowOrdinalsStoredAsRowValues) {
+  ObjectId table = MakePatientsTable();
+  auto row0 = db_.InsertRow(table, {Value::Int(0), Value::Double(0)});
+  auto row1 = db_.InsertRow(table, {Value::Int(0), Value::Double(0)});
+  EXPECT_EQ((*db_.tree().GetNode(*row0))->value, Value::Int(0));
+  EXPECT_EQ((*db_.tree().GetNode(*row1))->value, Value::Int(1));
+}
+
+TEST_F(RelationalTest, MultipleTablesShareRoot) {
+  ObjectId t1 = MakePatientsTable();
+  auto t2 = db_.CreateTable("labs", {"wbc"});
+  ASSERT_TRUE(t2.ok());
+  auto root_node = db_.tree().GetNode(db_.root());
+  EXPECT_EQ((*root_node)->children.size(), 2u);
+  EXPECT_NE(t1, *t2);
+}
+
+TEST_F(RelationalTest, UnknownLookupsFail) {
+  EXPECT_FALSE(db_.TableId("missing").ok());
+  EXPECT_FALSE(db_.Columns(999).ok());
+  EXPECT_FALSE(db_.RowsOf(999).ok());
+  EXPECT_FALSE(db_.CellId(999, 0).ok());
+}
+
+TEST_F(RelationalTest, DepthFourStructure) {
+  // The paper's §5.1 tree: root(0) -> table(1) -> row(2) -> cell(3).
+  ObjectId table = MakePatientsTable();
+  auto row = db_.InsertRow(table, {Value::Int(1), Value::Double(2)});
+  auto cell = db_.CellId(*row, 0);
+  EXPECT_EQ(*db_.tree().DepthOf(db_.root()), 0u);
+  EXPECT_EQ(*db_.tree().DepthOf(table), 1u);
+  EXPECT_EQ(*db_.tree().DepthOf(*row), 2u);
+  EXPECT_EQ(*db_.tree().DepthOf(*cell), 3u);
+}
+
+}  // namespace
+}  // namespace provdb::storage

@@ -1,0 +1,129 @@
+// Property suite for TreeStore: random operation sequences must preserve
+// the structural invariants every higher layer depends on (parent/child
+// coherence, sorted children, size bookkeeping, id freshness).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "storage/tree_store.h"
+
+namespace provdb::storage {
+namespace {
+
+// Checks all structural invariants of the forest.
+void CheckInvariants(const TreeStore& tree,
+                     const std::set<ObjectId>& expected_live) {
+  // 1. Size bookkeeping.
+  ASSERT_EQ(tree.size(), expected_live.size());
+
+  size_t visited_total = 0;
+  std::set<ObjectId> seen;
+  for (ObjectId root : tree.SortedRoots()) {
+    ASSERT_TRUE(tree.VisitSubtree(root, [&](const TreeNode& node, size_t) {
+      // 2. Every visited node is live and visited exactly once.
+      EXPECT_TRUE(expected_live.count(node.id)) << node.id;
+      EXPECT_TRUE(seen.insert(node.id).second) << node.id;
+      ++visited_total;
+
+      // 3. Children sorted strictly ascending; each child's parent is us.
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) {
+          EXPECT_LT(node.children[i - 1], node.children[i]);
+        }
+        auto child = tree.GetNode(node.children[i]);
+        EXPECT_TRUE(child.ok());
+        EXPECT_EQ((*child)->parent, node.id);
+      }
+      // 4. Non-roots have live parents containing us.
+      if (!node.is_root()) {
+        auto parent = tree.GetNode(node.parent);
+        EXPECT_TRUE(parent.ok());
+        const auto& kids = (*parent)->children;
+        EXPECT_NE(std::find(kids.begin(), kids.end(), node.id), kids.end());
+      }
+      return Status::OK();
+    }).ok());
+  }
+  // 5. The forest covers all live nodes (no orphans, no cycles).
+  EXPECT_EQ(visited_total, expected_live.size());
+}
+
+class TreeStorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeStorePropertyTest, RandomOperationsPreserveInvariants) {
+  Rng rng(GetParam());
+  TreeStore tree;
+  std::set<ObjectId> live;
+  std::vector<ObjectId> live_list;
+  std::set<ObjectId> ever_allocated;
+
+  auto random_live = [&]() -> ObjectId {
+    return live_list[rng.NextBelow(live_list.size())];
+  };
+  auto refresh_list = [&]() {
+    live_list.assign(live.begin(), live.end());
+  };
+
+  for (int step = 0; step < 500; ++step) {
+    int action = static_cast<int>(rng.NextBelow(100));
+    if (action < 45 || live.empty()) {
+      // Insert (root 20% of the time).
+      ObjectId parent = kInvalidObjectId;
+      if (!live.empty() && !rng.NextBool(0.2)) {
+        refresh_list();
+        parent = random_live();
+      }
+      auto id = tree.Insert(Value::Int(static_cast<int64_t>(step)), parent);
+      ASSERT_TRUE(id.ok());
+      // Ids are never reused.
+      EXPECT_TRUE(ever_allocated.insert(*id).second);
+      live.insert(*id);
+    } else if (action < 65) {
+      // Update.
+      refresh_list();
+      ASSERT_TRUE(
+          tree.Update(random_live(),
+                      Value::Int(static_cast<int64_t>(rng.NextUint64())))
+              .ok());
+    } else if (action < 85) {
+      // Delete: legal only on leaves.
+      refresh_list();
+      ObjectId target = random_live();
+      bool is_leaf = tree.GetNode(target).value()->is_leaf();
+      Status s = tree.Delete(target);
+      EXPECT_EQ(s.ok(), is_leaf);
+      if (s.ok()) live.erase(target);
+    } else {
+      // Aggregate 1-2 live objects.
+      refresh_list();
+      std::vector<ObjectId> inputs = {random_live()};
+      if (rng.NextBool(0.5)) inputs.push_back(random_live());
+      size_t before = tree.size();
+      auto agg = tree.Aggregate(inputs, Value::Int(-1));
+      ASSERT_TRUE(agg.ok());
+      // All new ids from the aggregate are fresh; collect them.
+      size_t added = tree.size() - before;
+      ASSERT_TRUE(tree.VisitSubtree(*agg, [&](const TreeNode& n, size_t) {
+        if (!live.count(n.id)) {
+          EXPECT_TRUE(ever_allocated.insert(n.id).second);
+          live.insert(n.id);
+        }
+        return Status::OK();
+      }).ok());
+      EXPECT_EQ(tree.size() - before, added);
+    }
+
+    if (step % 50 == 0) {
+      CheckInvariants(tree, live);
+    }
+  }
+  CheckInvariants(tree, live);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeStorePropertyTest,
+                         ::testing::Values(1u, 17u, 91u, 333u));
+
+}  // namespace
+}  // namespace provdb::storage

@@ -1,0 +1,219 @@
+#include "storage/tree_store.h"
+
+#include <gtest/gtest.h>
+
+namespace provdb::storage {
+namespace {
+
+TEST(TreeStoreTest, InsertRootsAndChildren) {
+  TreeStore tree;
+  auto root = tree.Insert(Value::String("db"));
+  ASSERT_TRUE(root.ok());
+  auto child = tree.Insert(Value::Int(1), *root);
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(tree.size(), 2u);
+
+  auto node = tree.GetNode(*child);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->parent, *root);
+  EXPECT_EQ((*node)->value, Value::Int(1));
+  EXPECT_TRUE((*node)->is_leaf());
+
+  auto root_node = tree.GetNode(*root);
+  EXPECT_EQ((*root_node)->children, std::vector<ObjectId>{*child});
+  EXPECT_TRUE((*root_node)->is_root());
+}
+
+TEST(TreeStoreTest, InsertUnderMissingParentFails) {
+  TreeStore tree;
+  auto r = tree.Insert(Value::Int(1), 999);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(TreeStoreTest, IdsAreUniqueAndNeverReused) {
+  TreeStore tree;
+  auto a = tree.Insert(Value::Int(1));
+  auto b = tree.Insert(Value::Int(2));
+  EXPECT_NE(*a, *b);
+  ASSERT_TRUE(tree.Delete(*a).ok());
+  auto c = tree.Insert(Value::Int(3));
+  EXPECT_NE(*c, *a);
+  EXPECT_NE(*c, *b);
+}
+
+TEST(TreeStoreTest, ChildrenKeptSorted) {
+  TreeStore tree;
+  auto root = tree.Insert(Value::Int(0));
+  std::vector<ObjectId> kids;
+  for (int i = 0; i < 10; ++i) {
+    kids.push_back(*tree.Insert(Value::Int(i), *root));
+  }
+  auto node = tree.GetNode(*root);
+  std::vector<ObjectId> sorted = kids;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ((*node)->children, sorted);
+}
+
+TEST(TreeStoreTest, UpdateReplacesValue) {
+  TreeStore tree;
+  auto id = tree.Insert(Value::Int(1));
+  ASSERT_TRUE(tree.Update(*id, Value::String("new")).ok());
+  EXPECT_EQ((*tree.GetNode(*id))->value, Value::String("new"));
+  EXPECT_FALSE(tree.Update(12345, Value::Int(0)).ok());
+}
+
+TEST(TreeStoreTest, DeleteLeafOnly) {
+  TreeStore tree;
+  auto root = tree.Insert(Value::Int(0));
+  auto child = tree.Insert(Value::Int(1), *root);
+  Status s = tree.Delete(*root);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(tree.Delete(*child).ok());
+  EXPECT_TRUE(tree.Delete(*root).ok());  // now a leaf
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Delete(*child).ok());  // already gone
+}
+
+TEST(TreeStoreTest, DeleteDetachesFromParent) {
+  TreeStore tree;
+  auto root = tree.Insert(Value::Int(0));
+  auto a = tree.Insert(Value::Int(1), *root);
+  auto b = tree.Insert(Value::Int(2), *root);
+  ASSERT_TRUE(tree.Delete(*a).ok());
+  EXPECT_EQ((*tree.GetNode(*root))->children, std::vector<ObjectId>{*b});
+}
+
+TEST(TreeStoreTest, AggregateDeepCopiesInputs) {
+  TreeStore tree;
+  auto a = tree.Insert(Value::String("a"));
+  auto a_child = tree.Insert(Value::Int(1), *a);
+  auto b = tree.Insert(Value::String("b"));
+
+  auto agg = tree.Aggregate({*a, *b}, Value::String("agg"));
+  ASSERT_TRUE(agg.ok());
+  // Original inputs untouched and independent.
+  EXPECT_TRUE(tree.Contains(*a));
+  EXPECT_TRUE(tree.Contains(*b));
+  EXPECT_TRUE(tree.Contains(*a_child));
+
+  auto agg_node = tree.GetNode(*agg);
+  ASSERT_TRUE(agg_node.ok());
+  EXPECT_EQ((*agg_node)->children.size(), 2u);
+  EXPECT_TRUE((*agg_node)->is_root());
+
+  // The copies mirror structure and values but have fresh ids.
+  auto size = tree.SubtreeSize(*agg);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 4u);  // agg + copy(a) + copy(a_child) + copy(b)
+
+  // Mutating the original does not affect the aggregate copy.
+  ASSERT_TRUE(tree.Update(*a_child, Value::Int(999)).ok());
+  ObjectId copy_of_a = (*agg_node)->children[0];
+  auto copy_children = (*tree.GetNode(copy_of_a))->children;
+  ASSERT_EQ(copy_children.size(), 1u);
+  EXPECT_EQ((*tree.GetNode(copy_children[0]))->value, Value::Int(1));
+}
+
+TEST(TreeStoreTest, AggregateRequiresExistingInputs) {
+  TreeStore tree;
+  auto a = tree.Insert(Value::Int(1));
+  EXPECT_FALSE(tree.Aggregate({*a, 999}, Value::Int(0)).ok());
+  EXPECT_FALSE(tree.Aggregate({}, Value::Int(0)).ok());
+}
+
+TEST(TreeStoreTest, VisitSubtreePreOrderSortedChildren) {
+  TreeStore tree;
+  auto root = tree.Insert(Value::Int(0));
+  auto r1 = tree.Insert(Value::Int(1), *root);
+  auto r2 = tree.Insert(Value::Int(2), *root);
+  auto c1 = tree.Insert(Value::Int(11), *r1);
+  auto c2 = tree.Insert(Value::Int(12), *r1);
+
+  std::vector<ObjectId> order;
+  std::vector<size_t> depths;
+  ASSERT_TRUE(tree.VisitSubtree(*root, [&](const TreeNode& n, size_t d) {
+    order.push_back(n.id);
+    depths.push_back(d);
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(order, (std::vector<ObjectId>{*root, *r1, *c1, *c2, *r2}));
+  EXPECT_EQ(depths, (std::vector<size_t>{0, 1, 2, 2, 1}));
+}
+
+TEST(TreeStoreTest, VisitSubtreeStopsOnCallbackError) {
+  TreeStore tree;
+  auto root = tree.Insert(Value::Int(0));
+  tree.Insert(Value::Int(1), *root).value();
+  int visits = 0;
+  Status s = tree.VisitSubtree(*root, [&](const TreeNode&, size_t) {
+    ++visits;
+    return Status::Internal("stop");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(TreeStoreTest, VisitMissingRootFails) {
+  TreeStore tree;
+  EXPECT_FALSE(
+      tree.VisitSubtree(1, [](const TreeNode&, size_t) { return Status::OK(); })
+          .ok());
+}
+
+TEST(TreeStoreTest, AncestryQueries) {
+  TreeStore tree;
+  auto root = tree.Insert(Value::Int(0));
+  auto table = tree.Insert(Value::Int(1), *root);
+  auto row = tree.Insert(Value::Int(2), *table);
+  auto cell = tree.Insert(Value::Int(3), *row);
+
+  EXPECT_EQ(tree.AncestorsOf(*cell),
+            (std::vector<ObjectId>{*row, *table, *root}));
+  EXPECT_TRUE(tree.AncestorsOf(*root).empty());
+  EXPECT_TRUE(tree.AncestorsOf(999).empty());
+
+  EXPECT_EQ(*tree.RootOf(*cell), *root);
+  EXPECT_EQ(*tree.RootOf(*root), *root);
+  EXPECT_FALSE(tree.RootOf(999).ok());
+
+  EXPECT_EQ(*tree.DepthOf(*cell), 3u);
+  EXPECT_EQ(*tree.DepthOf(*root), 0u);
+}
+
+TEST(TreeStoreTest, SortedRootsListsAllForestRoots) {
+  TreeStore tree;
+  auto a = tree.Insert(Value::Int(1));
+  auto b = tree.Insert(Value::Int(2));
+  tree.Insert(Value::Int(3), *a).value();
+  std::vector<ObjectId> roots = tree.SortedRoots();
+  EXPECT_EQ(roots, (std::vector<ObjectId>{*a, *b}));
+}
+
+TEST(TreeStoreTest, SubtreeSizeCountsAllDescendants) {
+  TreeStore tree;
+  auto root = tree.Insert(Value::Int(0));
+  for (int r = 0; r < 3; ++r) {
+    auto row = tree.Insert(Value::Int(r), *root);
+    for (int c = 0; c < 4; ++c) {
+      tree.Insert(Value::Int(c), *row).value();
+    }
+  }
+  EXPECT_EQ(*tree.SubtreeSize(*root), 16u);  // 1 + 3 + 12
+  EXPECT_FALSE(tree.SubtreeSize(999).ok());
+}
+
+TEST(TreeStoreTest, DeepTreeTraversalDoesNotOverflowStack) {
+  TreeStore tree;
+  ObjectId current = *tree.Insert(Value::Int(0));
+  ObjectId root = current;
+  for (int i = 0; i < 100000; ++i) {
+    current = *tree.Insert(Value::Int(i), current);
+  }
+  EXPECT_EQ(*tree.SubtreeSize(root), 100001u);
+}
+
+}  // namespace
+}  // namespace provdb::storage

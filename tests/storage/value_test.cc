@@ -1,0 +1,135 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace provdb::storage {
+namespace {
+
+std::vector<Value> AllKindsOfValues() {
+  return {
+      Value::Null(),
+      Value::Int(0),
+      Value::Int(42),
+      Value::Int(-42),
+      Value::Int(std::numeric_limits<int64_t>::max()),
+      Value::Int(std::numeric_limits<int64_t>::min()),
+      Value::Double(0.0),
+      Value::Double(-0.0),
+      Value::Double(3.14159),
+      Value::Double(std::numeric_limits<double>::infinity()),
+      Value::String(""),
+      Value::String("hello"),
+      Value::String(std::string(1000, 'x')),
+      Value::Blob({}),
+      Value::Blob({0x00, 0xFF, 0x7F}),
+  };
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_EQ(Value::Int(1).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Double(1.0).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::String("s").type(), ValueType::kString);
+  EXPECT_EQ(Value::Blob({1}).type(), ValueType::kBytes);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_FALSE(Value::Int(0).is_null());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Blob({1, 2}).AsBlob(), (Bytes{1, 2}));
+}
+
+TEST(ValueTest, EqualityIsTypeSensitive) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  EXPECT_NE(Value::Int(3), Value::String("3"));
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CanonicalEncodeRoundTripAllKinds) {
+  for (const Value& v : AllKindsOfValues()) {
+    Bytes encoded;
+    v.CanonicalEncode(&encoded);
+    size_t consumed = 0;
+    auto back = Value::CanonicalDecode(encoded, &consumed);
+    ASSERT_TRUE(back.ok()) << v.ToString();
+    EXPECT_EQ(consumed, encoded.size()) << v.ToString();
+    EXPECT_EQ(*back, v) << v.ToString();
+  }
+}
+
+TEST(ValueTest, CanonicalEncodingIsInjectiveAcrossKinds) {
+  // Distinct values (including cross-type "same looking" values) must have
+  // distinct encodings — this is what makes the node hash collision-free.
+  std::vector<Value> values = AllKindsOfValues();
+  std::vector<Bytes> encodings;
+  for (const Value& v : values) {
+    Bytes e;
+    v.CanonicalEncode(&e);
+    encodings.push_back(std::move(e));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      if (values[i] == values[j]) continue;
+      EXPECT_NE(encodings[i], encodings[j])
+          << values[i].ToString() << " vs " << values[j].ToString();
+    }
+  }
+}
+
+TEST(ValueTest, NanRoundTripsBitExactly) {
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  Bytes encoded;
+  Value::Double(nan).CanonicalEncode(&encoded);
+  auto back = Value::CanonicalDecode(encoded, nullptr);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(std::isnan(back->AsDouble()));
+}
+
+TEST(ValueTest, DecodeConsumedAllowsConcatenatedValues) {
+  Bytes stream;
+  Value::Int(5).CanonicalEncode(&stream);
+  Value::String("xy").CanonicalEncode(&stream);
+  size_t consumed = 0;
+  auto first = Value::CanonicalDecode(stream, &consumed);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->AsInt(), 5);
+  auto second = Value::CanonicalDecode(
+      ByteView(stream).subview(consumed), nullptr);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->AsString(), "xy");
+}
+
+TEST(ValueTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Value::CanonicalDecode(ByteView(), nullptr).ok());
+  Bytes bad_tag = {0x09};
+  EXPECT_FALSE(Value::CanonicalDecode(bad_tag, nullptr).ok());
+  Bytes truncated_string = {static_cast<uint8_t>(ValueType::kString), 10, 'a'};
+  EXPECT_FALSE(Value::CanonicalDecode(truncated_string, nullptr).ok());
+  Bytes truncated_double = {static_cast<uint8_t>(ValueType::kDouble), 1, 2};
+  EXPECT_FALSE(Value::CanonicalDecode(truncated_double, nullptr).ok());
+}
+
+TEST(ValueTest, ApproximateSizeReflectsPayload) {
+  EXPECT_EQ(Value::String("abcd").ApproximateSize(), 4u);
+  EXPECT_EQ(Value::Blob(Bytes(100, 1)).ApproximateSize(), 100u);
+  EXPECT_EQ(Value::Int(5).ApproximateSize(), 8u);
+  EXPECT_EQ(Value::Null().ApproximateSize(), 1u);
+}
+
+TEST(ValueTest, ToStringRendersReadably) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(12).ToString(), "12");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Blob({0xAB}).ToString(), "0xab");
+}
+
+}  // namespace
+}  // namespace provdb::storage

@@ -1,0 +1,71 @@
+#ifndef PROVDB_TESTS_TESTING_TEST_PKI_H_
+#define PROVDB_TESTS_TESTING_TEST_PKI_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/pki.h"
+
+namespace provdb::testing {
+
+/// Shared PKI for tests: one CA plus a handful of participants with small
+/// (512-bit) RSA keys, generated once per test binary from a fixed seed.
+/// 512-bit keys keep test runtime low; production-size keys are covered by
+/// the crypto tests and the benchmarks.
+class TestPki {
+ public:
+  static constexpr size_t kNumParticipants = 4;
+  static constexpr size_t kKeyBits = 512;
+
+  static TestPki& Instance() {
+    return InstanceFor(crypto::HashAlgorithm::kSha1);
+  }
+
+  /// PKI whose participants hash-then-sign with `alg` (a deployment uses
+  /// one algorithm system-wide). Instances are cached per algorithm.
+  static TestPki& InstanceFor(crypto::HashAlgorithm alg) {
+    static std::map<crypto::HashAlgorithm, TestPki*>* instances =
+        new std::map<crypto::HashAlgorithm, TestPki*>();
+    auto it = instances->find(alg);
+    if (it == instances->end()) {
+      it = instances->emplace(alg, new TestPki(alg)).first;
+    }
+    return *it->second;
+  }
+
+  const crypto::CertificateAuthority& ca() const { return *ca_; }
+  const crypto::ParticipantRegistry& registry() const { return *registry_; }
+
+  /// Participant by index (1-based ids: participant(0) has id 1).
+  const crypto::Participant& participant(size_t i) const {
+    return *participants_.at(i);
+  }
+
+ private:
+  explicit TestPki(crypto::HashAlgorithm alg) {
+    Rng rng(0xC0FFEE);
+    auto ca = crypto::CertificateAuthority::Create(kKeyBits, &rng);
+    ca_ = std::make_unique<crypto::CertificateAuthority>(
+        std::move(ca).value());
+    registry_ =
+        std::make_unique<crypto::ParticipantRegistry>(ca_->public_key());
+    for (size_t i = 0; i < kNumParticipants; ++i) {
+      auto p = crypto::Participant::Create(
+          i + 1, "participant" + std::to_string(i + 1), kKeyBits, &rng, *ca_,
+          alg);
+      participants_.push_back(
+          std::make_unique<crypto::Participant>(std::move(p).value()));
+      registry_->Register(participants_.back()->certificate());
+    }
+  }
+
+  std::unique_ptr<crypto::CertificateAuthority> ca_;
+  std::unique_ptr<crypto::ParticipantRegistry> registry_;
+  std::vector<std::unique_ptr<crypto::Participant>> participants_;
+};
+
+}  // namespace provdb::testing
+
+#endif  // PROVDB_TESTS_TESTING_TEST_PKI_H_

@@ -1,0 +1,184 @@
+#include "workload/operations.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "provenance/verifier.h"
+#include "testing/test_pki.h"
+
+namespace provdb::workload {
+namespace {
+
+using provdb::testing::TestPki;
+using provenance::TrackedDatabase;
+using storage::ObjectId;
+
+class OperationsTest : public ::testing::Test {
+ protected:
+  // A small synthetic table (4 attrs x 20 rows) inside a TrackedDatabase,
+  // bootstrapped untracked like the paper's experiments.
+  void SetUp() override {
+    Rng rng(99);
+    auto layout = BuildSyntheticDatabase(&db_.bootstrap_tree(),
+                                         {{4, 20}}, &rng);
+    ASSERT_TRUE(layout.ok());
+    layout_ = *layout;
+  }
+
+  const crypto::Participant& participant() {
+    return TestPki::Instance().participant(0);
+  }
+
+  TrackedDatabase db_;
+  SyntheticLayout layout_;
+};
+
+TEST_F(OperationsTest, UpdateScriptTargetsDistinctCells) {
+  Rng rng(1);
+  auto script = MakeUpdateScript(layout_.tables[0], 12, 6, &rng);
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->ops.size(), 12u);
+  std::set<std::pair<ObjectId, size_t>> cells;
+  std::set<ObjectId> rows;
+  for (const PrimitiveOp& op : script->ops) {
+    EXPECT_EQ(op.kind, PrimitiveOp::Kind::kUpdateCell);
+    EXPECT_TRUE(cells.insert({op.row, op.column}).second)
+        << "duplicate cell target";
+    rows.insert(op.row);
+  }
+  EXPECT_EQ(rows.size(), 6u);
+}
+
+TEST_F(OperationsTest, UpdateScriptValidatesParameters) {
+  Rng rng(2);
+  // More per-row updates than columns.
+  EXPECT_FALSE(MakeUpdateScript(layout_.tables[0], 100, 2, &rng).ok());
+  // More rows than the table has.
+  EXPECT_FALSE(MakeUpdateScript(layout_.tables[0], 25, 25, &rng).ok());
+  EXPECT_FALSE(MakeUpdateScript(layout_.tables[0], 0, 0, &rng).ok());
+}
+
+TEST_F(OperationsTest, DeleteScriptPicksDistinctRows) {
+  Rng rng(3);
+  auto script = MakeDeleteScript(layout_.tables[0], 5, &rng);
+  ASSERT_TRUE(script.ok());
+  std::set<ObjectId> rows;
+  for (const PrimitiveOp& op : script->ops) {
+    EXPECT_EQ(op.kind, PrimitiveOp::Kind::kDeleteRow);
+    EXPECT_TRUE(rows.insert(op.row).second);
+  }
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_FALSE(MakeDeleteScript(layout_.tables[0], 21, &rng).ok());
+}
+
+TEST_F(OperationsTest, MixedScriptDisjointTargetsAndShuffled) {
+  Rng rng(4);
+  auto script = MakeMixedScript(layout_.tables[0], 4, 3, 5, &rng);
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->ops.size(), 12u);
+  std::set<ObjectId> deleted, updated;
+  size_t inserts = 0;
+  for (const PrimitiveOp& op : script->ops) {
+    switch (op.kind) {
+      case PrimitiveOp::Kind::kDeleteRow:
+        deleted.insert(op.row);
+        break;
+      case PrimitiveOp::Kind::kUpdateCell:
+        updated.insert(op.row);
+        break;
+      case PrimitiveOp::Kind::kInsertRow:
+        ++inserts;
+        break;
+    }
+  }
+  EXPECT_EQ(deleted.size(), 4u);
+  EXPECT_EQ(inserts, 3u);
+  for (ObjectId row : updated) {
+    EXPECT_EQ(deleted.count(row), 0u) << "update targets a deleted row";
+  }
+}
+
+TEST_F(OperationsTest, MixedScriptRejectsOverlappingDemand) {
+  Rng rng(5);
+  EXPECT_FALSE(MakeMixedScript(layout_.tables[0], 15, 0, 10, &rng).ok());
+}
+
+TEST_F(OperationsTest, ExecuteUpdateScriptRecordCount) {
+  Rng rng(6);
+  auto script = MakeUpdateScript(layout_.tables[0], 8, 4, &rng);
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(
+      ExecuteAsComplexOperation(&db_, participant(), *script, &rng).ok());
+  // 8 cells + 4 rows + table + root.
+  EXPECT_EQ(db_.last_op_metrics().checksums, 14u);
+}
+
+TEST_F(OperationsTest, ExecuteDeleteScriptRecordCount) {
+  Rng rng(7);
+  auto script = MakeDeleteScript(layout_.tables[0], 3, &rng);
+  ASSERT_TRUE(script.ok());
+  size_t nodes_before = db_.tree().size();
+  ASSERT_TRUE(
+      ExecuteAsComplexOperation(&db_, participant(), *script, &rng).ok());
+  // Rows and their cells are gone; only table + root survive as touched.
+  EXPECT_EQ(db_.last_op_metrics().checksums, 2u);
+  EXPECT_EQ(db_.tree().size(), nodes_before - 3 * 5);  // 3 rows x (1+4)
+}
+
+TEST_F(OperationsTest, ExecuteInsertScriptRecordCount) {
+  Rng rng(8);
+  auto script = MakeInsertScript(layout_.tables[0], 2, &rng);
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(
+      ExecuteAsComplexOperation(&db_, participant(), *script, &rng).ok());
+  // 2 rows + 8 cells inserted, + table + root inherited.
+  EXPECT_EQ(db_.last_op_metrics().checksums, 12u);
+  EXPECT_EQ(db_.tree().size(), ExpectedNodeCount({{4, 20}}) + 2 * 5);
+}
+
+TEST_F(OperationsTest, ExecutedScriptsProduceVerifiableProvenance) {
+  Rng rng(9);
+  auto script = MakeMixedScript(layout_.tables[0], 2, 2, 4, &rng);
+  ASSERT_TRUE(script.ok());
+  ASSERT_TRUE(
+      ExecuteAsComplexOperation(&db_, participant(), *script, &rng).ok());
+
+  auto bundle = db_.ExportForRecipient(layout_.root);
+  ASSERT_TRUE(bundle.ok());
+  provenance::ProvenanceVerifier verifier(&TestPki::Instance().registry());
+  auto report = verifier.Verify(*bundle);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST_F(OperationsTest, SequentialComplexOperationsCompose) {
+  Rng rng(10);
+  for (int round = 0; round < 3; ++round) {
+    auto script = MakeUpdateScript(layout_.tables[0], 4, 4, &rng);
+    ASSERT_TRUE(script.ok());
+    ASSERT_TRUE(
+        ExecuteAsComplexOperation(&db_, participant(), *script, &rng).ok());
+  }
+  auto bundle = db_.ExportForRecipient(layout_.root);
+  ASSERT_TRUE(bundle.ok());
+  provenance::ProvenanceVerifier verifier(&TestPki::Instance().registry());
+  EXPECT_TRUE(verifier.Verify(*bundle).ok());
+  // Root chain advanced once per complex operation.
+  EXPECT_EQ(db_.provenance().ChainOf(layout_.root).size(), 3u);
+}
+
+TEST_F(OperationsTest, PaperSetupCMixesSumTo500) {
+  for (const MixSpec& mix : PaperSetupCMixes()) {
+    EXPECT_EQ(mix.deletes + mix.inserts + mix.updates, 500u);
+  }
+  ASSERT_EQ(PaperSetupCMixes().size(), 4u);
+  // Delete share strictly increases across the four mixes (Fig. 10's
+  // x-axis ordering).
+  const auto& mixes = PaperSetupCMixes();
+  for (size_t i = 1; i < mixes.size(); ++i) {
+    EXPECT_GT(mixes[i].deletes, mixes[i - 1].deletes);
+  }
+}
+
+}  // namespace
+}  // namespace provdb::workload

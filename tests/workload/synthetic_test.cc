@@ -1,0 +1,105 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace provdb::workload {
+namespace {
+
+using storage::ObjectId;
+using storage::TreeStore;
+
+TEST(SyntheticTest, PaperTableSpecsMatchTable1a) {
+  const auto& specs = PaperTableSpecs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].num_attributes, 8);
+  EXPECT_EQ(specs[0].num_rows, 4000);
+  EXPECT_EQ(specs[1].num_attributes, 9);
+  EXPECT_EQ(specs[1].num_rows, 3000);
+  EXPECT_EQ(specs[2].num_attributes, 10);
+  EXPECT_EQ(specs[2].num_rows, 2000);
+  EXPECT_EQ(specs[3].num_attributes, 5);
+  EXPECT_EQ(specs[3].num_rows, 5000);
+}
+
+TEST(SyntheticTest, NodeCountsMatchTable1b) {
+  const auto& specs = PaperTableSpecs();
+  // Cumulative combinations from Table 1(b). The paper prints 36002,
+  // 66000, 88004, 118006; exact arithmetic gives 36002, 66003, 88004,
+  // 118005 (the paper's 2nd and 4th entries carry small slips).
+  EXPECT_EQ(ExpectedNodeCount({specs[0]}), 36002u);
+  EXPECT_EQ(ExpectedNodeCount({specs[0], specs[1]}), 66003u);
+  EXPECT_EQ(ExpectedNodeCount({specs[0], specs[1], specs[2]}), 88004u);
+  EXPECT_EQ(ExpectedNodeCount(specs), 118005u);
+}
+
+TEST(SyntheticTest, BuiltDatabaseMatchesExpectedCounts) {
+  Rng rng(1);
+  TreeStore tree;
+  auto layout = BuildSyntheticDatabase(
+      &tree, {{3, 10}, {2, 5}}, &rng);
+  ASSERT_TRUE(layout.ok());
+  // 1 root + 2 tables + 15 rows + (30 + 10) cells.
+  EXPECT_EQ(tree.size(), ExpectedNodeCount({{3, 10}, {2, 5}}));
+  EXPECT_EQ(tree.size(), 58u);
+  ASSERT_EQ(layout->tables.size(), 2u);
+  EXPECT_EQ(layout->tables[0].rows.size(), 10u);
+  EXPECT_EQ(layout->tables[1].rows.size(), 5u);
+  EXPECT_EQ(layout->tables[0].num_attributes, 3);
+}
+
+TEST(SyntheticTest, DepthFourStructure) {
+  Rng rng(2);
+  TreeStore tree;
+  auto layout = BuildSyntheticDatabase(&tree, {{2, 3}}, &rng);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(*tree.DepthOf(layout->root), 0u);
+  EXPECT_EQ(*tree.DepthOf(layout->tables[0].table_id), 1u);
+  ObjectId row = layout->tables[0].rows[0];
+  EXPECT_EQ(*tree.DepthOf(row), 2u);
+  auto cell = CellIdOf(tree, row, 0);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(*tree.DepthOf(*cell), 3u);
+}
+
+TEST(SyntheticTest, AllCellsAreIntegers) {
+  Rng rng(3);
+  TreeStore tree;
+  auto layout = BuildSyntheticDatabase(&tree, {{4, 6}}, &rng);
+  ASSERT_TRUE(layout.ok());
+  for (ObjectId row : layout->tables[0].rows) {
+    for (size_t c = 0; c < 4; ++c) {
+      auto cell = CellIdOf(tree, row, c);
+      ASSERT_TRUE(cell.ok());
+      EXPECT_EQ((*tree.GetNode(*cell))->value.type(),
+                storage::ValueType::kInt);
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  TreeStore t1, t2;
+  Rng rng1(42), rng2(42);
+  BuildSyntheticDatabase(&t1, {{3, 4}}, &rng1).value();
+  auto layout2 = BuildSyntheticDatabase(&t2, {{3, 4}}, &rng2);
+  ASSERT_TRUE(layout2.ok());
+  // Same seeds -> identical values at identical positions.
+  for (ObjectId row : layout2->tables[0].rows) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ((*t1.GetNode(*CellIdOf(t1, row, c)))->value,
+                (*t2.GetNode(*CellIdOf(t2, row, c)))->value);
+    }
+  }
+}
+
+TEST(SyntheticTest, CellIdOfBoundsChecked) {
+  Rng rng(4);
+  TreeStore tree;
+  auto layout = BuildSyntheticDatabase(&tree, {{2, 2}}, &rng);
+  ObjectId row = layout->tables[0].rows[0];
+  EXPECT_TRUE(CellIdOf(tree, row, 1).ok());
+  EXPECT_FALSE(CellIdOf(tree, row, 2).ok());
+  EXPECT_FALSE(CellIdOf(tree, 99999, 0).ok());
+}
+
+}  // namespace
+}  // namespace provdb::workload
