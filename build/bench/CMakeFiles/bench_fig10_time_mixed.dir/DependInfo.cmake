@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_time_mixed.cc" "bench/CMakeFiles/bench_fig10_time_mixed.dir/bench_fig10_time_mixed.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_time_mixed.dir/bench_fig10_time_mixed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/provdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/provdb_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/provdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/provdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/provdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

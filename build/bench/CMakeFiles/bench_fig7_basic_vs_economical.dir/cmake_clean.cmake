@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_basic_vs_economical.dir/bench_fig7_basic_vs_economical.cc.o"
+  "CMakeFiles/bench_fig7_basic_vs_economical.dir/bench_fig7_basic_vs_economical.cc.o.d"
+  "bench_fig7_basic_vs_economical"
+  "bench_fig7_basic_vs_economical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_basic_vs_economical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_basic_vs_economical.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hash_algorithms.dir/bench_hash_algorithms.cc.o"
+  "CMakeFiles/bench_hash_algorithms.dir/bench_hash_algorithms.cc.o.d"
+  "bench_hash_algorithms"
+  "bench_hash_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hash_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

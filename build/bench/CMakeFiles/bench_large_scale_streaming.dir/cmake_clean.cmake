@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_large_scale_streaming.dir/bench_large_scale_streaming.cc.o"
+  "CMakeFiles/bench_large_scale_streaming.dir/bench_large_scale_streaming.cc.o.d"
+  "bench_large_scale_streaming"
+  "bench_large_scale_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_large_scale_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

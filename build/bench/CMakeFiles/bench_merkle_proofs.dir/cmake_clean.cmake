@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merkle_proofs.dir/bench_merkle_proofs.cc.o"
+  "CMakeFiles/bench_merkle_proofs.dir/bench_merkle_proofs.cc.o.d"
+  "bench_merkle_proofs"
+  "bench_merkle_proofs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merkle_proofs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_merkle_proofs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_clinical_trial.dir/clinical_trial.cpp.o"
+  "CMakeFiles/example_clinical_trial.dir/clinical_trial.cpp.o.d"
+  "example_clinical_trial"
+  "example_clinical_trial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_clinical_trial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

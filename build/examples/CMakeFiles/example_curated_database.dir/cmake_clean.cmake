@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_curated_database.dir/curated_database.cpp.o"
+  "CMakeFiles/example_curated_database.dir/curated_database.cpp.o.d"
+  "example_curated_database"
+  "example_curated_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_curated_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fine_grained_audit.dir/fine_grained_audit.cpp.o"
+  "CMakeFiles/example_fine_grained_audit.dir/fine_grained_audit.cpp.o.d"
+  "example_fine_grained_audit"
+  "example_fine_grained_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fine_grained_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

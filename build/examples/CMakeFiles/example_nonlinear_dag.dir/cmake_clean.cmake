@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nonlinear_dag.dir/nonlinear_dag.cpp.o"
+  "CMakeFiles/example_nonlinear_dag.dir/nonlinear_dag.cpp.o.d"
+  "example_nonlinear_dag"
+  "example_nonlinear_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nonlinear_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tamper_detection.dir/tamper_detection.cpp.o"
+  "CMakeFiles/example_tamper_detection.dir/tamper_detection.cpp.o.d"
+  "example_tamper_detection"
+  "example_tamper_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tamper_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provdb_common.dir/bytes.cc.o"
+  "CMakeFiles/provdb_common.dir/bytes.cc.o.d"
+  "CMakeFiles/provdb_common.dir/crc32.cc.o"
+  "CMakeFiles/provdb_common.dir/crc32.cc.o.d"
+  "CMakeFiles/provdb_common.dir/hex.cc.o"
+  "CMakeFiles/provdb_common.dir/hex.cc.o.d"
+  "CMakeFiles/provdb_common.dir/rng.cc.o"
+  "CMakeFiles/provdb_common.dir/rng.cc.o.d"
+  "CMakeFiles/provdb_common.dir/status.cc.o"
+  "CMakeFiles/provdb_common.dir/status.cc.o.d"
+  "CMakeFiles/provdb_common.dir/varint.cc.o"
+  "CMakeFiles/provdb_common.dir/varint.cc.o.d"
+  "libprovdb_common.a"
+  "libprovdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

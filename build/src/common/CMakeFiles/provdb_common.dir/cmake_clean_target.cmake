@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprovdb_common.a"
+)

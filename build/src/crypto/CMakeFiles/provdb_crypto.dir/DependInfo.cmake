@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cc" "src/crypto/CMakeFiles/provdb_crypto.dir/bignum.cc.o" "gcc" "src/crypto/CMakeFiles/provdb_crypto.dir/bignum.cc.o.d"
+  "/root/repo/src/crypto/digest.cc" "src/crypto/CMakeFiles/provdb_crypto.dir/digest.cc.o" "gcc" "src/crypto/CMakeFiles/provdb_crypto.dir/digest.cc.o.d"
+  "/root/repo/src/crypto/hash.cc" "src/crypto/CMakeFiles/provdb_crypto.dir/hash.cc.o" "gcc" "src/crypto/CMakeFiles/provdb_crypto.dir/hash.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/provdb_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/provdb_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/md5.cc" "src/crypto/CMakeFiles/provdb_crypto.dir/md5.cc.o" "gcc" "src/crypto/CMakeFiles/provdb_crypto.dir/md5.cc.o.d"
+  "/root/repo/src/crypto/pki.cc" "src/crypto/CMakeFiles/provdb_crypto.dir/pki.cc.o" "gcc" "src/crypto/CMakeFiles/provdb_crypto.dir/pki.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/crypto/CMakeFiles/provdb_crypto.dir/rsa.cc.o" "gcc" "src/crypto/CMakeFiles/provdb_crypto.dir/rsa.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/crypto/CMakeFiles/provdb_crypto.dir/sha1.cc.o" "gcc" "src/crypto/CMakeFiles/provdb_crypto.dir/sha1.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/provdb_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/provdb_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/signer.cc" "src/crypto/CMakeFiles/provdb_crypto.dir/signer.cc.o" "gcc" "src/crypto/CMakeFiles/provdb_crypto.dir/signer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provdb_crypto.dir/bignum.cc.o"
+  "CMakeFiles/provdb_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/provdb_crypto.dir/digest.cc.o"
+  "CMakeFiles/provdb_crypto.dir/digest.cc.o.d"
+  "CMakeFiles/provdb_crypto.dir/hash.cc.o"
+  "CMakeFiles/provdb_crypto.dir/hash.cc.o.d"
+  "CMakeFiles/provdb_crypto.dir/hmac.cc.o"
+  "CMakeFiles/provdb_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/provdb_crypto.dir/md5.cc.o"
+  "CMakeFiles/provdb_crypto.dir/md5.cc.o.d"
+  "CMakeFiles/provdb_crypto.dir/pki.cc.o"
+  "CMakeFiles/provdb_crypto.dir/pki.cc.o.d"
+  "CMakeFiles/provdb_crypto.dir/rsa.cc.o"
+  "CMakeFiles/provdb_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/provdb_crypto.dir/sha1.cc.o"
+  "CMakeFiles/provdb_crypto.dir/sha1.cc.o.d"
+  "CMakeFiles/provdb_crypto.dir/sha256.cc.o"
+  "CMakeFiles/provdb_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/provdb_crypto.dir/signer.cc.o"
+  "CMakeFiles/provdb_crypto.dir/signer.cc.o.d"
+  "libprovdb_crypto.a"
+  "libprovdb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provdb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/attack.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/attack.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/attack.cc.o.d"
+  "/root/repo/src/provenance/auditor.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/auditor.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/auditor.cc.o.d"
+  "/root/repo/src/provenance/bundle.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/bundle.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/bundle.cc.o.d"
+  "/root/repo/src/provenance/checksum.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/checksum.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/checksum.cc.o.d"
+  "/root/repo/src/provenance/json_export.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/json_export.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/json_export.cc.o.d"
+  "/root/repo/src/provenance/merkle_proof.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/merkle_proof.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/merkle_proof.cc.o.d"
+  "/root/repo/src/provenance/provenance_store.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/provenance_store.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/provenance_store.cc.o.d"
+  "/root/repo/src/provenance/query.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/query.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/query.cc.o.d"
+  "/root/repo/src/provenance/record.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/record.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/record.cc.o.d"
+  "/root/repo/src/provenance/serialization.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/serialization.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/serialization.cc.o.d"
+  "/root/repo/src/provenance/streaming_hasher.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/streaming_hasher.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/streaming_hasher.cc.o.d"
+  "/root/repo/src/provenance/subtree_hasher.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/subtree_hasher.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/subtree_hasher.cc.o.d"
+  "/root/repo/src/provenance/tracked_database.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/tracked_database.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/tracked_database.cc.o.d"
+  "/root/repo/src/provenance/tracked_relational.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/tracked_relational.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/tracked_relational.cc.o.d"
+  "/root/repo/src/provenance/verifier.cc" "src/provenance/CMakeFiles/provdb_provenance.dir/verifier.cc.o" "gcc" "src/provenance/CMakeFiles/provdb_provenance.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/provdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/provdb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

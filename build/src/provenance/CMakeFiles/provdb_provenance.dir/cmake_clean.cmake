@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provdb_provenance.dir/attack.cc.o"
+  "CMakeFiles/provdb_provenance.dir/attack.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/auditor.cc.o"
+  "CMakeFiles/provdb_provenance.dir/auditor.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/bundle.cc.o"
+  "CMakeFiles/provdb_provenance.dir/bundle.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/checksum.cc.o"
+  "CMakeFiles/provdb_provenance.dir/checksum.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/json_export.cc.o"
+  "CMakeFiles/provdb_provenance.dir/json_export.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/merkle_proof.cc.o"
+  "CMakeFiles/provdb_provenance.dir/merkle_proof.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/provenance_store.cc.o"
+  "CMakeFiles/provdb_provenance.dir/provenance_store.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/query.cc.o"
+  "CMakeFiles/provdb_provenance.dir/query.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/record.cc.o"
+  "CMakeFiles/provdb_provenance.dir/record.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/serialization.cc.o"
+  "CMakeFiles/provdb_provenance.dir/serialization.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/streaming_hasher.cc.o"
+  "CMakeFiles/provdb_provenance.dir/streaming_hasher.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/subtree_hasher.cc.o"
+  "CMakeFiles/provdb_provenance.dir/subtree_hasher.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/tracked_database.cc.o"
+  "CMakeFiles/provdb_provenance.dir/tracked_database.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/tracked_relational.cc.o"
+  "CMakeFiles/provdb_provenance.dir/tracked_relational.cc.o.d"
+  "CMakeFiles/provdb_provenance.dir/verifier.cc.o"
+  "CMakeFiles/provdb_provenance.dir/verifier.cc.o.d"
+  "libprovdb_provenance.a"
+  "libprovdb_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provdb_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

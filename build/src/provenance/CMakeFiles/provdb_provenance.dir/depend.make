@@ -1,0 +1,2 @@
+# Empty dependencies file for provdb_provenance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/record_log.cc" "src/storage/CMakeFiles/provdb_storage.dir/record_log.cc.o" "gcc" "src/storage/CMakeFiles/provdb_storage.dir/record_log.cc.o.d"
+  "/root/repo/src/storage/relational.cc" "src/storage/CMakeFiles/provdb_storage.dir/relational.cc.o" "gcc" "src/storage/CMakeFiles/provdb_storage.dir/relational.cc.o.d"
+  "/root/repo/src/storage/tree_store.cc" "src/storage/CMakeFiles/provdb_storage.dir/tree_store.cc.o" "gcc" "src/storage/CMakeFiles/provdb_storage.dir/tree_store.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/provdb_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/provdb_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/provdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provdb_storage.dir/record_log.cc.o"
+  "CMakeFiles/provdb_storage.dir/record_log.cc.o.d"
+  "CMakeFiles/provdb_storage.dir/relational.cc.o"
+  "CMakeFiles/provdb_storage.dir/relational.cc.o.d"
+  "CMakeFiles/provdb_storage.dir/tree_store.cc.o"
+  "CMakeFiles/provdb_storage.dir/tree_store.cc.o.d"
+  "CMakeFiles/provdb_storage.dir/value.cc.o"
+  "CMakeFiles/provdb_storage.dir/value.cc.o.d"
+  "libprovdb_storage.a"
+  "libprovdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provdb_workload.dir/operations.cc.o"
+  "CMakeFiles/provdb_workload.dir/operations.cc.o.d"
+  "CMakeFiles/provdb_workload.dir/synthetic.cc.o"
+  "CMakeFiles/provdb_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/provdb_workload.dir/title_source.cc.o"
+  "CMakeFiles/provdb_workload.dir/title_source.cc.o.d"
+  "libprovdb_workload.a"
+  "libprovdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

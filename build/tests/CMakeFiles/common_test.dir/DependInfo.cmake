@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bytes_test.cc" "tests/CMakeFiles/common_test.dir/common/bytes_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/bytes_test.cc.o.d"
+  "/root/repo/tests/common/crc32_test.cc" "tests/CMakeFiles/common_test.dir/common/crc32_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/crc32_test.cc.o.d"
+  "/root/repo/tests/common/hex_test.cc" "tests/CMakeFiles/common_test.dir/common/hex_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/hex_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/common_test.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/varint_test.cc" "tests/CMakeFiles/common_test.dir/common/varint_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/varint_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/provdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/provdb_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/provdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/provdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/provdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/bignum_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/bignum_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/bignum_test.cc.o.d"
+  "/root/repo/tests/crypto/bignum_vectors_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/bignum_vectors_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/bignum_vectors_test.cc.o.d"
+  "/root/repo/tests/crypto/digest_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/digest_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/digest_test.cc.o.d"
+  "/root/repo/tests/crypto/hash_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/hash_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/hash_test.cc.o.d"
+  "/root/repo/tests/crypto/hmac_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/hmac_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/hmac_test.cc.o.d"
+  "/root/repo/tests/crypto/pki_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/pki_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/pki_test.cc.o.d"
+  "/root/repo/tests/crypto/rsa_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/rsa_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/rsa_test.cc.o.d"
+  "/root/repo/tests/crypto/signer_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/signer_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/signer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/provdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/provdb_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/provdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/provdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/provdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_scenarios_test.dir/integration/compound_aggregation_test.cc.o"
+  "CMakeFiles/integration_scenarios_test.dir/integration/compound_aggregation_test.cc.o.d"
+  "CMakeFiles/integration_scenarios_test.dir/integration/persistence_test.cc.o"
+  "CMakeFiles/integration_scenarios_test.dir/integration/persistence_test.cc.o.d"
+  "CMakeFiles/integration_scenarios_test.dir/integration/workload_scale_test.cc.o"
+  "CMakeFiles/integration_scenarios_test.dir/integration/workload_scale_test.cc.o.d"
+  "integration_scenarios_test"
+  "integration_scenarios_test.pdb"
+  "integration_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

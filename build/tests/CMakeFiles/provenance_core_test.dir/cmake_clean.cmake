@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_core_test.dir/provenance/bundle_test.cc.o"
+  "CMakeFiles/provenance_core_test.dir/provenance/bundle_test.cc.o.d"
+  "CMakeFiles/provenance_core_test.dir/provenance/chain_test.cc.o"
+  "CMakeFiles/provenance_core_test.dir/provenance/chain_test.cc.o.d"
+  "CMakeFiles/provenance_core_test.dir/provenance/checksum_test.cc.o"
+  "CMakeFiles/provenance_core_test.dir/provenance/checksum_test.cc.o.d"
+  "CMakeFiles/provenance_core_test.dir/provenance/provenance_store_test.cc.o"
+  "CMakeFiles/provenance_core_test.dir/provenance/provenance_store_test.cc.o.d"
+  "CMakeFiles/provenance_core_test.dir/provenance/serialization_test.cc.o"
+  "CMakeFiles/provenance_core_test.dir/provenance/serialization_test.cc.o.d"
+  "CMakeFiles/provenance_core_test.dir/provenance/streaming_hasher_test.cc.o"
+  "CMakeFiles/provenance_core_test.dir/provenance/streaming_hasher_test.cc.o.d"
+  "CMakeFiles/provenance_core_test.dir/provenance/subtree_hasher_test.cc.o"
+  "CMakeFiles/provenance_core_test.dir/provenance/subtree_hasher_test.cc.o.d"
+  "provenance_core_test"
+  "provenance_core_test.pdb"
+  "provenance_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

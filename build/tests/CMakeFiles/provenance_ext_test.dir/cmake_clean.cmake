@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_ext_test.dir/provenance/auditor_test.cc.o"
+  "CMakeFiles/provenance_ext_test.dir/provenance/auditor_test.cc.o.d"
+  "CMakeFiles/provenance_ext_test.dir/provenance/deep_export_test.cc.o"
+  "CMakeFiles/provenance_ext_test.dir/provenance/deep_export_test.cc.o.d"
+  "CMakeFiles/provenance_ext_test.dir/provenance/json_export_test.cc.o"
+  "CMakeFiles/provenance_ext_test.dir/provenance/json_export_test.cc.o.d"
+  "CMakeFiles/provenance_ext_test.dir/provenance/merkle_proof_test.cc.o"
+  "CMakeFiles/provenance_ext_test.dir/provenance/merkle_proof_test.cc.o.d"
+  "CMakeFiles/provenance_ext_test.dir/provenance/query_test.cc.o"
+  "CMakeFiles/provenance_ext_test.dir/provenance/query_test.cc.o.d"
+  "provenance_ext_test"
+  "provenance_ext_test.pdb"
+  "provenance_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

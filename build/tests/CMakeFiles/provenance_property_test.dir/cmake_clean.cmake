@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_property_test.dir/provenance/decoder_fuzz_test.cc.o"
+  "CMakeFiles/provenance_property_test.dir/provenance/decoder_fuzz_test.cc.o.d"
+  "CMakeFiles/provenance_property_test.dir/provenance/hashing_work_test.cc.o"
+  "CMakeFiles/provenance_property_test.dir/provenance/hashing_work_test.cc.o.d"
+  "CMakeFiles/provenance_property_test.dir/provenance/property_test.cc.o"
+  "CMakeFiles/provenance_property_test.dir/provenance/property_test.cc.o.d"
+  "provenance_property_test"
+  "provenance_property_test.pdb"
+  "provenance_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_security_test.dir/provenance/attack_test.cc.o"
+  "CMakeFiles/provenance_security_test.dir/provenance/attack_test.cc.o.d"
+  "CMakeFiles/provenance_security_test.dir/provenance/verifier_test.cc.o"
+  "CMakeFiles/provenance_security_test.dir/provenance/verifier_test.cc.o.d"
+  "provenance_security_test"
+  "provenance_security_test.pdb"
+  "provenance_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

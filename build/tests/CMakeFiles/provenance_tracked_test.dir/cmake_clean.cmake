@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_tracked_test.dir/provenance/figure3_test.cc.o"
+  "CMakeFiles/provenance_tracked_test.dir/provenance/figure3_test.cc.o.d"
+  "CMakeFiles/provenance_tracked_test.dir/provenance/tracked_database_test.cc.o"
+  "CMakeFiles/provenance_tracked_test.dir/provenance/tracked_database_test.cc.o.d"
+  "CMakeFiles/provenance_tracked_test.dir/provenance/tracked_relational_test.cc.o"
+  "CMakeFiles/provenance_tracked_test.dir/provenance/tracked_relational_test.cc.o.d"
+  "provenance_tracked_test"
+  "provenance_tracked_test.pdb"
+  "provenance_tracked_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_tracked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

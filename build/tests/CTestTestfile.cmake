@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/provenance_core_test[1]_include.cmake")
+include("/root/repo/build/tests/provenance_tracked_test[1]_include.cmake")
+include("/root/repo/build/tests/provenance_security_test[1]_include.cmake")
+include("/root/repo/build/tests/provenance_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/provenance_property_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_scenarios_test[1]_include.cmake")

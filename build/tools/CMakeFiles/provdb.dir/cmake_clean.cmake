@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provdb.dir/provdb_cli.cc.o"
+  "CMakeFiles/provdb.dir/provdb_cli.cc.o.d"
+  "provdb"
+  "provdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

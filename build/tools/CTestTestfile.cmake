@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(provdb_cli_roundtrip "sh" "-c" "set -e; d=\$(mktemp -d);     /root/repo/build/tools/provdb demo \$d;     /root/repo/build/tools/provdb inspect \$d/bundle.bin > /dev/null;     /root/repo/build/tools/provdb json \$d/bundle.bin > /dev/null;     /root/repo/build/tools/provdb verify \$d/bundle.bin \$d/ca.key \$d/certs.bin;     /root/repo/build/tools/provdb tamper \$d/bundle.bin \$d/bad.bin;     if /root/repo/build/tools/provdb verify \$d/bad.bin \$d/ca.key \$d/certs.bin; then exit 1; fi;     rm -rf \$d")
+set_tests_properties(provdb_cli_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
