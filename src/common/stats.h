@@ -7,6 +7,20 @@
 
 namespace provdb {
 
+/// Two-sided 95% critical value of Student's t-distribution with `df`
+/// degrees of freedom. Exact table values for df <= 29; the normal
+/// approximation's z = 1.96 beyond that (the t quantile is within 2% of z
+/// from df = 30 on). Returns 0 for df = 0 (no interval is defined).
+inline double StudentT95(size_t df) {
+  static constexpr double kT95[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045};
+  if (df == 0) return 0.0;
+  if (df <= sizeof(kT95) / sizeof(kT95[0])) return kT95[df - 1];
+  return 1.96;
+}
+
 /// Aggregates repeated measurements and reports mean plus a 95% confidence
 /// interval, matching the paper's "average across 100 runs, including 95%
 /// confidence intervals" reporting style.
@@ -34,11 +48,14 @@ class RunningStats {
   }
   double stddev() const { return std::sqrt(variance()); }
 
-  /// Half-width of the 95% confidence interval for the mean, using the
-  /// normal approximation (z = 1.96); adequate for the paper's 100 runs.
+  /// Half-width of the 95% confidence interval for the mean. Uses the
+  /// Student-t critical value for the actual sample size — the normal
+  /// approximation (z = 1.96) is overconfident for short benchmark runs
+  /// (at n = 5 the true factor is 2.776, i.e. 42% wider) and only kicks in
+  /// from n = 30 where the two agree to within 2%.
   double ci95_half_width() const {
     if (n_ < 2) return 0.0;
-    return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+    return StudentT95(n_ - 1) * stddev() / std::sqrt(static_cast<double>(n_));
   }
 
  private:

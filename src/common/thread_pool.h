@@ -1,0 +1,98 @@
+#ifndef PROVDB_COMMON_THREAD_POOL_H_
+#define PROVDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace provdb {
+
+/// How much parallelism a verification/audit component may use. The
+/// default (one thread) is bit-for-bit equivalent to the historical
+/// sequential code path: no pool is created, no tasks are spawned, and
+/// every loop runs inline in the caller's thread.
+struct ParallelismConfig {
+  int num_threads = 1;
+
+  bool sequential() const { return num_threads <= 1; }
+
+  /// One thread per hardware core (at least 1).
+  static ParallelismConfig Hardware() {
+    unsigned n = std::thread::hardware_concurrency();
+    return ParallelismConfig{n == 0 ? 1 : static_cast<int>(n)};
+  }
+};
+
+/// A fixed-size pool of worker threads executing submitted tasks FIFO.
+///
+/// `Submit` packages any nullary callable and returns a `std::future` for
+/// its result; exceptions thrown by the task are captured and rethrown
+/// from `future::get()`. `Shutdown` (also run by the destructor) is
+/// graceful: every task already queued is executed before the workers
+/// exit. Tasks submitted after shutdown began run inline in the
+/// submitting thread, so their futures are still fulfilled.
+///
+/// Tasks must not block on futures of tasks queued on the *same* pool
+/// (no nested fan-out): with all workers waiting, the queued subtasks
+/// would never be picked up.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn)
+      -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!stopping_) {
+        queue_.emplace_back([task] { (*task)(); });
+        wake_.notify_one();
+        return future;
+      }
+    }
+    // Pool is draining or drained: run inline so the future is usable.
+    (*task)();
+    return future;
+  }
+
+  /// Executes every queued task, then joins all workers. Idempotent.
+  void Shutdown();
+
+  /// Tasks completed so far (drained from the queue and executed by a
+  /// worker; inline post-shutdown executions are not counted).
+  uint64_t tasks_executed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  uint64_t executed_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace provdb
+
+#endif  // PROVDB_COMMON_THREAD_POOL_H_

@@ -1,6 +1,9 @@
 #ifndef PROVDB_PROVENANCE_AUDITOR_H_
 #define PROVDB_PROVENANCE_AUDITOR_H_
 
+#include <memory>
+
+#include "common/thread_pool.h"
 #include "crypto/pki.h"
 #include "provenance/provenance_store.h"
 #include "provenance/subtree_hasher.h"
@@ -21,10 +24,17 @@ namespace provdb::provenance {
 ///
 /// Run it periodically (or before exporting bundles) to catch tampering
 /// of the provenance database itself, not just of shipped bundles.
+///
+/// With `parallelism.num_threads > 1` the sweep fans out across a
+/// ThreadPool owned by the auditor — chains are independent (§3.2), and
+/// check-1 rehashes of distinct live objects only read the tree — while
+/// per-object results are merged in ascending object-id order, so the
+/// report is byte-identical to a sequential audit.
 class StoreAuditor {
  public:
   StoreAuditor(const crypto::ParticipantRegistry* registry,
-               crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1);
+               crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1,
+               ParallelismConfig parallelism = {});
 
   /// Audits `store` against the live `tree`. `report.ok()` iff clean.
   VerificationReport Audit(const ProvenanceStore& store,
@@ -33,6 +43,7 @@ class StoreAuditor {
  private:
   const crypto::ParticipantRegistry* registry_;
   ChecksumEngine engine_;
+  std::unique_ptr<ThreadPool> pool_;  // null when sequential
 };
 
 }  // namespace provdb::provenance

@@ -1,5 +1,7 @@
 #include "provenance/subtree_hasher.h"
 
+#include <future>
+#include <utility>
 #include <vector>
 
 #include "common/varint.h"
@@ -28,7 +30,7 @@ SubtreeHasher::SubtreeHasher(const storage::TreeStore* tree,
 crypto::Digest SubtreeHasher::HashNode(
     storage::ObjectId id, const storage::Value& value,
     const std::vector<crypto::Digest>& child_hashes) const {
-  ++nodes_hashed_;
+  nodes_hashed_.fetch_add(1, std::memory_order_relaxed);
   return HashTreeNode(alg_, id, value, child_hashes);
 }
 
@@ -68,6 +70,43 @@ Result<crypto::Digest> SubtreeHasher::HashSubtreeBasic(
     }
   }
   return result;
+}
+
+Result<crypto::Digest> SubtreeHasher::HashSubtreeBasic(
+    storage::ObjectId root, ThreadPool* pool) const {
+  PROVDB_ASSIGN_OR_RETURN(const storage::TreeNode* node,
+                          tree_->GetNode(root));
+  if (pool == nullptr || pool->size() <= 1 || node->children.size() < 2) {
+    return HashSubtreeBasic(root);
+  }
+
+  // Fan out one task per child subtree (embarrassingly parallel: each
+  // task only reads the tree). node->children is sorted ascending, and
+  // futures are collected in that same order, so the combined digest is
+  // identical to the sequential walk's.
+  std::vector<std::future<Result<crypto::Digest>>> tasks;
+  tasks.reserve(node->children.size());
+  for (storage::ObjectId child : node->children) {
+    tasks.push_back(
+        pool->Submit([this, child] { return HashSubtreeBasic(child); }));
+  }
+  std::vector<crypto::Digest> child_hashes;
+  child_hashes.reserve(tasks.size());
+  Status first_error;
+  for (std::future<Result<crypto::Digest>>& task : tasks) {
+    Result<crypto::Digest> digest = task.get();
+    if (!digest.ok()) {
+      if (first_error.ok()) {
+        first_error = digest.status();
+      }
+      continue;  // keep draining so no future outlives this call
+    }
+    child_hashes.push_back(std::move(digest).value());
+  }
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  return HashNode(node->id, node->value, child_hashes);
 }
 
 EconomicalHasher::EconomicalHasher(const storage::TreeStore* tree,

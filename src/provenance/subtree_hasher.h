@@ -1,11 +1,13 @@
 #ifndef PROVDB_PROVENANCE_SUBTREE_HASHER_H_
 #define PROVDB_PROVENANCE_SUBTREE_HASHER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "crypto/digest.h"
 #include "crypto/hash.h"
 #include "storage/tree_store.h"
@@ -50,8 +52,19 @@ class SubtreeHasher {
   SubtreeHasher(const storage::TreeStore* tree,
                 crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1);
 
-  /// Basic approach: full recursive walk, no caching.
+  /// Basic approach: full recursive walk, no caching. Safe to call from
+  /// several threads at once (the tree is only read; the work counter is
+  /// atomic).
   Result<crypto::Digest> HashSubtreeBasic(storage::ObjectId root) const;
+
+  /// Basic walk fanned out over `pool`: the subtrees of root's children
+  /// are hashed as independent pool tasks (child digests combine in
+  /// ascending-id order, §4.3, so the digest is identical to the
+  /// sequential walk). Falls back to the sequential walk when `pool` is
+  /// null, has a single worker, or the root has fewer than two children.
+  /// Must not be called from inside a task running on the same pool.
+  Result<crypto::Digest> HashSubtreeBasic(storage::ObjectId root,
+                                          ThreadPool* pool) const;
 
   /// Hash of one node given already-known child digests. Exposed for the
   /// streaming hasher and tests.
@@ -65,14 +78,19 @@ class SubtreeHasher {
   crypto::HashAlgorithm algorithm() const { return alg_; }
 
   /// Nodes hashed since construction / ResetCounters (work metric for the
-  /// Fig. 7 Basic-vs-Economical comparison).
-  uint64_t nodes_hashed() const { return nodes_hashed_; }
-  void ResetCounters() { nodes_hashed_ = 0; }
+  /// Fig. 7 Basic-vs-Economical comparison). Atomic so concurrent
+  /// HashSubtreeBasic calls (the parallel auditor sweep) count correctly.
+  uint64_t nodes_hashed() const {
+    return nodes_hashed_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    nodes_hashed_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   const storage::TreeStore* tree_;
   crypto::HashAlgorithm alg_;
-  mutable uint64_t nodes_hashed_ = 0;
+  mutable std::atomic<uint64_t> nodes_hashed_{0};
 };
 
 /// The Economical approach of §4.3: keeps a per-node digest cache.

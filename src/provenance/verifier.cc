@@ -1,7 +1,9 @@
 #include "provenance/verifier.h"
 
 #include <algorithm>
+#include <future>
 #include <map>
+#include <utility>
 
 namespace provdb::provenance {
 
@@ -60,8 +62,14 @@ std::string VerificationReport::ToString() const {
 }
 
 ProvenanceVerifier::ProvenanceVerifier(
-    const crypto::ParticipantRegistry* registry, crypto::HashAlgorithm alg)
-    : registry_(registry), engine_(alg) {}
+    const crypto::ParticipantRegistry* registry, crypto::HashAlgorithm alg,
+    ParallelismConfig parallelism)
+    : registry_(registry), engine_(alg) {
+  if (!parallelism.sequential()) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(parallelism.num_threads));
+  }
+}
 
 VerificationReport ProvenanceVerifier::Verify(
     const RecipientBundle& bundle) const {
@@ -109,24 +117,36 @@ VerificationReport ProvenanceVerifier::Verify(
   }
 
   // Check 2 (§3): recompute every checksum, earliest first.
-  VerifyRecordChains(*registry_, engine_, chains, &report);
+  VerifyRecordChains(*registry_, engine_, chains, &report, pool_.get());
   return report;
 }
 
-void VerifyRecordChains(
+namespace {
+
+/// Verification result of one per-object chain. Chains are self-contained
+/// (§3.2): verifying one reads only its own records, the read-only `chains`
+/// map (for aggregate-input resolution), and the registry — so these
+/// results can be produced on any thread and merged in object-id order.
+struct ChainCheckResult {
+  std::vector<VerificationIssue> issues;
+  uint64_t records_checked = 0;
+  uint64_t signatures_verified = 0;
+};
+
+ChainCheckResult VerifyOneChain(
     const crypto::ParticipantRegistry& registry, const ChecksumEngine& engine,
     const std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>&
         chains,
-    VerificationReport* report_out) {
-  VerificationReport& report = *report_out;
-  auto add_issue = [&](IssueKind kind, storage::ObjectId object, SeqId seq,
+    storage::ObjectId object, const std::vector<const ProvenanceRecord*>& chain) {
+  ChainCheckResult report;
+  auto add_issue = [&](IssueKind kind, storage::ObjectId obj, SeqId seq,
                        std::string message) {
     report.issues.push_back(
-        VerificationIssue{kind, object, seq, std::move(message)});
+        VerificationIssue{kind, obj, seq, std::move(message)});
   };
   const ChecksumEngine& engine_ = engine;  // keep the original loop body verbatim
 
-  for (const auto& [object, chain] : chains) {
+  {
     const ProvenanceRecord* prev = nullptr;
     for (const ProvenanceRecord* rec : chain) {
       ++report.records_checked;
@@ -264,7 +284,48 @@ void VerifyRecordChains(
       prev = rec;
     }
   }
+  return report;
+}
 
+}  // namespace
+
+void VerifyRecordChains(
+    const crypto::ParticipantRegistry& registry, const ChecksumEngine& engine,
+    const std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>&
+        chains,
+    VerificationReport* report_out, ThreadPool* pool) {
+  VerificationReport& report = *report_out;
+  auto merge = [&report](ChainCheckResult result) {
+    for (VerificationIssue& issue : result.issues) {
+      report.issues.push_back(std::move(issue));
+    }
+    report.records_checked += result.records_checked;
+    report.signatures_verified += result.signatures_verified;
+  };
+
+  if (pool == nullptr || pool->size() <= 1 || chains.size() <= 1) {
+    for (const auto& [object, chain] : chains) {
+      merge(VerifyOneChain(registry, engine, chains, object, chain));
+    }
+    return;
+  }
+
+  // One task per chain; futures are collected in map (= ascending object
+  // id) order, so the merged report is byte-identical to the sequential
+  // one regardless of task completion order.
+  std::vector<std::future<ChainCheckResult>> results;
+  results.reserve(chains.size());
+  for (auto it = chains.begin(); it != chains.end(); ++it) {
+    const storage::ObjectId object = it->first;
+    const std::vector<const ProvenanceRecord*>* chain = &it->second;
+    results.push_back(pool->Submit([&registry, &engine, &chains, object,
+                                    chain] {
+      return VerifyOneChain(registry, engine, chains, object, *chain);
+    }));
+  }
+  for (std::future<ChainCheckResult>& result : results) {
+    merge(result.get());
+  }
 }
 
 }  // namespace provdb::provenance

@@ -2,9 +2,11 @@
 #define PROVDB_PROVENANCE_VERIFIER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "crypto/pki.h"
 #include "provenance/bundle.h"
 #include "provenance/checksum.h"
@@ -69,11 +71,17 @@ struct VerificationReport {
 /// seqID), recompute every checksum payload and verify every signature,
 /// appending issues and counters to `report`. Shared by the recipient-side
 /// ProvenanceVerifier and the in-place StoreAuditor.
+///
+/// Chains are per-object and self-contained (§3.2), so when `pool` is
+/// non-null (and has more than one worker) each chain is verified as an
+/// independent pool task. Per-chain results are merged back in ascending
+/// object-id order — and issues within a chain stay in seqID order — so
+/// the report is byte-identical to the sequential one.
 void VerifyRecordChains(
     const crypto::ParticipantRegistry& registry, const ChecksumEngine& engine,
     const std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>&
         chains,
-    VerificationReport* report);
+    VerificationReport* report, ThreadPool* pool = nullptr);
 
 /// The data recipient's verification procedure (§3):
 ///   1. the data object matches the output of its most recent provenance
@@ -86,9 +94,12 @@ void VerifyRecordChains(
 class ProvenanceVerifier {
  public:
   /// `registry` resolves participant ids to CA-endorsed public keys and
-  /// must outlive the verifier.
+  /// must outlive the verifier. With `parallelism.num_threads > 1` the
+  /// verifier owns a ThreadPool and fans per-object chain verification out
+  /// across it; the report is identical to the sequential one.
   ProvenanceVerifier(const crypto::ParticipantRegistry* registry,
-                     crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1);
+                     crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1,
+                     ParallelismConfig parallelism = {});
 
   /// Runs all checks over `bundle` and reports every issue found (the
   /// verifier does not stop at the first failure).
@@ -97,6 +108,7 @@ class ProvenanceVerifier {
  private:
   const crypto::ParticipantRegistry* registry_;
   ChecksumEngine engine_;
+  std::unique_ptr<ThreadPool> pool_;  // null when sequential
 };
 
 }  // namespace provdb::provenance

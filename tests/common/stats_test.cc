@@ -62,6 +62,47 @@ TEST(RunningStatsTest, CiCoversTrueMeanUsually) {
   EXPECT_GE(covered, 34);  // ~95% of 40, with slack
 }
 
+TEST(StudentT95Test, PinnedCriticalValues) {
+  // Standard two-sided 95% t-table entries.
+  EXPECT_DOUBLE_EQ(StudentT95(1), 12.706);
+  EXPECT_DOUBLE_EQ(StudentT95(2), 4.303);
+  EXPECT_DOUBLE_EQ(StudentT95(4), 2.776);
+  EXPECT_DOUBLE_EQ(StudentT95(9), 2.262);
+  EXPECT_DOUBLE_EQ(StudentT95(29), 2.045);
+  EXPECT_DOUBLE_EQ(StudentT95(30), 1.96);   // normal approximation from here
+  EXPECT_DOUBLE_EQ(StudentT95(99), 1.96);
+  EXPECT_DOUBLE_EQ(StudentT95(0), 0.0);
+  // Monotone decreasing toward z across the table.
+  for (size_t df = 1; df < 29; ++df) {
+    EXPECT_GT(StudentT95(df), StudentT95(df + 1)) << "df " << df;
+  }
+}
+
+TEST(RunningStatsTest, TinySampleUsesStudentT) {
+  // Two samples {1, 3}: mean 2, s = sqrt(2), half-width t_1 * s / sqrt(2).
+  RunningStats stats;
+  stats.Add(1.0);
+  stats.Add(3.0);
+  EXPECT_NEAR(stats.ci95_half_width(), 12.706 * std::sqrt(2.0) / std::sqrt(2.0),
+              1e-9);
+
+  // Five samples 1..5: mean 3, s^2 = 2.5, half-width t_4 * s / sqrt(5).
+  RunningStats five;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) five.Add(x);
+  EXPECT_NEAR(five.ci95_half_width(),
+              2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+  // The old z = 1.96 interval was 42% narrower — overconfident.
+  EXPECT_GT(five.ci95_half_width(),
+            1.96 * std::sqrt(2.5) / std::sqrt(5.0) * 1.4);
+}
+
+TEST(RunningStatsTest, LargeSampleKeepsNormalApproximation) {
+  RunningStats stats;
+  for (int i = 0; i < 100; ++i) stats.Add(static_cast<double>(i % 10));
+  EXPECT_NEAR(stats.ci95_half_width(),
+              1.96 * stats.stddev() / std::sqrt(100.0), 1e-12);
+}
+
 TEST(RunningStatsTest, ConstantSamplesHaveZeroVariance) {
   RunningStats stats;
   for (int i = 0; i < 50; ++i) stats.Add(3.25);

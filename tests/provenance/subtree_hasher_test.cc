@@ -219,5 +219,125 @@ TEST(EconomicalHasherTest, PartialSubtreeHashFillsOnlyThatSubtree) {
   EXPECT_FALSE(econ.CachedDigest(fig.a).ok());
 }
 
+// Regression guard for Invalidate's early break ("already-dirty ancestor
+// implies the rest of the path is dirty"). Partial-subtree HashSubtree
+// calls clean interior nodes while their ancestors stay dirty; a later
+// Invalidate that walks into such a region must still dirty the full path
+// to the root, or a clean-but-stale root digest would be served.
+TEST(EconomicalHasherTest, InvalidateInterleavedWithPartialHashes) {
+  // Depth-4 chain with fan-out: root -> {g1, g2} -> rows -> leaves.
+  TreeStore tree;
+  ObjectId root = *tree.Insert(Value::Int(0));
+  std::vector<ObjectId> groups, rows, leaves;
+  for (int g = 0; g < 2; ++g) {
+    ObjectId group = *tree.Insert(Value::Int(10 + g), root);
+    groups.push_back(group);
+    for (int r = 0; r < 3; ++r) {
+      ObjectId row = *tree.Insert(Value::Int(100 + g * 10 + r), group);
+      rows.push_back(row);
+      for (int c = 0; c < 3; ++c) {
+        leaves.push_back(*tree.Insert(Value::Int(c), row));
+      }
+    }
+  }
+
+  SubtreeHasher basic(&tree);
+  EconomicalHasher econ(&tree);
+  econ.HashSubtree(root).value();
+
+  // Targeted interleaving: dirty a deep path, partially re-hash only the
+  // middle of it (cleans group/row but leaves root dirty), then dirty a
+  // sibling leaf. The second Invalidate meets an already-dirty ancestor
+  // and breaks early — which is only sound if everything above it is
+  // still dirty.
+  ObjectId leaf0 = leaves[0];            // under rows[0] under groups[0]
+  ObjectId leaf1 = leaves[1];            // same row
+  ASSERT_TRUE(tree.Update(leaf0, Value::Int(-1)).ok());
+  econ.Invalidate(leaf0);
+  econ.HashSubtree(groups[0]).value();   // partial: cleans groups[0] down
+  ASSERT_TRUE(tree.Update(leaf1, Value::Int(-2)).ok());
+  econ.Invalidate(leaf1);                // hits clean row, dirty... where?
+  EXPECT_EQ(*econ.HashSubtree(root), *basic.HashSubtreeBasic(root));
+
+  // Randomized interleaving of updates, invalidations, and partial
+  // hashes at every level; the root digest must always match a fresh
+  // basic walk.
+  Rng rng(97);
+  std::vector<ObjectId> all_targets = leaves;
+  all_targets.insert(all_targets.end(), rows.begin(), rows.end());
+  for (int step = 0; step < 200; ++step) {
+    switch (rng.NextBelow(4)) {
+      case 0: {  // update + invalidate a leaf
+        ObjectId leaf = leaves[rng.NextBelow(leaves.size())];
+        ASSERT_TRUE(
+            tree.Update(leaf,
+                        Value::Int(static_cast<int64_t>(rng.NextUint64())))
+                .ok());
+        econ.Invalidate(leaf);
+        break;
+      }
+      case 1: {  // partial hash of a row subtree
+        econ.HashSubtree(rows[rng.NextBelow(rows.size())]).value();
+        break;
+      }
+      case 2: {  // partial hash of a group subtree
+        econ.HashSubtree(groups[rng.NextBelow(groups.size())]).value();
+        break;
+      }
+      case 3: {  // update + invalidate an interior node
+        ObjectId target = all_targets[rng.NextBelow(all_targets.size())];
+        ASSERT_TRUE(
+            tree.Update(target,
+                        Value::Int(static_cast<int64_t>(rng.NextUint64())))
+                .ok());
+        econ.Invalidate(target);
+        break;
+      }
+    }
+    ASSERT_EQ(*econ.HashSubtree(root), *basic.HashSubtreeBasic(root))
+        << "stale digest served at step " << step;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Parallel basic hashing
+
+TEST(SubtreeHasherTest, ParallelHashMatchesSequential) {
+  Rng rng(11);
+  TreeStore tree;
+  ObjectId root = *tree.Insert(Value::Int(0));
+  for (int r = 0; r < 13; ++r) {
+    ObjectId row = *tree.Insert(Value::Int(r), root);
+    for (int c = 0; c < 5; ++c) {
+      tree.Insert(Value::Int(static_cast<int64_t>(rng.NextUint64())), row)
+          .value();
+    }
+  }
+  SubtreeHasher hasher(&tree);
+  crypto::Digest sequential = *hasher.HashSubtreeBasic(root);
+  ThreadPool pool(4);
+  EXPECT_EQ(*hasher.HashSubtreeBasic(root, &pool), sequential);
+  // Same digest and same amount of hash work either way.
+  hasher.ResetCounters();
+  hasher.HashSubtreeBasic(root, &pool).value();
+  EXPECT_EQ(hasher.nodes_hashed(), tree.size());
+}
+
+TEST(SubtreeHasherTest, ParallelHashFallsBackWithoutPool) {
+  Figure4Tree fig;
+  SubtreeHasher hasher(&fig.tree);
+  EXPECT_EQ(*hasher.HashSubtreeBasic(fig.a, nullptr),
+            *hasher.HashSubtreeBasic(fig.a));
+  EXPECT_EQ(*hasher.HashSubtreeBasic(fig.d, nullptr),
+            *hasher.HashSubtreeBasic(fig.d));  // leaf: no fan-out possible
+}
+
+TEST(SubtreeHasherTest, ParallelHashMissingRootFails) {
+  TreeStore tree;
+  SubtreeHasher hasher(&tree);
+  ThreadPool pool(2);
+  EXPECT_FALSE(hasher.HashSubtreeBasic(42, &pool).ok());
+}
+
 }  // namespace
 }  // namespace provdb::provenance

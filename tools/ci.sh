@@ -1,0 +1,44 @@
+#!/bin/sh
+# CI driver: regular build + full test suite, then sanitizer passes over
+# the paths where they pay off — TSan for the parallel verification/audit
+# engine, ASan+UBSan for the wire-format decoder fuzz tests.
+#
+# Usage: tools/ci.sh [build-root]   (default: ./ci-out)
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${1:-$ROOT/ci-out}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+# -- 1. Regular build + full ctest suite --------------------------------
+run cmake -S "$ROOT" -B "$OUT/release" -DCMAKE_BUILD_TYPE=Release
+run cmake --build "$OUT/release" -j "$JOBS"
+run ctest --test-dir "$OUT/release" --output-on-failure -j "$JOBS"
+
+# -- 2. TSan over the parallel paths ------------------------------------
+# Benchmarks/examples are skipped: TSan only needs the thread pool, the
+# parallel verifier/auditor, and the parallel subtree hasher, which the
+# unit tests below exercise.
+run cmake -S "$ROOT" -B "$OUT/tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPROVDB_SANITIZE=thread -DPROVDB_BUILD_BENCHMARKS=OFF \
+  -DPROVDB_BUILD_EXAMPLES=OFF
+run cmake --build "$OUT/tsan" -j "$JOBS" \
+  --target common_test provenance_core_test provenance_security_test \
+  provenance_ext_test
+run ctest --test-dir "$OUT/tsan" --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|Parallel|Audit'
+
+# -- 3. ASan+UBSan over the decoder fuzz tests --------------------------
+run cmake -S "$ROOT" -B "$OUT/asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPROVDB_SANITIZE=address -DPROVDB_BUILD_BENCHMARKS=OFF \
+  -DPROVDB_BUILD_EXAMPLES=OFF
+run cmake --build "$OUT/asan" -j "$JOBS" --target provenance_property_test
+run ctest --test-dir "$OUT/asan" --output-on-failure -j "$JOBS" \
+  -R 'Decoder|Fuzz|Property'
+
+echo "CI: all passes green."
