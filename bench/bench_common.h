@@ -21,6 +21,15 @@
 
 namespace provdb::bench {
 
+/// Aborts the bench when `s` is not OK. Setup failures must stop the run,
+/// not silently skew the numbers.
+inline void OrAbort(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
 /// Minimal --flag=value / --flag value parser for the harness binaries.
 class Flags {
  public:
@@ -78,7 +87,7 @@ struct BenchPki {
             .value());
     pki.registry =
         std::make_unique<crypto::ParticipantRegistry>(pki.ca->public_key());
-    pki.registry->Register(pki.participant->certificate());
+    OrAbort(pki.registry->Register(pki.participant->certificate()));
     return pki;
   }
 };

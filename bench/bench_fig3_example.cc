@@ -26,9 +26,9 @@ int Run() {
   auto p2 = crypto::Participant::Create(2, "p2", 1024, &rng, ca).value();
   auto p3 = crypto::Participant::Create(3, "p3", 1024, &rng, ca).value();
   crypto::ParticipantRegistry registry(ca.public_key());
-  registry.Register(p1.certificate());
-  registry.Register(p2.certificate());
-  registry.Register(p3.certificate());
+  OrAbort(registry.Register(p1.certificate()));
+  OrAbort(registry.Register(p2.certificate()));
+  OrAbort(registry.Register(p3.certificate()));
 
   provenance::TrackedDatabase db;
   auto a = *db.Insert(p2, Value::String("a1"));                  // C1

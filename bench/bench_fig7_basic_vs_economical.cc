@@ -92,8 +92,9 @@ int Run(int argc, char** argv) {
     uint64_t econ_nodes = 0;
     for (int r = 0; r < runs; ++r) {
       for (storage::ObjectId cell : cells) {
-        tree.Update(cell, storage::Value::Int(static_cast<int64_t>(
-                              rng.NextUint64())));
+        OrAbort(tree.Update(
+            cell, storage::Value::Int(static_cast<int64_t>(
+                      rng.NextUint64()))));
         econ.Invalidate(cell);
       }
       econ.ResetCounters();

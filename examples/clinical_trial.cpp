@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "crypto/pki.h"
+#include "example_util.h"
 #include "provenance/attack.h"
 #include "provenance/tracked_database.h"
 #include "provenance/verifier.h"
@@ -53,7 +54,7 @@ int main() {
 
   crypto::ParticipantRegistry fda_registry(ca.public_key());
   for (const auto* p : {&paul, &clinic, &pamela, &lab, &trustusrx}) {
-    fda_registry.Register(p->certificate());
+    examples::OrDie(fda_registry.Register(p->certificate()));
   }
 
   // --- Data collection, cell by cell, each by its true author ----------
@@ -86,7 +87,8 @@ int main() {
 
   // Pamela amends the endocrine value for patient #4555 (Fig. 1). The
   // update also generates an inherited record for the patient row.
-  db.Update(pamela, patient_4555_endocrine, storage::Value::Double(2.1)).ok();
+  examples::OrDie(
+      db.Update(pamela, patient_4555_endocrine, storage::Value::Double(2.1)));
   std::printf("PCP Pamela amended patient #4555's endocrine value "
               "(9.9 -> 2.1)\n");
 
@@ -140,7 +142,8 @@ int main() {
     std::printf("internal error: Pamela's record not found\n");
     return 1;
   }
-  provenance::attacks::RemoveRecordAndRenumber(&doctored, pamela_record).ok();
+  examples::OrDie(
+      provenance::attacks::RemoveRecordAndRenumber(&doctored, pamela_record));
   auto caught = fda.Verify(doctored);
   std::printf("FDA verification of the doctored submission: %s\n",
               caught.ok() ? "PASSED (!!)" : "REJECTED");

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "crypto/pki.h"
+#include "example_util.h"
 #include "provenance/tracked_database.h"
 #include "provenance/verifier.h"
 #include "storage/record_log.h"
@@ -28,15 +29,15 @@ int main() {
   auto grace = crypto::Participant::Create(2, "curator grace", 1024, &rng, ca)
                    .value();
   crypto::ParticipantRegistry registry(ca.public_key());
-  registry.Register(ada.certificate());
-  registry.Register(grace.certificate());
+  examples::OrDie(registry.Register(ada.certificate()));
+  examples::OrDie(registry.Register(grace.certificate()));
 
   provenance::TrackedDatabase db;
 
   // Session 1 (ada): create the annotation table with three gene rows.
   // One complex operation = one editing session; each surviving object
   // gets exactly one record documenting its session-wide before/after.
-  db.BeginComplexOperation(ada).ok();
+  examples::OrDie(db.BeginComplexOperation(ada));
   auto root = db.Insert(ada, storage::Value::String("genome-annotations"))
                   .value();
   std::vector<storage::ObjectId> genes;
@@ -47,7 +48,7 @@ int main() {
     db.Insert(ada, storage::Value::Int(0), gene).value();  // review count
     genes.push_back(gene);
   }
-  db.EndComplexOperation().ok();
+  examples::OrDie(db.EndComplexOperation());
   std::printf("session 1 (ada):   created %zu genes  -> %llu records, "
               "%.1f ms (%.1f ms signing)\n",
               genes.size(),
@@ -56,34 +57,34 @@ int main() {
               db.last_op_metrics().sign_seconds * 1e3);
 
   // Session 2 (grace): review pass — bump review counts, fix a biotype.
-  db.BeginComplexOperation(grace).ok();
+  examples::OrDie(db.BeginComplexOperation(grace));
   for (storage::ObjectId gene : genes) {
     const storage::TreeNode* node = db.tree().GetNode(gene).value();
     storage::ObjectId review_cell = node->children[1];
-    db.Update(grace, review_cell, storage::Value::Int(1)).ok();
+    examples::OrDie(db.Update(grace, review_cell, storage::Value::Int(1)));
   }
   {
     const storage::TreeNode* tp53 = db.tree().GetNode(genes[1]).value();
-    db.Update(grace, tp53->children[0],
-              storage::Value::String("tumor_suppressor")).ok();
+    examples::OrDie(db.Update(grace, tp53->children[0],
+                              storage::Value::String("tumor_suppressor")));
   }
-  db.EndComplexOperation().ok();
+  examples::OrDie(db.EndComplexOperation());
   std::printf("session 2 (grace): review pass        -> %llu records, "
               "%.1f ms\n",
               static_cast<unsigned long long>(db.last_op_metrics().checksums),
               db.last_op_metrics().total_seconds() * 1e3);
 
   // Session 3 (ada): retire EGFR (delete its cells, then the row).
-  db.BeginComplexOperation(ada).ok();
+  examples::OrDie(db.BeginComplexOperation(ada));
   {
     const storage::TreeNode* egfr = db.tree().GetNode(genes[2]).value();
     std::vector<storage::ObjectId> cells = egfr->children;
     for (storage::ObjectId cell : cells) {
-      db.Delete(ada, cell).ok();
+      examples::OrDie(db.Delete(ada, cell));
     }
-    db.Delete(ada, genes[2]).ok();
+    examples::OrDie(db.Delete(ada, genes[2]));
   }
-  db.EndComplexOperation().ok();
+  examples::OrDie(db.EndComplexOperation());
   std::printf("session 3 (ada):   retired EGFR       -> %llu records "
               "(deletes are cheap: no records for deleted objects)\n\n",
               static_cast<unsigned long long>(db.last_op_metrics().checksums));
@@ -92,8 +93,8 @@ int main() {
   // The provenance database persists as a CRC-framed record log.
   const std::string log_path = "/tmp/provdb_curated_example.log";
   storage::RecordLog log;
-  db.provenance().SaveToLog(&log).ok();
-  log.SaveToFile(log_path).ok();
+  examples::OrDie(db.provenance().SaveToLog(&log));
+  examples::OrDie(log.SaveToFile(log_path));
   std::printf("persisted %llu provenance records (%llu bytes framed) "
               "to %s\n",
               static_cast<unsigned long long>(log.record_count()),

@@ -1,0 +1,24 @@
+#ifndef PROVDB_EXAMPLES_EXAMPLE_UTIL_H_
+#define PROVDB_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace provdb::examples {
+
+/// Aborts the example with a message when `s` is not OK. Examples favour
+/// linear narration over error plumbing, but an ignored Status would be
+/// exactly the anti-pattern the library's [[nodiscard]] sweep exists to
+/// prevent — so failures stop the program instead of being dropped.
+inline void OrDie(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace provdb::examples
+
+#endif  // PROVDB_EXAMPLES_EXAMPLE_UTIL_H_

@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "crypto/pki.h"
+#include "example_util.h"
 #include "provenance/merkle_proof.h"
 #include "provenance/query.h"
 #include "provenance/tracked_database.h"
@@ -32,8 +33,8 @@ int main() {
   auto curator =
       crypto::Participant::Create(2, "curator", 1024, &rng, ca).value();
   crypto::ParticipantRegistry registry(ca.public_key());
-  registry.Register(owner.certificate());
-  registry.Register(curator.certificate());
+  examples::OrDie(registry.Register(owner.certificate()));
+  examples::OrDie(registry.Register(curator.certificate()));
 
   // The owner builds a tracked 4x3 table.
   provenance::TrackedDatabase db;
@@ -50,7 +51,7 @@ int main() {
   // The curator corrects one reading.
   storage::ObjectId target_cell =
       db.tree().GetNode(rows[2]).value()->children[1];
-  db.Update(curator, target_cell, storage::Value::Int(999)).ok();
+  examples::OrDie(db.Update(curator, target_cell, storage::Value::Int(999)));
 
   // --- One-time verification gives the auditor a trusted digest --------
   auto bundle = db.ExportForRecipient(table).value();

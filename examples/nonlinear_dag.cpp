@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "crypto/pki.h"
+#include "example_util.h"
 #include "provenance/tracked_database.h"
 #include "provenance/verifier.h"
 
@@ -23,7 +24,9 @@ int main() {
   auto p2 = crypto::Participant::Create(2, "p2", 1024, &rng, ca).value();
   auto p3 = crypto::Participant::Create(3, "p3", 1024, &rng, ca).value();
   crypto::ParticipantRegistry registry(ca.public_key());
-  for (const auto* p : {&p1, &p2, &p3}) registry.Register(p->certificate());
+  for (const auto* p : {&p1, &p2, &p3}) {
+    examples::OrDie(registry.Register(p->certificate()));
+  }
 
   provenance::TrackedDatabase db;
   auto a = db.Insert(p2, storage::Value::String("a1")).value();   // C1

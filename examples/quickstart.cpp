@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "crypto/pki.h"
+#include "example_util.h"
 #include "provenance/attack.h"
 #include "provenance/tracked_database.h"
 #include "provenance/verifier.h"
@@ -30,8 +31,8 @@ int main() {
   auto bob = crypto::Participant::Create(2, "bob", 1024, &rng, ca).value();
 
   crypto::ParticipantRegistry registry(ca.public_key());
-  registry.Register(alice.certificate());
-  registry.Register(bob.certificate());
+  examples::OrDie(registry.Register(alice.certificate()));
+  examples::OrDie(registry.Register(bob.certificate()));
   std::printf("PKI ready: CA + %zu certified participants\n\n",
               registry.size());
 
@@ -42,8 +43,8 @@ int main() {
   provenance::TrackedDatabase db;
 
   auto temperature = db.Insert(alice, storage::Value::Double(21.5)).value();
-  db.Update(bob, temperature, storage::Value::Double(22.0)).ok();
-  db.Update(alice, temperature, storage::Value::Double(22.5)).ok();
+  examples::OrDie(db.Update(bob, temperature, storage::Value::Double(22.0)));
+  examples::OrDie(db.Update(alice, temperature, storage::Value::Double(22.5)));
 
   auto pressure = db.Insert(bob, storage::Value::Double(1013.0)).value();
 
@@ -71,9 +72,8 @@ int main() {
 
   // A recipient-side forgery: silently change the data.
   provenance::RecipientBundle tampered = received;
-  provenance::attacks::TamperDataValue(&tampered, report,
-                                       storage::Value::String("faked"))
-      .ok();
+  examples::OrDie(provenance::attacks::TamperDataValue(
+      &tampered, report, storage::Value::String("faked")));
   auto caught = verifier.Verify(tampered);
   std::printf("tampered bundle: %s\n", caught.ToString().c_str());
 

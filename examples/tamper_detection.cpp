@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "crypto/pki.h"
+#include "example_util.h"
 #include "provenance/attack.h"
 #include "provenance/tracked_database.h"
 #include "provenance/verifier.h"
@@ -42,16 +43,16 @@ int main() {
   auto attacker =
       crypto::Participant::Create(2, "attacker", 1024, &rng, ca).value();
   crypto::ParticipantRegistry registry(ca.public_key());
-  registry.Register(victim.certificate());
-  registry.Register(attacker.certificate());
+  examples::OrDie(registry.Register(victim.certificate()));
+  examples::OrDie(registry.Register(attacker.certificate()));
 
   // Honest history: victim inserts and twice updates object A; the
   // attacker (a legitimate participant!) appends one more honest update.
   provenance::TrackedDatabase db;
   auto a = db.Insert(victim, storage::Value::String("v1")).value();
-  db.Update(victim, a, storage::Value::String("v2")).ok();
-  db.Update(attacker, a, storage::Value::String("v3")).ok();
-  db.Update(victim, a, storage::Value::String("v4")).ok();
+  examples::OrDie(db.Update(victim, a, storage::Value::String("v2")));
+  examples::OrDie(db.Update(attacker, a, storage::Value::String("v3")));
+  examples::OrDie(db.Update(victim, a, storage::Value::String("v4")));
   RecipientBundle honest = db.ExportForRecipient(a).value();
 
   provenance::ProvenanceVerifier verifier(&registry);
@@ -62,54 +63,49 @@ int main() {
   const Scenario scenarios[] = {
       {"R1", "modify another participant's recorded output value",
        [&](RecipientBundle* b) {
-         provenance::attacks::TamperRecordOutputHash(b, IndexAtSeq(*b, 1))
-             .ok();
+         examples::OrDie(
+             provenance::attacks::TamperRecordOutputHash(b, IndexAtSeq(*b, 1)));
        }},
       {"R2", "remove the victim's record at seq 1 (and renumber)",
        [&](RecipientBundle* b) {
-         provenance::attacks::RemoveRecordAndRenumber(b, IndexAtSeq(*b, 1))
-             .ok();
+         examples::OrDie(
+             provenance::attacks::RemoveRecordAndRenumber(b, IndexAtSeq(*b, 1)));
        }},
       {"R3", "splice a forged (attacker-signed) record into the chain",
        [&](RecipientBundle* b) {
          crypto::Digest pre = b->records[IndexAtSeq(*b, 0)].output.state_hash;
          Bytes fake(20, 0x5A);
-         provenance::attacks::InsertForgedRecord(
-             b, attacker, engine, a, 1, pre, crypto::Digest::FromBytes(fake))
-             .ok();
+         examples::OrDie(provenance::attacks::InsertForgedRecord(
+             b, attacker, engine, a, 1, pre, crypto::Digest::FromBytes(fake)));
        }},
       {"R4", "modify the shipped data without submitting provenance",
        [&](RecipientBundle* b) {
-         provenance::attacks::TamperDataValue(
-             b, a, storage::Value::String("doctored"))
-             .ok();
+         examples::OrDie(provenance::attacks::TamperDataValue(
+             b, a, storage::Value::String("doctored")));
        }},
       {"R5", "re-attribute the provenance to a different data object",
        [&](RecipientBundle* b) {
-         provenance::attacks::RenameDataObject(b, 777);
+         examples::OrDie(provenance::attacks::RenameDataObject(b, 777));
        }},
       {"R6", "colluders insert a record framed as the victim's",
        [&](RecipientBundle* b) {
          crypto::Digest pre = b->records[IndexAtSeq(*b, 0)].output.state_hash;
          Bytes fake(20, 0x77);
-         provenance::attacks::InsertForgedRecord(
-             b, attacker, engine, a, 1, pre, crypto::Digest::FromBytes(fake))
-             .ok();
-         provenance::attacks::ReassignRecordParticipant(
-             b, b->records.size() - 1, victim.id())
-             .ok();
+         examples::OrDie(provenance::attacks::InsertForgedRecord(
+             b, attacker, engine, a, 1, pre, crypto::Digest::FromBytes(fake)));
+         examples::OrDie(provenance::attacks::ReassignRecordParticipant(
+             b, b->records.size() - 1, victim.id()));
        }},
       {"R7", "colluders excise the victim's record between their own",
        [&](RecipientBundle* b) {
          // seq 2 (attacker) and the ends collude; remove victim's seq 1.
-         provenance::attacks::RemoveRecordAndRenumber(b, IndexAtSeq(*b, 1))
-             .ok();
+         examples::OrDie(
+             provenance::attacks::RemoveRecordAndRenumber(b, IndexAtSeq(*b, 1)));
        }},
       {"R8", "victim tries to repudiate: reassign own record to attacker",
        [&](RecipientBundle* b) {
-         provenance::attacks::ReassignRecordParticipant(
-             b, IndexAtSeq(*b, 1), attacker.id())
-             .ok();
+         examples::OrDie(provenance::attacks::ReassignRecordParticipant(
+             b, IndexAtSeq(*b, 1), attacker.id()));
        }},
   };
 

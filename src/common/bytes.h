@@ -81,7 +81,13 @@ uint32_t ReadFixed32(ByteView src, size_t offset);
 /// Reads a little-endian uint64 at `offset`; caller guarantees bounds.
 uint64_t ReadFixed64(ByteView src, size_t offset);
 
-/// Constant-time byte-equality; use when comparing secrets / MACs.
+/// Constant-time byte-equality; use when comparing secrets, MACs, and
+/// digests. Early-exit comparison (memcmp) leaks how many leading bytes of
+/// an attacker-supplied value match a secret-derived one — the classic
+/// remote timing oracle against MAC/signature verification. This is the
+/// designated helper of lint rule R04 (`ct-memcmp`): raw `memcmp` is
+/// banned in `src/crypto/` and `src/provenance/`; equality on digest/MAC
+/// bytes must route through here.
 bool ConstantTimeEqual(ByteView a, ByteView b);
 
 }  // namespace provdb

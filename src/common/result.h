@@ -15,8 +15,12 @@ namespace provdb {
 ///   Result<int> r = ParsePort(text);
 ///   if (!r.ok()) return r.status();
 ///   int port = r.value();
+///
+/// Like Status, the class is [[nodiscard]]: dropping a Result on the floor
+/// silently discards both the value and the error that explains its
+/// absence.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a failed result. `status` must not be OK.
   Result(Status status)  // NOLINT(google-explicit-constructor)

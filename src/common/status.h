@@ -32,7 +32,12 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 ///   Status s = db.Update(id, value);
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class is [[nodiscard]]: a Status-returning call whose result is
+/// ignored is a compile warning (and an error under PROVDB_WERROR). An
+/// unexamined Status is an undetected failure — in this codebase often an
+/// undetected verification failure, i.e. undetected tampering.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -39,14 +39,19 @@ class Digest {
   Bytes ToBytes() const { return view().ToBytes(); }
   std::string ToHex() const;
 
+  /// Constant-time equality: digest comparison is routinely "recomputed
+  /// hash vs attacker-influenced stored hash", so the comparison must not
+  /// leak the length of the matching prefix the way early-exit memcmp
+  /// does (lint rule R04; helper in common/bytes.h).
   bool operator==(const Digest& other) const {
-    return size_ == other.size_ &&
-           std::memcmp(bytes_.data(), other.bytes_.data(), size_) == 0;
+    return size_ == other.size_ && ConstantTimeEqual(view(), other.view());
   }
   bool operator!=(const Digest& other) const { return !(*this == other); }
 
-  /// Lexicographic order; usable as a map key.
+  /// Lexicographic order; usable as a map key. Ordering is not an
+  /// equality check on secret-derived bytes, so early-exit memcmp is fine.
   bool operator<(const Digest& other) const {
+    // lint:allow ct-memcmp
     int c = std::memcmp(bytes_.data(), other.bytes_.data(),
                         size_ < other.size_ ? size_ : other.size_);
     if (c != 0) return c < 0;

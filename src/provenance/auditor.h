@@ -37,8 +37,9 @@ class StoreAuditor {
                ParallelismConfig parallelism = {});
 
   /// Audits `store` against the live `tree`. `report.ok()` iff clean.
-  VerificationReport Audit(const ProvenanceStore& store,
-                           const storage::TreeStore& tree) const;
+  /// [[nodiscard]]: an unread audit report is an undetected tamper.
+  [[nodiscard]] VerificationReport Audit(const ProvenanceStore& store,
+                                         const storage::TreeStore& tree) const;
 
  private:
   const crypto::ParticipantRegistry* registry_;

@@ -55,7 +55,8 @@ class SubtreeHasher {
   /// Basic approach: full recursive walk, no caching. Safe to call from
   /// several threads at once (the tree is only read; the work counter is
   /// atomic).
-  Result<crypto::Digest> HashSubtreeBasic(storage::ObjectId root) const;
+  [[nodiscard]] Result<crypto::Digest> HashSubtreeBasic(
+      storage::ObjectId root) const;
 
   /// Basic walk fanned out over `pool`: the subtrees of root's children
   /// are hashed as independent pool tasks (child digests combine in
@@ -63,8 +64,8 @@ class SubtreeHasher {
   /// sequential walk). Falls back to the sequential walk when `pool` is
   /// null, has a single worker, or the root has fewer than two children.
   /// Must not be called from inside a task running on the same pool.
-  Result<crypto::Digest> HashSubtreeBasic(storage::ObjectId root,
-                                          ThreadPool* pool) const;
+  [[nodiscard]] Result<crypto::Digest> HashSubtreeBasic(
+      storage::ObjectId root, ThreadPool* pool) const;
 
   /// Hash of one node given already-known child digests. Exposed for the
   /// streaming hasher and tests.
@@ -103,7 +104,7 @@ class EconomicalHasher {
                    crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1);
 
   /// Hash of subtree(root), reusing every clean cached digest.
-  Result<crypto::Digest> HashSubtree(storage::ObjectId root);
+  [[nodiscard]] Result<crypto::Digest> HashSubtree(storage::ObjectId root);
 
   /// Marks `id` and all its ancestors dirty (call after Update/Insert of
   /// `id`, and after Delete with the *parent's* id).

@@ -102,8 +102,9 @@ class ProvenanceVerifier {
                      ParallelismConfig parallelism = {});
 
   /// Runs all checks over `bundle` and reports every issue found (the
-  /// verifier does not stop at the first failure).
-  VerificationReport Verify(const RecipientBundle& bundle) const;
+  /// verifier does not stop at the first failure). [[nodiscard]]: an
+  /// unread report is an undetected tamper.
+  [[nodiscard]] VerificationReport Verify(const RecipientBundle& bundle) const;
 
  private:
   const crypto::ParticipantRegistry* registry_;

@@ -1,0 +1,21 @@
+// Fixture: no violations. Banned tokens appear only inside comments and
+// string literals, which the scanner must ignore: memcmp(, rand(),
+// std::thread, time(NULL).
+#include <map>
+#include <string>
+
+namespace provdb::provenance {
+
+// A comment mentioning std::unordered_map iteration is not iteration.
+int DescribeBannedThings() {
+  std::string text = "calling memcmp(a, b, n) or rand() or time(0) here";
+  text += "or spawning std::thread; none of it is code";
+  std::map<int, int> ordered;   // ordered container: iteration is fine
+  int sum = 0;
+  for (const auto& [k, v] : ordered) {
+    sum += k + v;
+  }
+  return sum + static_cast<int>(text.size());
+}
+
+}  // namespace provdb::provenance

@@ -1,0 +1,29 @@
+// Fixture: violates R01 (nondet-iteration) when linted under a
+// src/provenance/ path. Iterating a hash table while building a digest
+// payload makes the digest depend on iteration order.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace provdb::provenance {
+
+struct Digest {};
+
+void SerializeStates(const std::unordered_map<int, Digest>& states) {
+  for (const auto& [id, digest] : states) {  // VIOLATION: range-for
+    (void)id;
+    (void)digest;
+  }
+}
+
+void HashMembers() {
+  std::unordered_set<int> members;
+  for (auto it = members.begin(); it != members.end(); ++it) {  // VIOLATION
+    (void)*it;
+  }
+}
+
+void LookupOnlyIsFine(const std::unordered_map<int, Digest>& index) {
+  (void)index.count(42);  // point lookup: no iteration, no finding
+}
+
+}  // namespace provdb::provenance

@@ -1,0 +1,25 @@
+// Fixture: violates R02 (banned-randomness) when linted under a src/
+// path outside src/common/rng.*.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace provdb {
+
+unsigned SeedFromEnvironment() {
+  std::random_device entropy;                          // VIOLATION
+  return entropy();
+}
+
+void ShuffleSeed() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // VIOLATION (x2)
+  (void)std::rand();                                      // VIOLATION
+}
+
+int NotRandomAtAll(int operand) {
+  // Identifiers merely *containing* the banned words are fine:
+  int runtime = operand;
+  return runtime;
+}
+
+}  // namespace provdb

@@ -1,0 +1,20 @@
+// Fixture: violates R03 (raw-thread) when linted under a src/ path
+// outside src/common/thread_pool.*.
+#include <future>
+#include <thread>
+
+namespace provdb {
+
+void FanOutByHand() {
+  std::thread worker([] {});  // VIOLATION
+  worker.join();
+  auto pending = std::async([] { return 1; });  // VIOLATION
+  (void)pending.get();
+}
+
+void SleepIsAllowed() {
+  // std::this_thread is a different token and not banned.
+  std::this_thread::yield();
+}
+
+}  // namespace provdb

@@ -1,0 +1,12 @@
+// Fixture: violates R04 (ct-memcmp) when linted under a src/crypto/
+// path. Early-exit comparison of digest bytes is a timing oracle.
+#include <cstring>
+
+namespace provdb::crypto {
+
+bool DigestsMatch(const unsigned char* a, const unsigned char* b,
+                  unsigned long n) {
+  return std::memcmp(a, b, n) == 0;  // VIOLATION
+}
+
+}  // namespace provdb::crypto

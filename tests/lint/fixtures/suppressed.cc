@@ -1,0 +1,24 @@
+// Fixture: every violation carries a lint:allow pragma, so the file must
+// lint clean. Exercises same-line pragmas, pragma-on-previous-line, rule
+// ids, and rule names.
+#include <cstring>
+#include <unordered_map>
+
+namespace provdb::provenance {
+
+void OrderInsensitiveFold(const std::unordered_map<int, int>& counters) {
+  int sum = 0;
+  // The fold is commutative, so iteration order cannot reach any digest.
+  // lint:allow R01
+  for (const auto& [key, count] : counters) {
+    sum += count;
+    (void)key;
+  }
+  (void)sum;
+}
+
+bool OrderingComparator(const unsigned char* a, const unsigned char* b) {
+  return std::memcmp(a, b, 16) < 0;  // lint:allow ct-memcmp
+}
+
+}  // namespace provdb::provenance

@@ -1,0 +1,161 @@
+// Unit tests for provdb-lint: each rule R01-R05 fires on its fixture,
+// pragmas suppress, and a clean file (with banned tokens hidden inside
+// comments and strings) stays clean. The fixtures live on disk so they
+// double as human-readable documentation of what each rule catches.
+
+#include "lint.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace provdb::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  std::string path = std::string(PROVDB_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::set<std::string> RuleIds(const std::vector<Finding>& findings) {
+  std::set<std::string> ids;
+  for (const Finding& finding : findings) ids.insert(finding.rule_id);
+  return ids;
+}
+
+TEST(LintRulesTest, R01FiresOnUnorderedIterationInDigestLayer) {
+  Linter linter;
+  std::string content = ReadFixture("r01_unordered_iteration.cc");
+  auto findings =
+      linter.LintContent("src/provenance/serialization.cc", content);
+  ASSERT_EQ(findings.size(), 2u) << findings.size();
+  EXPECT_EQ(findings[0].rule_id, "R01");
+  EXPECT_EQ(findings[0].rule_name, "nondet-iteration");
+  EXPECT_EQ(findings[1].rule_id, "R01");
+  // Point lookups (`.count`) produce no third finding.
+
+  // The same content outside the digest layer is not R01's business.
+  auto elsewhere = linter.LintContent("src/workload/synthetic.cc", content);
+  EXPECT_EQ(RuleIds(elsewhere).count("R01"), 0u);
+}
+
+TEST(LintRulesTest, R02FiresOnAmbientRandomnessOutsideRng) {
+  Linter linter;
+  std::string content = ReadFixture("r02_ambient_randomness.cc");
+  auto findings = linter.LintContent("src/workload/synthetic.cc", content);
+  // random_device, srand/time line, rand — at least three flagged lines.
+  ASSERT_GE(findings.size(), 3u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule_id, "R02");
+  }
+
+  // The sanctioned RNG implementation itself is exempt.
+  auto in_rng = linter.LintContent("src/common/rng.cc", content);
+  EXPECT_TRUE(in_rng.empty());
+}
+
+TEST(LintRulesTest, R03FiresOnRawThreadsOutsideThreadPool) {
+  Linter linter;
+  std::string content = ReadFixture("r03_raw_thread.cc");
+  auto findings = linter.LintContent("src/provenance/verifier.cc", content);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule_id, "R03");
+  EXPECT_NE(findings[0].message.find("std::thread"), std::string::npos);
+  EXPECT_EQ(findings[1].rule_id, "R03");
+  EXPECT_NE(findings[1].message.find("std::async"), std::string::npos);
+
+  // The pool implementation is exempt; std::this_thread never fires.
+  auto in_pool = linter.LintContent("src/common/thread_pool.cc", content);
+  EXPECT_TRUE(in_pool.empty());
+}
+
+TEST(LintRulesTest, R04FiresOnMemcmpInDigestLayer) {
+  Linter linter;
+  std::string content = ReadFixture("r04_memcmp_digest.cc");
+  auto findings = linter.LintContent("src/crypto/hmac.cc", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "R04");
+  EXPECT_EQ(findings[0].rule_name, "ct-memcmp");
+  EXPECT_FALSE(findings[0].suggestion.empty());
+
+  // memcmp outside the digest/MAC layer is allowed (e.g. src/storage/).
+  auto in_storage = linter.LintContent("src/storage/value.cc", content);
+  EXPECT_EQ(RuleIds(in_storage).count("R04"), 0u);
+}
+
+TEST(LintRulesTest, R05FiresOnlyWithCorpusAndHonorsBothReferenceKinds) {
+  Linter no_corpus;
+  auto skipped = no_corpus.LintContent("src/crypto/widget.cc", "int x;\n");
+  EXPECT_TRUE(skipped.empty()) << "R05 must be skipped without a corpus";
+
+  Linter linter;
+  linter.SetTestCorpus({
+      {"tests/crypto/covered_test.cc", "#include \"crypto/covered.h\"\n"},
+      {"tests/storage/widget_test.cc", "TEST(Widget, Works) {}\n"},
+  });
+
+  // Uncovered file: fires at line 1, names both accepted reference kinds.
+  auto findings = linter.LintContent("src/crypto/orphan.cc", "int x;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "R05");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("orphan_test.cc"), std::string::npos);
+
+  // Covered by a <stem>_test.cc anywhere under tests/.
+  EXPECT_TRUE(
+      linter.LintContent("src/storage/widget.cc", "int x;\n").empty());
+  // Covered by an #include reference from a test.
+  EXPECT_TRUE(
+      linter.LintContent("src/crypto/covered.cc", "int x;\n").empty());
+  // Suppressible with the pragma.
+  EXPECT_TRUE(linter
+                  .LintContent("src/crypto/orphan.cc",
+                               "// lint:allow no-test\nint x;\n")
+                  .empty());
+  // Headers are out of scope — only .cc files need tests.
+  EXPECT_TRUE(linter.LintContent("src/crypto/orphan.h", "int x;\n").empty());
+}
+
+TEST(LintRulesTest, PragmasSuppressByIdAndByName) {
+  Linter linter;
+  std::string content = ReadFixture("suppressed.cc");
+  auto findings = linter.LintContent("src/provenance/checksum.cc", content);
+  EXPECT_TRUE(findings.empty()) << findings.front().ToString();
+}
+
+TEST(LintRulesTest, CleanFileWithBannedTokensInLiteralsStaysClean) {
+  Linter linter;
+  std::string content = ReadFixture("clean.cc");
+  auto findings = linter.LintContent("src/provenance/bundle.cc", content);
+  EXPECT_TRUE(findings.empty()) << findings.front().ToString();
+}
+
+TEST(LintRulesTest, FindingToStringIsGreppable) {
+  Linter linter;
+  std::string content = ReadFixture("r04_memcmp_digest.cc");
+  auto findings = linter.LintContent("src/crypto/hmac.cc", content);
+  ASSERT_EQ(findings.size(), 1u);
+  std::string text = findings[0].ToString(/*with_suggestion=*/true);
+  EXPECT_NE(text.find("src/crypto/hmac.cc:"), std::string::npos);
+  EXPECT_NE(text.find("[R04/ct-memcmp]"), std::string::npos);
+  EXPECT_NE(text.find("fix: "), std::string::npos);
+}
+
+TEST(LintRulesTest, RuleTableIsCompleteAndOrdered) {
+  const auto& rules = Rules();
+  ASSERT_EQ(rules.size(), 5u);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].id, "R0" + std::to_string(i + 1));
+    EXPECT_NE(std::string(rules[i].summary), "");
+  }
+}
+
+}  // namespace
+}  // namespace provdb::lint

@@ -169,7 +169,7 @@ TEST_F(AttackTest, R5_RenamingObjectIdsDetected) {
   // different object. The object id is inside every hashed state, so the
   // hash no longer matches.
   RecipientBundle tampered = bundle_;
-  attacks::RenameDataObject(&tampered, 4242);
+  ASSERT_TRUE(attacks::RenameDataObject(&tampered, 4242).ok());
   VerificationReport report = Verify(tampered);
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(report.HasIssue(IssueKind::kMissingRecords) ||

@@ -71,7 +71,7 @@ TEST(JsonExportTest, BundleRoundIsWellFormedAndDeterministic) {
   TrackedDatabase db;
   const auto& p1 = TestPki::Instance().participant(0);
   auto a = db.Insert(p1, Value::String("v1")).value();
-  db.Update(p1, a, Value::String("v2")).ok();
+  ASSERT_TRUE(db.Update(p1, a, Value::String("v2")).ok());
   auto bundle = db.ExportForRecipient(a).value();
 
   std::string json = BundleToJson(bundle);
@@ -100,7 +100,8 @@ TEST(JsonExportTest, ReportRendersIssues) {
   const auto& p1 = TestPki::Instance().participant(0);
   auto a = db.Insert(p1, Value::String("v1")).value();
   auto bundle = db.ExportForRecipient(a).value();
-  attacks::TamperDataValue(&bundle, a, Value::String("evil")).ok();
+  ASSERT_TRUE(
+      attacks::TamperDataValue(&bundle, a, Value::String("evil")).ok());
 
   ProvenanceVerifier verifier(&TestPki::Instance().registry());
   auto report = verifier.Verify(bundle);

@@ -1,0 +1,60 @@
+#include "provenance/record.h"
+
+#include <gtest/gtest.h>
+
+namespace provdb::provenance {
+namespace {
+
+TEST(OperationTypeNameTest, CoversEveryOperation) {
+  EXPECT_EQ(OperationTypeName(OperationType::kInsert), "insert");
+  EXPECT_EQ(OperationTypeName(OperationType::kUpdate), "update");
+  EXPECT_EQ(OperationTypeName(OperationType::kAggregate), "aggregate");
+}
+
+TEST(ObjectStateTest, EqualityComparesIdAndHash) {
+  ObjectState a;
+  a.object_id = 7;
+  a.state_hash = crypto::Digest::FromBytes(Bytes{1, 2, 3});
+  ObjectState b = a;
+  EXPECT_TRUE(a == b);
+
+  b.object_id = 8;
+  EXPECT_FALSE(a == b);
+
+  b = a;
+  b.state_hash = crypto::Digest::FromBytes(Bytes{1, 2, 4});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ProvenanceRecordTest, ToStringRendersChainPosition) {
+  ProvenanceRecord rec;
+  rec.seq_id = 3;
+  rec.participant = 42;
+  rec.op = OperationType::kAggregate;
+  rec.inputs.resize(2);
+  rec.inputs[0].object_id = 10;
+  rec.inputs[1].object_id = 11;
+  rec.output.object_id = 12;
+  rec.checksum = Bytes(128, 0xAB);
+
+  std::string text = rec.ToString();
+  EXPECT_NE(text.find("seq=3"), std::string::npos);
+  EXPECT_NE(text.find("p=42"), std::string::npos);
+  EXPECT_NE(text.find("aggregate"), std::string::npos);
+  EXPECT_NE(text.find("in={10,11}"), std::string::npos);
+  EXPECT_NE(text.find("out=12"), std::string::npos);
+  // Not inherited unless flagged.
+  EXPECT_EQ(text.find("inherited"), std::string::npos);
+
+  rec.inherited = true;
+  EXPECT_NE(rec.ToString().find("inherited"), std::string::npos);
+}
+
+TEST(ProvenanceRecordTest, PaperTupleSchemaIsPinned) {
+  // §5.1 overhead accounting depends on this constant; changing it
+  // silently re-scales every space figure.
+  EXPECT_EQ(kPaperTupleBytes, 4u + 4u + 4u + 128u);
+}
+
+}  // namespace
+}  // namespace provdb::provenance

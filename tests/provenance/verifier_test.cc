@@ -175,7 +175,7 @@ TEST_F(VerifierTest, VerifierReportsAllIssuesNotJustFirst) {
   auto bundle = db.ExportForRecipient(*a);
   RecipientBundle broken = *bundle;
   // Two independent problems: tampered data AND a tampered checksum.
-  broken.data.TamperValue(*a, Value::Int(99)).ok();
+  ASSERT_TRUE(broken.data.TamperValue(*a, Value::Int(99)).ok());
   broken.records[0].checksum[5] ^= 0xFF;
   VerificationReport report = Verify(broken);
   EXPECT_TRUE(report.HasIssue(IssueKind::kDataHashMismatch));

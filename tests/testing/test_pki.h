@@ -1,6 +1,7 @@
 #ifndef PROVDB_TESTS_TESTING_TEST_PKI_H_
 #define PROVDB_TESTS_TESTING_TEST_PKI_H_
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <vector>
@@ -57,7 +58,9 @@ class TestPki {
           alg);
       participants_.push_back(
           std::make_unique<crypto::Participant>(std::move(p).value()));
-      registry_->Register(participants_.back()->certificate());
+      Status registered =
+          registry_->Register(participants_.back()->certificate());
+      if (!registered.ok()) std::abort();  // fixed-seed setup cannot fail
     }
   }
 

@@ -1,13 +1,26 @@
 #!/bin/sh
-# CI driver: regular build + full test suite, then sanitizer passes over
-# the paths where they pay off — TSan for the parallel verification/audit
-# engine, ASan+UBSan for the wire-format decoder fuzz tests.
+# CI driver, organised as named stages:
 #
-# Usage: tools/ci.sh [build-root]   (default: ./ci-out)
+#   release-tests  regular Release build + full ctest suite
+#   lint           provdb_lint over src/ (determinism / checked-verify rules)
+#   werror         src/ under the hardened tier: -Wconversion -Wshadow
+#                  -Wextra-semi -Werror (PROVDB_WERROR=ON)
+#   format         clang-format --dry-run over first-party sources
+#                  (check-only; skipped when clang-format is absent)
+#   tsan           ThreadSanitizer over the parallel verify/audit paths
+#   asan           ASan+UBSan over the wire-format decoder fuzz tests
+#   tidy           clang-tidy (.clang-tidy profile) over src/
+#                  (skipped when clang-tidy is absent)
+#
+# Usage: tools/ci.sh [stage...]
+#   No arguments runs the default order:
+#     release-tests lint werror format tsan asan
+#   plus tidy when PROVDB_TIDY=1 (clang-tidy may be absent, so it is
+#   opt-in). Build trees go under $PROVDB_CI_OUT (default: ./ci-out).
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-OUT="${1:-$ROOT/ci-out}"
+OUT="${PROVDB_CI_OUT:-$ROOT/ci-out}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 run() {
@@ -15,30 +28,105 @@ run() {
   "$@"
 }
 
-# -- 1. Regular build + full ctest suite --------------------------------
-run cmake -S "$ROOT" -B "$OUT/release" -DCMAKE_BUILD_TYPE=Release
-run cmake --build "$OUT/release" -j "$JOBS"
-run ctest --test-dir "$OUT/release" --output-on-failure -j "$JOBS"
+stage_release_tests() {
+  run cmake -S "$ROOT" -B "$OUT/release" -DCMAKE_BUILD_TYPE=Release
+  run cmake --build "$OUT/release" -j "$JOBS"
+  run ctest --test-dir "$OUT/release" --output-on-failure -j "$JOBS"
+}
 
-# -- 2. TSan over the parallel paths ------------------------------------
-# Benchmarks/examples are skipped: TSan only needs the thread pool, the
-# parallel verifier/auditor, and the parallel subtree hasher, which the
-# unit tests below exercise.
-run cmake -S "$ROOT" -B "$OUT/tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DPROVDB_SANITIZE=thread -DPROVDB_BUILD_BENCHMARKS=OFF \
-  -DPROVDB_BUILD_EXAMPLES=OFF
-run cmake --build "$OUT/tsan" -j "$JOBS" \
-  --target common_test provenance_core_test provenance_security_test \
-  provenance_ext_test
-run ctest --test-dir "$OUT/tsan" --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|Parallel|Audit'
+stage_lint() {
+  run cmake -S "$ROOT" -B "$OUT/release" -DCMAKE_BUILD_TYPE=Release
+  run cmake --build "$OUT/release" -j "$JOBS" --target provdb_lint
+  run "$OUT/release/tools/lint/provdb_lint" --root "$ROOT" src
+}
 
-# -- 3. ASan+UBSan over the decoder fuzz tests --------------------------
-run cmake -S "$ROOT" -B "$OUT/asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DPROVDB_SANITIZE=address -DPROVDB_BUILD_BENCHMARKS=OFF \
-  -DPROVDB_BUILD_EXAMPLES=OFF
-run cmake --build "$OUT/asan" -j "$JOBS" --target provenance_property_test
-run ctest --test-dir "$OUT/asan" --output-on-failure -j "$JOBS" \
-  -R 'Decoder|Fuzz|Property'
+stage_werror() {
+  run cmake -S "$ROOT" -B "$OUT/werror" -DCMAKE_BUILD_TYPE=Release \
+    -DPROVDB_WERROR=ON -DPROVDB_BUILD_TESTS=OFF \
+    -DPROVDB_BUILD_BENCHMARKS=OFF -DPROVDB_BUILD_EXAMPLES=OFF
+  run cmake --build "$OUT/werror" -j "$JOBS" \
+    --target provdb_provenance provdb_workload
+}
 
-echo "CI: all passes green."
+stage_format() {
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "==> format: clang-format not installed, skipping (check-only stage)"
+    return 0
+  fi
+  # Check-only: --dry-run -Werror fails on any diff but rewrites nothing,
+  # so formatting is enforced without a mass-reformat commit.
+  find "$ROOT/src" "$ROOT/tools" "$ROOT/tests" "$ROOT/bench" "$ROOT/examples" \
+    -name '*.cc' -o -name '*.h' -o -name '*.cpp' -o -name '*.hpp' \
+    | sort | xargs clang-format --dry-run -Werror
+  echo "==> format: clean"
+}
+
+stage_tsan() {
+  # Benchmarks/examples are skipped: TSan only needs the thread pool, the
+  # parallel verifier/auditor, and the parallel subtree hasher, which the
+  # unit tests below exercise.
+  run cmake -S "$ROOT" -B "$OUT/tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPROVDB_SANITIZE=thread -DPROVDB_BUILD_BENCHMARKS=OFF \
+    -DPROVDB_BUILD_EXAMPLES=OFF
+  run cmake --build "$OUT/tsan" -j "$JOBS" \
+    --target common_test provenance_core_test provenance_security_test \
+    provenance_ext_test
+  run ctest --test-dir "$OUT/tsan" --output-on-failure -j "$JOBS" \
+    -R 'ThreadPool|Parallel|Audit'
+}
+
+stage_asan() {
+  run cmake -S "$ROOT" -B "$OUT/asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPROVDB_SANITIZE=address -DPROVDB_BUILD_BENCHMARKS=OFF \
+    -DPROVDB_BUILD_EXAMPLES=OFF
+  run cmake --build "$OUT/asan" -j "$JOBS" --target provenance_property_test
+  run ctest --test-dir "$OUT/asan" --output-on-failure -j "$JOBS" \
+    -R 'Decoder|Fuzz|Property'
+}
+
+stage_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> tidy: clang-tidy not installed, skipping"
+    return 0
+  fi
+  run cmake -S "$ROOT" -B "$OUT/release" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  find "$ROOT/src" -name '*.cc' | sort \
+    | xargs clang-tidy -p "$OUT/release" --quiet
+  echo "==> tidy: clean"
+}
+
+run_stage() {
+  echo ""
+  echo "=== stage: $1 ==="
+  case "$1" in
+    release-tests) stage_release_tests ;;
+    lint)          stage_lint ;;
+    werror)        stage_werror ;;
+    format)        stage_format ;;
+    tsan)          stage_tsan ;;
+    asan)          stage_asan ;;
+    tidy)          stage_tidy ;;
+    *)
+      echo "tools/ci.sh: unknown stage '$1'" >&2
+      echo "stages: release-tests lint werror format tsan asan tidy" >&2
+      exit 2
+      ;;
+  esac
+}
+
+if [ "$#" -gt 0 ]; then
+  STAGES="$*"
+else
+  STAGES="release-tests lint werror format tsan asan"
+  if [ "${PROVDB_TIDY:-0}" = "1" ]; then
+    STAGES="$STAGES tidy"
+  fi
+fi
+
+for STAGE in $STAGES; do
+  run_stage "$STAGE"
+done
+
+echo ""
+echo "CI: all stages green ($STAGES)."

@@ -1,0 +1,594 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace provdb::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: split into lines, blank out comments and literal
+// contents (so rule patterns never fire inside strings), and collect
+// `lint:allow` pragmas from the comment text.
+// ---------------------------------------------------------------------------
+
+struct AnnotatedSource {
+  std::vector<std::string> code;      // literals/comments blanked
+  std::vector<std::string> comments;  // comment text, per line
+};
+
+/// Blanks comments and the *contents* of string/char literals with spaces,
+/// preserving line structure and column positions. Handles //, /*...*/,
+/// "..." with escapes, '...' with escapes, and R"delim(...)delim".
+AnnotatedSource Annotate(const std::string& content) {
+  AnnotatedSource out;
+  std::string code_line;
+  std::string comment_line;
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_terminator;  // ")delim\"" for the active raw string
+
+  auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  const size_t n = content.size();
+  for (size_t i = 0; i < n; ++i) {
+    char c = content[i];
+    char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (code_line.empty() ||
+                    (!std::isalnum(static_cast<unsigned char>(
+                         code_line.back())) &&
+                     code_line.back() != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          size_t paren = content.find('(', i + 2);
+          if (paren == std::string::npos) {
+            code_line += c;
+            break;
+          }
+          raw_terminator =
+              ")" + content.substr(i + 2, paren - (i + 2)) + "\"";
+          state = State::kRawString;
+          code_line.append(paren - i + 1, ' ');
+          code_line[code_line.size() - (paren - i + 1)] = '"';
+          i = paren;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          state = State::kCode;
+          code_line.append(raw_terminator.size(), ' ');
+          code_line.back() = '"';
+          i += raw_terminator.size() - 1;
+        } else {
+          code_line += ' ';
+        }
+        break;
+    }
+  }
+  flush_line();
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when `text` contains `token` as a whole word (not preceded or
+/// followed by an identifier character).
+bool ContainsWord(const std::string& text, const std::string& token,
+                  size_t* pos_out = nullptr) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) {
+      if (pos_out != nullptr) *pos_out = pos;
+      return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+/// `token` as a whole word followed (after whitespace) by '('.
+bool ContainsCall(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  std::string t = text;
+  while ((pos = t.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || (!IsIdentChar(t[pos - 1]) && t[pos - 1] != ':' &&
+                                t[pos - 1] != '.' && t[pos - 1] != '>');
+    // Allow a std:: / :: qualifier on the left.
+    if (!left_ok && pos >= 2 && t[pos - 1] == ':' && t[pos - 2] == ':') {
+      left_ok = true;
+    }
+    size_t end = pos + token.size();
+    while (end < t.size() &&
+           std::isspace(static_cast<unsigned char>(t[end]))) {
+      ++end;
+    }
+    if (left_ok && end < t.size() && t[end] == '(') return true;
+    ++pos;
+  }
+  return false;
+}
+
+// --- Pragma handling -------------------------------------------------------
+
+std::string CanonicalRule(std::string token) {
+  for (char& c : token) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  for (const RuleInfo& rule : Rules()) {
+    std::string id = rule.id;
+    for (char& c : id) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    if (token == id || token == rule.name) return rule.id;
+  }
+  return "";
+}
+
+/// Per-line sets of suppressed rule ids. A pragma suppresses findings on
+/// its own line and on the following line, so both trailing pragmas and
+/// pragma-comment lines above the offending statement work.
+std::vector<std::set<std::string>> ParseAllows(
+    const std::vector<std::string>& comments) {
+  std::vector<std::set<std::string>> allows(comments.size());
+  for (size_t i = 0; i < comments.size(); ++i) {
+    const std::string& comment = comments[i];
+    size_t at = comment.find("lint:allow");
+    if (at == std::string::npos) continue;
+    size_t cursor = at + std::string("lint:allow").size();
+    // Tokens: rule ids/names separated by commas or spaces, until a token
+    // that is not a known rule (e.g. trailing prose).
+    while (cursor < comment.size()) {
+      while (cursor < comment.size() &&
+             (std::isspace(static_cast<unsigned char>(comment[cursor])) ||
+              comment[cursor] == ',')) {
+        ++cursor;
+      }
+      size_t start = cursor;
+      while (cursor < comment.size() &&
+             (IsIdentChar(comment[cursor]) || comment[cursor] == '-')) {
+        ++cursor;
+      }
+      if (cursor == start) break;
+      std::string id = CanonicalRule(comment.substr(start, cursor - start));
+      if (id.empty()) break;
+      allows[i].insert(id);
+      if (i + 1 < comments.size()) allows[i + 1].insert(id);
+    }
+  }
+  return allows;
+}
+
+// --- Path scoping ----------------------------------------------------------
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string Stem(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+bool InDigestLayer(const std::string& path) {
+  return StartsWith(path, "src/crypto/") || StartsWith(path, "src/provenance/");
+}
+
+// ---------------------------------------------------------------------------
+// R01 nondet-iteration
+// ---------------------------------------------------------------------------
+
+/// Names declared (or returned) with an unordered container type. Scans a
+/// three-line window so declarations split across lines still resolve.
+std::set<std::string> CollectUnorderedNames(
+    const std::vector<std::string>& code) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < code.size(); ++i) {
+    std::string window = code[i];
+    for (size_t j = i + 1; j < code.size() && j < i + 3; ++j) {
+      window += ' ';
+      window += code[j];
+    }
+    size_t pos = 0;
+    while (true) {
+      size_t m = window.find("unordered_map<", pos);
+      size_t s = window.find("unordered_set<", pos);
+      size_t hit = std::min(m, s);
+      if (hit == std::string::npos) break;
+      size_t open = window.find('<', hit);
+      int depth = 0;
+      size_t cursor = open;
+      for (; cursor < window.size(); ++cursor) {
+        if (window[cursor] == '<') ++depth;
+        if (window[cursor] == '>' && --depth == 0) break;
+      }
+      pos = hit + 1;
+      if (cursor >= window.size()) continue;  // unbalanced in window
+      ++cursor;
+      while (cursor < window.size() &&
+             (std::isspace(static_cast<unsigned char>(window[cursor])) ||
+              window[cursor] == '*' || window[cursor] == '&')) {
+        ++cursor;
+      }
+      if (cursor + 1 < window.size() && window[cursor] == ':' &&
+          window[cursor + 1] == ':') {
+        continue;  // ...>::iterator etc. — not a declaration
+      }
+      size_t id_start = cursor;
+      while (cursor < window.size() && IsIdentChar(window[cursor])) ++cursor;
+      if (cursor > id_start) {
+        names.insert(window.substr(id_start, cursor - id_start));
+      }
+    }
+  }
+  return names;
+}
+
+/// Root identifier of an expression like `state.pre_hashes` or
+/// `this->cache_` — the last '.'/'->' component, stripped of calls.
+std::string LastComponent(std::string expr) {
+  // Trim whitespace and trailing call parens.
+  auto trim = [](std::string& s) {
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back()))) {
+      s.pop_back();
+    }
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.front()))) {
+      s.erase(s.begin());
+    }
+  };
+  trim(expr);
+  while (EndsWith(expr, "()")) expr.resize(expr.size() - 2);
+  trim(expr);
+  size_t dot = expr.find_last_of('.');
+  size_t arrow = expr.rfind("->");
+  size_t cut = std::string::npos;
+  if (dot != std::string::npos) cut = dot + 1;
+  if (arrow != std::string::npos &&
+      (cut == std::string::npos || arrow + 2 > cut)) {
+    cut = arrow + 2;
+  }
+  if (cut != std::string::npos && cut <= expr.size()) {
+    expr = expr.substr(cut);
+  }
+  trim(expr);
+  return expr;
+}
+
+void RunR01(const std::string& path, const std::vector<std::string>& code,
+            std::vector<Finding>* findings) {
+  if (!InDigestLayer(path)) return;
+  std::set<std::string> unordered = CollectUnorderedNames(code);
+  for (size_t i = 0; i < code.size(); ++i) {
+    size_t for_pos;
+    if (!ContainsWord(code[i], "for", &for_pos)) continue;
+    // Join a window so multi-line for-headers are matched.
+    std::string window = code[i].substr(for_pos);
+    for (size_t j = i + 1; j < code.size() && j < i + 3; ++j) {
+      window += ' ';
+      window += code[j];
+    }
+    size_t open = window.find('(');
+    if (open == std::string::npos) continue;
+    // Range-for: single ':' (not '::') at paren depth 1.
+    int depth = 0;
+    size_t colon = std::string::npos;
+    size_t close = std::string::npos;
+    for (size_t k = open; k < window.size(); ++k) {
+      if (window[k] == '(') ++depth;
+      if (window[k] == ')') {
+        if (--depth == 0) {
+          close = k;
+          break;
+        }
+      }
+      if (window[k] == ';') break;  // classic for loop
+      if (window[k] == ':' && depth == 1 &&
+          (k + 1 >= window.size() || window[k + 1] != ':') &&
+          (k == 0 || window[k - 1] != ':') && colon == std::string::npos) {
+        colon = k;
+      }
+    }
+    std::string iterated;
+    if (colon != std::string::npos && close != std::string::npos) {
+      std::string range = window.substr(colon + 1, close - colon - 1);
+      if (range.find("unordered_") != std::string::npos) {
+        iterated = "an unordered container";
+      } else {
+        std::string root = LastComponent(range);
+        if (unordered.count(root) > 0) iterated = "`" + root + "`";
+      }
+    }
+    if (iterated.empty()) {
+      // Iterator-style loop: for (auto it = x.begin(); ...).
+      for (const std::string& name : unordered) {
+        if (window.find(name + ".begin()") != std::string::npos ||
+            window.find(name + "->begin()") != std::string::npos) {
+          iterated = "`" + name + "`";
+          break;
+        }
+      }
+    }
+    if (!iterated.empty()) {
+      findings->push_back(Finding{
+          "R01", "nondet-iteration", path, i + 1,
+          "iterates " + iterated +
+              " (unordered container) in hashing/serialization code; "
+              "iteration order is nondeterministic, so any digest or "
+              "wire encoding derived from it silently breaks R1-R4",
+          "iterate a sorted view instead: copy the keys into a "
+          "std::vector and std::sort, or use std::map/std::set when the "
+          "container is iterated on the canonical path"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R02 banned-randomness / wall-clock
+// ---------------------------------------------------------------------------
+
+void RunR02(const std::string& path, const std::vector<std::string>& code,
+            std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/")) return;
+  if (StartsWith(path, "src/common/rng.")) return;  // the sanctioned RNG
+  struct Banned {
+    const char* token;
+    bool call_only;  // must be followed by '(' to count
+  };
+  static const Banned kBanned[] = {
+      {"rand", true},          {"srand", true},   {"drand48", true},
+      {"random_device", false}, {"time", true},    {"clock", true},
+      {"gettimeofday", true},  {"localtime", true}, {"gmtime", true},
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const Banned& banned : kBanned) {
+      bool hit = banned.call_only ? ContainsCall(code[i], banned.token)
+                                  : ContainsWord(code[i], banned.token);
+      if (!hit) continue;
+      findings->push_back(Finding{
+          "R02", "banned-randomness", path, i + 1,
+          std::string("uses `") + banned.token +
+              "`: ambient randomness / wall-clock time makes workloads "
+              "unreproducible and, if it reaches a hashed payload, makes "
+              "digests nondeterministic",
+          "take a provdb::Rng (src/common/rng.h) with an explicit seed, "
+          "or a Stopwatch (steady_clock) for durations"});
+      break;  // one finding per line is enough
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R03 raw-thread
+// ---------------------------------------------------------------------------
+
+void RunR03(const std::string& path, const std::vector<std::string>& code,
+            std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/")) return;
+  if (StartsWith(path, "src/common/thread_pool.")) return;
+  static const char* kBanned[] = {"std::thread", "std::jthread",
+                                  "std::async", "pthread_create"};
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const char* token : kBanned) {
+      size_t pos = code[i].find(token);
+      if (pos == std::string::npos) continue;
+      // Reject matches inside longer identifiers (std::this_thread is a
+      // different token and allowed).
+      size_t end = pos + std::string(token).size();
+      if (end < code[i].size() && IsIdentChar(code[i][end])) continue;
+      if (pos > 0 && IsIdentChar(code[i][pos - 1])) continue;
+      findings->push_back(Finding{
+          "R03", "raw-thread", path, i + 1,
+          std::string("spawns `") + token +
+              "` directly; ad-hoc threads bypass ParallelismConfig and "
+              "the pool's deterministic result merge (reports must stay "
+              "byte-identical to the sequential path)",
+          "submit tasks to provdb::ThreadPool "
+          "(src/common/thread_pool.h) instead"});
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R04 ct-memcmp
+// ---------------------------------------------------------------------------
+
+void RunR04(const std::string& path, const std::vector<std::string>& code,
+            std::vector<Finding>* findings) {
+  if (!InDigestLayer(path)) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!ContainsCall(code[i], "memcmp")) continue;
+    findings->push_back(Finding{
+        "R04", "ct-memcmp", path, i + 1,
+        "calls `memcmp` in the digest/MAC layer; early-exit comparison "
+        "leaks the length of the matching prefix (a remote timing "
+        "oracle against checksum verification)",
+        "use provdb::ConstantTimeEqual (src/common/bytes.h); ordering "
+        "comparators may keep memcmp under `// lint:allow ct-memcmp`"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R05 no-test
+// ---------------------------------------------------------------------------
+
+void RunR05(const std::string& path, const std::vector<TestFile>& corpus,
+            std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/") || !EndsWith(path, ".cc")) return;
+  std::string stem = Stem(path);
+  // The include spelling tests use: path relative to src/ with .h.
+  std::string header_ref =
+      "\"" + path.substr(std::string("src/").size(),
+                         path.size() - std::string("src/").size() - 3) +
+      ".h\"";
+  std::string test_name = "/" + stem + "_test.cc";
+  for (const TestFile& test : corpus) {
+    if (EndsWith(test.path, test_name)) return;
+    if (test.content.find(header_ref) != std::string::npos) return;
+  }
+  findings->push_back(Finding{
+      "R05", "no-test", path, 1,
+      "no test references this file: no tests/**/" + stem +
+          "_test.cc and no test includes " + header_ref +
+          " — untested code guarding tamper-evidence is unverified code",
+      "add tests/<layer>/" + stem +
+          "_test.cc (or include the header from an existing test); for "
+          "genuinely untestable glue, annotate line 1 with "
+          "// lint:allow no-test"});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+std::string Finding::ToString(bool with_suggestion) const {
+  std::ostringstream os;
+  os << path << ":" << line << ": [" << rule_id << "/" << rule_name << "] "
+     << message;
+  if (with_suggestion && !suggestion.empty()) {
+    os << "\n    fix: " << suggestion;
+  }
+  return os.str();
+}
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo>* rules = new std::vector<RuleInfo>{
+      {"R01", "nondet-iteration",
+       "no unordered_map/unordered_set iteration in src/crypto/ or "
+       "src/provenance/ (nondeterministic digest hazard)"},
+      {"R02", "banned-randomness",
+       "no rand()/time()/std::random_device outside src/common/rng.*"},
+      {"R03", "raw-thread",
+       "no std::thread/std::async outside src/common/thread_pool.*"},
+      {"R04", "ct-memcmp",
+       "no memcmp in the digest/MAC layer; use ConstantTimeEqual"},
+      {"R05", "no-test",
+       "every .cc under src/ needs a matching test reference"},
+  };
+  return *rules;
+}
+
+void Linter::SetTestCorpus(std::vector<TestFile> corpus) {
+  corpus_ = std::move(corpus);
+  has_corpus_ = true;
+}
+
+std::vector<Finding> Linter::LintContent(const std::string& path,
+                                         const std::string& content) const {
+  AnnotatedSource source = Annotate(content);
+  std::vector<std::set<std::string>> allows = ParseAllows(source.comments);
+
+  std::vector<Finding> findings;
+  RunR01(path, source.code, &findings);
+  RunR02(path, source.code, &findings);
+  RunR03(path, source.code, &findings);
+  RunR04(path, source.code, &findings);
+  if (has_corpus_) RunR05(path, corpus_, &findings);
+
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&](const Finding& finding) {
+                       size_t idx = finding.line - 1;
+                       return idx < allows.size() &&
+                              allows[idx].count(finding.rule_id) > 0;
+                     }),
+      findings.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule_id < b.rule_id;
+            });
+  return findings;
+}
+
+}  // namespace provdb::lint

@@ -1,0 +1,97 @@
+#ifndef PROVDB_TOOLS_LINT_LINT_H_
+#define PROVDB_TOOLS_LINT_LINT_H_
+
+// provdb-lint: project-specific static analysis for the determinism and
+// checked-verification invariants the compiler cannot enforce.
+//
+// ProvDB's tamper-evidence (paper §3–§4) rests on two properties:
+//
+//   1. every byte fed into a checksum or subtree hash is canonical and
+//      deterministic — a digest that depends on unordered_map iteration
+//      order or wall-clock time silently breaks requirements R1–R4, and
+//   2. every Status / verification result is actually inspected — an
+//      ignored Verify/Audit return is an undetected tamper.
+//
+// The compile-time half of (2) is the [[nodiscard]] sweep; this linter
+// covers the patterns the type system cannot see. Rules:
+//
+//   R01 nondet-iteration   no unordered_map/unordered_set iteration in
+//                          src/crypto/ or src/provenance/ (hash inputs
+//                          must not depend on hash-table order)
+//   R02 banned-randomness  no rand()/time()/std::random_device etc.
+//                          outside src/common/rng.* (reproducible
+//                          workloads, deterministic digests)
+//   R03 raw-thread         no std::thread/std::async outside
+//                          src/common/thread_pool.* (all parallelism
+//                          goes through the deterministic-merge pool)
+//   R04 ct-memcmp          no memcmp in src/crypto/ or src/provenance/
+//                          (digest/MAC equality must be constant time:
+//                          common/bytes.h ConstantTimeEqual)
+//   R05 no-test            every .cc under src/ has a matching
+//                          <stem>_test.cc or is #included-referenced by
+//                          a test file
+//
+// Any finding can be suppressed with a pragma on the offending line or
+// the line above it:   // lint:allow <rule>   where <rule> is the id
+// ("R04") or the name ("ct-memcmp"). See DESIGN.md §7 for the mapping
+// from each rule to the paper's security requirements.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace provdb::lint {
+
+/// One rule violation.
+struct Finding {
+  std::string rule_id;    // "R01"
+  std::string rule_name;  // "nondet-iteration"
+  std::string path;       // repo-relative, '/'-separated
+  size_t line = 0;        // 1-based
+  std::string message;
+  std::string suggestion;  // printed under --fix-suggestions
+
+  /// "path:line: [R01/nondet-iteration] message".
+  std::string ToString(bool with_suggestion = false) const;
+};
+
+/// Static description of one rule, for --list-rules and docs.
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  const char* summary;
+};
+
+/// All rules, in id order.
+const std::vector<RuleInfo>& Rules();
+
+/// A file from the test corpus (everything under tests/), used by R05 to
+/// decide whether a source file is test-referenced.
+struct TestFile {
+  std::string path;     // repo-relative
+  std::string content;  // raw bytes
+};
+
+/// The rule engine. Paths are matched textually, so callers (including
+/// unit tests) may lint in-memory content under any claimed path.
+class Linter {
+ public:
+  Linter() = default;
+
+  /// Corpus for R05. Without a corpus R05 is skipped entirely, so
+  /// single-file invocations don't drown in false positives.
+  void SetTestCorpus(std::vector<TestFile> corpus);
+
+  /// Runs every applicable rule over `content` as if it lived at `path`
+  /// (repo-relative). Findings are ordered by line, then rule id.
+  std::vector<Finding> LintContent(const std::string& path,
+                                   const std::string& content) const;
+
+ private:
+  std::vector<TestFile> corpus_;
+  bool has_corpus_ = false;
+};
+
+}  // namespace provdb::lint
+
+#endif  // PROVDB_TOOLS_LINT_LINT_H_
