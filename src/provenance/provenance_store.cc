@@ -19,6 +19,12 @@ Result<uint64_t> ProvenanceStore::AddRecord(ProvenanceRecord record) {
           std::to_string(record.seq_id) + ")");
     }
   }
+  if (wal_ != nullptr) {
+    // Write-ahead: the record reaches the durable log before the
+    // in-memory store. If the WAL rejects it, the store stays unchanged
+    // and the caller sees the I/O failure instead of diverging from disk.
+    PROVDB_RETURN_IF_ERROR(wal_->Append(EncodeRecord(record)));
+  }
   uint64_t index = records_.size();
   paper_schema_bytes_ += 12 + record.checksum.size();
   checksum_bytes_ += record.checksum.size();
@@ -197,7 +203,7 @@ uint64_t ProvenanceStore::SerializedBytes() const {
 Status ProvenanceStore::SaveToLog(storage::RecordLog* log) const {
   for (uint64_t i = 0; i < records_.size(); ++i) {
     if (!pruned_[i]) {
-      log->Append(EncodeRecord(records_[i]));
+      PROVDB_RETURN_IF_ERROR(log->Append(EncodeRecord(records_[i])).status());
     }
   }
   return Status::OK();
@@ -214,6 +220,33 @@ Result<ProvenanceStore> ProvenanceStore::LoadFromLog(
     return status;
   }
   return store;
+}
+
+Status ProvenanceStore::AttachWal(storage::WalWriter* wal,
+                                  bool checkpoint_existing) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("a WAL is already attached");
+  }
+  if (checkpoint_existing) {
+    for (uint64_t i = 0; i < records_.size(); ++i) {
+      if (!pruned_[i]) {
+        PROVDB_RETURN_IF_ERROR(wal->Append(EncodeRecord(records_[i])));
+      }
+    }
+  }
+  wal_ = wal;
+  return Status::OK();
+}
+
+Result<ProvenanceStore> ProvenanceStore::RecoverFromWal(
+    storage::Env* env, const std::string& dir,
+    storage::WalRecoveryReport* report) {
+  PROVDB_ASSIGN_OR_RETURN(storage::WalReader reader,
+                          storage::WalReader::Open(env, dir));
+  if (report != nullptr) {
+    *report = reader.report();
+  }
+  return LoadFromLog(reader.log());
 }
 
 }  // namespace provdb::provenance

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "provenance/record.h"
 #include "storage/record_log.h"
+#include "storage/wal.h"
 
 namespace provdb::provenance {
 
@@ -77,10 +78,34 @@ class ProvenanceStore {
   uint64_t SerializedBytes() const;
 
   /// Persists all live records into `log` (EncodeRecord payloads).
+  /// Compatibility shim for snapshot-style persistence; incremental
+  /// durability goes through AttachWal / RecoverFromWal.
   Status SaveToLog(storage::RecordLog* log) const;
 
   /// Rebuilds a store from a record log.
   static Result<ProvenanceStore> LoadFromLog(const storage::RecordLog& log);
+
+  /// Write-ahead logging: after this, every AddRecord first appends the
+  /// encoded record to `wal` and fails (without mutating the store) if
+  /// the WAL append fails. With `checkpoint_existing`, the store's
+  /// current live records are appended to the WAL first, so a WAL
+  /// attached to a non-empty store still replays to the full store.
+  /// Recovery flows (store already rebuilt *from* this WAL) pass false.
+  /// `wal` is borrowed, not owned, and must outlive the store or be
+  /// detached.
+  Status AttachWal(storage::WalWriter* wal, bool checkpoint_existing = true);
+
+  void DetachWal() { wal_ = nullptr; }
+
+  storage::WalWriter* attached_wal() const { return wal_; }
+
+  /// Crash recovery: replays the WAL directory at `dir` into a fresh
+  /// store. Torn-tail salvage details (dropped byte counts) are returned
+  /// through `report` when non-null; corruption before the tail fails
+  /// with kCorruption (see DESIGN.md §8 for the decision rule).
+  static Result<ProvenanceStore> RecoverFromWal(
+      storage::Env* env, const std::string& dir,
+      storage::WalRecoveryReport* report = nullptr);
 
   /// Footnote-3 optimization: after an object is deleted, its provenance
   /// object is no longer relevant and its records may be dropped. Refuses
@@ -112,6 +137,7 @@ class ProvenanceStore {
   uint64_t live_count_ = 0;
   uint64_t paper_schema_bytes_ = 0;
   uint64_t checksum_bytes_ = 0;
+  storage::WalWriter* wal_ = nullptr;  // borrowed; see AttachWal
 };
 
 }  // namespace provdb::provenance

@@ -652,4 +652,16 @@ void TrackedDatabase::ResetMetrics() {
   cumulative_metrics_ = OperationMetrics{};
 }
 
+Status TrackedDatabase::AttachWal(storage::WalWriter* wal) {
+  return store_.AttachWal(wal, /*checkpoint_existing=*/true);
+}
+
+Status TrackedDatabase::SyncWal() {
+  storage::WalWriter* wal = store_.attached_wal();
+  if (wal == nullptr) {
+    return Status::FailedPrecondition("no WAL attached to this database");
+  }
+  return wal->Sync();
+}
+
 }  // namespace provdb::provenance

@@ -124,6 +124,21 @@ class TrackedDatabase {
   /// For the attack simulator and tests only.
   ProvenanceStore* mutable_provenance() { return &store_; }
 
+  // -- Durability (WAL) --------------------------------------------------
+
+  /// Attaches a write-ahead log: every provenance record emitted from now
+  /// on is appended (and, under WalOptions::sync_every_append, fsync'd)
+  /// to `wal` *before* it is applied to the in-memory store. Records
+  /// already in the store are checkpointed into the WAL first, so
+  /// recovery replays the complete store. `wal` is borrowed and must
+  /// outlive this database (or be detached via mutable_provenance()).
+  Status AttachWal(storage::WalWriter* wal);
+
+  /// Forces every record emitted so far onto stable storage. A record is
+  /// only guaranteed to survive a crash once a Sync covering it returned
+  /// OK.
+  Status SyncWal();
+
   const TrackedDatabaseOptions& options() const { return options_; }
 
   /// Current compound hash of subtree(id) under the configured algorithm.

@@ -1,0 +1,106 @@
+#ifndef PROVDB_STORAGE_FAULT_INJECTION_ENV_H_
+#define PROVDB_STORAGE_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace provdb::storage {
+
+/// Test double that wraps a real Env and simulates crashes and disk
+/// faults deterministically (modelled on LevelDB's FaultInjectionTestEnv):
+///
+///  * every Append through this env is flushed to the OS immediately, so
+///    the on-disk state is exact at each write boundary;
+///  * `DropUnsyncedFileData` truncates every file back to its last
+///    synced size — the worst legal outcome of a power cut;
+///  * `ScheduleAppendFailure(n)` makes the n-th subsequent Append fail,
+///    optionally after writing only a prefix (a torn write);
+///  * `SetFilesystemActive(false)` fails all writes and syncs, freezing
+///    the disk image at the crash point.
+///
+/// Counters expose how many appends / syncs / dir-syncs reached the
+/// underlying Env, so tests can assert sync contracts ("SaveToFile syncs
+/// the file before renaming") rather than trust comments.
+///
+/// Single-threaded use only (it is a unit-test double).
+class FaultInjectionEnv final : public Env {
+ public:
+  /// `base` must outlive this env. Typically Env::Default().
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // --- Env interface ----------------------------------------------------
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<Bytes> ReadFileToBytes(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+
+  // --- Fault controls ---------------------------------------------------
+
+  /// When false, every Append/Sync/rename fails with kIoError.
+  void SetFilesystemActive(bool active) { active_ = active; }
+  bool filesystem_active() const { return active_; }
+
+  /// The `nth` Append from now (1-based) fails with kIoError. With
+  /// `torn`, the failing append first writes the front half of its
+  /// payload — a torn frame, as a real sector-boundary power cut leaves.
+  void ScheduleAppendFailure(uint64_t nth, bool torn = false);
+
+  /// The `nth` Sync from now (1-based) fails with kIoError.
+  void ScheduleSyncFailure(uint64_t nth);
+
+  /// Clears scheduled failures and re-activates the filesystem (does not
+  /// reset counters or tracked file state).
+  void ClearFaults();
+
+  /// Simulates a power cut: truncates every file written through this
+  /// env back to the bytes covered by its last successful Sync. Close
+  /// writers (or abandon them) before calling.
+  Status DropUnsyncedFileData();
+
+  // --- Observability ----------------------------------------------------
+
+  uint64_t append_count() const { return append_count_; }
+  uint64_t sync_count() const { return sync_count_; }
+  uint64_t dir_sync_count() const { return dir_sync_count_; }
+
+  /// Bytes currently guaranteed durable for `path` (0 if untracked).
+  uint64_t synced_bytes(const std::string& path) const;
+
+  /// Bytes appended so far for `path` (0 if untracked).
+  uint64_t appended_bytes(const std::string& path) const;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  struct FileState {
+    uint64_t appended = 0;
+    uint64_t synced = 0;
+  };
+
+  Env* base_;
+  bool active_ = true;
+  std::map<std::string, FileState> files_;
+  uint64_t append_count_ = 0;
+  uint64_t sync_count_ = 0;
+  uint64_t dir_sync_count_ = 0;
+  uint64_t fail_append_in_ = 0;  // 0 = no failure scheduled
+  bool torn_append_ = false;
+  uint64_t fail_sync_in_ = 0;
+};
+
+}  // namespace provdb::storage
+
+#endif  // PROVDB_STORAGE_FAULT_INJECTION_ENV_H_

@@ -1,13 +1,17 @@
 #include "storage/record_log.h"
 
-#include <cstdio>
-
 #include "common/crc32.h"
 #include "common/varint.h"
+#include "storage/env.h"
 
 namespace provdb::storage {
 
-uint64_t RecordLog::Append(ByteView payload) {
+Result<uint64_t> RecordLog::Append(ByteView payload) {
+  if (payload.size() > 0xFFFFFFFFu) {
+    return Status::InvalidArgument(
+        "record payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the 32-bit frame length limit");
+  }
   uint64_t index = offsets_.size();
   offsets_.push_back(arena_.size());
   lengths_.push_back(static_cast<uint32_t>(payload.size()));
@@ -43,6 +47,10 @@ Status RecordLog::ForEach(
 }
 
 Status RecordLog::SaveToFile(const std::string& path) const {
+  return SaveToFile(Env::Default(), path);
+}
+
+Status RecordLog::SaveToFile(Env* env, const std::string& path) const {
   Bytes framed;
   framed.reserve(total_frame_bytes());
   for (uint64_t i = 0; i < offsets_.size(); ++i) {
@@ -53,37 +61,45 @@ Status RecordLog::SaveToFile(const std::string& path) const {
   }
 
   std::string tmp_path = path + ".tmp";
-  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open " + tmp_path + " for writing");
+  auto file = env->NewWritableFile(tmp_path);
+  if (!file.ok()) {
+    return file.status();
   }
-  size_t written = framed.empty()
-                       ? 0
-                       : std::fwrite(framed.data(), 1, framed.size(), f);
-  bool flush_ok = std::fclose(f) == 0;
-  if (written != framed.size() || !flush_ok) {
-    std::remove(tmp_path.c_str());
-    return Status::IoError("short write to " + tmp_path);
+  Status write_status = (*file)->Append(framed);
+  if (write_status.ok()) {
+    // The atomic-rename contract is vacuous unless the temp file's
+    // *contents* are on stable storage before the rename publishes it:
+    // otherwise a power cut can leave the new name pointing at torn or
+    // empty data.
+    write_status = (*file)->Sync();
   }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  Status close_status = (*file)->Close();
+  if (write_status.ok()) {
+    write_status = close_status;
+  }
+  if (!write_status.ok()) {
+    (void)env->RemoveFile(tmp_path);  // best-effort cleanup
+    return write_status;
+  }
+  // Env::RenameFile fsyncs the parent directory, making the new name
+  // itself durable.
+  Status rename_status = env->RenameFile(tmp_path, path);
+  if (!rename_status.ok()) {
+    (void)env->RemoveFile(tmp_path);
+    return rename_status;
   }
   return Status::OK();
 }
 
 Result<RecordLog> RecordLog::LoadFromFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open " + path + " for reading");
-  }
-  Bytes content;
-  uint8_t buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    content.insert(content.end(), buf, buf + n);
-  }
-  std::fclose(f);
+  return LoadFromFile(Env::Default(), path);
+}
+
+Result<RecordLog> RecordLog::LoadFromFile(Env* env, const std::string& path) {
+  // Env::ReadFileToBytes surfaces mid-read failures as kIoError; a
+  // failing disk must never yield a short buffer that parses as a valid,
+  // shorter log.
+  PROVDB_ASSIGN_OR_RETURN(Bytes content, env->ReadFileToBytes(path));
 
   RecordLog log;
   VarintReader reader(content);
@@ -97,7 +113,7 @@ Result<RecordLog> RecordLog::LoadFromFile(const std::string& path) {
                                 std::to_string(log.record_count()) + " of " +
                                 path);
     }
-    log.Append(payload);
+    PROVDB_RETURN_IF_ERROR(log.Append(payload).status());
   }
   return log;
 }

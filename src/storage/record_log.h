@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "storage/env.h"
 
 namespace provdb::storage {
 
@@ -29,7 +30,10 @@ class RecordLog {
   RecordLog& operator=(RecordLog&&) = default;
 
   /// Appends a payload; returns its stable record index (0-based).
-  uint64_t Append(ByteView payload);
+  /// Payloads larger than the 32-bit frame length limit are rejected with
+  /// kInvalidArgument (they used to be silently truncated to a corrupt
+  /// frame length).
+  Result<uint64_t> Append(ByteView payload);
 
   /// Number of records in the log.
   uint64_t record_count() const { return offsets_.size(); }
@@ -48,11 +52,17 @@ class RecordLog {
   Status ForEach(
       const std::function<Status(uint64_t, ByteView)>& fn) const;
 
-  /// Writes the framed log to `path` (atomically via rename).
+  /// Writes the framed log to `path` atomically *and durably*: the temp
+  /// file is fsync'd before the rename and the parent directory after, so
+  /// a power cut leaves either the old file or the complete new one —
+  /// never an empty or torn file. `env` defaults to Env::Default().
   Status SaveToFile(const std::string& path) const;
+  Status SaveToFile(Env* env, const std::string& path) const;
 
-  /// Reads a framed log, validating every CRC.
+  /// Reads a framed log, validating every CRC. A mid-read I/O failure is
+  /// kIoError — never silently treated as end-of-file.
   static Result<RecordLog> LoadFromFile(const std::string& path);
+  static Result<RecordLog> LoadFromFile(Env* env, const std::string& path);
 
  private:
   Bytes arena_;

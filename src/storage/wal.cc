@@ -1,0 +1,282 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/varint.h"
+
+namespace provdb::storage {
+namespace {
+
+/// "wal-000001.log" etc. Returns 0 when `name` is not a segment name.
+uint64_t ParseSegmentName(const std::string& name) {
+  const std::string prefix = "wal-";
+  const std::string suffix = ".log";
+  if (name.size() <= prefix.size() + suffix.size()) return 0;
+  if (name.compare(0, prefix.size(), prefix) != 0) return 0;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return 0;
+  }
+  uint64_t index = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return 0;
+    index = index * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return index;
+}
+
+Bytes BuildSegmentHeader(uint64_t index) {
+  Bytes header;
+  header.reserve(kWalHeaderSize);
+  AppendBytes(&header, ByteView(
+      reinterpret_cast<const uint8_t*>(kWalMagic), sizeof(kWalMagic)));
+  AppendFixed64(&header, index);
+  AppendFixed32(&header, Crc32(ByteView(header.data(), header.size())));
+  return header;
+}
+
+/// Decodes a varint at `pos`. Returns +1 and advances on success, 0 when
+/// the buffer ends mid-varint (a torn tail candidate), -1 when the
+/// encoding itself is malformed (> 10 bytes of continuation bits).
+int TryReadVarint(const Bytes& content, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (p < content.size() && shift <= 63) {
+    uint8_t byte = content[p++];
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *value = result;
+      return 1;
+    }
+    shift += 7;
+  }
+  return p >= content.size() && shift <= 63 ? 0 : -1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WalWriter
+// ---------------------------------------------------------------------------
+
+std::string WalWriter::SegmentFileName(const std::string& dir,
+                                       uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(index));
+  return dir + "/" + buf;
+}
+
+WalWriter::~WalWriter() = default;
+
+Result<WalWriter> WalWriter::Open(Env* env, const std::string& dir,
+                                  WalOptions options) {
+  if (options.segment_size_limit <= kWalHeaderSize) {
+    return Status::InvalidArgument(
+        "wal segment_size_limit must exceed the segment header size");
+  }
+  PROVDB_RETURN_IF_ERROR(env->CreateDir(dir));
+  PROVDB_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  uint64_t max_index = 0;
+  for (const std::string& name : names) {
+    max_index = std::max(max_index, ParseSegmentName(name));
+  }
+  WalWriter writer(env, dir, options);
+  PROVDB_RETURN_IF_ERROR(writer.OpenSegment(max_index + 1));
+  return writer;
+}
+
+Status WalWriter::OpenSegment(uint64_t index) {
+  PROVDB_ASSIGN_OR_RETURN(file_,
+                          env_->NewWritableFile(SegmentFileName(dir_, index)));
+  PROVDB_RETURN_IF_ERROR(file_->Append(BuildSegmentHeader(index)));
+  PROVDB_RETURN_IF_ERROR(file_->Flush());
+  // Make the segment's directory entry itself crash-durable; otherwise a
+  // power cut could forget the file while keeping later ones.
+  PROVDB_RETURN_IF_ERROR(env_->SyncDir(dir_));
+  segment_index_ = index;
+  segment_bytes_ = kWalHeaderSize;
+  segment_records_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Append(ByteView payload) {
+  if (closed_) {
+    return Status::FailedPrecondition("append to closed WAL " + dir_);
+  }
+  if (payload.size() > kWalMaxPayload) {
+    return Status::InvalidArgument(
+        "WAL payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the 32-bit frame length limit");
+  }
+  Bytes frame;
+  AppendVarint64(&frame, payload.size());
+  AppendBytes(&frame, payload);
+  AppendFixed32(&frame, Crc32(payload));
+
+  if (segment_records_ > 0 &&
+      segment_bytes_ + frame.size() > options_.segment_size_limit) {
+    // Roll over. The old segment must be durable before the new one can
+    // receive data: recovery hard-fails on a torn frame that is no
+    // longer at the tail of the log.
+    PROVDB_RETURN_IF_ERROR(Sync());
+    PROVDB_RETURN_IF_ERROR(file_->Close());
+    PROVDB_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1));
+  }
+
+  PROVDB_RETURN_IF_ERROR(file_->Append(frame));
+  segment_bytes_ += frame.size();
+  ++segment_records_;
+  ++appended_records_;
+  if (options_.sync_every_append) {
+    PROVDB_RETURN_IF_ERROR(Sync());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Flush() {
+  if (closed_) {
+    return Status::OK();
+  }
+  return file_->Flush();
+}
+
+Status WalWriter::Sync() {
+  if (closed_) {
+    return Status::FailedPrecondition("sync of closed WAL " + dir_);
+  }
+  PROVDB_RETURN_IF_ERROR(file_->Sync());
+  synced_records_ = appended_records_;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (closed_) {
+    return Status::OK();
+  }
+  Status s = Sync();
+  Status c = file_->Close();
+  file_.reset();
+  closed_ = true;
+  PROVDB_RETURN_IF_ERROR(s);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// WalReader
+// ---------------------------------------------------------------------------
+
+Result<WalReader> WalReader::Open(Env* env, const std::string& dir,
+                                  WalReaderOptions options) {
+  PROVDB_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : names) {
+    uint64_t index = ParseSegmentName(name);
+    if (index > 0) {
+      segments.emplace_back(index, dir + "/" + name);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  for (size_t i = 1; i < segments.size(); ++i) {
+    if (segments[i].first != segments[i - 1].first + 1) {
+      return Status::Corruption(
+          "WAL segment gap: wal segment " +
+          std::to_string(segments[i - 1].first + 1) + " is missing in " + dir);
+    }
+  }
+
+  WalReader reader;
+  reader.report_.segments = segments.size();
+
+  for (size_t s = 0; s < segments.size(); ++s) {
+    const uint64_t seg_index = segments[s].first;
+    const std::string& path = segments[s].second;
+    const bool last_segment = s + 1 == segments.size();
+    PROVDB_ASSIGN_OR_RETURN(Bytes content, env->ReadFileToBytes(path));
+
+    // Salvage a torn region [tear_at, EOF) of the final segment, or fail.
+    auto torn_or_corrupt = [&](size_t tear_at, const std::string& what,
+                               bool salvageable) -> Status {
+      if (!last_segment || !salvageable) {
+        return Status::Corruption(what + " in segment " + path +
+                                  " at offset " + std::to_string(tear_at) +
+                                  " (not a recoverable tail tear)");
+      }
+      uint64_t dropped = content.size() - tear_at;
+      reader.report_.dropped_bytes += dropped;
+      reader.report_.salvaged_segment = seg_index;
+      reader.report_.detail = what + ": salvaged " + path + ", dropped " +
+                              std::to_string(dropped) + " byte(s) at offset " +
+                              std::to_string(tear_at);
+      if (options.repair_torn_tail) {
+        PROVDB_RETURN_IF_ERROR(env->TruncateFile(path, tear_at));
+      }
+      return Status::OK();
+    };
+
+    if (content.size() < kWalHeaderSize) {
+      // An empty (or half-written-header) segment can only be the one
+      // being created when the crash hit.
+      PROVDB_RETURN_IF_ERROR(
+          torn_or_corrupt(0, "short segment header", /*salvageable=*/true));
+      continue;
+    }
+    if (std::memcmp(content.data(), kWalMagic, sizeof(kWalMagic)) != 0 ||
+        ReadFixed32(content, 16) != Crc32(ByteView(content.data(), 16)) ||
+        ReadFixed64(content, 8) != seg_index) {
+      // A complete header that fails validation was not torn — the bytes
+      // are all there, they are just wrong.
+      return Status::Corruption("bad WAL segment header in " + path);
+    }
+
+    size_t pos = kWalHeaderSize;
+    while (pos < content.size()) {
+      const size_t frame_start = pos;
+      uint64_t len = 0;
+      int varint_state = TryReadVarint(content, &pos, &len);
+      if (varint_state <= 0) {
+        PROVDB_RETURN_IF_ERROR(torn_or_corrupt(
+            frame_start,
+            varint_state == 0 ? "truncated frame length"
+                              : "malformed frame length",
+            /*salvageable=*/true));
+        break;
+      }
+      if (len > kWalMaxPayload) {
+        PROVDB_RETURN_IF_ERROR(torn_or_corrupt(
+            frame_start, "frame length exceeds 32-bit limit",
+            /*salvageable=*/true));
+        break;
+      }
+      if (len + 4 > content.size() - pos) {
+        PROVDB_RETURN_IF_ERROR(torn_or_corrupt(
+            frame_start, "frame overruns end of segment",
+            /*salvageable=*/true));
+        break;
+      }
+      ByteView payload(content.data() + pos, static_cast<size_t>(len));
+      pos += static_cast<size_t>(len);
+      uint32_t stored_crc = ReadFixed32(content, pos);
+      pos += 4;
+      if (stored_crc != Crc32(payload)) {
+        // A structurally complete frame with a bad CRC is only a
+        // plausible tear when nothing follows it; with more log after
+        // it, the bytes were fully written and later damaged.
+        PROVDB_RETURN_IF_ERROR(torn_or_corrupt(
+            frame_start, "frame CRC mismatch",
+            /*salvageable=*/pos == content.size()));
+        break;
+      }
+      PROVDB_RETURN_IF_ERROR(reader.log_.Append(payload).status());
+      ++reader.report_.records;
+    }
+  }
+  return reader;
+}
+
+}  // namespace provdb::storage

@@ -1,0 +1,168 @@
+#ifndef PROVDB_STORAGE_WAL_H_
+#define PROVDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/env.h"
+#include "storage/record_log.h"
+
+namespace provdb::storage {
+
+/// On-disk layout of the write-ahead provenance log.
+///
+/// A WAL is a directory of segment files `wal-NNNNNN.log`, numbered from
+/// 1 with no gaps. Each segment is:
+///
+///   +--------+---------------+----------------------+
+///   | magic  | segment index | crc32(magic||index)  |   20-byte header
+///   | 8 B    | fixed64       | fixed32              |
+///   +--------+---------------+----------------------+
+///   | varint(len) | payload bytes | crc32(payload)  |   frame, repeated
+///   +-------------+---------------+-----------------+
+///
+/// Frames reuse RecordLog's framing so a recovered WAL replays through
+/// the same code path as a snapshot file. A writer never appends to an
+/// existing segment: each WalWriter::Open starts segment max+1, so the
+/// only file that can legally end mid-frame is the one that was being
+/// appended when the process (or the power) died.
+inline constexpr char kWalMagic[8] = {'P', 'V', 'D', 'B', 'W', 'A', 'L', '1'};
+inline constexpr size_t kWalHeaderSize = 8 + 8 + 4;
+
+/// Largest payload a frame can carry (the length field is persisted as a
+/// 32-bit quantity everywhere downstream).
+inline constexpr uint64_t kWalMaxPayload = 0xFFFFFFFFu;
+
+struct WalOptions {
+  /// A segment is closed (synced) and a new one started once it would
+  /// exceed this many bytes. A segment always accepts at least one frame,
+  /// so payloads larger than the limit still fit.
+  uint64_t segment_size_limit = 64ull << 20;
+
+  /// When true, every Append also Syncs — the paper-grade durability
+  /// setting (nothing acknowledged can be lost). When false the caller
+  /// batches durability points by calling Sync explicitly.
+  bool sync_every_append = false;
+};
+
+/// Incremental appender. Unlike RecordLog::SaveToFile (which rewrites the
+/// world), WalWriter makes each record durable in O(record) I/O.
+class WalWriter {
+ public:
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Creates `dir` if needed and starts a fresh segment after the highest
+  /// existing one. Does not read or validate old segments — that is
+  /// WalReader's job.
+  static Result<WalWriter> Open(Env* env, const std::string& dir,
+                                WalOptions options = WalOptions());
+
+  /// Appends one record frame. Rejects payloads over kWalMaxPayload with
+  /// kInvalidArgument. The record is durable only after the next
+  /// successful Sync (immediately, under sync_every_append).
+  Status Append(ByteView payload);
+
+  /// Pushes buffered frames to the OS (survives process crash only).
+  Status Flush();
+
+  /// Makes everything appended so far durable.
+  Status Sync();
+
+  /// Syncs and closes the current segment. Further Appends fail.
+  Status Close();
+
+  /// Full path of segment `index` under `dir`.
+  static std::string SegmentFileName(const std::string& dir, uint64_t index);
+
+  uint64_t appended_records() const { return appended_records_; }
+
+  /// Records covered by the last successful Sync — the crash-survival
+  /// guarantee the fault-injection sweep checks against.
+  uint64_t synced_records() const { return synced_records_; }
+
+  uint64_t current_segment_index() const { return segment_index_; }
+  uint64_t current_segment_bytes() const { return segment_bytes_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  WalWriter(Env* env, std::string dir, WalOptions options)
+      : env_(env), dir_(std::move(dir)), options_(options) {}
+
+  Status OpenSegment(uint64_t index);
+
+  Env* env_;
+  std::string dir_;
+  WalOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t segment_index_ = 0;
+  uint64_t segment_bytes_ = 0;
+  uint64_t segment_records_ = 0;
+  uint64_t appended_records_ = 0;
+  uint64_t synced_records_ = 0;
+  bool closed_ = false;
+};
+
+/// What recovery found and what it had to discard. `dropped_bytes > 0`
+/// means the final segment ended in a torn (half-written) region that was
+/// salvaged away; it is reported, never hidden — a verifier that blesses
+/// a silently shortened log has blessed a truncation attack (§2.2).
+struct WalRecoveryReport {
+  uint64_t segments = 0;
+  uint64_t records = 0;
+  uint64_t dropped_bytes = 0;     // torn-tail bytes discarded
+  uint64_t salvaged_segment = 0;  // segment index of the torn tail, 0 = none
+  std::string detail;             // human-readable summary of any salvage
+
+  bool clean() const { return dropped_bytes == 0; }
+};
+
+struct WalReaderOptions {
+  /// After salvaging a torn tail, truncate it off the segment (durably)
+  /// so the next recovery — by which time a newer segment may exist and
+  /// the tear would no longer be *at* the tail — sees a clean log.
+  bool repair_torn_tail = true;
+};
+
+/// Crash recovery: scans all segments, validates headers and CRCs, and
+/// replays the valid record prefix.
+///
+/// Decision rule (LevelDB-style, documented in DESIGN.md §8): a
+/// malformed region that extends to the end of the *final* segment is a
+/// torn write — salvage the prefix and report the dropped bytes. Any
+/// malformed or CRC-failing frame *before* that point cannot be produced
+/// by an append-only crash, so it is tampering or disk rot: hard
+/// kCorruption, no salvage.
+class WalReader {
+ public:
+  WalReader(WalReader&&) = default;
+  WalReader& operator=(WalReader&&) = default;
+  WalReader(const WalReader&) = delete;
+  WalReader& operator=(const WalReader&) = delete;
+
+  static Result<WalReader> Open(Env* env, const std::string& dir,
+                                WalReaderOptions options = WalReaderOptions());
+
+  /// The recovered records, in append order, as a RecordLog — so existing
+  /// consumers (ProvenanceStore::LoadFromLog) replay it unchanged.
+  const RecordLog& log() const { return log_; }
+  RecordLog&& TakeLog() { return std::move(log_); }
+
+  const WalRecoveryReport& report() const { return report_; }
+
+ private:
+  WalReader() = default;
+
+  RecordLog log_;
+  WalRecoveryReport report_;
+};
+
+}  // namespace provdb::storage
+
+#endif  // PROVDB_STORAGE_WAL_H_

@@ -117,7 +117,7 @@ TEST_F(PersistenceTest, TamperedRecordInLogCaughtCryptographically) {
       rec->output.state_hash.mutable_data()[0] ^= 1;
       payload = EncodeRecord(*rec);  // valid encoding, valid CRC
     }
-    tampered_log.Append(payload);
+    ASSERT_TRUE(tampered_log.Append(payload).ok());
   }
   ASSERT_TRUE(tampered_log.SaveToFile(path_).ok());
 
@@ -139,7 +139,7 @@ TEST_F(PersistenceTest, ReorderedLogStillRejectedOrDetected) {
   storage::RecordLog reordered;
   // Append in reverse order.
   for (uint64_t i = log.record_count(); i-- > 0;) {
-    reordered.Append(*log.Get(i));
+    ASSERT_TRUE(reordered.Append(*log.Get(i)).ok());
   }
   auto restored = ProvenanceStore::LoadFromLog(reordered);
   EXPECT_FALSE(restored.ok());

@@ -1,0 +1,20 @@
+// Fixture: violates R06 (raw-file-io) when linted under a src/ path
+// outside src/storage/env.*. Raw file primitives bypass the Env layer's
+// durability protocol (fsync before rename, fsync parent dir after) and
+// are invisible to FaultInjectionEnv.
+#include <cstdio>
+#include <fstream>  // VIOLATION (fstream)
+
+namespace provdb::storage {
+
+bool SaveRaw(const char* path, const char* tmp) {
+  std::FILE* f = std::fopen(tmp, "wb");  // VIOLATION (fopen)
+  if (f == nullptr) return false;
+  std::fputs("data", f);
+  std::fclose(f);
+  // No fsync of the file or its directory: a crash here can publish an
+  // empty or half-written file under the final name.
+  return std::rename(tmp, path) == 0;  // VIOLATION (rename)
+}
+
+}  // namespace provdb::storage

@@ -1,4 +1,4 @@
-// Unit tests for provdb-lint: each rule R01-R05 fires on its fixture,
+// Unit tests for provdb-lint: each rule R01-R06 fires on its fixture,
 // pragmas suppress, and a clean file (with banned tokens hidden inside
 // comments and strings) stays clean. The fixtures live on disk so they
 // double as human-readable documentation of what each rule catches.
@@ -123,6 +123,35 @@ TEST(LintRulesTest, R05FiresOnlyWithCorpusAndHonorsBothReferenceKinds) {
   EXPECT_TRUE(linter.LintContent("src/crypto/orphan.h", "int x;\n").empty());
 }
 
+TEST(LintRulesTest, R06FiresOnRawFileIoOutsideEnvLayer) {
+  Linter linter;
+  std::string content = ReadFixture("r06_raw_file_io.cc");
+  auto findings = linter.LintContent("src/storage/record_log.cc", content);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule_id, "R06");
+    EXPECT_EQ(finding.rule_name, "raw-file-io");
+  }
+  EXPECT_NE(findings[0].message.find("fstream"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("fopen"), std::string::npos);
+  EXPECT_NE(findings[2].message.find("rename"), std::string::npos);
+  EXPECT_NE(findings[0].suggestion.find("storage::Env"), std::string::npos);
+
+  // The Env layer itself is the sanctioned owner of these primitives.
+  EXPECT_TRUE(linter.LintContent("src/storage/env.cc", content).empty());
+  EXPECT_TRUE(linter.LintContent("src/storage/env.h", content).empty());
+  // Tools and tests are out of scope.
+  EXPECT_TRUE(linter.LintContent("tools/lint/lint.cc", content).empty());
+
+  // Method calls and distinct identifiers never fire: RenameFile is not
+  // rename, and `env->rename(...)`-style member access is left to the
+  // Env API itself.
+  std::string clean =
+      "void F(Env* env) { Status s = env->RenameFile(\"a\", \"b\"); }\n"
+      "int rename_count = 0;\n";
+  EXPECT_TRUE(linter.LintContent("src/storage/wal.cc", clean).empty());
+}
+
 TEST(LintRulesTest, PragmasSuppressByIdAndByName) {
   Linter linter;
   std::string content = ReadFixture("suppressed.cc");
@@ -150,7 +179,7 @@ TEST(LintRulesTest, FindingToStringIsGreppable) {
 
 TEST(LintRulesTest, RuleTableIsCompleteAndOrdered) {
   const auto& rules = Rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 6u);
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, "R0" + std::to_string(i + 1));
     EXPECT_NE(std::string(rules[i].summary), "");

@@ -1,0 +1,254 @@
+// Env (the filesystem abstraction behind all persistence) and
+// FaultInjectionEnv (the crash simulator the recovery tests build on).
+
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/fault_injection_env.h"
+
+namespace provdb::storage {
+namespace {
+
+Bytes B(std::string_view s) { return ByteView(s).ToBytes(); }
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    dir_ = ::testing::TempDir() + "/provdb_env_test";
+    ASSERT_TRUE(env_->CreateDir(dir_).ok());
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  auto file = env_->NewWritableFile(Path("a.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(B("hello ")).ok());
+  ASSERT_TRUE((*file)->Append(B("world")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto content = env_->ReadFileToBytes(Path("a.bin"));
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(ByteView(*content).ToString(), "hello world");
+  EXPECT_EQ(*env_->FileSize(Path("a.bin")), 11u);
+  EXPECT_TRUE(env_->FileExists(Path("a.bin")));
+  ASSERT_TRUE(env_->RemoveFile(Path("a.bin")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("a.bin")));
+}
+
+TEST_F(EnvTest, LargeAppendBypassesBuffer) {
+  // Larger than the 64 KiB write buffer: exercises the direct-write path.
+  Bytes big(200 * 1024, 0xAB);
+  auto file = env_->NewWritableFile(Path("big.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(B("x")).ok());
+  ASSERT_TRUE((*file)->Append(big).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(*env_->FileSize(Path("big.bin")), big.size() + 1);
+  ASSERT_TRUE(env_->RemoveFile(Path("big.bin")).ok());
+}
+
+TEST_F(EnvTest, CloseWithoutSyncFlushesBufferedData) {
+  auto file = env_->NewWritableFile(Path("flush.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(B("buffered")).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(ByteView(*env_->ReadFileToBytes(Path("flush.bin"))).ToString(),
+            "buffered");
+  ASSERT_TRUE(env_->RemoveFile(Path("flush.bin")).ok());
+}
+
+TEST_F(EnvTest, AppendAfterCloseFails) {
+  auto file = env_->NewWritableFile(Path("closed.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_FALSE((*file)->Append(B("late")).ok());
+  ASSERT_TRUE(env_->RemoveFile(Path("closed.bin")).ok());
+}
+
+TEST_F(EnvTest, ListDirSortedAndFiltered) {
+  std::string sub = Path("listdir");
+  ASSERT_TRUE(env_->CreateDir(sub).ok());
+  for (const char* name : {"b.log", "a.log", "c.log"}) {
+    auto file = env_->NewWritableFile(sub + "/" + name);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto names = env_->ListDir(sub);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 3u);
+  EXPECT_EQ((*names)[0], "a.log");
+  EXPECT_EQ((*names)[2], "c.log");
+  for (const char* name : {"a.log", "b.log", "c.log"}) {
+    ASSERT_TRUE(env_->RemoveFile(sub + "/" + name).ok());
+  }
+}
+
+TEST_F(EnvTest, ListDirOfMissingDirectoryFails) {
+  EXPECT_FALSE(env_->ListDir(dir_ + "/nope").ok());
+}
+
+TEST_F(EnvTest, RenameReplacesTarget) {
+  auto file = env_->NewWritableFile(Path("src.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(B("new")).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  auto old = env_->NewWritableFile(Path("dst.bin"));
+  ASSERT_TRUE(old.ok());
+  ASSERT_TRUE((*old)->Append(B("old-old")).ok());
+  ASSERT_TRUE((*old)->Close().ok());
+
+  ASSERT_TRUE(env_->RenameFile(Path("src.bin"), Path("dst.bin")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("src.bin")));
+  EXPECT_EQ(ByteView(*env_->ReadFileToBytes(Path("dst.bin"))).ToString(),
+            "new");
+  ASSERT_TRUE(env_->RemoveFile(Path("dst.bin")).ok());
+}
+
+TEST_F(EnvTest, TruncateShortensDurably) {
+  auto file = env_->NewWritableFile(Path("trunc.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(B("0123456789")).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(env_->TruncateFile(Path("trunc.bin"), 4).ok());
+  EXPECT_EQ(ByteView(*env_->ReadFileToBytes(Path("trunc.bin"))).ToString(),
+            "0123");
+  ASSERT_TRUE(env_->RemoveFile(Path("trunc.bin")).ok());
+}
+
+TEST_F(EnvTest, ReadingADirectoryIsAnError) {
+  auto content = env_->ReadFileToBytes(dir_);
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kIoError);
+}
+
+TEST(ParentDirTest, SplitsPaths) {
+  EXPECT_EQ(ParentDir("/a/b/c.log"), "/a/b");
+  EXPECT_EQ(ParentDir("/c.log"), "/");
+  EXPECT_EQ(ParentDir("c.log"), ".");
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv
+// ---------------------------------------------------------------------------
+
+class FaultInjectionEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/provdb_fault_env_test";
+    ASSERT_TRUE(Env::Default()->CreateDir(dir_).ok());
+    env_ = std::make_unique<FaultInjectionEnv>(Env::Default());
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  std::string dir_;
+  std::unique_ptr<FaultInjectionEnv> env_;
+};
+
+TEST_F(FaultInjectionEnvTest, CountsAppendsAndSyncs) {
+  auto file = env_->NewWritableFile(Path("c.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(B("one")).ok());
+  ASSERT_TRUE((*file)->Append(B("two")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ(env_->append_count(), 2u);
+  EXPECT_EQ(env_->sync_count(), 1u);
+  EXPECT_EQ(env_->appended_bytes(Path("c.bin")), 6u);
+  EXPECT_EQ(env_->synced_bytes(Path("c.bin")), 6u);
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+TEST_F(FaultInjectionEnvTest, DropUnsyncedFileDataTruncatesToLastSync) {
+  auto file = env_->NewWritableFile(Path("d.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(B("durable|")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append(B("volatile")).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  // Before the crash both halves are visible...
+  EXPECT_EQ(*Env::Default()->FileSize(Path("d.bin")), 16u);
+  // ...after the power cut only the synced prefix remains.
+  ASSERT_TRUE(env_->DropUnsyncedFileData().ok());
+  EXPECT_EQ(ByteView(*env_->ReadFileToBytes(Path("d.bin"))).ToString(),
+            "durable|");
+}
+
+TEST_F(FaultInjectionEnvTest, NeverSyncedFileDropsToEmpty) {
+  auto file = env_->NewWritableFile(Path("e.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(B("all-volatile")).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(env_->DropUnsyncedFileData().ok());
+  EXPECT_EQ(*env_->FileSize(Path("e.bin")), 0u);
+}
+
+TEST_F(FaultInjectionEnvTest, ScheduledAppendFailureFiresOnce) {
+  auto file = env_->NewWritableFile(Path("f.bin"));
+  ASSERT_TRUE(file.ok());
+  env_->ScheduleAppendFailure(2);
+  ASSERT_TRUE((*file)->Append(B("ok-1")).ok());
+  Status failed = (*file)->Append(B("boom"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  // The failing append left no bytes and the fault does not re-fire.
+  EXPECT_EQ(env_->appended_bytes(Path("f.bin")), 4u);
+  ASSERT_TRUE((*file)->Append(B("ok-2")).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+TEST_F(FaultInjectionEnvTest, TornAppendWritesHalfTheData) {
+  auto file = env_->NewWritableFile(Path("g.bin"));
+  ASSERT_TRUE(file.ok());
+  env_->ScheduleAppendFailure(1, /*torn=*/true);
+  Status failed = (*file)->Append(B("0123456789"));
+  ASSERT_FALSE(failed.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(ByteView(*env_->ReadFileToBytes(Path("g.bin"))).ToString(),
+            "01234");
+}
+
+TEST_F(FaultInjectionEnvTest, ScheduledSyncFailureAndInactiveFilesystem) {
+  auto file = env_->NewWritableFile(Path("h.bin"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(B("x")).ok());
+  env_->ScheduleSyncFailure(1);
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_TRUE((*file)->Sync().ok()) << "sync fault must fire exactly once";
+
+  env_->SetFilesystemActive(false);
+  EXPECT_FALSE((*file)->Append(B("y")).ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE(env_->NewWritableFile(Path("i.bin")).ok());
+  env_->ClearFaults();
+  EXPECT_TRUE((*file)->Append(B("z")).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+TEST_F(FaultInjectionEnvTest, RenameCarriesSyncStateAcrossNames) {
+  auto file = env_->NewWritableFile(Path("j.tmp"));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(B("synced")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(env_->RenameFile(Path("j.tmp"), Path("j.bin")).ok());
+  EXPECT_GE(env_->dir_sync_count(), 1u);
+
+  ASSERT_TRUE(env_->DropUnsyncedFileData().ok());
+  EXPECT_EQ(ByteView(*env_->ReadFileToBytes(Path("j.bin"))).ToString(),
+            "synced");
+}
+
+}  // namespace
+}  // namespace provdb::storage

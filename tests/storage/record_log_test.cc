@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "storage/fault_injection_env.h"
 
 namespace provdb::storage {
 namespace {
@@ -20,8 +21,8 @@ Bytes Payload(std::string_view s) { return ByteView(s).ToBytes(); }
 TEST(RecordLogTest, AppendAndGet) {
   RecordLog log;
   EXPECT_EQ(log.record_count(), 0u);
-  uint64_t i0 = log.Append(Payload("first"));
-  uint64_t i1 = log.Append(Payload("second"));
+  uint64_t i0 = *log.Append(Payload("first"));
+  uint64_t i1 = *log.Append(Payload("second"));
   EXPECT_EQ(i0, 0u);
   EXPECT_EQ(i1, 1u);
   EXPECT_EQ(log.record_count(), 2u);
@@ -32,15 +33,28 @@ TEST(RecordLogTest, AppendAndGet) {
 
 TEST(RecordLogTest, EmptyPayloadAllowed) {
   RecordLog log;
-  log.Append(ByteView());
+  ASSERT_TRUE(log.Append(ByteView()).ok());
   EXPECT_EQ(log.record_count(), 1u);
   EXPECT_TRUE(log.Get(0)->empty());
 }
 
+// Regression (silent frame-length truncation): payloads wider than the
+// 32-bit frame length must be rejected, not cast down to a corrupt
+// length. The view is never dereferenced, so a fake huge view is safe.
+TEST(RecordLogTest, OversizedPayloadRejectedWithStatus) {
+  RecordLog log;
+  uint8_t byte = 0;
+  ByteView huge(&byte, static_cast<size_t>(0xFFFFFFFFu) + 1);
+  auto result = log.Append(huge);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.record_count(), 0u);
+}
+
 TEST(RecordLogTest, ByteAccounting) {
   RecordLog log;
-  log.Append(Payload("abc"));
-  log.Append(Payload("defgh"));
+  ASSERT_TRUE(log.Append(Payload("abc")).ok());
+  ASSERT_TRUE(log.Append(Payload("defgh")).ok());
   EXPECT_EQ(log.total_payload_bytes(), 8u);
   // frame = varint(3)+3+4 + varint(5)+5+4 = 8 + 10 + 2 varint bytes
   EXPECT_EQ(log.total_frame_bytes(), 18u);
@@ -49,7 +63,7 @@ TEST(RecordLogTest, ByteAccounting) {
 TEST(RecordLogTest, ForEachVisitsInOrder) {
   RecordLog log;
   for (int i = 0; i < 10; ++i) {
-    log.Append(Payload("p" + std::to_string(i)));
+    ASSERT_TRUE(log.Append(Payload("p" + std::to_string(i))).ok());
   }
   std::vector<std::string> seen;
   ASSERT_TRUE(log.ForEach([&](uint64_t index, ByteView payload) {
@@ -63,8 +77,8 @@ TEST(RecordLogTest, ForEachVisitsInOrder) {
 
 TEST(RecordLogTest, ForEachPropagatesError) {
   RecordLog log;
-  log.Append(Payload("a"));
-  log.Append(Payload("b"));
+  ASSERT_TRUE(log.Append(Payload("a")).ok());
+  ASSERT_TRUE(log.Append(Payload("b")).ok());
   int visits = 0;
   Status s = log.ForEach([&](uint64_t, ByteView) {
     ++visits;
@@ -83,7 +97,7 @@ TEST(RecordLogTest, SaveLoadRoundTrip) {
     Bytes p;
     rng.NextBytes(&p, rng.NextBelow(200));
     payloads.push_back(p);
-    log.Append(p);
+    ASSERT_TRUE(log.Append(p).ok());
   }
   ASSERT_TRUE(log.SaveToFile(path).ok());
 
@@ -109,8 +123,8 @@ TEST(RecordLogTest, EmptyLogRoundTrips) {
 TEST(RecordLogTest, CorruptionDetectedOnLoad) {
   std::string path = TempPath("log_corrupt.bin");
   RecordLog log;
-  log.Append(Payload("payload-one"));
-  log.Append(Payload("payload-two"));
+  ASSERT_TRUE(log.Append(Payload("payload-one")).ok());
+  ASSERT_TRUE(log.Append(Payload("payload-two")).ok());
   ASSERT_TRUE(log.SaveToFile(path).ok());
 
   // Flip one payload byte on disk.
@@ -131,7 +145,7 @@ TEST(RecordLogTest, CorruptionDetectedOnLoad) {
 TEST(RecordLogTest, TruncationDetectedOnLoad) {
   std::string path = TempPath("log_truncated.bin");
   RecordLog log;
-  log.Append(Bytes(100, 0x55));
+  ASSERT_TRUE(log.Append(Bytes(100, 0x55)).ok());
   ASSERT_TRUE(log.SaveToFile(path).ok());
 
   // Truncate the file mid-record.
@@ -148,6 +162,70 @@ TEST(RecordLogTest, MissingFileFailsCleanly) {
   auto loaded = RecordLog::LoadFromFile(TempPath("does_not_exist.bin"));
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+// Regression (fread error == EOF): reading a path whose bytes cannot be
+// read must be an I/O error, not a silently empty-but-valid log. A
+// directory opens fine but read(2) fails on it, which is exactly the
+// failing-disk shape the old fread loop swallowed.
+TEST(RecordLogTest, UnreadableFileIsIoErrorNotEmptyLog) {
+  std::string dir = TempPath("log_is_a_directory");
+  ASSERT_TRUE(Env::Default()->CreateDir(dir).ok());
+  auto loaded = RecordLog::LoadFromFile(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+// Regression (no-fsync-before-rename): SaveToFile must sync the temp
+// file before publishing it via rename and sync the directory after.
+// With a FaultInjectionEnv, a simulated power cut immediately after
+// SaveToFile returns must still find the complete log.
+TEST(RecordLogTest, SaveSurvivesPowerCutAfterReturn) {
+  FaultInjectionEnv env(Env::Default());
+  std::string path = TempPath("log_durable.bin");
+  RecordLog log;
+  ASSERT_TRUE(log.Append(Payload("must-survive-1")).ok());
+  ASSERT_TRUE(log.Append(Payload("must-survive-2")).ok());
+
+  ASSERT_TRUE(log.SaveToFile(&env, path).ok());
+  EXPECT_GE(env.sync_count(), 1u) << "temp file was never fsync'd";
+  EXPECT_GE(env.dir_sync_count(), 1u) << "parent directory never fsync'd";
+
+  // Power cut: all unsynced data vanishes. The published file must be
+  // intact because its bytes were synced before the rename.
+  ASSERT_TRUE(env.DropUnsyncedFileData().ok());
+  auto loaded = RecordLog::LoadFromFile(&env, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->record_count(), 2u);
+  EXPECT_EQ(loaded->Get(1)->ToString(), "must-survive-2");
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, FailedSaveCleansUpTempAndReportsError) {
+  FaultInjectionEnv env(Env::Default());
+  std::string path = TempPath("log_failed_save.bin");
+  RecordLog log;
+  ASSERT_TRUE(log.Append(Payload("doomed")).ok());
+
+  env.ScheduleAppendFailure(1);
+  Status s = log.SaveToFile(&env, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_FALSE(env.FileExists(path));
+  EXPECT_FALSE(env.FileExists(path + ".tmp")) << "temp file leaked";
+}
+
+TEST(RecordLogTest, FailedSyncDoesNotPublishTornFile) {
+  FaultInjectionEnv env(Env::Default());
+  std::string path = TempPath("log_failed_sync.bin");
+  RecordLog log;
+  ASSERT_TRUE(log.Append(Payload("doomed")).ok());
+
+  env.ScheduleSyncFailure(1);
+  Status s = log.SaveToFile(&env, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(env.FileExists(path))
+      << "rename happened despite the failed fsync";
 }
 
 }  // namespace

@@ -1,0 +1,413 @@
+// WalWriter/WalReader: append, rollover, and the crash-recovery matrix —
+// torn tail (salvaged, byte count reported), corrupt CRC mid-log (hard
+// Corruption), empty file, frame length overrunning the file, segment
+// gaps, and bad headers.
+
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/fault_injection_env.h"
+
+namespace provdb::storage {
+namespace {
+
+Bytes B(std::string_view s) { return ByteView(s).ToBytes(); }
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "/provdb_wal_" + info->name();
+    env_ = Env::Default();
+    // Leftover segments from a previous run would be recovered as live
+    // history; every test starts from an empty log directory.
+    auto names = env_->ListDir(dir_);
+    if (names.ok()) {
+      for (const std::string& name : *names) {
+        ASSERT_TRUE(env_->RemoveFile(dir_ + "/" + name).ok());
+      }
+    }
+  }
+
+  std::string Segment(uint64_t index) const {
+    return WalWriter::SegmentFileName(dir_, index);
+  }
+
+  /// Overwrites one byte of `path` at `offset` with its value xor `mask`.
+  void FlipByte(const std::string& path, long offset, int mask) {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(c ^ mask, f);
+    ASSERT_EQ(std::fclose(f), 0);
+  }
+
+  /// Appends raw bytes to `path` (simulates tail garbage / torn frames).
+  void AppendRaw(const std::string& path, ByteView data) {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+    ASSERT_EQ(std::fclose(f), 0);
+  }
+
+  /// A writer with 5 records "rec-0".."rec-4" in segment 1, closed clean.
+  void WriteFiveRecords() {
+    auto wal = WalWriter::Open(env_, dir_);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wal->Append(B("rec-" + std::to_string(i))).ok());
+    }
+    ASSERT_TRUE(wal->Close().ok());
+  }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+// Each "rec-N" frame is varint(5)=1 + 5 payload + 4 crc = 10 bytes, so
+// frame k spans [20 + 10k, 30 + 10k) of segment 1.
+constexpr long kFrame0 = static_cast<long>(kWalHeaderSize);
+
+TEST_F(WalTest, AppendAndRecoverRoundTrip) {
+  WriteFiveRecords();
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->report().clean());
+  EXPECT_EQ(reader->report().segments, 1u);
+  EXPECT_EQ(reader->report().records, 5u);
+  ASSERT_EQ(reader->log().record_count(), 5u);
+  EXPECT_EQ(reader->log().Get(3)->ToString(), "rec-3");
+}
+
+TEST_F(WalTest, ReopenStartsFreshSegmentAndRecoveryMergesAll) {
+  WriteFiveRecords();
+  {
+    auto wal = WalWriter::Open(env_, dir_);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ(wal->current_segment_index(), 2u);
+    ASSERT_TRUE(wal->Append(B("later-0")).ok());
+    ASSERT_TRUE(wal->Append(B("later-1")).ok());
+    ASSERT_TRUE(wal->Close().ok());
+  }
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->report().segments, 2u);
+  ASSERT_EQ(reader->log().record_count(), 7u);
+  EXPECT_EQ(reader->log().Get(5)->ToString(), "later-0");
+}
+
+TEST_F(WalTest, RolloverSplitsSegmentsAtSizeLimit) {
+  WalOptions options;
+  options.segment_size_limit = 64;  // header 20 + a few 10-byte frames
+  auto wal = WalWriter::Open(env_, dir_, options);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wal->Append(B("rec-" + std::to_string(i))).ok());
+  }
+  EXPECT_GT(wal->current_segment_index(), 1u);
+  ASSERT_TRUE(wal->Close().ok());
+
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->report().clean());
+  EXPECT_GT(reader->report().segments, 1u);
+  ASSERT_EQ(reader->log().record_count(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(reader->log().Get(i)->ToString(), "rec-" + std::to_string(i));
+  }
+}
+
+TEST_F(WalTest, PayloadLargerThanSegmentLimitStillFits) {
+  WalOptions options;
+  options.segment_size_limit = 64;
+  auto wal = WalWriter::Open(env_, dir_, options);
+  ASSERT_TRUE(wal.ok());
+  Bytes big(500, 0x7E);
+  ASSERT_TRUE(wal->Append(B("small")).ok());
+  ASSERT_TRUE(wal->Append(big).ok());
+  ASSERT_TRUE(wal->Append(B("after")).ok());
+  ASSERT_TRUE(wal->Close().ok());
+
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->log().record_count(), 3u);
+  EXPECT_EQ(reader->log().Get(1)->size(), 500u);
+}
+
+TEST_F(WalTest, OversizedPayloadRejected) {
+  auto wal = WalWriter::Open(env_, dir_);
+  ASSERT_TRUE(wal.ok());
+  uint8_t byte = 0;
+  auto status = wal->Append(ByteView(&byte, static_cast<size_t>(0xFFFFFFFFu) + 1));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(wal->appended_records(), 0u);
+  ASSERT_TRUE(wal->Close().ok());
+}
+
+TEST_F(WalTest, EmptyDirectoryRecoversToEmptyLog) {
+  ASSERT_TRUE(env_->CreateDir(dir_).ok());
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->report().clean());
+  EXPECT_EQ(reader->report().segments, 0u);
+  EXPECT_EQ(reader->log().record_count(), 0u);
+}
+
+TEST_F(WalTest, MissingDirectoryIsAnError) {
+  EXPECT_FALSE(WalReader::Open(env_, dir_).ok());
+}
+
+// Recovery matrix: empty file. A zero-byte final segment is what a crash
+// between file creation and the header write leaves behind.
+TEST_F(WalTest, EmptyFinalSegmentFileIsSalvagedClean) {
+  WriteFiveRecords();
+  auto file = env_->NewWritableFile(Segment(2));
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->log().record_count(), 5u);
+  EXPECT_EQ(reader->report().dropped_bytes, 0u);
+}
+
+// Recovery matrix: torn tail. A half-written final frame is salvaged
+// away and the dropped byte count is reported, never hidden.
+TEST_F(WalTest, TornTailSalvagedWithByteCountReported) {
+  WriteFiveRecords();
+  // Half a frame: length says 5, only 2 payload bytes follow, no CRC.
+  AppendRaw(Segment(1), B("\x05zz"));
+
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->log().record_count(), 5u);
+  EXPECT_EQ(reader->report().dropped_bytes, 3u);
+  EXPECT_EQ(reader->report().salvaged_segment, 1u);
+  EXPECT_NE(reader->report().detail.find("dropped 3"), std::string::npos);
+}
+
+// Default repair truncates the torn tail, so the next recovery — when
+// the tear is no longer at the end of the log — still succeeds.
+TEST_F(WalTest, RepairedTornTailStaysRecoverableAfterNewSegments) {
+  WriteFiveRecords();
+  AppendRaw(Segment(1), B("\x05zz"));
+  ASSERT_TRUE(WalReader::Open(env_, dir_).ok());  // salvages + repairs
+
+  {
+    auto wal = WalWriter::Open(env_, dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(B("after-crash")).ok());
+    ASSERT_TRUE(wal->Close().ok());
+  }
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->report().clean());
+  ASSERT_EQ(reader->log().record_count(), 6u);
+  EXPECT_EQ(reader->log().Get(5)->ToString(), "after-crash");
+}
+
+// Without repair, the same sequence must hard-fail: the tear is now
+// *before* the tail, which recovery may not silently drop.
+TEST_F(WalTest, UnrepairedTornTailBeforeNewSegmentIsCorruption) {
+  WriteFiveRecords();
+  AppendRaw(Segment(1), B("\x05zz"));
+  WalReaderOptions no_repair;
+  no_repair.repair_torn_tail = false;
+  ASSERT_TRUE(WalReader::Open(env_, dir_, no_repair).ok());
+
+  {
+    auto wal = WalWriter::Open(env_, dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(B("after-crash")).ok());
+    ASSERT_TRUE(wal->Close().ok());
+  }
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+// Recovery matrix: corrupt CRC mid-log. Frames follow the damaged one,
+// so this cannot be a tear — it is tampering or disk rot: hard error.
+TEST_F(WalTest, CorruptCrcMidLogIsHardCorruption) {
+  WriteFiveRecords();
+  FlipByte(Segment(1), kFrame0 + 10 + 2, 0x01);  // payload byte of rec-1
+
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+// A CRC mismatch on the very last frame is indistinguishable from a torn
+// final write, so it is salvaged — and reported.
+TEST_F(WalTest, CorruptCrcOnFinalFrameIsSalvaged) {
+  WriteFiveRecords();
+  FlipByte(Segment(1), kFrame0 + 40 + 2, 0x01);  // payload byte of rec-4
+
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->log().record_count(), 4u);
+  EXPECT_EQ(reader->report().dropped_bytes, 10u);
+}
+
+// Recovery matrix: frame length overruns the file.
+TEST_F(WalTest, FrameLengthOverrunningFileIsSalvagedAtTail) {
+  WriteFiveRecords();
+  // Length varint claims 100 bytes; only 3 follow.
+  AppendRaw(Segment(1), B("\x64" "abc"));
+
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->log().record_count(), 5u);
+  EXPECT_EQ(reader->report().dropped_bytes, 4u);
+}
+
+TEST_F(WalTest, FrameOverrunInNonFinalSegmentIsCorruption) {
+  WriteFiveRecords();
+  AppendRaw(Segment(1), B("\x64" "abc"));
+  {
+    // A later segment exists, so the overrun is no longer at the tail.
+    auto wal = WalWriter::Open(env_, dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(B("next")).ok());
+    ASSERT_TRUE(wal->Close().ok());
+  }
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(WalTest, BadHeaderMagicIsCorruption) {
+  WriteFiveRecords();
+  FlipByte(Segment(1), 0, 0x01);
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(WalTest, HeaderIndexMismatchIsCorruption) {
+  WriteFiveRecords();
+  // Rename segment 1 to segment 2: name and embedded index now disagree.
+  ASSERT_TRUE(env_->RenameFile(Segment(1), Segment(2)).ok());
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(WalTest, SegmentGapIsCorruption) {
+  for (int i = 0; i < 3; ++i) {
+    auto wal = WalWriter::Open(env_, dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(B("seg")).ok());
+    ASSERT_TRUE(wal->Close().ok());
+  }
+  ASSERT_TRUE(env_->RemoveFile(Segment(2)).ok());
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(reader.status().message().find("gap"), std::string::npos);
+}
+
+TEST_F(WalTest, HalfWrittenHeaderOnFinalSegmentIsSalvaged) {
+  WriteFiveRecords();
+  {
+    auto file = env_->NewWritableFile(Segment(2));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(B("PVDBW")).ok());  // 5 of 20 header bytes
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->log().record_count(), 5u);
+  EXPECT_EQ(reader->report().dropped_bytes, 5u);
+  EXPECT_EQ(reader->report().salvaged_segment, 2u);
+}
+
+// The writer-side crash-survival contract: everything covered by a
+// successful Sync survives DropUnsyncedFileData; nothing half-written is
+// ever resurrected.
+TEST_F(WalTest, SyncedRecordsSurvivePowerCut) {
+  FaultInjectionEnv fault_env(Env::Default());
+  {
+    auto wal = WalWriter::Open(&fault_env, dir_);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wal->Append(B("durable-" + std::to_string(i))).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+    EXPECT_EQ(wal->synced_records(), 5u);
+    ASSERT_TRUE(wal->Append(B("volatile-0")).ok());
+    ASSERT_TRUE(wal->Append(B("volatile-1")).ok());
+    EXPECT_EQ(wal->synced_records(), 5u);
+    // Abandon the writer: simulated process death, then power cut.
+  }
+  ASSERT_TRUE(fault_env.DropUnsyncedFileData().ok());
+
+  auto reader = WalReader::Open(&fault_env, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->report().clean());
+  ASSERT_EQ(reader->log().record_count(), 5u);
+  EXPECT_EQ(reader->log().Get(4)->ToString(), "durable-4");
+}
+
+TEST_F(WalTest, SyncEveryAppendLosesNothing) {
+  FaultInjectionEnv fault_env(Env::Default());
+  WalOptions options;
+  options.sync_every_append = true;
+  {
+    auto wal = WalWriter::Open(&fault_env, dir_, options);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(wal->Append(B("r" + std::to_string(i))).ok());
+    }
+    EXPECT_EQ(wal->synced_records(), 4u);
+  }
+  ASSERT_TRUE(fault_env.DropUnsyncedFileData().ok());
+  auto reader = WalReader::Open(&fault_env, dir_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->log().record_count(), 4u);
+}
+
+TEST_F(WalTest, TornAppendIsSalvagedNeverResurrected) {
+  FaultInjectionEnv fault_env(Env::Default());
+  {
+    auto wal = WalWriter::Open(&fault_env, dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(B("complete-record")).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+    // The next frame tears mid-write (half its bytes land), as at a
+    // sector boundary during a power cut.
+    fault_env.ScheduleAppendFailure(1, /*torn=*/true);
+    EXPECT_FALSE(wal->Append(B("half-written-record")).ok());
+  }
+  // No power cut here (the flushed half-frame survives): recovery must
+  // still drop it and report the tear.
+  auto reader = WalReader::Open(&fault_env, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_EQ(reader->log().record_count(), 1u);
+  EXPECT_EQ(reader->log().Get(0)->ToString(), "complete-record");
+  EXPECT_GT(reader->report().dropped_bytes, 0u);
+}
+
+TEST_F(WalTest, AppendAfterCloseFails) {
+  auto wal = WalWriter::Open(env_, dir_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Close().ok());
+  EXPECT_EQ(wal->Append(B("late")).code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(wal->Close().ok()) << "Close is idempotent";
+}
+
+TEST_F(WalTest, TinySegmentLimitRejected) {
+  WalOptions options;
+  options.segment_size_limit = 10;  // smaller than the header
+  EXPECT_FALSE(WalWriter::Open(env_, dir_, options).ok());
+}
+
+}  // namespace
+}  // namespace provdb::storage

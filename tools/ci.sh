@@ -7,6 +7,10 @@
 #                  -Wextra-semi -Werror (PROVDB_WERROR=ON)
 #   format         clang-format --dry-run over first-party sources
 #                  (check-only; skipped when clang-format is absent)
+#   crash-recovery the durability suite (ctest -L crash-recovery): WAL
+#                  recovery matrix + fault-injection crash sweep, run
+#                  under ASan+UBSan so torn-write salvage is also
+#                  memory-clean
 #   tsan           ThreadSanitizer over the parallel verify/audit paths
 #   asan           ASan+UBSan over the wire-format decoder fuzz tests
 #   tidy           clang-tidy (.clang-tidy profile) over src/
@@ -14,7 +18,7 @@
 #
 # Usage: tools/ci.sh [stage...]
 #   No arguments runs the default order:
-#     release-tests lint werror format tsan asan
+#     release-tests lint werror format crash-recovery tsan asan
 #   plus tidy when PROVDB_TIDY=1 (clang-tidy may be absent, so it is
 #   opt-in). Build trees go under $PROVDB_CI_OUT (default: ./ci-out).
 set -eu
@@ -61,6 +65,19 @@ stage_format() {
   echo "==> format: clean"
 }
 
+stage_crash_recovery() {
+  # The durability suite under ASan+UBSan: the recovery matrix parses
+  # deliberately torn and corrupted segment files, exactly where an
+  # out-of-bounds read would hide.
+  run cmake -S "$ROOT" -B "$OUT/asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPROVDB_SANITIZE=address -DPROVDB_BUILD_BENCHMARKS=OFF \
+    -DPROVDB_BUILD_EXAMPLES=OFF
+  run cmake --build "$OUT/asan" -j "$JOBS" \
+    --target storage_durability_test integration_crash_recovery_test
+  run ctest --test-dir "$OUT/asan" --output-on-failure -j "$JOBS" \
+    -L crash-recovery
+}
+
 stage_tsan() {
   # Benchmarks/examples are skipped: TSan only needs the thread pool, the
   # parallel verifier/auditor, and the parallel subtree hasher, which the
@@ -104,12 +121,14 @@ run_stage() {
     lint)          stage_lint ;;
     werror)        stage_werror ;;
     format)        stage_format ;;
+    crash-recovery) stage_crash_recovery ;;
     tsan)          stage_tsan ;;
     asan)          stage_asan ;;
     tidy)          stage_tidy ;;
     *)
       echo "tools/ci.sh: unknown stage '$1'" >&2
-      echo "stages: release-tests lint werror format tsan asan tidy" >&2
+      echo "stages: release-tests lint werror format crash-recovery" \
+        "tsan asan tidy" >&2
       exit 2
       ;;
   esac
@@ -118,7 +137,7 @@ run_stage() {
 if [ "$#" -gt 0 ]; then
   STAGES="$*"
 else
-  STAGES="release-tests lint werror format tsan asan"
+  STAGES="release-tests lint werror format crash-recovery tsan asan"
   if [ "${PROVDB_TIDY:-0}" = "1" ]; then
     STAGES="$STAGES tidy"
   fi

@@ -525,6 +525,45 @@ void RunR05(const std::string& path, const std::vector<TestFile>& corpus,
           "// lint:allow no-test"});
 }
 
+// ---------------------------------------------------------------------------
+// R06 raw-file-io
+// ---------------------------------------------------------------------------
+
+void RunR06(const std::string& path, const std::vector<std::string>& code,
+            std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/")) return;
+  // The Env layer is the sanctioned owner of raw file primitives.
+  if (StartsWith(path, "src/storage/env.")) return;
+  struct Banned {
+    const char* token;
+    bool call_only;  // must be followed by '(' to count
+  };
+  static const Banned kBanned[] = {
+      {"fopen", true},     {"freopen", true},   {"fdopen", true},
+      {"tmpfile", true},   {"rename", true},    {"fsync", true},
+      {"fdatasync", true}, {"ofstream", false}, {"ifstream", false},
+      {"fstream", false},
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const Banned& banned : kBanned) {
+      bool hit = banned.call_only ? ContainsCall(code[i], banned.token)
+                                  : ContainsWord(code[i], banned.token);
+      if (!hit) continue;
+      findings->push_back(Finding{
+          "R06", "raw-file-io", path, i + 1,
+          std::string("uses `") + banned.token +
+              "` directly; persistence that bypasses storage::Env skips "
+              "the fsync-before-rename / fsync-parent-dir durability "
+              "protocol and is invisible to FaultInjectionEnv, so the "
+              "crash-recovery suite cannot prove it loses nothing",
+          "route file I/O through storage::Env (src/storage/env.h): "
+          "NewWritableFile + Sync for writes, RenameFile for atomic "
+          "publication, ReadFileToBytes for reads"});
+      break;  // one finding per line is enough
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -554,6 +593,9 @@ const std::vector<RuleInfo>& Rules() {
        "no memcmp in the digest/MAC layer; use ConstantTimeEqual"},
       {"R05", "no-test",
        "every .cc under src/ needs a matching test reference"},
+      {"R06", "raw-file-io",
+       "no fopen/rename/fstream outside src/storage/env.*; all "
+       "persistence goes through storage::Env"},
   };
   return *rules;
 }
@@ -574,6 +616,7 @@ std::vector<Finding> Linter::LintContent(const std::string& path,
   RunR03(path, source.code, &findings);
   RunR04(path, source.code, &findings);
   if (has_corpus_) RunR05(path, corpus_, &findings);
+  RunR06(path, source.code, &findings);
 
   findings.erase(
       std::remove_if(findings.begin(), findings.end(),

@@ -30,6 +30,10 @@
 //   R05 no-test            every .cc under src/ has a matching
 //                          <stem>_test.cc or is #included-referenced by
 //                          a test file
+//   R06 raw-file-io        no fopen/rename/fstream in src/ outside
+//                          src/storage/env.* (persistence must go
+//                          through storage::Env so the durability
+//                          protocol and fault-injection hooks apply)
 //
 // Any finding can be suppressed with a pragma on the offending line or
 // the line above it:   // lint:allow <rule>   where <rule> is the id
