@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <set>
 
+#include "common/varint.h"
 #include "provenance/serialization.h"
 
 namespace provdb::provenance {
 
 Result<uint64_t> ProvenanceStore::AddRecord(ProvenanceRecord record) {
-  auto& chain = by_output_[record.output.object_id];
-  if (!chain.empty()) {
-    const ProvenanceRecord& last = records_[chain.back()];
+  // find(), not operator[]: nothing may be inserted into the index until
+  // the WAL append below has succeeded, or a failed append would leave an
+  // empty chain entry behind.
+  auto chain_it = by_output_.find(record.output.object_id);
+  if (chain_it != by_output_.end() && !chain_it->second.empty()) {
+    const ProvenanceRecord& last = records_[chain_it->second.back()];
     if (record.seq_id <= last.seq_id) {
       return Status::FailedPrecondition(
           "records for object " + std::to_string(record.output.object_id) +
@@ -23,7 +27,7 @@ Result<uint64_t> ProvenanceStore::AddRecord(ProvenanceRecord record) {
     // Write-ahead: the record reaches the durable log before the
     // in-memory store. If the WAL rejects it, the store stays unchanged
     // and the caller sees the I/O failure instead of diverging from disk.
-    PROVDB_RETURN_IF_ERROR(wal_->Append(EncodeRecord(record)));
+    PROVDB_RETURN_IF_ERROR(wal_->Append(EncodeWalRecordEntry(record)));
   }
   uint64_t index = records_.size();
   paper_schema_bytes_ += 12 + record.checksum.size();
@@ -33,7 +37,7 @@ Result<uint64_t> ProvenanceStore::AddRecord(ProvenanceRecord record) {
       ++aggregation_input_refs_[input.object_id];
     }
   }
-  chain.push_back(index);
+  by_output_[record.output.object_id].push_back(index);
   records_.push_back(std::move(record));
   pruned_.push_back(false);
   ++live_count_;
@@ -51,6 +55,12 @@ Result<size_t> ProvenanceStore::PruneObject(storage::ObjectId id) {
   auto it = by_output_.find(id);
   if (it == by_output_.end()) {
     return static_cast<size_t>(0);
+  }
+  if (wal_ != nullptr) {
+    // Write-ahead, mirroring AddRecord: the prune marker reaches the
+    // durable log before the store forgets the records, so recovery
+    // replays the prune instead of resurrecting pruned history.
+    PROVDB_RETURN_IF_ERROR(wal_->Append(EncodeWalPruneEntry(id)));
   }
   size_t dropped = 0;
   for (uint64_t index : it->second) {
@@ -228,9 +238,11 @@ Status ProvenanceStore::AttachWal(storage::WalWriter* wal,
     return Status::FailedPrecondition("a WAL is already attached");
   }
   if (checkpoint_existing) {
+    // Only live records are checkpointed, so already-pruned history needs
+    // no prune markers: the WAL starts from the post-prune state.
     for (uint64_t i = 0; i < records_.size(); ++i) {
       if (!pruned_[i]) {
-        PROVDB_RETURN_IF_ERROR(wal->Append(EncodeRecord(records_[i])));
+        PROVDB_RETURN_IF_ERROR(wal->Append(EncodeWalRecordEntry(records_[i])));
       }
     }
   }
@@ -246,7 +258,35 @@ Result<ProvenanceStore> ProvenanceStore::RecoverFromWal(
   if (report != nullptr) {
     *report = reader.report();
   }
-  return LoadFromLog(reader.log());
+  // Replay typed WAL entries (not LoadFromLog, whose snapshot files carry
+  // bare records): appends re-add, prune markers re-prune, so the
+  // recovered store converges to the pre-crash state instead of
+  // resurrecting pruned history.
+  ProvenanceStore store;
+  Status status = reader.log().ForEach([&](uint64_t, ByteView payload) {
+    if (payload.empty()) {
+      return Status::Corruption("empty WAL entry");
+    }
+    switch (payload[0]) {
+      case static_cast<uint8_t>(WalEntryType::kRecord): {
+        PROVDB_ASSIGN_OR_RETURN(ProvenanceRecord rec,
+                                DecodeRecord(payload.subview(1)));
+        return store.AddRecord(std::move(rec)).status();
+      }
+      case static_cast<uint8_t>(WalEntryType::kPrune): {
+        VarintReader entry(payload.subview(1));
+        PROVDB_ASSIGN_OR_RETURN(uint64_t id, entry.ReadVarint64());
+        return store.PruneObject(id).status();
+      }
+      default:
+        return Status::Corruption("unknown WAL entry type " +
+                                  std::to_string(payload[0]));
+    }
+  });
+  if (!status.ok()) {
+    return status;
+  }
+  return store;
 }
 
 }  // namespace provdb::provenance

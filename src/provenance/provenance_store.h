@@ -85,11 +85,12 @@ class ProvenanceStore {
   /// Rebuilds a store from a record log.
   static Result<ProvenanceStore> LoadFromLog(const storage::RecordLog& log);
 
-  /// Write-ahead logging: after this, every AddRecord first appends the
-  /// encoded record to `wal` and fails (without mutating the store) if
-  /// the WAL append fails. With `checkpoint_existing`, the store's
-  /// current live records are appended to the WAL first, so a WAL
-  /// attached to a non-empty store still replays to the full store.
+  /// Write-ahead logging: after this, every AddRecord (and PruneObject)
+  /// first appends a typed WAL entry — record append or prune marker,
+  /// see serialization.h — to `wal` and fails (without mutating the
+  /// store) if the WAL append fails. With `checkpoint_existing`, the
+  /// store's current live records are appended to the WAL first, so a
+  /// WAL attached to a non-empty store still replays to the full store.
   /// Recovery flows (store already rebuilt *from* this WAL) pass false.
   /// `wal` is borrowed, not owned, and must outlive the store or be
   /// detached.
@@ -100,9 +101,11 @@ class ProvenanceStore {
   storage::WalWriter* attached_wal() const { return wal_; }
 
   /// Crash recovery: replays the WAL directory at `dir` into a fresh
-  /// store. Torn-tail salvage details (dropped byte counts) are returned
-  /// through `report` when non-null; corruption before the tail fails
-  /// with kCorruption (see DESIGN.md §8 for the decision rule).
+  /// store — record entries re-add, prune markers re-prune, so pruned
+  /// history stays pruned after recovery. Torn-tail salvage details
+  /// (dropped byte counts) are returned through `report` when non-null;
+  /// corruption before the tail fails with kCorruption (see DESIGN.md §8
+  /// for the decision rule).
   static Result<ProvenanceStore> RecoverFromWal(
       storage::Env* env, const std::string& dir,
       storage::WalRecoveryReport* report = nullptr);
@@ -112,8 +115,9 @@ class ProvenanceStore {
   /// (kFailedPrecondition) when the object is an aggregation input of any
   /// record — that history *is* still referenced by downstream provenance
   /// and pruning it would break verification of the aggregate (this is
-  /// also why local chaining makes pruning safe at all, §3.2). Returns
-  /// the number of records pruned.
+  /// also why local chaining makes pruning safe at all, §3.2). With a
+  /// WAL attached, a prune marker is logged write-ahead so the prune
+  /// survives crash recovery. Returns the number of records pruned.
   Result<size_t> PruneObject(storage::ObjectId id);
 
   /// True when `index` refers to a pruned (tombstoned) record.

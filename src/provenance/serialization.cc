@@ -81,4 +81,18 @@ Result<ProvenanceRecord> DecodeRecord(ByteView data) {
   return record;
 }
 
+Bytes EncodeWalRecordEntry(const ProvenanceRecord& record) {
+  Bytes out;
+  AppendByte(&out, static_cast<uint8_t>(WalEntryType::kRecord));
+  AppendBytes(&out, EncodeRecord(record));
+  return out;
+}
+
+Bytes EncodeWalPruneEntry(storage::ObjectId id) {
+  Bytes out;
+  AppendByte(&out, static_cast<uint8_t>(WalEntryType::kPrune));
+  AppendVarint64(&out, id);
+  return out;
+}
+
 }  // namespace provdb::provenance

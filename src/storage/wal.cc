@@ -47,6 +47,13 @@ int TryReadVarint(const Bytes& content, size_t* pos, uint64_t* value) {
   size_t p = *pos;
   while (p < content.size() && shift <= 63) {
     uint8_t byte = content[p++];
+    if (shift == 63 && (byte & 0xFE) != 0) {
+      // The 10th byte can only contribute bit 0 of a uint64; any higher
+      // payload bit (or a further continuation bit) overflows. Shifting
+      // it out would decode a wrong small length and misclassify the
+      // frame as well-formed.
+      return -1;
+    }
     result |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) {
       *pos = p;
@@ -85,6 +92,20 @@ Result<WalWriter> WalWriter::Open(Env* env, const std::string& dir,
   uint64_t max_index = 0;
   for (const std::string& name : names) {
     max_index = std::max(max_index, ParseSegmentName(name));
+  }
+  // A crash during a previous OpenSegment can leave the highest segment
+  // shorter than its header (the header is only Flushed, not Synced,
+  // before the first Append). Such a segment holds no records; reuse its
+  // index rather than numbering past it — otherwise it would sit
+  // headerless *before* the new segment forever, and recovery must treat
+  // a headerless non-final segment as corruption.
+  while (max_index > 0) {
+    const std::string last = SegmentFileName(dir, max_index);
+    PROVDB_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(last));
+    if (size >= kWalHeaderSize) break;
+    PROVDB_RETURN_IF_ERROR(env->RemoveFile(last));
+    PROVDB_RETURN_IF_ERROR(env->SyncDir(dir));
+    --max_index;
   }
   WalWriter writer(env, dir, options);
   PROVDB_RETURN_IF_ERROR(writer.OpenSegment(max_index + 1));
@@ -214,7 +235,17 @@ Result<WalReader> WalReader::Open(Env* env, const std::string& dir,
                               std::to_string(dropped) + " byte(s) at offset " +
                               std::to_string(tear_at);
       if (options.repair_torn_tail) {
-        PROVDB_RETURN_IF_ERROR(env->TruncateFile(path, tear_at));
+        if (tear_at < kWalHeaderSize) {
+          // The salvaged prefix is not even a full header: the segment
+          // holds no records. Truncating would leave a headerless file
+          // that a later recovery — once newer segments exist and it is
+          // no longer last — must reject as corrupt. Remove it instead;
+          // the next WalWriter::Open reuses its index, so no gap forms.
+          PROVDB_RETURN_IF_ERROR(env->RemoveFile(path));
+          PROVDB_RETURN_IF_ERROR(env->SyncDir(ParentDir(path)));
+        } else {
+          PROVDB_RETURN_IF_ERROR(env->TruncateFile(path, tear_at));
+        }
       }
       return Status::OK();
     };

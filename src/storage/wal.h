@@ -59,8 +59,10 @@ class WalWriter {
   ~WalWriter();
 
   /// Creates `dir` if needed and starts a fresh segment after the highest
-  /// existing one. Does not read or validate old segments — that is
-  /// WalReader's job.
+  /// existing one. Trailing segments shorter than a header (the remains
+  /// of a crash during a previous Open) are removed and their index
+  /// reused; beyond that, old segments are not read or validated — that
+  /// is WalReader's job.
   static Result<WalWriter> Open(Env* env, const std::string& dir,
                                 WalOptions options = WalOptions());
 
@@ -126,7 +128,10 @@ struct WalRecoveryReport {
 struct WalReaderOptions {
   /// After salvaging a torn tail, truncate it off the segment (durably)
   /// so the next recovery — by which time a newer segment may exist and
-  /// the tear would no longer be *at* the tail — sees a clean log.
+  /// the tear would no longer be *at* the tail — sees a clean log. A
+  /// final segment whose salvaged prefix is shorter than its header
+  /// holds no records and is removed outright rather than left behind
+  /// as a headerless (hence unrecoverable) zero-byte file.
   bool repair_torn_tail = true;
 };
 

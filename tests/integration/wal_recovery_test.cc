@@ -150,6 +150,35 @@ TEST(WalRecoveryTest, FailedWalAppendLeavesStoreUnchanged) {
   EXPECT_EQ(db.provenance().record_count(), committed + 1);
 }
 
+TEST(WalRecoveryTest, PruneSurvivesCrashRecovery) {
+  std::string dir = FreshDir("prune");
+  TrackedDatabase db;
+  auto wal = WalWriter::Open(Env::Default(), dir);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(db.AttachWal(&*wal).ok());
+
+  ObjectId solo = *db.Insert(P(1), Value::String("solo"));
+  ASSERT_TRUE(db.Update(P(1), solo, Value::String("solo-v2")).ok());
+  ObjectId agg = *db.Aggregate(P(2), {solo}, Value::String("agg"));
+  ASSERT_TRUE(db.Insert(P(1), Value::Int(7)).ok());  // unrelated survivor
+  // Pruning the aggregate releases its input refs, which is what makes
+  // pruning `solo` legal — an ordering a replay of appends alone cannot
+  // reproduce: it would re-inflate the refs and refuse the second prune.
+  ASSERT_TRUE(db.mutable_provenance()->PruneObject(agg).ok());
+  auto dropped = db.mutable_provenance()->PruneObject(solo);
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_GT(*dropped, 0u);
+  ASSERT_TRUE(db.SyncWal().ok());
+
+  auto restored = ProvenanceStore::RecoverFromWal(Env::Default(), dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->record_count(), db.provenance().record_count());
+  EXPECT_EQ(restored->live_record_count(),
+            db.provenance().live_record_count());
+  EXPECT_TRUE(restored->ChainOf(solo).empty()) << "prune resurrected";
+  EXPECT_TRUE(restored->ChainOf(agg).empty()) << "prune resurrected";
+}
+
 TEST(WalRecoveryTest, BatchedSyncPowerCutRecoversExactlySyncedPrefix) {
   std::string dir = FreshDir("batched");
   FaultInjectionEnv env(Env::Default());
@@ -227,6 +256,23 @@ void CrashAtWrite(uint64_t k, bool torn, bool power_cut) {
     // disk and must be reported as dropped, not silently absorbed.
     EXPECT_GT(report.dropped_bytes, 0u);
   }
+
+  // Second cycle: after the first recovery repaired the tail, a writer
+  // restarts on the directory (as the recovered process would) and a
+  // later recovery must still be clean. Guards the double-crash case
+  // where the crash tore a segment *header* — the remnant must not
+  // survive as a headerless segment stranded before the new tail.
+  {
+    auto wal2 = WalWriter::Open(&env, dir, options);
+    ASSERT_TRUE(wal2.ok()) << wal2.status().ToString();
+    ASSERT_TRUE(wal2->Close().ok());
+  }
+  auto restored2 = ProvenanceStore::RecoverFromWal(&env, dir, &report);
+  ASSERT_TRUE(restored2.ok())
+      << "recovery after restart must stay clean: "
+      << restored2.status().ToString();
+  EXPECT_TRUE(report.clean()) << report.detail;
+  EXPECT_EQ(restored2->record_count(), committed);
 }
 
 TEST(WalCrashSweepTest, CrashAtEveryWrite) {

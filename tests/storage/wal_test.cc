@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/crc32.h"
 #include "storage/fault_injection_env.h"
 
 namespace provdb::storage {
@@ -327,6 +328,79 @@ TEST_F(WalTest, HalfWrittenHeaderOnFinalSegmentIsSalvaged) {
   EXPECT_EQ(reader->log().record_count(), 5u);
   EXPECT_EQ(reader->report().dropped_bytes, 5u);
   EXPECT_EQ(reader->report().salvaged_segment, 2u);
+  // Repair removes the headerless remnant (a zero-byte truncation would
+  // become unrecoverable once it is no longer the last segment).
+  EXPECT_FALSE(env_->FileExists(Segment(2)));
+}
+
+// Double-crash regression: a crash during segment creation leaves a
+// sub-header file; after salvage, a writer restarts and appends; every
+// later recovery must still succeed — the remnant must not survive as a
+// headerless segment stranded before the new tail.
+TEST_F(WalTest, HeaderTearThenNewSegmentsStaysRecoverable) {
+  WriteFiveRecords();
+  {
+    auto file = env_->NewWritableFile(Segment(2));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(B("PVDBW")).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  ASSERT_TRUE(WalReader::Open(env_, dir_).ok());  // salvages + removes
+
+  {
+    auto wal = WalWriter::Open(env_, dir_);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ(wal->current_segment_index(), 2u) << "index is reused";
+    ASSERT_TRUE(wal->Append(B("after-crash")).ok());
+    ASSERT_TRUE(wal->Close().ok());
+  }
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->report().clean());
+  ASSERT_EQ(reader->log().record_count(), 6u);
+  EXPECT_EQ(reader->log().Get(5)->ToString(), "after-crash");
+}
+
+// Same crash, but the writer restarts *without* recovery running first
+// (the writer itself must not number past a headerless trailing segment).
+TEST_F(WalTest, WriterRemovesHeaderlessTrailingSegment) {
+  WriteFiveRecords();
+  {
+    auto file = env_->NewWritableFile(Segment(2));
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(B("PVDBW")).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  {
+    auto wal = WalWriter::Open(env_, dir_);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    EXPECT_EQ(wal->current_segment_index(), 2u);
+    ASSERT_TRUE(wal->Append(B("fresh")).ok());
+    ASSERT_TRUE(wal->Close().ok());
+  }
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->report().clean());
+  ASSERT_EQ(reader->log().record_count(), 6u);
+}
+
+// An over-long frame-length varint whose 10th byte carries bits above
+// bit 0 overflows uint64. Ignoring those bits would decode length 0 and
+// accept the 4 bytes that follow as a valid empty frame — a phantom
+// record. It must be classified as malformed instead (here: at the
+// tail, so salvaged and reported).
+TEST_F(WalTest, OverlongVarintFrameLengthIsMalformedNotPhantomRecord) {
+  WriteFiveRecords();
+  Bytes evil;
+  for (int i = 0; i < 9; ++i) AppendByte(&evil, 0x80);
+  AppendByte(&evil, 0x02);  // decodes to length 0 if the overflow is kept
+  AppendFixed32(&evil, Crc32(ByteView()));  // valid CRC of empty payload
+  AppendRaw(Segment(1), evil);
+
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->log().record_count(), 5u);
+  EXPECT_EQ(reader->report().dropped_bytes, 14u);
 }
 
 // The writer-side crash-survival contract: everything covered by a
