@@ -18,6 +18,8 @@
 #include "common/stats.h"
 #include "common/stopwatch.h"
 #include "crypto/pki.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 
 namespace provdb::bench {
 
@@ -104,6 +106,32 @@ inline std::string FormatMs(const RunningStats& stats) {
   std::snprintf(buf, sizeof(buf), "%10.2f +- %6.2f", stats.mean() * 1e3,
                 stats.ci95_half_width() * 1e3);
   return buf;
+}
+
+/// Prints the global metrics snapshot as the run's final stdout line:
+///   metrics: {"counters":{...},"gauges":{...},"histograms":{...}}
+/// Every bench binary ends with this footer so each recorded run carries
+/// its instrumentation (schema: docs/OBSERVABILITY.md).
+inline void EmitMetricsSnapshot() {
+  std::printf("metrics: %s\n",
+              observability::GlobalMetrics().SnapshotJson().c_str());
+}
+
+/// Standard bench main body: enable tracing when PROVDB_TRACE is set, run
+/// the harness, then append the metrics footer (also on failure — partial
+/// counters help diagnose an aborted run).
+inline int BenchMain(int argc, char** argv, int (*run)(int, char**)) {
+  observability::InitTraceFromEnv();
+  int rc = run(argc, argv);
+  EmitMetricsSnapshot();
+  return rc;
+}
+
+inline int BenchMain(int (*run)()) {
+  observability::InitTraceFromEnv();
+  int rc = run();
+  EmitMetricsSnapshot();
+  return rc;
 }
 
 }  // namespace provdb::bench

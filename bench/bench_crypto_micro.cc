@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "common/rng.h"
 #include "crypto/hash.h"
 #include "crypto/hmac.h"
@@ -130,4 +132,15 @@ BENCHMARK(BM_ChecksumEndToEnd)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace provdb::bench
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the run can end with the standard
+// provdb metrics footer (the checksum/hashing micro-benches record into
+// the global registry like everything else).
+int main(int argc, char** argv) {
+  provdb::observability::InitTraceFromEnv();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  provdb::bench::EmitMetricsSnapshot();
+  return 0;
+}

@@ -80,4 +80,4 @@ int Run() {
 }  // namespace
 }  // namespace provdb::bench
 
-int main() { return provdb::bench::Run(); }
+int main() { return provdb::bench::BenchMain(provdb::bench::Run); }

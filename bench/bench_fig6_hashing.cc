@@ -56,4 +56,6 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace provdb::bench
 
-int main(int argc, char** argv) { return provdb::bench::Run(argc, argv); }
+int main(int argc, char** argv) {
+  return provdb::bench::BenchMain(argc, argv, provdb::bench::Run);
+}

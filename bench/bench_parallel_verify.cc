@@ -207,6 +207,9 @@ int Run(const Flags& flags) {
 }  // namespace provdb::bench
 
 int main(int argc, char** argv) {
+  provdb::observability::InitTraceFromEnv();
   provdb::bench::Flags flags(argc, argv);
-  return provdb::bench::Run(flags);
+  int rc = provdb::bench::Run(flags);
+  provdb::bench::EmitMetricsSnapshot();
+  return rc;
 }

@@ -35,6 +35,7 @@ struct Patient {
 }  // namespace
 
 int main() {
+  provdb::examples::InitObservability();
   std::printf("TrustUsRx clinical trial — tamper-evident provenance demo\n");
   std::printf("==========================================================\n\n");
 

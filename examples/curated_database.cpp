@@ -19,6 +19,7 @@
 using namespace provdb;
 
 int main() {
+  provdb::examples::InitObservability();
   std::printf("curated database — complex operations & durable provenance\n");
   std::printf("===========================================================\n\n");
 

@@ -5,8 +5,13 @@
 #include <cstdlib>
 
 #include "common/status.h"
+#include "observability/trace.h"
 
 namespace provdb::examples {
+
+/// First line of every example's main: honours PROVDB_TRACE so any
+/// example can stream JSONL operation spans (docs/OBSERVABILITY.md).
+inline void InitObservability() { observability::InitTraceFromEnv(); }
 
 /// Aborts the example with a message when `s` is not OK. Examples favour
 /// linear narration over error plumbing, but an ignored Status would be

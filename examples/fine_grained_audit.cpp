@@ -22,6 +22,7 @@
 using namespace provdb;
 
 int main() {
+  provdb::examples::InitObservability();
   std::printf("fine-grained audit — inclusion proofs over verified "
               "provenance\n");
   std::printf("============================================================"

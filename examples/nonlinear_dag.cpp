@@ -15,6 +15,7 @@
 using namespace provdb;
 
 int main() {
+  provdb::examples::InitObservability();
   std::printf("non-linear provenance — the Figure 2/3 worked example\n");
   std::printf("======================================================\n\n");
 

@@ -19,6 +19,7 @@
 using namespace provdb;  // examples prioritize brevity
 
 int main() {
+  provdb::examples::InitObservability();
   std::printf("provdb quickstart\n=================\n\n");
 
   // --- 1. PKI -----------------------------------------------------------

@@ -34,6 +34,7 @@ size_t IndexAtSeq(const RecipientBundle& bundle, provenance::SeqId seq) {
 }  // namespace
 
 int main() {
+  provdb::examples::InitObservability();
   std::printf("tamper detection tour — requirements R1..R8 (§2.2)\n");
   std::printf("===================================================\n\n");
 

@@ -2,7 +2,13 @@
 
 namespace provdb {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : tasks_total_(
+          observability::GlobalMetrics().counter("threadpool.tasks")),
+      queue_depth_(
+          observability::GlobalMetrics().gauge("threadpool.queue_depth")),
+      task_latency_(observability::GlobalMetrics().histogram(
+          "threadpool.task.latency_us")) {
   if (num_threads == 0) {
     num_threads = 1;
   }
@@ -43,8 +49,13 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->Sub(1);
     }
-    task();  // packaged_task captures exceptions into the future
+    {
+      observability::ScopedLatencyTimer timer(task_latency_);
+      task();  // packaged_task captures exceptions into the future
+    }
+    tasks_total_->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++executed_;

@@ -12,6 +12,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "observability/metrics.h"
+
 namespace provdb {
 
 /// How much parallelism a verification/audit component may use. The
@@ -66,6 +68,7 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mu_);
       if (!stopping_) {
         queue_.emplace_back([task] { (*task)(); });
+        queue_depth_->Add(1);
         wake_.notify_one();
         return future;
       }
@@ -91,6 +94,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   uint64_t executed_ = 0;
   bool stopping_ = false;
+
+  // Pool observability (docs/OBSERVABILITY.md): registered once at
+  // construction; shared across every pool in the process.
+  observability::Counter* tasks_total_;
+  observability::Gauge* queue_depth_;
+  observability::Histogram* task_latency_;
 };
 
 }  // namespace provdb

@@ -1,0 +1,224 @@
+#include "observability/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace provdb::observability {
+namespace {
+
+/// Percentile estimate from bucket counts: find the bucket holding the
+/// q-quantile observation, then interpolate linearly between its bounds by
+/// the quantile's rank within the bucket. The overflow bucket has no upper
+/// bound; its lower bound is reported (a deliberate underestimate).
+double EstimatePercentile(const std::vector<uint64_t>& buckets,
+                          uint64_t count, double q) {
+  if (count == 0) return 0.0;
+  double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    double lower = i == 0 ? 0.0
+                          : static_cast<double>(
+                                Histogram::BucketUpperMicros(i - 1));
+    double upper = static_cast<double>(Histogram::BucketUpperMicros(i));
+    if (i + 1 == buckets.size()) upper = lower;  // overflow: no upper bound
+    uint64_t next = cumulative + buckets[i];
+    if (rank <= static_cast<double>(next)) {
+      double within = (rank - static_cast<double>(cumulative)) /
+                      static_cast<double>(buckets[i]);
+      return lower + within * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(
+      Histogram::BucketUpperMicros(buckets.size() - 1));
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(
+                                     &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(
+                                &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) {
+    g->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (auto& bucket : h->buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0, std::memory_order_relaxed);
+    h->min_.store(UINT64_MAX, std::memory_order_relaxed);
+    h->max_.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.buckets.resize(Histogram::kNumBuckets);
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      hs.buckets[i] = h->buckets_[i].load(std::memory_order_relaxed);
+    }
+    hs.count = h->count();
+    hs.sum_micros = h->sum_micros();
+    uint64_t min = h->min_.load(std::memory_order_relaxed);
+    hs.min_micros = min == UINT64_MAX ? 0 : min;
+    hs.max_micros = h->max_.load(std::memory_order_relaxed);
+    hs.p50_micros = EstimatePercentile(hs.buckets, hs.count, 0.50);
+    hs.p95_micros = EstimatePercentile(hs.buckets, hs.count, 0.95);
+    hs.p99_micros = EstimatePercentile(hs.buckets, hs.count, 0.99);
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  MetricsSnapshot snap = Snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += h.name;
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum_us\":";
+    out += std::to_string(h.sum_micros);
+    out += ",\"min_us\":";
+    out += std::to_string(h.min_micros);
+    out += ",\"max_us\":";
+    out += std::to_string(h.max_micros);
+    out += ",\"p50_us\":";
+    AppendJsonNumber(&out, h.p50_micros);
+    out += ",\"p95_us\":";
+    AppendJsonNumber(&out, h.p95_micros);
+    out += ",\"p99_us\":";
+    AppendJsonNumber(&out, h.p99_micros);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotText() const {
+  MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  os << "counters:\n";
+  for (const auto& [name, value] : snap.counters) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-32s %20llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    os << line;
+  }
+  os << "gauges:\n";
+  for (const auto& [name, value] : snap.gauges) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-32s %20lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    os << line;
+  }
+  os << "histograms (microseconds):\n";
+  for (const HistogramSnapshot& h : snap.histograms) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "  %-32s count=%-8llu p50=%-9.1f p95=%-9.1f p99=%-9.1f "
+                  "min=%llu max=%llu\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.p50_micros, h.p95_micros, h.p99_micros,
+                  static_cast<unsigned long long>(h.min_micros),
+                  static_cast<unsigned long long>(h.max_micros));
+    os << line;
+  }
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+uint64_t ScopedLatencyTimer::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace provdb::observability

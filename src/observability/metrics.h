@@ -1,0 +1,238 @@
+#ifndef PROVDB_OBSERVABILITY_METRICS_H_
+#define PROVDB_OBSERVABILITY_METRICS_H_
+
+// Always-on instrumentation for the hot paths the paper's evaluation (§5)
+// measures: checksum generation, subtree hashing, WAL persistence, and
+// verification. Design goals, in order:
+//
+//   1. lock-cheap recording — after an instrument is registered (once, at
+//      component construction), Add/Set/Record touch only relaxed atomics;
+//      no mutex, no allocation, no syscalls on the hot path,
+//   2. snapshot-on-read — aggregation (percentiles, JSON) happens only
+//      when a snapshot is taken, never while recording, and
+//   3. cheap to disable — `MetricsRegistry::set_enabled(false)` turns
+//      every recording call into a single relaxed load + branch, and the
+//      instrumented code paths allocate nothing either way (pinned by
+//      tests/observability/alloc_test.cc).
+//
+// This library sits below src/common/ (stdlib-only, no provdb deps) so
+// even ThreadPool can be instrumented without a dependency cycle. The
+// metric-name inventory is documented in docs/OBSERVABILITY.md; the CI
+// docs stage cross-checks that every name registered here-in-src/ appears
+// there and vice versa (tools/check_metrics_docs.sh).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace provdb::observability {
+
+class MetricsRegistry;
+
+/// Monotonic event count. `value()` is exact even under concurrent Adds.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) {
+    if (!*enabled_) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, cache size).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!*enabled_) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t n) {
+    if (!*enabled_) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Sub(int64_t n) { Add(-n); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram in microseconds. Bucket upper bounds
+/// are the powers of two 1us, 2us, 4us, ... 2^25us (~33.6s) plus an
+/// overflow bucket, so `Record` is a bit-width computation and one relaxed
+/// increment. Percentiles are estimated at snapshot time by linear
+/// interpolation inside the selected bucket (documented error: within one
+/// power-of-two bucket of the true quantile).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 27;  // 26 finite + overflow
+
+  /// Upper bound (inclusive) of finite bucket `i`: 2^i microseconds.
+  /// Bucket kNumBuckets-1 is the +inf overflow bucket.
+  static uint64_t BucketUpperMicros(size_t i) { return uint64_t{1} << i; }
+
+  void Record(uint64_t micros) {
+    if (!*enabled_) return;
+    buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(micros, std::memory_order_relaxed);
+    AtomicMin(&min_, micros);
+    AtomicMax(&max_, micros);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_micros() const { return sum_.load(std::memory_order_relaxed); }
+
+  bool enabled() const { return *enabled_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  static size_t BucketIndex(uint64_t micros) {
+    size_t i = 0;
+    while (i + 1 < kNumBuckets && micros > BucketUpperMicros(i)) ++i;
+    return i;
+  }
+
+  static void AtomicMin(std::atomic<uint64_t>* slot, uint64_t v) {
+    uint64_t cur = slot->load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<uint64_t>* slot, uint64_t v) {
+    uint64_t cur = slot->load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time copy of one histogram, with percentiles precomputed.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+  uint64_t min_micros = 0;
+  uint64_t max_micros = 0;
+  double p50_micros = 0;
+  double p95_micros = 0;
+  double p99_micros = 0;
+  std::vector<uint64_t> buckets;  // kNumBuckets entries
+};
+
+/// Point-in-time copy of a whole registry, sorted by instrument name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Owns named instruments. Registration (`counter`/`gauge`/`histogram`)
+/// takes a mutex and may allocate — components do it once, at
+/// construction, and keep the returned pointer, which stays valid for the
+/// registry's lifetime. Requesting an existing name returns the same
+/// instrument, so independent components share e.g. `wal.appends`.
+///
+/// Thread-safety: registration and snapshots lock `mu_`; recording through
+/// the returned pointers is lock-free (relaxed atomics). A snapshot taken
+/// concurrently with recording sees each instrument's values at slightly
+/// different instants — fine for monitoring, documented in
+/// DESIGN.md §9.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// When disabled, every Add/Set/Record becomes a relaxed load + early
+  /// return. Registration still works (instruments simply stay at zero).
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Zeroes every instrument (e.g. between bench phases). Not atomic with
+  /// respect to concurrent recording.
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Snapshot rendered as one JSON object:
+  ///   {"counters":{...},"gauges":{...},"histograms":{"name":{...}}}
+  /// — the schema embedded in every bench_* run and emitted by
+  /// `provdb stats --json` (full schema in docs/OBSERVABILITY.md).
+  std::string SnapshotJson() const;
+
+  /// Snapshot rendered as aligned human-readable text for `provdb stats`.
+  std::string SnapshotText() const;
+
+  /// The process-wide registry every provdb component records into.
+  /// Leaked on purpose so instruments outlive static destructors.
+  static MetricsRegistry& Global();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthand used at instrumentation sites.
+inline MetricsRegistry& GlobalMetrics() { return MetricsRegistry::Global(); }
+
+/// RAII wall-clock timer recording its scope's duration into a histogram
+/// (microseconds, steady clock). When the owning registry is disabled the
+/// constructor skips even the clock read. Null histogram = inert timer,
+/// so call sites need no branches.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* hist)
+      : hist_(hist != nullptr && hist->enabled() ? hist : nullptr) {
+    if (hist_ != nullptr) start_micros_ = NowMicros();
+  }
+  ~ScopedLatencyTimer() {
+    if (hist_ != nullptr) hist_->Record(NowMicros() - start_micros_);
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+  /// Monotonic microseconds since an arbitrary process-local epoch.
+  static uint64_t NowMicros();
+
+ private:
+  Histogram* hist_;
+  uint64_t start_micros_ = 0;
+};
+
+}  // namespace provdb::observability
+
+#endif  // PROVDB_OBSERVABILITY_METRICS_H_

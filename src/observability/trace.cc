@@ -1,0 +1,100 @@
+#include "observability/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "observability/metrics.h"
+
+namespace provdb::observability {
+namespace {
+
+// Sink state. The FILE* is guarded by g_mu; g_enabled is read lock-free
+// on the span fast path. Trace output is diagnostic, not durable state —
+// it is NOT part of the provenance persistence contract, so it writes
+// through stdio rather than storage::Env (which would also invert the
+// layering: storage itself is instrumented by this library).
+std::atomic<bool> g_enabled{false};
+std::mutex g_mu;
+std::FILE* g_file = nullptr;
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_thread_ordinal{1};
+
+thread_local uint64_t t_current_span = 0;
+
+uint64_t ThreadOrdinal() {
+  thread_local uint64_t ordinal =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// Steady-clock reading captured when the sink is enabled — the
+/// "start_us" origin, so span timestamps are small offsets instead of raw
+/// monotonic-clock values. Set before g_enabled flips, so no span can
+/// start earlier than the epoch.
+uint64_t g_epoch_micros = 0;
+
+}  // namespace
+
+bool TraceSink::Enable(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_file != nullptr) {
+    std::fclose(g_file);
+    g_file = nullptr;
+    g_enabled.store(false, std::memory_order_release);
+  }
+  g_file = std::fopen(path.c_str(), "wb");  // lint:allow raw-file-io
+  if (g_file == nullptr) return false;
+  g_epoch_micros = ScopedLatencyTimer::NowMicros();
+  g_enabled.store(true, std::memory_order_release);
+  return true;
+}
+
+void TraceSink::Disable() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_enabled.store(false, std::memory_order_release);
+  if (g_file != nullptr) {
+    std::fflush(g_file);
+    std::fclose(g_file);
+    g_file = nullptr;
+  }
+}
+
+bool TraceSink::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool TraceSink::InitFromEnv() {
+  const char* path = std::getenv("PROVDB_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  return Enable(path);
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
+  start_micros_ = ScopedLatencyTimer::NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (id_ == 0) return;
+  t_current_span = parent_;
+  uint64_t duration = ScopedLatencyTimer::NowMicros() - start_micros_;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_file == nullptr) return;  // sink closed while the span was open
+  std::fprintf(g_file,
+               "{\"name\":\"%s\",\"id\":%llu,\"parent\":%llu,"
+               "\"thread\":%llu,\"start_us\":%llu,\"dur_us\":%llu}\n",
+               name_, static_cast<unsigned long long>(id_),
+               static_cast<unsigned long long>(parent_),
+               static_cast<unsigned long long>(ThreadOrdinal()),
+               static_cast<unsigned long long>(start_micros_ -
+                                               g_epoch_micros),
+               static_cast<unsigned long long>(duration));
+}
+
+}  // namespace provdb::observability

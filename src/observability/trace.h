@@ -1,0 +1,74 @@
+#ifndef PROVDB_OBSERVABILITY_TRACE_H_
+#define PROVDB_OBSERVABILITY_TRACE_H_
+
+// Structured operation tracing: RAII spans written as JSON Lines to a
+// file. Off by default and zero-cost when off — constructing a TraceSpan
+// with the sink disabled is one relaxed atomic load, no clock read, no
+// allocation (pinned by tests/observability/alloc_test.cc).
+//
+// One span per line:
+//
+//   {"name":"wal.sync","id":7,"parent":3,"thread":2,
+//    "start_us":51234,"dur_us":812}
+//
+// `id` is unique per process (1-based); `parent` is the id of the span
+// that was open on the same thread when this one started (0 = root);
+// `thread` is a small per-process thread ordinal; `start_us` is measured
+// from the process-local steady-clock epoch, so spans order and nest but
+// carry no wall-clock time (deterministic workloads stay deterministic —
+// the linter's R02 wall-clock ban applies to trace output too).
+//
+// Enable programmatically (TraceSink::Enable) or via the environment:
+// setting PROVDB_TRACE=/path/to/out.jsonl before a binary that calls
+// InitTraceFromEnv() (every example, bench harness, and provdb_cli does)
+// streams spans there. Schema reference: docs/OBSERVABILITY.md.
+
+#include <cstdint>
+#include <string>
+
+namespace provdb::observability {
+
+/// Process-global JSONL span sink.
+class TraceSink {
+ public:
+  /// Opens (truncates) `path` and starts accepting spans. Returns false
+  /// when the file cannot be opened (the sink stays disabled).
+  static bool Enable(const std::string& path);
+
+  /// Flushes and closes the sink; spans become no-ops again. Spans still
+  /// open when the sink closes are dropped, not written.
+  static void Disable();
+
+  static bool enabled();
+
+  /// Enables the sink from the PROVDB_TRACE environment variable when it
+  /// is set and non-empty. Returns true when tracing ended up enabled.
+  static bool InitFromEnv();
+};
+
+/// Convenience spelling used at instrumentation call sites.
+inline bool InitTraceFromEnv() { return TraceSink::InitFromEnv(); }
+
+/// RAII span: records [construction, destruction) with automatic
+/// parenting — the innermost live span on this thread becomes the parent.
+/// `name` must outlive the span (string literals at every call site).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Span id, 0 when the sink was disabled at construction.
+  uint64_t id() const { return id_; }
+
+ private:
+  const char* name_;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint64_t start_micros_ = 0;
+};
+
+}  // namespace provdb::observability
+
+#endif  // PROVDB_OBSERVABILITY_TRACE_H_

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "observability/trace.h"
+
 namespace provdb::provenance {
 
 namespace {
@@ -40,7 +42,13 @@ std::optional<VerificationIssue> CheckLiveObject(
 StoreAuditor::StoreAuditor(const crypto::ParticipantRegistry* registry,
                            crypto::HashAlgorithm alg,
                            ParallelismConfig parallelism)
-    : registry_(registry), engine_(alg) {
+    : registry_(registry),
+      engine_(alg),
+      runs_(observability::GlobalMetrics().counter("audit.runs")),
+      live_checks_(observability::GlobalMetrics().counter("audit.live_checks")),
+      issues_(observability::GlobalMetrics().counter("audit.issues")),
+      run_latency_(
+          observability::GlobalMetrics().histogram("audit.run.latency_us")) {
   if (!parallelism.sequential()) {
     pool_ = std::make_unique<ThreadPool>(
         static_cast<size_t>(parallelism.num_threads));
@@ -49,6 +57,9 @@ StoreAuditor::StoreAuditor(const crypto::ParticipantRegistry* registry,
 
 VerificationReport StoreAuditor::Audit(const ProvenanceStore& store,
                                        const storage::TreeStore& tree) const {
+  observability::ScopedLatencyTimer audit_timer(run_latency_);
+  observability::TraceSpan audit_span("audit.run");
+  runs_->Increment();
   VerificationReport report;
 
   // Group all live records into per-object chains. Store chains are
@@ -77,7 +88,9 @@ VerificationReport StoreAuditor::Audit(const ProvenanceStore& store,
     for (const auto& [object, chain] : chains) {
       std::optional<VerificationIssue> issue =
           CheckLiveObject(hasher, tree, object, chain);
+      live_checks_->Increment();
       if (issue.has_value()) {
+        issues_->Increment();
         report.issues.push_back(std::move(*issue));
       }
     }
@@ -98,7 +111,9 @@ VerificationReport StoreAuditor::Audit(const ProvenanceStore& store,
   }
   for (auto& result : results) {
     std::optional<VerificationIssue> issue = result.get();
+    live_checks_->Increment();
     if (issue.has_value()) {
+      issues_->Increment();
       report.issues.push_back(std::move(*issue));
     }
   }

@@ -45,6 +45,14 @@ class StoreAuditor {
   const crypto::ParticipantRegistry* registry_;
   ChecksumEngine engine_;
   std::unique_ptr<ThreadPool> pool_;  // null when sequential
+
+  // Audit-sweep observability (docs/OBSERVABILITY.md). Chain-level work
+  // is counted by the shared verify.* instruments inside
+  // VerifyRecordChains; these cover the audit-only live-object sweep.
+  observability::Counter* runs_;
+  observability::Counter* live_checks_;
+  observability::Counter* issues_;
+  observability::Histogram* run_latency_;
 };
 
 }  // namespace provdb::provenance

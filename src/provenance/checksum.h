@@ -8,6 +8,7 @@
 #include "crypto/digest.h"
 #include "crypto/hash.h"
 #include "crypto/signer.h"
+#include "observability/metrics.h"
 
 namespace provdb::provenance {
 
@@ -32,8 +33,7 @@ namespace provdb::provenance {
 class ChecksumEngine {
  public:
   explicit ChecksumEngine(
-      crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1)
-      : alg_(alg) {}
+      crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1);
 
   crypto::HashAlgorithm algorithm() const { return alg_; }
 
@@ -58,12 +58,19 @@ class ChecksumEngine {
   /// Signs a payload with the acting participant's signer, producing the
   /// checksum stored in the provenance record.
   Result<Bytes> SignPayload(const crypto::Signer& signer,
-                            ByteView payload) const {
-    return signer.Sign(payload);
-  }
+                            ByteView payload) const;
 
  private:
   crypto::HashAlgorithm alg_;
+
+  // Per-op-type payload builds and signing cost (docs/OBSERVABILITY.md).
+  // In the protocol every built payload is signed exactly once, so these
+  // counters double as per-op-type sign counts.
+  observability::Counter* payload_insert_;
+  observability::Counter* payload_update_;
+  observability::Counter* payload_aggregate_;
+  observability::Counter* sign_count_;
+  observability::Histogram* sign_latency_;
 };
 
 }  // namespace provdb::provenance

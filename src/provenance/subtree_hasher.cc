@@ -25,12 +25,18 @@ crypto::Digest HashTreeNode(crypto::HashAlgorithm alg, storage::ObjectId id,
 
 SubtreeHasher::SubtreeHasher(const storage::TreeStore* tree,
                              crypto::HashAlgorithm alg)
-    : tree_(tree), alg_(alg) {}
+    : tree_(tree),
+      alg_(alg),
+      nodes_hashed_total_(
+          observability::GlobalMetrics().counter("hash.nodes_hashed")),
+      subtree_calls_(
+          observability::GlobalMetrics().counter("hash.subtree.calls")) {}
 
 crypto::Digest SubtreeHasher::HashNode(
     storage::ObjectId id, const storage::Value& value,
     const std::vector<crypto::Digest>& child_hashes) const {
   nodes_hashed_.fetch_add(1, std::memory_order_relaxed);
+  nodes_hashed_total_->Increment();
   return HashTreeNode(alg_, id, value, child_hashes);
 }
 
@@ -41,6 +47,7 @@ crypto::Digest SubtreeHasher::HashAtomic(storage::ObjectId id,
 
 Result<crypto::Digest> SubtreeHasher::HashSubtreeBasic(
     storage::ObjectId root) const {
+  subtree_calls_->Increment();
   PROVDB_RETURN_IF_ERROR(tree_->GetNode(root).status());
 
   // Iterative post-order: children hashed before their parent.
@@ -111,7 +118,9 @@ Result<crypto::Digest> SubtreeHasher::HashSubtreeBasic(
 
 EconomicalHasher::EconomicalHasher(const storage::TreeStore* tree,
                                    crypto::HashAlgorithm alg)
-    : tree_(tree), base_(tree, alg) {}
+    : tree_(tree),
+      base_(tree, alg),
+      memo_hits_(observability::GlobalMetrics().counter("hash.memo_hits")) {}
 
 Result<crypto::Digest> EconomicalHasher::HashSubtree(storage::ObjectId root) {
   PROVDB_RETURN_IF_ERROR(tree_->GetNode(root).status());
@@ -137,6 +146,7 @@ Result<crypto::Digest> EconomicalHasher::HashSubtree(storage::ObjectId root) {
   {
     auto it = cache_.find(root);
     if (it != cache_.end() && !it->second.dirty) {
+      memo_hits_->Increment();
       return it->second.digest;
     }
   }
@@ -148,6 +158,7 @@ Result<crypto::Digest> EconomicalHasher::HashSubtree(storage::ObjectId root) {
       storage::ObjectId child = node.children[frame.next_child++];
       auto it = cache_.find(child);
       if (it != cache_.end() && !it->second.dirty) {
+        memo_hits_->Increment();
         frame.child_hashes.push_back(it->second.digest);  // reuse, no walk
       } else {
         stack.push_back({child, 0, {}});

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "crypto/digest.h"
 #include "crypto/hash.h"
+#include "observability/metrics.h"
 #include "storage/tree_store.h"
 
 namespace provdb::provenance {
@@ -92,6 +93,12 @@ class SubtreeHasher {
   const storage::TreeStore* tree_;
   crypto::HashAlgorithm alg_;
   mutable std::atomic<uint64_t> nodes_hashed_{0};
+
+  // Process-wide mirrors of the per-hasher work counters, making the
+  // Basic-vs-Economical rehash gap continuously visible via
+  // `provdb stats` (docs/OBSERVABILITY.md).
+  observability::Counter* nodes_hashed_total_;
+  observability::Counter* subtree_calls_;
 };
 
 /// The Economical approach of §4.3: keeps a per-node digest cache.
@@ -134,6 +141,7 @@ class EconomicalHasher {
   const storage::TreeStore* tree_;
   SubtreeHasher base_;
   std::unordered_map<storage::ObjectId, Entry> cache_;
+  observability::Counter* memo_hits_;  // clean cached digests reused
 };
 
 }  // namespace provdb::provenance

@@ -5,6 +5,8 @@
 #include <map>
 #include <utility>
 
+#include "observability/trace.h"
+
 namespace provdb::provenance {
 
 std::string_view IssueKindName(IssueKind kind) {
@@ -64,7 +66,11 @@ std::string VerificationReport::ToString() const {
 ProvenanceVerifier::ProvenanceVerifier(
     const crypto::ParticipantRegistry* registry, crypto::HashAlgorithm alg,
     ParallelismConfig parallelism)
-    : registry_(registry), engine_(alg) {
+    : registry_(registry),
+      engine_(alg),
+      runs_(observability::GlobalMetrics().counter("verify.runs")),
+      run_latency_(
+          observability::GlobalMetrics().histogram("verify.run.latency_us")) {
   if (!parallelism.sequential()) {
     pool_ = std::make_unique<ThreadPool>(
         static_cast<size_t>(parallelism.num_threads));
@@ -73,6 +79,9 @@ ProvenanceVerifier::ProvenanceVerifier(
 
 VerificationReport ProvenanceVerifier::Verify(
     const RecipientBundle& bundle) const {
+  observability::ScopedLatencyTimer timer(run_latency_);
+  observability::TraceSpan run_span("verify.run");
+  runs_->Increment();
   VerificationReport report;
   auto add_issue = [&](IssueKind kind, storage::ObjectId object, SeqId seq,
                        std::string message) {
@@ -133,11 +142,37 @@ struct ChainCheckResult {
   uint64_t signatures_verified = 0;
 };
 
+/// Per-chain instruments, shared by ProvenanceVerifier and StoreAuditor
+/// (both funnel through VerifyRecordChains). Resolved once; recording is
+/// lock-free, so pool workers verifying chains concurrently never contend.
+struct ChainMetrics {
+  observability::Counter* chains;
+  observability::Counter* records;
+  observability::Counter* signatures_ok;
+  observability::Counter* signatures_bad;
+  observability::Counter* issues;
+  observability::Histogram* chain_latency;
+};
+
+const ChainMetrics& GetChainMetrics() {
+  static const ChainMetrics* metrics = new ChainMetrics{
+      observability::GlobalMetrics().counter("verify.chains"),
+      observability::GlobalMetrics().counter("verify.records"),
+      observability::GlobalMetrics().counter("verify.signatures.ok"),
+      observability::GlobalMetrics().counter("verify.signatures.bad"),
+      observability::GlobalMetrics().counter("verify.issues"),
+      observability::GlobalMetrics().histogram("verify.chain.latency_us"),
+  };
+  return *metrics;
+}
+
 ChainCheckResult VerifyOneChain(
     const crypto::ParticipantRegistry& registry, const ChecksumEngine& engine,
     const std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>&
         chains,
     storage::ObjectId object, const std::vector<const ProvenanceRecord*>& chain) {
+  const ChainMetrics& metrics = GetChainMetrics();
+  observability::ScopedLatencyTimer timer(metrics.chain_latency);
   ChainCheckResult report;
   auto add_issue = [&](IssueKind kind, storage::ObjectId obj, SeqId seq,
                        std::string message) {
@@ -274,6 +309,7 @@ ChainCheckResult VerifyOneChain(
                                               engine_.algorithm());
         Status sig = verifier.Verify(payload, rec->checksum);
         if (!sig.ok()) {
+          metrics.signatures_bad->Increment();
           add_issue(IssueKind::kBadSignature, object, rec->seq_id,
                     "checksum signature does not verify: " + sig.message());
         } else {
@@ -284,6 +320,10 @@ ChainCheckResult VerifyOneChain(
       prev = rec;
     }
   }
+  metrics.chains->Increment();
+  metrics.records->Add(report.records_checked);
+  metrics.signatures_ok->Add(report.signatures_verified);
+  metrics.issues->Add(report.issues.size());
   return report;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.h"
 #include "crypto/pki.h"
+#include "observability/metrics.h"
 #include "provenance/bundle.h"
 #include "provenance/checksum.h"
 #include "provenance/record.h"
@@ -110,6 +111,11 @@ class ProvenanceVerifier {
   const crypto::ParticipantRegistry* registry_;
   ChecksumEngine engine_;
   std::unique_ptr<ThreadPool> pool_;  // null when sequential
+
+  // Whole-run observability (docs/OBSERVABILITY.md); per-chain counters
+  // live inside VerifyRecordChains so the auditor shares them.
+  observability::Counter* runs_;
+  observability::Histogram* run_latency_;
 };
 
 }  // namespace provdb::provenance

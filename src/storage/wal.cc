@@ -6,6 +6,7 @@
 
 #include "common/crc32.h"
 #include "common/varint.h"
+#include "observability/trace.h"
 
 namespace provdb::storage {
 namespace {
@@ -81,6 +82,18 @@ std::string WalWriter::SegmentFileName(const std::string& dir,
 
 WalWriter::~WalWriter() = default;
 
+WalWriter::WalWriter(Env* env, std::string dir, WalOptions options)
+    : env_(env),
+      dir_(std::move(dir)),
+      options_(options),
+      appends_(observability::GlobalMetrics().counter("wal.appends")),
+      append_bytes_(
+          observability::GlobalMetrics().counter("wal.append_bytes")),
+      syncs_(observability::GlobalMetrics().counter("wal.syncs")),
+      rollovers_(observability::GlobalMetrics().counter("wal.rollovers")),
+      sync_latency_(
+          observability::GlobalMetrics().histogram("wal.sync.latency_us")) {}
+
 Result<WalWriter> WalWriter::Open(Env* env, const std::string& dir,
                                   WalOptions options) {
   if (options.segment_size_limit <= kWalHeaderSize) {
@@ -148,12 +161,15 @@ Status WalWriter::Append(ByteView payload) {
     PROVDB_RETURN_IF_ERROR(Sync());
     PROVDB_RETURN_IF_ERROR(file_->Close());
     PROVDB_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1));
+    rollovers_->Increment();
   }
 
   PROVDB_RETURN_IF_ERROR(file_->Append(frame));
   segment_bytes_ += frame.size();
   ++segment_records_;
   ++appended_records_;
+  appends_->Increment();
+  append_bytes_->Add(frame.size());
   if (options_.sync_every_append) {
     PROVDB_RETURN_IF_ERROR(Sync());
   }
@@ -171,8 +187,11 @@ Status WalWriter::Sync() {
   if (closed_) {
     return Status::FailedPrecondition("sync of closed WAL " + dir_);
   }
+  observability::ScopedLatencyTimer timer(sync_latency_);
+  observability::TraceSpan span("wal.sync");
   PROVDB_RETURN_IF_ERROR(file_->Sync());
   synced_records_ = appended_records_;
+  syncs_->Increment();
   return Status::OK();
 }
 
@@ -194,6 +213,16 @@ Status WalWriter::Close() {
 
 Result<WalReader> WalReader::Open(Env* env, const std::string& dir,
                                   WalReaderOptions options) {
+  // Recovery observability (docs/OBSERVABILITY.md). Resolved here rather
+  // than held as members because recovery is a one-shot static pass.
+  observability::MetricsRegistry& metrics = observability::GlobalMetrics();
+  observability::Counter* recovered_records =
+      metrics.counter("wal.recovery.records");
+  observability::Counter* salvages = metrics.counter("wal.recovery.salvages");
+  observability::Counter* dropped_total =
+      metrics.counter("wal.recovery.dropped_bytes");
+  observability::TraceSpan recover_span("wal.recover");
+
   PROVDB_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
   std::vector<std::pair<uint64_t, std::string>> segments;
   for (const std::string& name : names) {
@@ -229,6 +258,8 @@ Result<WalReader> WalReader::Open(Env* env, const std::string& dir,
                                   " (not a recoverable tail tear)");
       }
       uint64_t dropped = content.size() - tear_at;
+      salvages->Increment();
+      dropped_total->Add(dropped);
       reader.report_.dropped_bytes += dropped;
       reader.report_.salvaged_segment = seg_index;
       reader.report_.detail = what + ": salvaged " + path + ", dropped " +
@@ -305,6 +336,7 @@ Result<WalReader> WalReader::Open(Env* env, const std::string& dir,
       }
       PROVDB_RETURN_IF_ERROR(reader.log_.Append(payload).status());
       ++reader.report_.records;
+      recovered_records->Increment();
     }
   }
   return reader;

@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "observability/metrics.h"
 #include "storage/env.h"
 #include "storage/record_log.h"
 
@@ -94,8 +95,7 @@ class WalWriter {
   const std::string& dir() const { return dir_; }
 
  private:
-  WalWriter(Env* env, std::string dir, WalOptions options)
-      : env_(env), dir_(std::move(dir)), options_(options) {}
+  WalWriter(Env* env, std::string dir, WalOptions options);
 
   Status OpenSegment(uint64_t index);
 
@@ -109,6 +109,14 @@ class WalWriter {
   uint64_t appended_records_ = 0;
   uint64_t synced_records_ = 0;
   bool closed_ = false;
+
+  // WAL observability (docs/OBSERVABILITY.md). Shared process-wide, so
+  // several writers aggregate into the same instruments.
+  observability::Counter* appends_;
+  observability::Counter* append_bytes_;
+  observability::Counter* syncs_;
+  observability::Counter* rollovers_;
+  observability::Histogram* sync_latency_;
 };
 
 /// What recovery found and what it had to discard. `dropped_bytes > 0`

@@ -1,0 +1,19 @@
+// Fixture: violates R07 (adhoc-chrono) when linted under a src/ path
+// outside src/common/stopwatch.* and src/observability/. Scattered
+// std::chrono reads are timing observability cannot see, and they invite
+// system_clock (wall time) into code whose digests must stay
+// deterministic.
+#include <chrono>  // VIOLATION (chrono)
+
+namespace provdb::storage {
+
+uint64_t ElapsedMicros() {
+  auto start = std::chrono::steady_clock::now();  // VIOLATION (chrono)
+  // ... work ...
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(  // VIOLATION
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace provdb::storage

@@ -1,4 +1,4 @@
-// Unit tests for provdb-lint: each rule R01-R06 fires on its fixture,
+// Unit tests for provdb-lint: each rule R01-R07 fires on its fixture,
 // pragmas suppress, and a clean file (with banned tokens hidden inside
 // comments and strings) stays clean. The fixtures live on disk so they
 // double as human-readable documentation of what each rule catches.
@@ -152,6 +152,38 @@ TEST(LintRulesTest, R06FiresOnRawFileIoOutsideEnvLayer) {
   EXPECT_TRUE(linter.LintContent("src/storage/wal.cc", clean).empty());
 }
 
+TEST(LintRulesTest, R07FiresOnAdhocChronoOutsideSanctionedOwners) {
+  Linter linter;
+  std::string content = ReadFixture("r07_adhoc_chrono.cc");
+  auto findings = linter.LintContent("src/storage/wal.cc", content);
+  ASSERT_GE(findings.size(), 3u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule_id, "R07");
+    EXPECT_EQ(finding.rule_name, "adhoc-chrono");
+  }
+  EXPECT_NE(findings[0].suggestion.find("Stopwatch"), std::string::npos);
+
+  // The two sanctioned clock owners are exempt.
+  EXPECT_TRUE(
+      linter.LintContent("src/common/stopwatch.h", content).empty());
+  EXPECT_TRUE(
+      linter.LintContent("src/observability/metrics.cc", content).empty());
+  // Bench harnesses and tests are out of scope.
+  EXPECT_TRUE(
+      linter.LintContent("bench/bench_common.h", content).empty());
+
+  // Suppressible like every rule, by id or name.
+  std::string suppressed =
+      "#include <chrono>  // lint:allow adhoc-chrono\n";
+  EXPECT_TRUE(
+      linter.LintContent("src/storage/wal.cc", suppressed).empty());
+  // A mention inside a comment or string never fires.
+  std::string clean =
+      "// std::chrono is banned here; see R07\n"
+      "const char* kDoc = \"std::chrono\";\n";
+  EXPECT_TRUE(linter.LintContent("src/storage/wal.cc", clean).empty());
+}
+
 TEST(LintRulesTest, PragmasSuppressByIdAndByName) {
   Linter linter;
   std::string content = ReadFixture("suppressed.cc");
@@ -179,7 +211,7 @@ TEST(LintRulesTest, FindingToStringIsGreppable) {
 
 TEST(LintRulesTest, RuleTableIsCompleteAndOrdered) {
   const auto& rules = Rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, "R0" + std::to_string(i + 1));
     EXPECT_NE(std::string(rules[i].summary), "");

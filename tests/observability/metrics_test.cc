@@ -1,0 +1,279 @@
+#include "observability/metrics.h"
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace provdb::observability {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(CounterTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("shared.name");
+  Counter* b = registry.counter("shared.name");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("test.gauge");
+  EXPECT_EQ(g->value(), 0);
+  g->Set(10);
+  g->Add(5);
+  g->Sub(7);
+  EXPECT_EQ(g->value(), 8);
+  g->Set(-3);
+  EXPECT_EQ(g->value(), -3);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("test.hist");
+  h->Record(10);
+  h->Record(100);
+  h->Record(1);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->sum_micros(), 111u);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].min_micros, 1u);
+  EXPECT_EQ(snap.histograms[0].max_micros, 100u);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::BucketUpperMicros(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperMicros(1), 2u);
+  EXPECT_EQ(Histogram::BucketUpperMicros(10), 1024u);
+  EXPECT_EQ(Histogram::BucketUpperMicros(25), uint64_t{1} << 25);
+}
+
+TEST(HistogramTest, SamplesLandInTheRightBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("test.hist");
+  h->Record(0);    // bucket 0: (.., 1]
+  h->Record(1);    // bucket 0
+  h->Record(2);    // bucket 1: (1, 2]
+  h->Record(3);    // bucket 2: (2, 4]
+  h->Record(5);    // bucket 3: (4, 8]
+  MetricsSnapshot snap = registry.Snapshot();
+  const std::vector<uint64_t>& buckets = snap.histograms[0].buckets;
+  ASSERT_EQ(buckets.size(), Histogram::kNumBuckets);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesHugeValues) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("test.hist");
+  h->Record(UINT64_MAX);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.histograms[0].buckets.back(), 1u);
+  // Overflow percentile reports the last finite bound (a documented
+  // underestimate), never garbage.
+  EXPECT_EQ(snap.histograms[0].p99_micros,
+            static_cast<double>(Histogram::BucketUpperMicros(
+                Histogram::kNumBuckets - 2)));
+}
+
+TEST(HistogramTest, PercentilesInterpolateWithinOneBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("test.hist");
+  // 100 samples of 100us each -> all in bucket (64, 128].
+  for (int i = 0; i < 100; ++i) {
+    h->Record(100);
+  }
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot& hs = snap.histograms[0];
+  // The estimate must land inside the true bucket's bounds.
+  EXPECT_GT(hs.p50_micros, 64.0);
+  EXPECT_LE(hs.p50_micros, 128.0);
+  EXPECT_GT(hs.p99_micros, hs.p50_micros);
+  EXPECT_LE(hs.p99_micros, 128.0);
+}
+
+TEST(HistogramTest, PercentilesOrderAcrossBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("test.hist");
+  // 90 fast samples, 10 slow ones: p50 fast, p99 slow.
+  for (int i = 0; i < 90; ++i) h->Record(10);
+  for (int i = 0; i < 10; ++i) h->Record(10000);
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot& hs = snap.histograms[0];
+  EXPECT_LE(hs.p50_micros, 16.0);
+  EXPECT_GT(hs.p99_micros, 8192.0);
+  EXPECT_LE(hs.p50_micros, hs.p95_micros);
+  EXPECT_LE(hs.p95_micros, hs.p99_micros);
+}
+
+TEST(RegistryTest, DisabledRegistryRecordsNothing) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("test.counter");
+  Gauge* g = registry.gauge("test.gauge");
+  Histogram* h = registry.histogram("test.hist");
+  registry.set_enabled(false);
+  c->Increment();
+  g->Set(99);
+  h->Record(1000);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  // Re-enabling resumes recording on the same instruments.
+  registry.set_enabled(true);
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(RegistryTest, DisabledTimerSkipsRecording) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("test.hist");
+  registry.set_enabled(false);
+  {
+    ScopedLatencyTimer timer(h);
+  }
+  EXPECT_EQ(h->count(), 0u);
+  {
+    ScopedLatencyTimer null_timer(nullptr);  // must be inert, not crash
+  }
+}
+
+TEST(RegistryTest, ScopedTimerRecordsOneSample) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("test.hist");
+  {
+    ScopedLatencyTimer timer(h);
+  }
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(RegistryTest, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("test.counter");
+  Gauge* g = registry.gauge("test.gauge");
+  Histogram* h = registry.histogram("test.hist");
+  c->Add(5);
+  g->Set(7);
+  h->Record(123);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.histograms[0].min_micros, 0u);
+  EXPECT_EQ(snap.histograms[0].max_micros, 0u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("z.last");
+  registry.counter("a.first");
+  registry.counter("m.middle");
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "m.middle");
+  EXPECT_EQ(snap.counters[2].first, "z.last");
+}
+
+TEST(RegistryTest, SnapshotJsonContainsAllSections) {
+  MetricsRegistry registry;
+  registry.counter("c.one")->Add(7);
+  registry.gauge("g.one")->Set(-2);
+  registry.histogram("h.one")->Record(50);
+  std::string json = registry.SnapshotJson();
+  EXPECT_NE(json.find("\"counters\":{\"c.one\":7}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"g.one\":-2}"), std::string::npos);
+  EXPECT_NE(json.find("\"h.one\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_us\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(RegistryTest, SnapshotTextListsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.counter("c.one")->Add(7);
+  registry.gauge("g.one")->Set(3);
+  registry.histogram("h.one")->Record(50);
+  std::string text = registry.SnapshotText();
+  EXPECT_NE(text.find("c.one"), std::string::npos);
+  EXPECT_NE(text.find("g.one"), std::string::npos);
+  EXPECT_NE(text.find("h.one"), std::string::npos);
+}
+
+TEST(RegistryTest, GlobalRegistryIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = GlobalMetrics();
+  EXPECT_EQ(&a, &b);
+}
+
+// Exercised under `tools/ci.sh tsan`: concurrent recording through every
+// instrument type must be race-free and, for counters, exact.
+TEST(RegistryTest, ConcurrentRecordingIsExact) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("test.counter");
+  Gauge* g = registry.gauge("test.gauge");
+  Histogram* h = registry.histogram("test.hist");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  ThreadPool pool(kThreads);
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    tasks.push_back(pool.Submit([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        g->Add(1);
+        h->Record(static_cast<uint64_t>(i % 512));
+      }
+    }));
+  }
+  for (auto& task : tasks) {
+    task.get();
+  }
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(g->value(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// Registration racing with recording (a component constructed while
+// another thread records) must also be clean.
+TEST(RegistryTest, ConcurrentRegistrationAndRecording) {
+  MetricsRegistry registry;
+  Counter* shared = registry.counter("contended.name");
+  ThreadPool pool(4);
+  std::vector<std::future<void>> tasks;
+  for (int t = 0; t < 4; ++t) {
+    tasks.push_back(pool.Submit([&registry, shared] {
+      for (int i = 0; i < 1000; ++i) {
+        Counter* again = registry.counter("contended.name");
+        again->Increment();
+        (void)shared->value();
+      }
+    }));
+  }
+  for (auto& task : tasks) {
+    task.get();
+  }
+  EXPECT_EQ(shared->value(), 4000u);
+}
+
+}  // namespace
+}  // namespace provdb::observability

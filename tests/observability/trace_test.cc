@@ -1,0 +1,156 @@
+#include "observability/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace provdb::observability {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Pulls the integer value of `"key":N` out of a JSONL span line.
+uint64_t JsonField(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << line;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { TraceSink::Disable(); }
+
+  std::string TracePath(const char* name) {
+    return ::testing::TempDir() + "/" + name + ".jsonl";
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansAreInert) {
+  ASSERT_FALSE(TraceSink::enabled());
+  TraceSpan span("never.written");
+  EXPECT_EQ(span.id(), 0u);
+}
+
+TEST_F(TraceTest, EnableOnUnwritablePathFails) {
+  EXPECT_FALSE(TraceSink::Enable("/nonexistent-dir-xyz/trace.jsonl"));
+  EXPECT_FALSE(TraceSink::enabled());
+}
+
+TEST_F(TraceTest, SpansAreWrittenAsJsonLines) {
+  std::string path = TracePath("basic");
+  ASSERT_TRUE(TraceSink::Enable(path));
+  {
+    TraceSpan span("verify.run");
+    EXPECT_GT(span.id(), 0u);
+  }
+  TraceSink::Disable();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"name\":\"verify.run\""), std::string::npos);
+  EXPECT_GT(JsonField(lines[0], "id"), 0u);
+  EXPECT_EQ(JsonField(lines[0], "parent"), 0u);
+  EXPECT_GT(JsonField(lines[0], "thread"), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansRecordTheirParent) {
+  std::string path = TracePath("nested");
+  ASSERT_TRUE(TraceSink::Enable(path));
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    TraceSpan outer("outer");
+    outer_id = outer.id();
+    {
+      TraceSpan inner("inner");
+      inner_id = inner.id();
+    }
+  }
+  TraceSink::Disable();
+
+  // Spans close innermost-first, so line 0 is inner, line 1 is outer.
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(JsonField(lines[0], "id"), inner_id);
+  EXPECT_EQ(JsonField(lines[0], "parent"), outer_id);
+  EXPECT_EQ(JsonField(lines[1], "id"), outer_id);
+  EXPECT_EQ(JsonField(lines[1], "parent"), 0u);
+}
+
+TEST_F(TraceTest, SiblingSpansShareAParent) {
+  std::string path = TracePath("siblings");
+  ASSERT_TRUE(TraceSink::Enable(path));
+  uint64_t outer_id = 0;
+  {
+    TraceSpan outer("outer");
+    outer_id = outer.id();
+    { TraceSpan a("first"); }
+    { TraceSpan b("second"); }
+  }
+  TraceSink::Disable();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(JsonField(lines[0], "parent"), outer_id);
+  EXPECT_EQ(JsonField(lines[1], "parent"), outer_id);
+}
+
+TEST_F(TraceTest, StartTimesAreEpochRelativeAndOrdered) {
+  std::string path = TracePath("times");
+  ASSERT_TRUE(TraceSink::Enable(path));
+  { TraceSpan a("a"); }
+  { TraceSpan b("b"); }
+  TraceSink::Disable();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  // Epoch-relative: small offsets, not raw monotonic-clock values, and
+  // the second span cannot start before the first.
+  EXPECT_LE(JsonField(lines[0], "start_us"), JsonField(lines[1], "start_us"));
+  EXPECT_LT(JsonField(lines[1], "start_us"), 60'000'000u);
+}
+
+TEST_F(TraceTest, InitFromEnvHonorsProvdbTrace) {
+  ASSERT_EQ(::unsetenv("PROVDB_TRACE"), 0);
+  EXPECT_FALSE(InitTraceFromEnv());
+  EXPECT_FALSE(TraceSink::enabled());
+
+  std::string path = TracePath("from_env");
+  ASSERT_EQ(::setenv("PROVDB_TRACE", path.c_str(), 1), 0);
+  EXPECT_TRUE(InitTraceFromEnv());
+  EXPECT_TRUE(TraceSink::enabled());
+  { TraceSpan span("env.span"); }
+  TraceSink::Disable();
+  ASSERT_EQ(::unsetenv("PROVDB_TRACE"), 0);
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("env.span"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableIsDroppedNotCrashed) {
+  std::string path = TracePath("dropped");
+  ASSERT_TRUE(TraceSink::Enable(path));
+  {
+    TraceSpan span("straddler");
+    TraceSink::Disable();
+  }  // destructor runs with the sink closed
+  EXPECT_TRUE(ReadLines(path).empty());
+}
+
+}  // namespace
+}  // namespace provdb::observability

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Checks every relative markdown link in the repo's first-party *.md
+# files: `[text](path)` must point at a file or directory that exists,
+# resolved against the linking file's own directory. External links
+# (http/https/mailto) and pure in-page anchors (#...) are skipped;
+# `path#anchor` is checked for the file half only.
+#
+# Run directly or via `tools/ci.sh docs`.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FAIL=0
+CHECKED=0
+
+# PAPER.md / PAPERS.md are retrieved source-paper material whose image
+# references point outside the repo — not first-party docs.
+FILES="$(find "$ROOT" -name '*.md' \
+  -not -path '*/build/*' -not -path '*/ci-out/*' \
+  -not -path '*/.git/*' -not -path '*/third_party/*' \
+  -not -name 'PAPER.md' -not -name 'PAPERS.md' | sort)"
+
+for MD in $FILES; do
+  DIR="$(dirname "$MD")"
+  # One link per line; inline code and images share the ](...) shape, so
+  # both are covered.
+  LINKS="$(grep -oE '\]\([^)]+\)' "$MD" 2>/dev/null \
+    | sed -E 's/^\]\(//; s/\)$//' | sort -u)" || continue
+  for LINK in $LINKS; do
+    case "$LINK" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    TARGET="${LINK%%#*}"
+    [ -z "$TARGET" ] && continue
+    CHECKED=$((CHECKED + 1))
+    if [ ! -e "$DIR/$TARGET" ]; then
+      echo "check_doc_links: broken link in ${MD#"$ROOT"/}: ($LINK)" >&2
+      FAIL=1
+    fi
+  done
+done
+
+if [ "$FAIL" -ne 0 ]; then
+  exit 1
+fi
+echo "check_doc_links: $CHECKED relative links resolve."

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Cross-checks the observability name inventory between code and docs:
+#
+#   1. every metric registered in src/ (counter("x") / gauge("x") /
+#      histogram("x")) and every trace span name (TraceSpan("x")) must be
+#      documented — backticked — in docs/OBSERVABILITY.md, and
+#   2. every dotted, backticked name in docs/OBSERVABILITY.md must exist
+#      in the code, so the doc cannot drift into describing metrics that
+#      were renamed or removed.
+#
+# Registration names are string literals by convention (the lint rule
+# set and this check both depend on that), so plain grep is sufficient.
+# Run directly or via `tools/ci.sh docs`.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+DOC="$ROOT/docs/OBSERVABILITY.md"
+
+if [ ! -f "$DOC" ]; then
+  echo "check_metrics_docs: $DOC missing" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Names the code registers or emits. Registrations wrap across lines
+# (clang-format puts the literal under the call), so each file is
+# flattened to one line before matching.
+find "$ROOT/src" -name '*.cc' -o -name '*.h' | sort \
+  | while IFS= read -r F; do tr '\n' ' ' < "$F"; printf '\n'; done \
+  > "$TMP/flat"
+grep -oE '(counter|gauge|histogram)\([[:space:]]*"[a-z0-9._]+"\)' \
+    "$TMP/flat" \
+  | sed -E 's/.*"([^"]+)".*/\1/' | sort -u > "$TMP/metrics"
+grep -oE 'TraceSpan[^("]*\([[:space:]]*"[a-z0-9._]+"' "$TMP/flat" \
+  | sed -E 's/.*"([^"]+)".*/\1/' | sort -u > "$TMP/spans"
+sort -u "$TMP/metrics" "$TMP/spans" > "$TMP/code"
+
+# Dotted backticked names in the doc. File names (`metrics.h`, `ci.sh`,
+# ...) also match the dotted shape, so known source/doc suffixes are
+# filtered out; metric and span names never use them.
+grep -oE '`[a-z0-9_]+(\.[a-z0-9_]+)+`' "$DOC" | tr -d '`' \
+  | grep -vE '\.(h|hpp|cc|cpp|sh|py|md|txt|json|jsonl|cmake)$' \
+  | sort -u > "$TMP/doc" || true
+
+FAIL=0
+
+UNDOCUMENTED="$(comm -23 "$TMP/code" "$TMP/doc")"
+if [ -n "$UNDOCUMENTED" ]; then
+  echo "check_metrics_docs: registered in src/ but missing from" \
+    "docs/OBSERVABILITY.md:" >&2
+  echo "$UNDOCUMENTED" | sed 's/^/  /' >&2
+  FAIL=1
+fi
+
+STALE="$(comm -13 "$TMP/code" "$TMP/doc")"
+if [ -n "$STALE" ]; then
+  echo "check_metrics_docs: documented in docs/OBSERVABILITY.md but" \
+    "never registered in src/:" >&2
+  echo "$STALE" | sed 's/^/  /' >&2
+  FAIL=1
+fi
+
+if [ "$FAIL" -ne 0 ]; then
+  exit 1
+fi
+
+echo "check_metrics_docs: $(wc -l < "$TMP/metrics" | tr -d ' ') metrics," \
+  "$(wc -l < "$TMP/spans" | tr -d ' ') span names — code and docs agree."

@@ -12,13 +12,16 @@
 #                  under ASan+UBSan so torn-write salvage is also
 #                  memory-clean
 #   tsan           ThreadSanitizer over the parallel verify/audit paths
+#                  and the concurrent metrics-recording tests
 #   asan           ASan+UBSan over the wire-format decoder fuzz tests
+#   docs           markdown link check plus the src/ <-> OBSERVABILITY.md
+#                  metric-name cross-check (both directions)
 #   tidy           clang-tidy (.clang-tidy profile) over src/
 #                  (skipped when clang-tidy is absent)
 #
 # Usage: tools/ci.sh [stage...]
 #   No arguments runs the default order:
-#     release-tests lint werror format crash-recovery tsan asan
+#     release-tests lint werror format crash-recovery tsan asan docs
 #   plus tidy when PROVDB_TIDY=1 (clang-tidy may be absent, so it is
 #   opt-in). Build trees go under $PROVDB_CI_OUT (default: ./ci-out).
 set -eu
@@ -80,16 +83,16 @@ stage_crash_recovery() {
 
 stage_tsan() {
   # Benchmarks/examples are skipped: TSan only needs the thread pool, the
-  # parallel verifier/auditor, and the parallel subtree hasher, which the
-  # unit tests below exercise.
+  # parallel verifier/auditor, the parallel subtree hasher, and the
+  # lock-cheap metrics registry, which the unit tests below exercise.
   run cmake -S "$ROOT" -B "$OUT/tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPROVDB_SANITIZE=thread -DPROVDB_BUILD_BENCHMARKS=OFF \
     -DPROVDB_BUILD_EXAMPLES=OFF
   run cmake --build "$OUT/tsan" -j "$JOBS" \
     --target common_test provenance_core_test provenance_security_test \
-    provenance_ext_test
+    provenance_ext_test observability_test
   run ctest --test-dir "$OUT/tsan" --output-on-failure -j "$JOBS" \
-    -R 'ThreadPool|Parallel|Audit'
+    -R 'ThreadPool|Parallel|Audit|Concurrent'
 }
 
 stage_asan() {
@@ -99,6 +102,11 @@ stage_asan() {
   run cmake --build "$OUT/asan" -j "$JOBS" --target provenance_property_test
   run ctest --test-dir "$OUT/asan" --output-on-failure -j "$JOBS" \
     -R 'Decoder|Fuzz|Property'
+}
+
+stage_docs() {
+  run sh "$ROOT/tools/check_doc_links.sh"
+  run sh "$ROOT/tools/check_metrics_docs.sh"
 }
 
 stage_tidy() {
@@ -124,11 +132,12 @@ run_stage() {
     crash-recovery) stage_crash_recovery ;;
     tsan)          stage_tsan ;;
     asan)          stage_asan ;;
+    docs)          stage_docs ;;
     tidy)          stage_tidy ;;
     *)
       echo "tools/ci.sh: unknown stage '$1'" >&2
       echo "stages: release-tests lint werror format crash-recovery" \
-        "tsan asan tidy" >&2
+        "tsan asan docs tidy" >&2
       exit 2
       ;;
   esac
@@ -137,7 +146,7 @@ run_stage() {
 if [ "$#" -gt 0 ]; then
   STAGES="$*"
 else
-  STAGES="release-tests lint werror format crash-recovery tsan asan"
+  STAGES="release-tests lint werror format crash-recovery tsan asan docs"
   if [ "${PROVDB_TIDY:-0}" = "1" ]; then
     STAGES="$STAGES tidy"
   fi

@@ -564,6 +564,32 @@ void RunR06(const std::string& path, const std::vector<std::string>& code,
   }
 }
 
+// ---------------------------------------------------------------------------
+// R07 adhoc-chrono
+// ---------------------------------------------------------------------------
+
+void RunR07(const std::string& path, const std::vector<std::string>& code,
+            std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/")) return;
+  // The two sanctioned clock owners: Stopwatch wraps steady_clock for
+  // inline duration measurement; the observability layer wraps it for
+  // latency histograms and trace spans.
+  if (StartsWith(path, "src/common/stopwatch.")) return;
+  if (StartsWith(path, "src/observability/")) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!ContainsWord(code[i], "chrono")) continue;
+    findings->push_back(Finding{
+        "R07", "adhoc-chrono", path, i + 1,
+        "uses std::chrono directly; ad-hoc timing scatters clock reads "
+        "that observability cannot see and invites wall-clock types "
+        "(system_clock) into code that must stay deterministic",
+        "measure durations with provdb::Stopwatch "
+        "(src/common/stopwatch.h) or record them into a metrics "
+        "histogram via observability::ScopedLatencyTimer "
+        "(src/observability/metrics.h)"});
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -596,6 +622,9 @@ const std::vector<RuleInfo>& Rules() {
       {"R06", "raw-file-io",
        "no fopen/rename/fstream outside src/storage/env.*; all "
        "persistence goes through storage::Env"},
+      {"R07", "adhoc-chrono",
+       "no direct std::chrono outside src/common/stopwatch.* and "
+       "src/observability/; time via Stopwatch or ScopedLatencyTimer"},
   };
   return *rules;
 }
@@ -617,6 +646,7 @@ std::vector<Finding> Linter::LintContent(const std::string& path,
   RunR04(path, source.code, &findings);
   if (has_corpus_) RunR05(path, corpus_, &findings);
   RunR06(path, source.code, &findings);
+  RunR07(path, source.code, &findings);
 
   findings.erase(
       std::remove_if(findings.begin(), findings.end(),

@@ -34,6 +34,12 @@
 //                          src/storage/env.* (persistence must go
 //                          through storage::Env so the durability
 //                          protocol and fault-injection hooks apply)
+//   R07 adhoc-chrono       no direct std::chrono in src/ outside
+//                          src/common/stopwatch.* and
+//                          src/observability/ (durations go through
+//                          Stopwatch or a metrics histogram, so timing
+//                          is visible to observability and wall-clock
+//                          types stay out of deterministic code)
 //
 // Any finding can be suppressed with a pragma on the offending line or
 // the line above it:   // lint:allow <rule>   where <rule> is the id

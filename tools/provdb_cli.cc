@@ -9,21 +9,30 @@
 //                                   run the recipient verification
 //   provdb tamper <bundle> <out>    flip one byte of the newest record's
 //                                   checksum (for demos)
+//   provdb stats [--json]           run an instrumented workload touching
+//                                   every subsystem, then print the
+//                                   metrics snapshot (docs/OBSERVABILITY.md)
 //
 // Exit code 0 on success / verified; 1 on failure / tampering detected.
+// Setting PROVDB_TRACE=/path/to/spans.jsonl streams trace spans there.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "common/hex.h"
 #include "common/rng.h"
 #include "common/varint.h"
 #include "crypto/pki.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
+#include "provenance/auditor.h"
 #include "provenance/json_export.h"
 #include "provenance/query.h"
 #include "provenance/tracked_database.h"
 #include "provenance/verifier.h"
+#include "storage/wal.h"
 
 namespace provdb::cli {
 namespace {
@@ -210,6 +219,77 @@ int Tamper(const std::string& in_path, const std::string& out_path) {
   return 0;
 }
 
+/// Runs one workload that exercises every instrumented subsystem —
+/// checksum signing, subtree hashing (Basic and Economical), WAL
+/// append/sync/recovery, parallel verification, and a store audit — then
+/// prints the global metrics snapshot. The workload is fixed-seed, so
+/// the counter section of the output is deterministic.
+int Stats(bool as_json) {
+  Rng rng(0x57A75);
+  auto ca = crypto::CertificateAuthority::Create(1024, &rng).value();
+  auto alice = crypto::Participant::Create(1, "alice", 1024, &rng, ca).value();
+  auto bob = crypto::Participant::Create(2, "bob", 1024, &rng, ca).value();
+  crypto::ParticipantRegistry registry(ca.public_key());
+  registry.Register(alice.certificate()).ok();
+  registry.Register(bob.certificate()).ok();
+
+  std::filesystem::path wal_dir =
+      std::filesystem::temp_directory_path() / "provdb-stats-wal";
+  std::error_code ec;
+  std::filesystem::remove_all(wal_dir, ec);
+
+  provenance::TrackedDatabase db;
+  auto wal = storage::WalWriter::Open(storage::Env::Default(),
+                                      wal_dir.string());
+  if (!wal.ok() || !db.AttachWal(&*wal).ok()) {
+    std::fprintf(stderr, "cannot open WAL under %s\n", wal_dir.c_str());
+    return 1;
+  }
+
+  std::vector<storage::ObjectId> docs;
+  for (int i = 0; i < 8; ++i) {
+    docs.push_back(
+        db.Insert(alice, storage::Value::Int(i)).value());
+  }
+  for (int i = 0; i < 8; ++i) {
+    db.Update(bob, docs[static_cast<size_t>(i % 4)],
+              storage::Value::Int(100 + i))
+        .ok();
+  }
+  auto archive =
+      db.Aggregate(bob, {docs[0], docs[1], docs[2]},
+                   storage::Value::String("archive"))
+          .value();
+  if (!db.SyncWal().ok()) {
+    std::fprintf(stderr, "WAL sync failed\n");
+    return 1;
+  }
+
+  auto bundle = db.ExportForRecipient(archive).value();
+  provenance::ProvenanceVerifier verifier(&registry,
+                                          crypto::HashAlgorithm::kSha1,
+                                          ParallelismConfig{4});
+  auto report = verifier.Verify(bundle);
+  provenance::StoreAuditor auditor(&registry, crypto::HashAlgorithm::kSha1,
+                                   ParallelismConfig{4});
+  auto audit = auditor.Audit(db.provenance(), db.tree());
+  auto recovered = provenance::ProvenanceStore::RecoverFromWal(
+      storage::Env::Default(), wal_dir.string());
+  std::filesystem::remove_all(wal_dir, ec);
+  if (!report.ok() || !audit.ok() || !recovered.ok()) {
+    std::fprintf(stderr, "stats workload failed its own verification\n");
+    return 1;
+  }
+
+  observability::MetricsRegistry& metrics = observability::GlobalMetrics();
+  if (as_json) {
+    std::printf("%s\n", metrics.SnapshotJson().c_str());
+  } else {
+    std::printf("%s", metrics.SnapshotText().c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
@@ -218,15 +298,21 @@ int Main(int argc, char** argv) {
                  "  provdb inspect <bundle>\n"
                  "  provdb json <bundle>\n"
                  "  provdb verify <bundle> <ca.key> <certs.bin>\n"
-                 "  provdb tamper <bundle-in> <bundle-out>\n");
+                 "  provdb tamper <bundle-in> <bundle-out>\n"
+                 "  provdb stats [--json]\n");
     return 2;
   }
+  observability::InitTraceFromEnv();
   std::string cmd = argv[1];
   if (cmd == "demo" && argc == 3) return Demo(argv[2]);
   if (cmd == "inspect" && argc == 3) return Inspect(argv[2]);
   if (cmd == "json" && argc == 3) return Json(argv[2]);
   if (cmd == "verify" && argc == 5) return Verify(argv[2], argv[3], argv[4]);
   if (cmd == "tamper" && argc == 4) return Tamper(argv[2], argv[3]);
+  if (cmd == "stats" && argc == 2) return Stats(/*as_json=*/false);
+  if (cmd == "stats" && argc == 3 && std::strcmp(argv[2], "--json") == 0) {
+    return Stats(/*as_json=*/true);
+  }
   std::fprintf(stderr, "unknown command or wrong arguments\n");
   return 2;
 }
