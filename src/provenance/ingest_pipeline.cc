@@ -1,0 +1,478 @@
+#include "provenance/ingest_pipeline.h"
+
+#include <cstdio>
+#include <future>
+#include <unordered_map>
+#include <utility>
+
+#include "observability/trace.h"
+#include "provenance/serialization.h"
+
+namespace provdb::provenance {
+namespace {
+
+/// Rough WAL footprint of a request's eventual record frame, for the
+/// max_batch_bytes threshold: fixed framing plus an RSA-1024 checksum,
+/// plus every digest the record will carry. Only a flush heuristic —
+/// exactness is not required, monotonicity is.
+uint64_t EstimateRequestBytes(const IngestRequest& request) {
+  uint64_t bytes = 160 + request.post_hash.size();
+  if (request.has_pre_hash) {
+    bytes += request.pre_hash.size();
+  }
+  for (size_t i = 0; i < request.inputs.size(); ++i) {
+    bytes += 8 + request.inputs[i].state_hash.size();
+  }
+  return bytes;
+}
+
+Status ValidateRequest(const IngestRequest& request) {
+  if (request.participant == nullptr) {
+    return Status::InvalidArgument("ingest request has no participant");
+  }
+  if (request.object == storage::kInvalidObjectId) {
+    return Status::InvalidArgument("ingest request has no output object");
+  }
+  if (request.op == OperationType::kAggregate) {
+    if (request.inputs.empty()) {
+      return Status::InvalidArgument("aggregate requires at least one input");
+    }
+    if (request.input_prev_checksums.size() != request.inputs.size()) {
+      return Status::InvalidArgument(
+          "aggregate prev-checksum count does not match its inputs");
+    }
+    for (size_t i = 1; i < request.inputs.size(); ++i) {
+      if (request.inputs[i].object_id <= request.inputs[i - 1].object_id) {
+        return Status::InvalidArgument(
+            "aggregate inputs must be strictly ascending by object id");
+      }
+    }
+  } else if (!request.inputs.empty() ||
+             !request.input_prev_checksums.empty()) {
+    // Insert has no inputs; an update's single input is derived from the
+    // request's own object and pre-hash, never supplied explicitly.
+    return Status::InvalidArgument(
+        "only aggregate requests carry explicit inputs");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BuildSignedIngestRecord
+// ---------------------------------------------------------------------------
+
+Result<ProvenanceRecord> BuildSignedIngestRecord(
+    const ChecksumEngine& engine, const LocalChainState::Tail& tail,
+    const IngestRequest& request) {
+  PROVDB_RETURN_IF_ERROR(ValidateRequest(request));
+
+  ProvenanceRecord record;
+  record.participant = request.participant->id();
+  record.op = request.op;
+  record.inherited = request.inherited;
+  record.output = ObjectState{request.object, request.post_hash};
+
+  Bytes payload;
+  switch (request.op) {
+    case OperationType::kInsert: {
+      if (tail.exists) {
+        return Status::FailedPrecondition(
+            "insert for object " + std::to_string(request.object) +
+            " which already has a chain");
+      }
+      record.seq_id = 0;
+      payload = engine.BuildInsertPayload(request.post_hash);
+      break;
+    }
+    case OperationType::kUpdate: {
+      // Bootstrap objects (no chain yet) start at seq 0 with an empty
+      // previous-checksum slot, matching TrackedDatabase::EmitRecord.
+      record.seq_id = tail.exists ? tail.seq_id + 1 : 0;
+      crypto::Digest in_hash =
+          request.has_pre_hash ? request.pre_hash : crypto::Digest();
+      record.inputs.push_back(ObjectState{request.object, in_hash});
+      payload = engine.BuildUpdatePayload(in_hash, request.post_hash,
+                                          tail.checksum);
+      break;
+    }
+    case OperationType::kAggregate: {
+      if (tail.exists) {
+        return Status::FailedPrecondition(
+            "aggregate output object " + std::to_string(request.object) +
+            " already has a chain");
+      }
+      std::vector<crypto::Digest> input_hashes;
+      input_hashes.reserve(request.inputs.size());
+      for (size_t i = 0; i < request.inputs.size(); ++i) {
+        input_hashes.push_back(request.inputs[i].state_hash);
+      }
+      record.seq_id = request.aggregate_seq;
+      record.inputs = request.inputs;
+      payload = engine.BuildAggregatePayload(input_hashes, request.post_hash,
+                                             request.input_prev_checksums);
+      break;
+    }
+  }
+
+  PROVDB_ASSIGN_OR_RETURN(
+      record.checksum,
+      engine.SignPayload(request.participant->signer(), payload));
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedProvenanceStore
+// ---------------------------------------------------------------------------
+
+ShardedProvenanceStore::ShardedProvenanceStore(size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+std::string ShardedProvenanceStore::ShardDirName(const std::string& root,
+                                                 size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%03zu", index);
+  return root + "/" + buf;
+}
+
+Result<ShardedProvenanceStore> ShardedProvenanceStore::Recover(
+    storage::Env* env, const std::string& root, size_t num_shards,
+    std::vector<storage::WalRecoveryReport>* reports) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  ShardedProvenanceStore store(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    const std::string dir = ShardDirName(root, i);
+    storage::WalRecoveryReport report;
+    if (env->FileExists(dir)) {
+      PROVDB_ASSIGN_OR_RETURN(store.shards_[i],
+                              ProvenanceStore::RecoverFromWal(env, dir,
+                                                              &report));
+    }
+    // A missing directory is an empty shard: the crash may have hit
+    // before this shard received its first batch.
+    if (reports != nullptr) {
+      reports->push_back(report);
+    }
+  }
+  return store;
+}
+
+uint64_t ShardedProvenanceStore::record_count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    total += shards_[i].record_count();
+  }
+  return total;
+}
+
+uint64_t ShardedProvenanceStore::live_record_count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    total += shards_[i].live_record_count();
+  }
+  return total;
+}
+
+std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>
+ShardedProvenanceStore::AllChains() const {
+  std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>> chains;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ProvenanceStore& shard = shards_[s];
+    // Index order within a shard is seqID order per object (AddRecord
+    // enforces it), so each chain comes out already sorted.
+    for (uint64_t i = 0; i < shard.record_count(); ++i) {
+      if (shard.is_pruned(i)) continue;
+      const ProvenanceRecord& rec = shard.record(i);
+      chains[rec.output.object_id].push_back(&rec);
+    }
+  }
+  return chains;
+}
+
+std::vector<const ProvenanceRecord*> ShardedProvenanceStore::ChainRecords(
+    storage::ObjectId id) const {
+  const ProvenanceStore& shard = shards_[ShardOf(id, shards_.size())];
+  std::vector<const ProvenanceRecord*> out;
+  for (uint64_t index : shard.ChainOf(id)) {
+    if (!shard.is_pruned(index)) {
+      out.push_back(&shard.record(index));
+    }
+  }
+  return out;
+}
+
+VerificationReport ShardedProvenanceStore::VerifyChains(
+    const crypto::ParticipantRegistry& registry, crypto::HashAlgorithm alg,
+    ThreadPool* pool) const {
+  ChecksumEngine engine(alg);
+  VerificationReport report;
+  VerifyRecordChains(registry, engine, AllChains(), &report, pool);
+  return report;
+}
+
+Result<ProvenanceStore> ShardedProvenanceStore::MergedStore() const {
+  ProvenanceStore merged;
+  const auto chains = AllChains();
+  for (auto it = chains.begin(); it != chains.end(); ++it) {
+    for (const ProvenanceRecord* rec : it->second) {
+      PROVDB_RETURN_IF_ERROR(merged.AddRecord(*rec).status());
+    }
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// IngestPipeline
+// ---------------------------------------------------------------------------
+
+IngestPipeline::IngestPipeline(storage::Env* env, std::string root_dir,
+                               IngestOptions options)
+    : env_(env),
+      root_dir_(std::move(root_dir)),
+      options_(options),
+      engine_(options.hash_algorithm),
+      submitted_(observability::GlobalMetrics().counter("ingest.submitted")),
+      committed_(observability::GlobalMetrics().counter("ingest.committed")),
+      batches_(observability::GlobalMetrics().counter("ingest.batches")),
+      batch_bytes_(
+          observability::GlobalMetrics().counter("ingest.batch_bytes")),
+      sign_tasks_(
+          observability::GlobalMetrics().counter("ingest.sign_tasks")),
+      pending_(observability::GlobalMetrics().gauge("ingest.pending")),
+      flush_latency_(observability::GlobalMetrics().histogram(
+          "ingest.flush.latency_us")),
+      drain_latency_(observability::GlobalMetrics().histogram(
+          "ingest.drain.latency_us")) {}
+
+// No Close in the destructor: like WalWriter, destruction without Close
+// models a crash (nothing un-synced becomes durable), which the
+// fault-injection sweep relies on. Clean shutdown is explicit Close().
+IngestPipeline::~IngestPipeline() = default;
+
+Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Open(
+    storage::Env* env, const std::string& root_dir, IngestOptions options,
+    std::vector<storage::WalRecoveryReport>* recovery_reports) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("ingest pipeline needs at least 1 shard");
+  }
+  if (options.max_batch_records == 0) {
+    return Status::InvalidArgument("max_batch_records must be at least 1");
+  }
+  // The pipeline places every durability point itself — one Sync per
+  // flushed batch — so WAL-level auto-sync must stay off.
+  options.wal.sync_every_append = false;
+  options.wal.group_commit_records = 0;
+  options.wal.group_commit_bytes = 0;
+
+  PROVDB_RETURN_IF_ERROR(env->CreateDir(root_dir));
+  PROVDB_ASSIGN_OR_RETURN(
+      ShardedProvenanceStore recovered,
+      ShardedProvenanceStore::Recover(env, root_dir, options.num_shards,
+                                      recovery_reports));
+
+  std::unique_ptr<IngestPipeline> pipeline(
+      new IngestPipeline(env, root_dir, options));
+  pipeline->store_ =
+      std::make_unique<ShardedProvenanceStore>(std::move(recovered));
+
+  for (size_t i = 0; i < options.num_shards; ++i) {
+    PROVDB_ASSIGN_OR_RETURN(
+        storage::WalWriter wal,
+        storage::WalWriter::Open(
+            env, ShardedProvenanceStore::ShardDirName(root_dir, i),
+            options.wal));
+    auto shard = std::make_unique<Shard>(std::move(wal));
+    // Seed every chain tail from the recovered records so reopened
+    // chains continue exactly where the durable log left them.
+    const ProvenanceStore& store = pipeline->store_->shard(i);
+    for (uint64_t r = 0; r < store.record_count(); ++r) {
+      if (store.is_pruned(r)) continue;
+      const ProvenanceRecord& rec = store.record(r);
+      shard->chains.Set(rec.output.object_id, rec.seq_id, rec.checksum);
+    }
+    pipeline->shards_.push_back(std::move(shard));
+  }
+
+  if (!options.signing.sequential()) {
+    pipeline->pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options.signing.num_threads));
+  }
+  return pipeline;
+}
+
+const storage::WalWriter* IngestPipeline::shard_wal(size_t index) const {
+  const Shard& shard = *shards_[index];
+  return shard.wal_open ? &shard.wal : nullptr;
+}
+
+Status IngestPipeline::Submit(const IngestRequest& request) {
+  if (!failed_.ok()) return failed_;
+  if (closed_) {
+    return Status::FailedPrecondition("submit to closed ingest pipeline");
+  }
+  PROVDB_RETURN_IF_ERROR(ValidateRequest(request));
+
+  const size_t index =
+      ShardedProvenanceStore::ShardOf(request.object, shards_.size());
+  Shard* shard = shards_[index].get();
+  shard->pending.push_back(request);
+  shard->pending_bytes += EstimateRequestBytes(request);
+  ++submitted_count_;
+  submitted_->Increment();
+  pending_->Add(1);
+
+  const bool threshold =
+      options_.sync_every_record ||
+      shard->pending.size() >= options_.max_batch_records ||
+      shard->pending_bytes >= options_.max_batch_bytes ||
+      (options_.flush_interval_seconds > 0 &&
+       shard->since_flush.ElapsedSeconds() >=
+           options_.flush_interval_seconds);
+  if (threshold) {
+    Status s = FlushShard(shard, &store_->shard(index));
+    if (!s.ok()) {
+      failed_ = s;
+      return failed_;
+    }
+  }
+  return Status::OK();
+}
+
+Status IngestPipeline::FlushShard(Shard* shard, ProvenanceStore* store) {
+  if (shard->pending.empty()) {
+    shard->since_flush.Restart();
+    return Status::OK();
+  }
+  observability::ScopedLatencyTimer timer(flush_latency_);
+  observability::TraceSpan span("ingest.flush");
+
+  std::vector<IngestRequest> batch = std::move(shard->pending);
+  shard->pending.clear();
+  shard->pending_bytes = 0;
+  pending_->Sub(static_cast<int64_t>(batch.size()));
+
+  // Group the batch by output object, preserving first-appearance order.
+  // Records of one object must sign sequentially against the running
+  // chain tail; distinct objects' groups are independent (§3.2) and fan
+  // out across the pool.
+  std::unordered_map<storage::ObjectId, size_t> group_of;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto [it, inserted] = group_of.emplace(batch[i].object, groups.size());
+    if (inserted) {
+      groups.emplace_back();
+    }
+    groups[it->second].push_back(i);
+  }
+
+  std::vector<ProvenanceRecord> records(batch.size());
+  auto sign_group = [&](size_t g) -> Status {
+    LocalChainState::Tail tail = shard->chains.Get(batch[groups[g][0]].object);
+    for (size_t idx : groups[g]) {
+      PROVDB_ASSIGN_OR_RETURN(
+          ProvenanceRecord rec,
+          BuildSignedIngestRecord(engine_, tail, batch[idx]));
+      tail = LocalChainState::Tail{rec.seq_id, rec.checksum, true};
+      records[idx] = std::move(rec);
+    }
+    return Status::OK();
+  };
+
+  if (pool_ != nullptr && groups.size() > 1) {
+    std::vector<std::future<Status>> futures;
+    futures.reserve(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g) {
+      futures.push_back(pool_->Submit([&sign_group, g] {
+        return sign_group(g);
+      }));
+    }
+    sign_tasks_->Add(groups.size());
+    Status first_error = Status::OK();
+    for (size_t g = 0; g < futures.size(); ++g) {
+      Status s = futures[g].get();
+      if (first_error.ok() && !s.ok()) {
+        first_error = s;
+      }
+    }
+    PROVDB_RETURN_IF_ERROR(first_error);
+  } else {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      PROVDB_RETURN_IF_ERROR(sign_group(g));
+    }
+  }
+
+  // Write-ahead, then the batch's single durability point, then — and
+  // only then — the in-memory commit. Under sync_every_record every
+  // record gets its own durability point before its commit instead.
+  auto commit_one = [&](ProvenanceRecord&& rec) -> Status {
+    const storage::ObjectId id = rec.output.object_id;
+    const SeqId seq = rec.seq_id;
+    Bytes checksum = rec.checksum;
+    PROVDB_RETURN_IF_ERROR(store->AddRecord(std::move(rec)).status());
+    shard->chains.Set(id, seq, std::move(checksum));
+    ++committed_count_;
+    committed_->Increment();
+    return Status::OK();
+  };
+
+  uint64_t flushed_bytes = 0;
+  if (options_.sync_every_record) {
+    for (size_t i = 0; i < records.size(); ++i) {
+      Bytes entry = EncodeWalRecordEntry(records[i]);
+      flushed_bytes += entry.size();
+      PROVDB_RETURN_IF_ERROR(shard->wal.Append(entry));
+      PROVDB_RETURN_IF_ERROR(shard->wal.Sync());
+      PROVDB_RETURN_IF_ERROR(commit_one(std::move(records[i])));
+    }
+  } else {
+    for (size_t i = 0; i < records.size(); ++i) {
+      Bytes entry = EncodeWalRecordEntry(records[i]);
+      flushed_bytes += entry.size();
+      PROVDB_RETURN_IF_ERROR(shard->wal.Append(entry));
+    }
+    PROVDB_RETURN_IF_ERROR(shard->wal.Sync());
+    for (size_t i = 0; i < records.size(); ++i) {
+      PROVDB_RETURN_IF_ERROR(commit_one(std::move(records[i])));
+    }
+  }
+
+  batches_->Increment();
+  batch_bytes_->Add(flushed_bytes);
+  shard->since_flush.Restart();
+  return Status::OK();
+}
+
+Status IngestPipeline::Drain() {
+  if (!failed_.ok()) return failed_;
+  if (closed_) return Status::OK();
+  observability::ScopedLatencyTimer timer(drain_latency_);
+  observability::TraceSpan span("ingest.drain");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Status s = FlushShard(shards_[i].get(), &store_->shard(i));
+    if (!s.ok()) {
+      failed_ = s;
+      return failed_;
+    }
+  }
+  return Status::OK();
+}
+
+Status IngestPipeline::Close() {
+  if (closed_) return Status::OK();
+  Status drain = failed_.ok() ? Drain() : failed_;
+  Status close_status = Status::OK();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->wal_open) continue;
+    Status c = shards_[i]->wal.Close();
+    shards_[i]->wal_open = false;
+    if (close_status.ok()) close_status = c;
+  }
+  closed_ = true;
+  if (!drain.ok()) return drain;
+  return close_status;
+}
+
+}  // namespace provdb::provenance

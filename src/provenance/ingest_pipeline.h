@@ -1,0 +1,255 @@
+#ifndef PROVDB_PROVENANCE_INGEST_PIPELINE_H_
+#define PROVDB_PROVENANCE_INGEST_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hashmix.h"
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "crypto/pki.h"
+#include "observability/metrics.h"
+#include "provenance/chain.h"
+#include "provenance/checksum.h"
+#include "provenance/provenance_store.h"
+#include "provenance/record.h"
+#include "provenance/verifier.h"
+#include "storage/env.h"
+#include "storage/wal.h"
+
+namespace provdb::provenance {
+
+/// One ingest operation, fully resolved by the producer: every hash and
+/// every cross-object dependency (aggregate input states, their previous
+/// checksums, the aggregate seqID) is materialized up front, so signing
+/// and committing a request touches only its *output* object's chain.
+/// That is what makes sharding by output object sound (§3.2: chains are
+/// local, records for different objects never order against each other).
+struct IngestRequest {
+  OperationType op = OperationType::kInsert;
+  /// The output object the record is for (shard routing key).
+  storage::ObjectId object = storage::kInvalidObjectId;
+  /// State hash of the output after the operation.
+  crypto::Digest post_hash;
+  /// Update only: state hash before the operation. When absent the input
+  /// slot is a zero digest (bootstrap data, matching TrackedDatabase).
+  bool has_pre_hash = false;
+  crypto::Digest pre_hash;
+  /// Aggregate only: input object states in ascending object-id order
+  /// (the global total order the checksum formula requires).
+  std::vector<ObjectState> inputs;
+  /// Aggregate only: latest checksum of each input, aligned with
+  /// `inputs`; empty entries for untracked inputs.
+  std::vector<Bytes> input_prev_checksums;
+  /// Aggregate only: 1 + max input seqID, computed by the producer (the
+  /// inputs may live on other shards).
+  SeqId aggregate_seq = 0;
+  bool inherited = false;
+  /// The acting participant (borrowed; must outlive the ingest).
+  const crypto::Participant* participant = nullptr;
+};
+
+/// Builds and signs the provenance record for `request` given the current
+/// tail of its output object's chain. Pure function of its arguments —
+/// RSA signing is deterministic — so the sharded pipeline and a
+/// sequential reference ingest produce bit-identical records; the
+/// differential test harness is built on exactly this property.
+Result<ProvenanceRecord> BuildSignedIngestRecord(
+    const ChecksumEngine& engine, const LocalChainState::Tail& tail,
+    const IngestRequest& request);
+
+/// N independent ProvenanceStores, one per shard; every object's records
+/// live wholly inside the shard its id mixes into. Sharding is by stable
+/// hash of the *output* object id, so the assignment is a durable
+/// on-disk contract (see common/hashmix.h).
+class ShardedProvenanceStore {
+ public:
+  explicit ShardedProvenanceStore(size_t num_shards);
+
+  ShardedProvenanceStore(ShardedProvenanceStore&&) = default;
+  ShardedProvenanceStore& operator=(ShardedProvenanceStore&&) = default;
+
+  /// Which shard owns `id` under an `num_shards`-way split.
+  static size_t ShardOf(storage::ObjectId id, size_t num_shards) {
+    return static_cast<size_t>(Mix64(id) % num_shards);
+  }
+
+  /// `root/shard-NNN`, the WAL directory of shard `index`.
+  static std::string ShardDirName(const std::string& root, size_t index);
+
+  /// Rebuilds every shard from its WAL directory under `root`. A missing
+  /// shard directory is an empty shard (the crash may have hit before its
+  /// first batch); per-shard salvage reports are appended to `reports`
+  /// when non-null, indexed by shard.
+  static Result<ShardedProvenanceStore> Recover(
+      storage::Env* env, const std::string& root, size_t num_shards,
+      std::vector<storage::WalRecoveryReport>* reports = nullptr);
+
+  size_t num_shards() const { return shards_.size(); }
+  ProvenanceStore& shard(size_t index) { return shards_[index]; }
+  const ProvenanceStore& shard(size_t index) const { return shards_[index]; }
+  ProvenanceStore& shard_for(storage::ObjectId id) {
+    return shards_[ShardOf(id, shards_.size())];
+  }
+
+  uint64_t record_count() const;
+  uint64_t live_record_count() const;
+
+  /// Every live chain across all shards, keyed (hence ordered) by object
+  /// id — the exact shape VerifyRecordChains consumes. Chain order within
+  /// an object is seqID order regardless of shard count, so downstream
+  /// reports are byte-identical to a sequential store's.
+  std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>
+  AllChains() const;
+
+  /// The live chain of one object (empty when unknown or fully pruned).
+  std::vector<const ProvenanceRecord*> ChainRecords(
+      storage::ObjectId id) const;
+
+  /// Cross-shard chain verification (§3 check 2 over every object),
+  /// reusing the shared VerifyRecordChains engine. [[nodiscard]]: an
+  /// unread report is an undetected tamper.
+  [[nodiscard]] VerificationReport VerifyChains(
+      const crypto::ParticipantRegistry& registry,
+      crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1,
+      ThreadPool* pool = nullptr) const;
+
+  /// Flattens all shards into one sequential ProvenanceStore (records in
+  /// ascending object-id, then seqID order — the shard-stable canonical
+  /// order), so StoreAuditor and the extraction/bundle machinery run
+  /// unchanged over a sharded deployment.
+  Result<ProvenanceStore> MergedStore() const;
+
+ private:
+  std::vector<ProvenanceStore> shards_;
+};
+
+/// Tuning knobs for IngestPipeline.
+struct IngestOptions {
+  size_t num_shards = 1;
+
+  /// Group commit: a shard's pending batch is flushed (signed, appended,
+  /// one fsync, committed) once it holds this many requests...
+  size_t max_batch_records = 64;
+  /// ...or once its estimated WAL footprint reaches this many bytes...
+  uint64_t max_batch_bytes = 1ull << 20;
+  /// ...or, when > 0, once this many seconds have passed since the
+  /// shard's last flush (checked on Submit; there is no timer thread).
+  double flush_interval_seconds = 0;
+
+  /// Baseline mode for benchmarks: flush every Submit and fsync after
+  /// every single record (the paper-grade sync-per-append write path).
+  bool sync_every_record = false;
+
+  /// Signing fan-out across the shared thread pool. Default sequential.
+  ParallelismConfig signing;
+
+  crypto::HashAlgorithm hash_algorithm = crypto::HashAlgorithm::kSha1;
+
+  /// Segment sizing for the per-shard WALs. `sync_every_append` and the
+  /// WAL-level group-commit thresholds are ignored: the pipeline places
+  /// every durability point itself (one Sync per batch).
+  storage::WalOptions wal;
+};
+
+/// The sharded batched ingest engine. Requests are routed to a shard by
+/// stable hash of their output object, buffered per shard, then flushed
+/// as a batch: record signing fans out across the thread pool (grouped
+/// by object, so a chain's records sign in order against the running
+/// tail), the signed records are appended to the shard's WAL, *one*
+/// fsync makes the whole batch durable, and only then is anything
+/// committed in memory. Write-ahead ordering is therefore preserved
+/// batch-wide: no in-memory commit ever precedes its durability point.
+///
+/// Not thread-safe: one producer drives Submit/Drain (the parallelism is
+/// inside, in the signing fan-out). After any flush error the pipeline
+/// is poisoned — every later Submit/Drain returns the same status —
+/// because a failed WAL append leaves no safe way to keep ordering
+/// guarantees for subsequent records of the same chain.
+class IngestPipeline {
+ public:
+  /// Opens (or reopens) a pipeline rooted at `root_dir`: recovers any
+  /// existing shard directories, seeds every chain tail from the
+  /// recovered records, and starts fresh WAL segments. Per-shard salvage
+  /// reports land in `recovery_reports` when non-null.
+  static Result<std::unique_ptr<IngestPipeline>> Open(
+      storage::Env* env, const std::string& root_dir, IngestOptions options,
+      std::vector<storage::WalRecoveryReport>* recovery_reports = nullptr);
+
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Buffers one request on its shard, flushing the shard when a batch
+  /// threshold fires. The request is neither durable nor visible in the
+  /// store until its batch is flushed (Drain forces that).
+  Status Submit(const IngestRequest& request);
+
+  /// Barrier: flushes every shard's pending batch (sign, append, fsync,
+  /// commit) in shard order. On return everything submitted is durable
+  /// and visible in the store.
+  Status Drain();
+
+  /// Drain + close every shard WAL. Idempotent; further Submits fail.
+  Status Close();
+
+  const ShardedProvenanceStore& store() const { return *store_; }
+  ShardedProvenanceStore* mutable_store() { return store_.get(); }
+
+  /// The shard's WAL writer (null after Close) — exposed for the
+  /// fault-injection crash sweep, which asserts synced_records against
+  /// committed counts.
+  const storage::WalWriter* shard_wal(size_t index) const;
+
+  uint64_t submitted() const { return submitted_count_; }
+  uint64_t committed() const { return committed_count_; }
+  const IngestOptions& options() const { return options_; }
+  const std::string& root_dir() const { return root_dir_; }
+
+ private:
+  struct Shard {
+    explicit Shard(storage::WalWriter w) : wal(std::move(w)) {}
+    storage::WalWriter wal;
+    bool wal_open = true;
+    LocalChainState chains;
+    std::vector<IngestRequest> pending;
+    uint64_t pending_bytes = 0;
+    Stopwatch since_flush;
+  };
+
+  IngestPipeline(storage::Env* env, std::string root_dir,
+                 IngestOptions options);
+
+  /// Signs, appends, fsyncs, and commits `shard`'s pending batch.
+  Status FlushShard(Shard* shard, ProvenanceStore* store);
+
+  storage::Env* env_;
+  std::string root_dir_;
+  IngestOptions options_;
+  ChecksumEngine engine_;
+  std::unique_ptr<ShardedProvenanceStore> store_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;  // null when signing is sequential
+  Status failed_ = Status::OK();      // poison; see class comment
+  bool closed_ = false;
+  uint64_t submitted_count_ = 0;
+  uint64_t committed_count_ = 0;
+
+  // Ingest observability (docs/OBSERVABILITY.md).
+  observability::Counter* submitted_;
+  observability::Counter* committed_;
+  observability::Counter* batches_;
+  observability::Counter* batch_bytes_;
+  observability::Counter* sign_tasks_;
+  observability::Gauge* pending_;
+  observability::Histogram* flush_latency_;
+  observability::Histogram* drain_latency_;
+};
+
+}  // namespace provdb::provenance
+
+#endif  // PROVDB_PROVENANCE_INGEST_PIPELINE_H_

@@ -45,8 +45,19 @@ struct WalOptions {
 
   /// When true, every Append also Syncs — the paper-grade durability
   /// setting (nothing acknowledged can be lost). When false the caller
-  /// batches durability points by calling Sync explicitly.
+  /// batches durability points by calling Sync explicitly (or via the
+  /// group-commit thresholds below).
   bool sync_every_append = false;
+
+  /// Group commit: when > 0, Append Syncs automatically once this many
+  /// records have accumulated since the last durability point. Ignored
+  /// under sync_every_append (which is the degenerate batch of 1).
+  uint64_t group_commit_records = 0;
+
+  /// Group commit: when > 0, Append Syncs automatically once this many
+  /// frame bytes have accumulated since the last durability point.
+  /// Either threshold firing triggers the Sync.
+  uint64_t group_commit_bytes = 0;
 };
 
 /// Incremental appender. Unlike RecordLog::SaveToFile (which rewrites the
@@ -90,6 +101,10 @@ class WalWriter {
   /// guarantee the fault-injection sweep checks against.
   uint64_t synced_records() const { return synced_records_; }
 
+  /// Frame bytes appended since the last durability point. The
+  /// group-commit thresholds fire against this.
+  uint64_t unsynced_bytes() const { return unsynced_bytes_; }
+
   uint64_t current_segment_index() const { return segment_index_; }
   uint64_t current_segment_bytes() const { return segment_bytes_; }
   const std::string& dir() const { return dir_; }
@@ -108,6 +123,7 @@ class WalWriter {
   uint64_t segment_records_ = 0;
   uint64_t appended_records_ = 0;
   uint64_t synced_records_ = 0;
+  uint64_t unsynced_bytes_ = 0;
   bool closed_ = false;
 
   // WAL observability (docs/OBSERVABILITY.md). Shared process-wide, so

@@ -4,19 +4,29 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "provenance/auditor.h"
+#include "provenance/ingest_pipeline.h"
+#include "provenance/serialization.h"
 #include "provenance/tracked_database.h"
 #include "provenance/verifier.h"
 #include "storage/fault_injection_env.h"
 #include "storage/wal.h"
+#include "testing/differential.h"
 #include "testing/test_pki.h"
 
 namespace provdb::provenance {
 namespace {
 
+using provdb::testing::DifferentialWorkloadOptions;
+using provdb::testing::IngestWorkloadBuilder;
+using provdb::testing::RandomDifferentialWorkload;
 using provdb::testing::TestPki;
+using provdb::testing::WipeIngestRoot;
 using storage::Env;
 using storage::FaultInjectionEnv;
 using storage::ObjectId;
@@ -297,6 +307,212 @@ TEST(WalCrashSweepTest, CrashAtEveryWrite) {
     CrashAtWrite(k, /*torn=*/false, /*power_cut=*/false);
     CrashAtWrite(k, /*torn=*/true, /*power_cut=*/false);
     CrashAtWrite(k, /*torn=*/true, /*power_cut=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sharded group-commit crash sweep: the batched ingest pipeline under
+// fault injection. Invariants from the write-ahead contract:
+//   * a record is committed in memory only after its batch is fsynced,
+//     so per shard synced_records == committed count at any crash point;
+//   * after a power cut, recovery yields *exactly* the committed records
+//     (nothing un-fsynced resurrected, nothing durable lost);
+//   * without a power cut, recovery yields at least the committed prefix
+//     and never anything beyond the golden (crash-free) run;
+//   * resuming ingest of the not-yet-durable requests reproduces the
+//     golden store byte for byte.
+// ---------------------------------------------------------------------
+
+constexpr size_t kSweepShards = 2;
+
+IngestOptions SweepIngestOptions() {
+  IngestOptions options;
+  options.num_shards = kSweepShards;
+  options.max_batch_records = 3;  // several flushes, each one fsync
+  // Default (sequential) signing: FaultInjectionEnv is single-threaded.
+  return options;
+}
+
+struct ShardedSweepFixture {
+  std::vector<IngestRequest> requests;
+  // Per shard, the EncodeRecord bytes of the crash-free run, in commit
+  // order. Per-shard commit order is fully determined by submit order,
+  // so any crashed run must be a byte-prefix of this.
+  std::array<std::vector<Bytes>, kSweepShards> golden;
+  uint64_t total_appends = 0;
+  uint64_t total_syncs = 0;
+};
+
+std::string FreshIngestRoot(const std::string& tag) {
+  std::string root = ::testing::TempDir() + "/provdb_ingest_sweep_" + tag;
+  EXPECT_TRUE(WipeIngestRoot(Env::Default(), root).ok());
+  return root;
+}
+
+/// Builds the seeded workload once, replays it crash-free through a
+/// fault-counting env to freeze the golden per-shard record bytes and
+/// the append/sync counts the sweeps iterate over.
+void BuildShardedSweepFixture(ShardedSweepFixture* fx) {
+  IngestWorkloadBuilder builder;
+  DifferentialWorkloadOptions wl;
+  wl.num_ops = 30;
+  ASSERT_TRUE(RandomDifferentialWorkload(&builder, 0xC4A54u, wl).ok());
+  fx->requests = builder.requests();
+  ASSERT_GT(fx->requests.size(), 10u);
+
+  FaultInjectionEnv env(Env::Default());
+  std::string root = FreshIngestRoot("golden");
+  auto pipeline = IngestPipeline::Open(&env, root, SweepIngestOptions());
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  for (const IngestRequest& request : fx->requests) {
+    ASSERT_TRUE((*pipeline)->Submit(request).ok());
+  }
+  ASSERT_TRUE((*pipeline)->Close().ok());
+  for (size_t s = 0; s < kSweepShards; ++s) {
+    const ProvenanceStore& shard = (*pipeline)->store().shard(s);
+    for (uint64_t i = 0; i < shard.record_count(); ++i) {
+      fx->golden[s].push_back(EncodeRecord(shard.record(i)));
+    }
+    ASSERT_FALSE(fx->golden[s].empty()) << "shard " << s << " never used";
+  }
+  fx->total_appends = env.append_count();
+  fx->total_syncs = env.sync_count();
+}
+
+/// One crash cycle: ingest under an injected fault, crash (destroy the
+/// pipeline without Close), optionally power-cut, recover, check the
+/// durability invariants, then resume the missing suffix and require the
+/// end state to equal the golden run.
+void RunShardedCrashCycle(const ShardedSweepFixture& fx,
+                          const std::function<void(FaultInjectionEnv*)>& arm,
+                          bool power_cut, const std::string& tag) {
+  std::string root = FreshIngestRoot(tag);
+  FaultInjectionEnv env(Env::Default());
+  arm(&env);
+
+  std::array<uint64_t, kSweepShards> committed{};
+  {
+    auto pipeline = IngestPipeline::Open(&env, root, SweepIngestOptions());
+    if (pipeline.ok()) {
+      for (const IngestRequest& request : fx.requests) {
+        if (!(*pipeline)->Submit(request).ok()) break;  // pipeline poisoned
+      }
+      for (size_t s = 0; s < kSweepShards; ++s) {
+        committed[s] = (*pipeline)->store().shard(s).record_count();
+        const WalWriter* wal = (*pipeline)->shard_wal(s);
+        ASSERT_NE(wal, nullptr);
+        // The write-ahead contract under group commit: nothing commits
+        // in memory before its batch hit fsync.
+        EXPECT_EQ(wal->synced_records(), committed[s]);
+      }
+    }
+    // Scope exit without Close(): the crash.
+  }
+
+  env.ClearFaults();
+  if (power_cut) {
+    ASSERT_TRUE(env.DropUnsyncedFileData().ok());
+  }
+
+  std::vector<WalRecoveryReport> reports;
+  auto recovered =
+      ShardedProvenanceStore::Recover(&env, root, kSweepShards, &reports);
+  ASSERT_TRUE(recovered.ok())
+      << "crash point must salvage or report, never fail to recover: "
+      << recovered.status().ToString();
+  std::array<uint64_t, kSweepShards> durable{};
+  for (size_t s = 0; s < kSweepShards; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    const ProvenanceStore& shard = recovered->shard(s);
+    durable[s] = shard.record_count();
+    if (power_cut) {
+      // A power cut erases everything un-fsynced: recovery must see
+      // exactly the committed records — no resurrection, no loss.
+      EXPECT_EQ(durable[s], committed[s]);
+    } else {
+      // A process crash leaves OS-buffered appends on disk; recovery may
+      // keep them, but never less than what was committed durable.
+      EXPECT_GE(durable[s], committed[s]);
+    }
+    ASSERT_LE(durable[s], fx.golden[s].size());
+    for (uint64_t i = 0; i < durable[s]; ++i) {
+      EXPECT_EQ(EncodeRecord(shard.record(i)), fx.golden[s][i])
+          << "recovered record " << i << " diverged from the golden run";
+    }
+  }
+
+  // Resume: a fresh pipeline recovers the shard tails and ingests every
+  // request that is not yet durable. The result must be byte-identical
+  // to never having crashed (chains continue from recovered tails).
+  {
+    auto pipeline = IngestPipeline::Open(&env, root, SweepIngestOptions());
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    std::array<uint64_t, kSweepShards> seen{};
+    for (const IngestRequest& request : fx.requests) {
+      const size_t s =
+          ShardedProvenanceStore::ShardOf(request.object, kSweepShards);
+      if (seen[s]++ < durable[s]) continue;  // already recovered
+      ASSERT_TRUE((*pipeline)->Submit(request).ok());
+    }
+    ASSERT_TRUE((*pipeline)->Close().ok());
+    for (size_t s = 0; s < kSweepShards; ++s) {
+      SCOPED_TRACE("shard " + std::to_string(s) + " after resume");
+      const ProvenanceStore& shard = (*pipeline)->store().shard(s);
+      ASSERT_EQ(shard.record_count(), fx.golden[s].size());
+      for (uint64_t i = 0; i < shard.record_count(); ++i) {
+        EXPECT_EQ(EncodeRecord(shard.record(i)), fx.golden[s][i]);
+      }
+    }
+  }
+}
+
+TEST(ShardedIngestCrashSweepTest, CrashAtEveryAppend) {
+  ShardedSweepFixture fx;
+  BuildShardedSweepFixture(&fx);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_GT(fx.total_appends, 10u) << "workload too small to be a sweep";
+
+  // Small k crashes the shard WAL *header* writes during Open — the
+  // mid-shard-directory-creation case — before any record lands.
+  for (uint64_t k = 1; k <= fx.total_appends; ++k) {
+    for (bool torn : {false, true}) {
+      for (bool power_cut : {false, true}) {
+        SCOPED_TRACE("append " + std::to_string(k) +
+                     (torn ? " torn" : " clean") +
+                     (power_cut ? " + power cut" : ""));
+        RunShardedCrashCycle(
+            fx,
+            [k, torn](FaultInjectionEnv* env) {
+              env->ScheduleAppendFailure(k, torn);
+            },
+            power_cut,
+            "a" + std::to_string(k) + (torn ? "t" : "c") +
+                (power_cut ? "p" : ""));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(ShardedIngestCrashSweepTest, CrashAtEveryBatchFsync) {
+  ShardedSweepFixture fx;
+  BuildShardedSweepFixture(&fx);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_GT(fx.total_syncs, 4u) << "not enough batches to sweep";
+
+  // Failing the n-th fsync kills a whole batch at its durability point:
+  // none of that batch's records may commit, and after a power cut none
+  // may survive on disk.
+  for (uint64_t n = 1; n <= fx.total_syncs; ++n) {
+    for (bool power_cut : {false, true}) {
+      SCOPED_TRACE("sync " + std::to_string(n) +
+                   (power_cut ? " + power cut" : ""));
+      RunShardedCrashCycle(
+          fx,
+          [n](FaultInjectionEnv* env) { env->ScheduleSyncFailure(n); },
+          power_cut, "s" + std::to_string(n) + (power_cut ? "p" : ""));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 }
 

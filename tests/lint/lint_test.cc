@@ -152,6 +152,29 @@ TEST(LintRulesTest, R06FiresOnRawFileIoOutsideEnvLayer) {
   EXPECT_TRUE(linter.LintContent("src/storage/wal.cc", clean).empty());
 }
 
+TEST(LintRulesTest, IngestPipelinePathCarriesNoThreadOrFileIoExemption) {
+  // The sharded ingest pipeline concentrates exactly the temptations R03
+  // and R06 police — hand-rolled signing threads and direct WAL file
+  // writes. Pin that its path is NOT on either rule's exemption list, so
+  // the real ingest_pipeline.cc must keep routing concurrency through
+  // common/thread_pool and I/O through storage::Env to lint clean.
+  Linter linter;
+  auto r03 = linter.LintContent(
+      "src/provenance/ingest_pipeline.cc",
+      "void Flush() { std::thread signer(SignBatch); signer.join(); }\n");
+  ASSERT_EQ(r03.size(), 1u);
+  EXPECT_EQ(r03[0].rule_id, "R03");
+  EXPECT_NE(r03[0].message.find("std::thread"), std::string::npos);
+
+  auto r06 = linter.LintContent(
+      "src/provenance/ingest_pipeline.cc",
+      "void Flush() { std::FILE* f = std::fopen(\"wal.log\", \"ab\"); }\n");
+  ASSERT_EQ(r06.size(), 1u);
+  EXPECT_EQ(r06[0].rule_id, "R06");
+  EXPECT_NE(r06[0].message.find("fopen"), std::string::npos);
+  EXPECT_NE(r06[0].suggestion.find("storage::Env"), std::string::npos);
+}
+
 TEST(LintRulesTest, R07FiresOnAdhocChronoOutsideSanctionedOwners) {
   Linter linter;
   std::string content = ReadFixture("r07_adhoc_chrono.cc");

@@ -1,0 +1,370 @@
+// Unit tests for the sharded batched ingest pipeline: request signing
+// semantics, shard routing, group-commit batching, write-ahead ordering
+// under fault injection, reopen/recovery, and sequential-vs-parallel
+// signing equivalence.
+
+#include "provenance/ingest_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hashmix.h"
+#include "provenance/serialization.h"
+#include "storage/fault_injection_env.h"
+#include "testing/test_pki.h"
+
+namespace provdb::provenance {
+namespace {
+
+using provdb::testing::TestPki;
+using storage::Env;
+using storage::FaultInjectionEnv;
+using storage::ObjectId;
+
+const crypto::Participant& P(size_t i) {
+  return TestPki::Instance().participant(i);
+}
+
+crypto::Digest D(uint8_t tag) {
+  Bytes b(20, tag);
+  return crypto::Digest::FromBytes(ByteView(b.data(), b.size()));
+}
+
+std::string FreshDir(const std::string& tag) {
+  std::string root = ::testing::TempDir() + "/provdb_ingest_" + tag;
+  // Shard directories survive across runs; start from scratch.
+  auto shards = Env::Default()->ListDir(root);
+  if (shards.ok()) {
+    for (const std::string& shard : *shards) {
+      auto files = Env::Default()->ListDir(root + "/" + shard);
+      if (!files.ok()) continue;
+      for (const std::string& f : *files) {
+        EXPECT_TRUE(
+            Env::Default()->RemoveFile(root + "/" + shard + "/" + f).ok());
+      }
+    }
+  }
+  return root;
+}
+
+IngestRequest Insert(ObjectId id, uint8_t tag, size_t p = 0) {
+  IngestRequest r;
+  r.op = OperationType::kInsert;
+  r.object = id;
+  r.post_hash = D(tag);
+  r.participant = &P(p);
+  return r;
+}
+
+IngestRequest Update(ObjectId id, uint8_t pre, uint8_t post, size_t p = 0) {
+  IngestRequest r;
+  r.op = OperationType::kUpdate;
+  r.object = id;
+  r.has_pre_hash = true;
+  r.pre_hash = D(pre);
+  r.post_hash = D(post);
+  r.participant = &P(p);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// BuildSignedIngestRecord
+// ---------------------------------------------------------------------------
+
+TEST(BuildSignedIngestRecordTest, InsertStartsChainAtZero) {
+  ChecksumEngine engine;
+  auto rec = BuildSignedIngestRecord(engine, {}, Insert(7, 0xA1));
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->seq_id, 0u);
+  EXPECT_EQ(rec->op, OperationType::kInsert);
+  EXPECT_TRUE(rec->inputs.empty());
+  EXPECT_FALSE(rec->checksum.empty());
+}
+
+TEST(BuildSignedIngestRecordTest, InsertIntoExistingChainRejected) {
+  ChecksumEngine engine;
+  LocalChainState::Tail tail{0, Bytes{1, 2, 3}, true};
+  EXPECT_EQ(BuildSignedIngestRecord(engine, tail, Insert(7, 0xA1))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BuildSignedIngestRecordTest, UpdateContinuesAndBootstraps) {
+  ChecksumEngine engine;
+  // Bootstrap: no chain yet -> seq 0.
+  auto first = BuildSignedIngestRecord(engine, {}, Update(7, 0xA1, 0xA2));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->seq_id, 0u);
+  ASSERT_EQ(first->inputs.size(), 1u);
+  EXPECT_EQ(first->inputs[0].object_id, 7u);
+  // Continuation: tail at seq 4 -> seq 5.
+  LocalChainState::Tail tail{4, first->checksum, true};
+  auto next = BuildSignedIngestRecord(engine, tail, Update(7, 0xA2, 0xA3));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->seq_id, 5u);
+}
+
+TEST(BuildSignedIngestRecordTest, AggregateValidatesInputs) {
+  ChecksumEngine engine;
+  IngestRequest agg;
+  agg.op = OperationType::kAggregate;
+  agg.object = 9;
+  agg.post_hash = D(0xC1);
+  agg.participant = &P(0);
+  agg.inputs = {ObjectState{3, D(0x31)}, ObjectState{2, D(0x21)}};
+  agg.input_prev_checksums = {Bytes{}, Bytes{}};
+  agg.aggregate_seq = 1;
+  // Descending inputs violate the global total order.
+  EXPECT_EQ(BuildSignedIngestRecord(engine, {}, agg).status().code(),
+            StatusCode::kInvalidArgument);
+  std::swap(agg.inputs[0], agg.inputs[1]);
+  auto rec = BuildSignedIngestRecord(engine, {}, agg);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->seq_id, 1u);
+  EXPECT_EQ(rec->inputs.size(), 2u);
+}
+
+TEST(BuildSignedIngestRecordTest, NonAggregateWithInputsRejected) {
+  ChecksumEngine engine;
+  IngestRequest bad = Insert(7, 0xA1);
+  bad.inputs.push_back(ObjectState{1, D(0x11)});
+  EXPECT_EQ(BuildSignedIngestRecord(engine, {}, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedProvenanceStore
+// ---------------------------------------------------------------------------
+
+TEST(ShardedProvenanceStoreTest, ShardOfIsStableAndInRange) {
+  for (ObjectId id = 1; id <= 200; ++id) {
+    size_t s = ShardedProvenanceStore::ShardOf(id, 4);
+    EXPECT_LT(s, 4u);
+    EXPECT_EQ(s, ShardedProvenanceStore::ShardOf(id, 4)) << id;
+  }
+  // One shard degenerates to everything-in-shard-0.
+  EXPECT_EQ(ShardedProvenanceStore::ShardOf(12345, 1), 0u);
+}
+
+TEST(ShardedProvenanceStoreTest, ShardDirNamesAreZeroPadded) {
+  EXPECT_EQ(ShardedProvenanceStore::ShardDirName("/w", 0), "/w/shard-000");
+  EXPECT_EQ(ShardedProvenanceStore::ShardDirName("/w", 12), "/w/shard-012");
+}
+
+// ---------------------------------------------------------------------------
+// IngestPipeline
+// ---------------------------------------------------------------------------
+
+TEST(IngestPipelineTest, RoutesObjectsToTheirShardAndVerifies) {
+  std::string root = FreshDir("route");
+  IngestOptions options;
+  options.num_shards = 4;
+  options.max_batch_records = 8;
+  auto pipeline = IngestPipeline::Open(Env::Default(), root, options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  std::vector<ObjectId> ids = {11, 12, 13, 14, 15, 16};
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(
+        (*pipeline)->Submit(Insert(ids[i], static_cast<uint8_t>(i))).ok());
+    ASSERT_TRUE((*pipeline)
+                    ->Submit(Update(ids[i], static_cast<uint8_t>(i),
+                                    static_cast<uint8_t>(i + 100)))
+                    .ok());
+  }
+  ASSERT_TRUE((*pipeline)->Drain().ok());
+  EXPECT_EQ((*pipeline)->committed(), ids.size() * 2);
+
+  const ShardedProvenanceStore& store = (*pipeline)->store();
+  EXPECT_EQ(store.record_count(), ids.size() * 2);
+  for (ObjectId id : ids) {
+    size_t s = ShardedProvenanceStore::ShardOf(id, 4);
+    EXPECT_EQ(store.shard(s).ChainOf(id).size(), 2u);
+    EXPECT_EQ(store.ChainRecords(id).size(), 2u);
+  }
+  auto report = store.VerifyChains(TestPki::Instance().registry());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  ASSERT_TRUE((*pipeline)->Close().ok());
+}
+
+TEST(IngestPipelineTest, GroupCommitDefersDurabilityAndCommitUntilFlush) {
+  std::string root = FreshDir("batch");
+  IngestOptions options;
+  options.num_shards = 1;
+  options.max_batch_records = 4;
+  auto pipeline = IngestPipeline::Open(Env::Default(), root, options);
+  ASSERT_TRUE(pipeline.ok());
+
+  // Three submits: below the batch threshold, so nothing is committed
+  // (write-ahead: commit only after the batch's fsync).
+  ASSERT_TRUE((*pipeline)->Submit(Insert(1, 0x01)).ok());
+  ASSERT_TRUE((*pipeline)->Submit(Insert(2, 0x02)).ok());
+  ASSERT_TRUE((*pipeline)->Submit(Insert(3, 0x03)).ok());
+  EXPECT_EQ((*pipeline)->store().record_count(), 0u);
+  EXPECT_EQ((*pipeline)->shard_wal(0)->appended_records(), 0u);
+
+  // The fourth submit fills the batch: one flush, one durability point.
+  uint64_t syncs_before = (*pipeline)->shard_wal(0)->synced_records();
+  ASSERT_TRUE((*pipeline)->Submit(Insert(4, 0x04)).ok());
+  EXPECT_EQ((*pipeline)->store().record_count(), 4u);
+  EXPECT_EQ((*pipeline)->shard_wal(0)->synced_records(), syncs_before + 4);
+  ASSERT_TRUE((*pipeline)->Close().ok());
+}
+
+TEST(IngestPipelineTest, SyncEveryRecordCommitsImmediately) {
+  std::string root = FreshDir("synceach");
+  IngestOptions options;
+  options.num_shards = 1;
+  options.sync_every_record = true;
+  auto pipeline = IngestPipeline::Open(Env::Default(), root, options);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Submit(Insert(1, 0x01)).ok());
+  EXPECT_EQ((*pipeline)->store().record_count(), 1u);
+  EXPECT_EQ((*pipeline)->shard_wal(0)->synced_records(), 1u);
+  ASSERT_TRUE((*pipeline)->Close().ok());
+}
+
+TEST(IngestPipelineTest, ReopenContinuesChainsFromRecoveredTails) {
+  std::string root = FreshDir("reopen");
+  IngestOptions options;
+  options.num_shards = 2;
+  options.max_batch_records = 3;
+  {
+    auto pipeline = IngestPipeline::Open(Env::Default(), root, options);
+    ASSERT_TRUE(pipeline.ok());
+    ASSERT_TRUE((*pipeline)->Submit(Insert(21, 0x01)).ok());
+    ASSERT_TRUE((*pipeline)->Submit(Insert(22, 0x02)).ok());
+    ASSERT_TRUE((*pipeline)->Close().ok());
+  }
+  {
+    std::vector<storage::WalRecoveryReport> reports;
+    auto pipeline =
+        IngestPipeline::Open(Env::Default(), root, options, &reports);
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    EXPECT_EQ(reports.size(), 2u);
+    EXPECT_EQ((*pipeline)->store().record_count(), 2u);
+    // Chain continuation across restart: the update must get seq 1 and
+    // link against the recovered checksum.
+    ASSERT_TRUE((*pipeline)->Submit(Update(21, 0x01, 0x11)).ok());
+    ASSERT_TRUE((*pipeline)->Submit(Update(22, 0x02, 0x12)).ok());
+    ASSERT_TRUE((*pipeline)->Close().ok());
+    auto report =
+        (*pipeline)->store().VerifyChains(TestPki::Instance().registry());
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+  auto recovered =
+      ShardedProvenanceStore::Recover(Env::Default(), root, 2);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->record_count(), 4u);
+  EXPECT_EQ(recovered->ChainRecords(21).back()->seq_id, 1u);
+  auto report = recovered->VerifyChains(TestPki::Instance().registry());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(IngestPipelineTest, MergedStoreFeedsSequentialMachinery) {
+  std::string root = FreshDir("merge");
+  IngestOptions options;
+  options.num_shards = 3;
+  auto pipeline = IngestPipeline::Open(Env::Default(), root, options);
+  ASSERT_TRUE(pipeline.ok());
+  for (ObjectId id = 31; id <= 36; ++id) {
+    ASSERT_TRUE(
+        (*pipeline)->Submit(Insert(id, static_cast<uint8_t>(id))).ok());
+  }
+  ASSERT_TRUE((*pipeline)->Close().ok());
+  auto merged = (*pipeline)->store().MergedStore();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->record_count(), 6u);
+  for (ObjectId id = 31; id <= 36; ++id) {
+    EXPECT_EQ(merged->ChainOf(id).size(), 1u);
+  }
+}
+
+TEST(IngestPipelineTest, FlushErrorPoisonsThePipeline) {
+  std::string root = FreshDir("poison");
+  FaultInjectionEnv env(Env::Default());
+  IngestOptions options;
+  options.num_shards = 1;
+  options.max_batch_records = 2;
+  auto pipeline = IngestPipeline::Open(&env, root, options);
+  ASSERT_TRUE(pipeline.ok());
+
+  // Fail the batch's fsync. The flush errors, nothing is committed, and
+  // the pipeline stays poisoned with the same status.
+  env.ScheduleSyncFailure(1);
+  ASSERT_TRUE((*pipeline)->Submit(Insert(1, 0x01)).ok());
+  Status flush = (*pipeline)->Submit(Insert(2, 0x02));
+  EXPECT_FALSE(flush.ok());
+  EXPECT_EQ((*pipeline)->store().record_count(), 0u);
+  env.ClearFaults();
+  Status later = (*pipeline)->Submit(Insert(3, 0x03));
+  EXPECT_FALSE(later.ok());
+  EXPECT_EQ(later.code(), flush.code());
+  EXPECT_EQ((*pipeline)->Drain().code(), flush.code());
+}
+
+TEST(IngestPipelineTest, SubmitValidatesAggregateShape) {
+  std::string root = FreshDir("validate");
+  auto pipeline = IngestPipeline::Open(Env::Default(), root, IngestOptions());
+  ASSERT_TRUE(pipeline.ok());
+  IngestRequest bad;
+  bad.op = OperationType::kAggregate;
+  bad.object = 5;
+  bad.post_hash = D(0x55);
+  bad.participant = &P(0);
+  EXPECT_EQ((*pipeline)->Submit(bad).code(), StatusCode::kInvalidArgument);
+  bad.inputs = {ObjectState{1, D(0x11)}};
+  EXPECT_EQ((*pipeline)->Submit(bad).code(), StatusCode::kInvalidArgument);
+  // Validation failures do not poison the pipeline.
+  EXPECT_TRUE((*pipeline)->Submit(Insert(6, 0x06)).ok());
+  ASSERT_TRUE((*pipeline)->Close().ok());
+}
+
+// Parallel signing must be bit-identical to sequential signing: RSA
+// signing is deterministic and chain groups sign in seqID order
+// regardless of which worker runs them. (Also the TSan target for the
+// ingest pipeline's concurrency.)
+TEST(IngestPipelineParallelTest, ParallelSigningMatchesSequential) {
+  std::vector<IngestRequest> requests;
+  for (ObjectId id = 41; id <= 48; ++id) {
+    requests.push_back(Insert(id, static_cast<uint8_t>(id),
+                              static_cast<size_t>(id % 4)));
+    requests.push_back(Update(id, static_cast<uint8_t>(id),
+                              static_cast<uint8_t>(id + 100),
+                              static_cast<size_t>((id + 1) % 4)));
+  }
+
+  auto run = [&](int threads, const std::string& tag) {
+    std::string root = FreshDir("par_" + tag);
+    IngestOptions options;
+    options.num_shards = 2;
+    options.max_batch_records = 16;
+    options.signing.num_threads = threads;
+    auto pipeline = IngestPipeline::Open(Env::Default(), root, options);
+    EXPECT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_TRUE((*pipeline)->Submit(requests[i]).ok());
+    }
+    EXPECT_TRUE((*pipeline)->Close().ok());
+    std::vector<Bytes> encoded;
+    for (ObjectId id = 41; id <= 48; ++id) {
+      for (const ProvenanceRecord* rec : (*pipeline)->store().ChainRecords(id)) {
+        encoded.push_back(EncodeRecord(*rec));
+      }
+    }
+    return encoded;
+  };
+
+  std::vector<Bytes> sequential = run(1, "seq");
+  std::vector<Bytes> parallel = run(4, "par");
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i], parallel[i]) << "record " << i << " differs";
+  }
+}
+
+}  // namespace
+}  // namespace provdb::provenance

@@ -1,0 +1,215 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace provdb::testing {
+
+using provenance::BuildSignedIngestRecord;
+using provenance::IngestRequest;
+using provenance::ObjectState;
+using provenance::OperationType;
+using provenance::ProvenanceRecord;
+
+IngestWorkloadBuilder::IngestWorkloadBuilder(crypto::HashAlgorithm alg)
+    : alg_(alg),
+      pki_(&TestPki::InstanceFor(alg)),
+      engine_(alg),
+      hasher_(&tree_, alg) {}
+
+Status IngestWorkloadBuilder::Apply(IngestRequest request) {
+  PROVDB_ASSIGN_OR_RETURN(
+      ProvenanceRecord record,
+      BuildSignedIngestRecord(engine_, chains_.Get(request.object), request));
+  const storage::ObjectId id = record.output.object_id;
+  const provenance::SeqId seq = record.seq_id;
+  Bytes checksum = record.checksum;
+  PROVDB_RETURN_IF_ERROR(reference_.AddRecord(std::move(record)).status());
+  chains_.Set(id, seq, std::move(checksum));
+  requests_.push_back(std::move(request));
+  return Status::OK();
+}
+
+Result<storage::ObjectId> IngestWorkloadBuilder::Insert(
+    size_t participant_idx, const storage::Value& value) {
+  PROVDB_ASSIGN_OR_RETURN(storage::ObjectId id, tree_.Insert(value));
+  PROVDB_ASSIGN_OR_RETURN(crypto::Digest hash, hasher_.HashSubtreeBasic(id));
+  IngestRequest request;
+  request.op = OperationType::kInsert;
+  request.object = id;
+  request.post_hash = hash;
+  request.participant = &pki_->participant(participant_idx);
+  PROVDB_RETURN_IF_ERROR(Apply(std::move(request)));
+  tracked_.push_back(id);
+  return id;
+}
+
+Result<storage::ObjectId> IngestWorkloadBuilder::AddBootstrapObject(
+    const storage::Value& value) {
+  return tree_.Insert(value);
+}
+
+Status IngestWorkloadBuilder::Update(storage::ObjectId id,
+                                     size_t participant_idx,
+                                     const storage::Value& value) {
+  const bool first_record = !chains_.Get(id).exists;
+  PROVDB_ASSIGN_OR_RETURN(crypto::Digest pre, hasher_.HashSubtreeBasic(id));
+  PROVDB_RETURN_IF_ERROR(tree_.Update(id, value));
+  PROVDB_ASSIGN_OR_RETURN(crypto::Digest post, hasher_.HashSubtreeBasic(id));
+  IngestRequest request;
+  request.op = OperationType::kUpdate;
+  request.object = id;
+  request.has_pre_hash = true;
+  request.pre_hash = pre;
+  request.post_hash = post;
+  request.participant = &pki_->participant(participant_idx);
+  PROVDB_RETURN_IF_ERROR(Apply(std::move(request)));
+  if (first_record) {
+    tracked_.push_back(id);
+  }
+  return Status::OK();
+}
+
+Result<storage::ObjectId> IngestWorkloadBuilder::Aggregate(
+    const std::vector<storage::ObjectId>& inputs, size_t participant_idx,
+    const storage::Value& root_value) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("aggregate requires at least one input");
+  }
+  std::vector<storage::ObjectId> sorted = inputs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  IngestRequest request;
+  request.op = OperationType::kAggregate;
+  provenance::SeqId max_seq = 0;
+  for (storage::ObjectId in : sorted) {
+    PROVDB_RETURN_IF_ERROR(tree_.GetNode(in).status());
+    PROVDB_ASSIGN_OR_RETURN(crypto::Digest h, hasher_.HashSubtreeBasic(in));
+    request.inputs.push_back(ObjectState{in, h});
+    provenance::LocalChainState::Tail tail = chains_.Get(in);
+    request.input_prev_checksums.push_back(tail.checksum);
+    if (tail.exists && tail.seq_id > max_seq) {
+      max_seq = tail.seq_id;
+    }
+  }
+  PROVDB_ASSIGN_OR_RETURN(storage::ObjectId out_id,
+                          tree_.Aggregate(sorted, root_value));
+  PROVDB_ASSIGN_OR_RETURN(crypto::Digest out_hash,
+                          hasher_.HashSubtreeBasic(out_id));
+  request.object = out_id;
+  request.post_hash = out_hash;
+  request.aggregate_seq = max_seq + 1;
+  request.participant = &pki_->participant(participant_idx);
+  PROVDB_RETURN_IF_ERROR(Apply(std::move(request)));
+  tracked_.push_back(out_id);
+  return out_id;
+}
+
+Status RandomDifferentialWorkload(IngestWorkloadBuilder* builder,
+                                  uint64_t seed,
+                                  const DifferentialWorkloadOptions& options) {
+  Rng rng(seed);
+  const size_t participants = TestPki::kNumParticipants;
+
+  auto random_value = [&]() -> storage::Value {
+    switch (rng.NextBelow(3)) {
+      case 0:
+        return storage::Value::Int(rng.NextInRange(-1000, 1000));
+      case 1:
+        return storage::Value::String(rng.NextString(1 + rng.NextBelow(12)));
+      default: {
+        Bytes blob;
+        rng.NextBytes(&blob, 1 + rng.NextBelow(16));
+        return storage::Value::Blob(std::move(blob));
+      }
+    }
+  };
+
+  // Objects eligible as update victims / aggregate inputs, in creation
+  // order. A quadratically-skewed pick keeps early objects hot, so long
+  // chains (and thus cross-batch chain continuation) actually occur.
+  std::vector<storage::ObjectId> live;
+  auto skewed_pick = [&]() -> storage::ObjectId {
+    double d = rng.NextDouble();
+    size_t idx = static_cast<size_t>(d * d * static_cast<double>(live.size()));
+    if (idx >= live.size()) idx = live.size() - 1;
+    return live[idx];
+  };
+
+  for (size_t i = 0; i < options.bootstrap_objects; ++i) {
+    PROVDB_ASSIGN_OR_RETURN(storage::ObjectId id,
+                            builder->AddBootstrapObject(random_value()));
+    live.push_back(id);
+  }
+
+  for (size_t op = 0; op < options.num_ops; ++op) {
+    const size_t p = rng.NextBelow(participants);
+    const double r = rng.NextDouble();
+    if (live.empty() || r < options.insert_weight) {
+      PROVDB_ASSIGN_OR_RETURN(storage::ObjectId id,
+                              builder->Insert(p, random_value()));
+      live.push_back(id);
+    } else if (live.size() < 2 ||
+               r < options.insert_weight + options.update_weight) {
+      PROVDB_RETURN_IF_ERROR(builder->Update(skewed_pick(), p,
+                                             random_value()));
+    } else {
+      const size_t want = 2 + rng.NextBelow(3);
+      std::vector<storage::ObjectId> inputs;
+      for (size_t k = 0; k < want; ++k) {
+        storage::ObjectId candidate = skewed_pick();
+        // Only tracked inputs: aggregating an untracked object that is
+        // updated later leaves an input state the verifier can never
+        // resolve to a record (see IsTracked).
+        if (builder->IsTracked(candidate)) {
+          inputs.push_back(candidate);
+        }
+      }
+      std::sort(inputs.begin(), inputs.end());
+      inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+      if (inputs.size() < 2) {
+        // Degenerate pick; fall back to an update so aggregates stay
+        // genuinely multi-input.
+        PROVDB_RETURN_IF_ERROR(builder->Update(skewed_pick(), p,
+                                               random_value()));
+        continue;
+      }
+      PROVDB_ASSIGN_OR_RETURN(storage::ObjectId id,
+                              builder->Aggregate(inputs, p, random_value()));
+      live.push_back(id);
+    }
+  }
+  return Status::OK();
+}
+
+Status WipeIngestRoot(storage::Env* env, const std::string& root) {
+  auto entries = env->ListDir(root);
+  if (!entries.ok()) return Status::OK();  // nothing there yet
+  for (const std::string& entry : *entries) {
+    if (entry.rfind("shard-", 0) != 0) continue;
+    const std::string dir = root + "/" + entry;
+    PROVDB_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                            env->ListDir(dir));
+    for (const std::string& f : files) {
+      PROVDB_RETURN_IF_ERROR(env->RemoveFile(dir + "/" + f));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<provenance::IngestPipeline>> ReplayThroughPipeline(
+    storage::Env* env, const std::string& root_dir,
+    const std::vector<provenance::IngestRequest>& requests,
+    provenance::IngestOptions options) {
+  PROVDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<provenance::IngestPipeline> pipeline,
+      provenance::IngestPipeline::Open(env, root_dir, options));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    PROVDB_RETURN_IF_ERROR(pipeline->Submit(requests[i]));
+  }
+  PROVDB_RETURN_IF_ERROR(pipeline->Close());
+  return pipeline;
+}
+
+}  // namespace provdb::testing

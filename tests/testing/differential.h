@@ -1,0 +1,130 @@
+#ifndef PROVDB_TESTS_TESTING_DIFFERENTIAL_H_
+#define PROVDB_TESTS_TESTING_DIFFERENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "provenance/chain.h"
+#include "provenance/checksum.h"
+#include "provenance/ingest_pipeline.h"
+#include "provenance/provenance_store.h"
+#include "provenance/subtree_hasher.h"
+#include "storage/env.h"
+#include "storage/tree_store.h"
+#include "storage/value.h"
+#include "testing/test_pki.h"
+
+namespace provdb::testing {
+
+/// Differential-test harness: builds one workload twice — as a stream of
+/// fully-resolved IngestRequests (to replay through the sharded
+/// pipeline) and as a sequential reference ProvenanceStore built inline
+/// through the same BuildSignedIngestRecord — so tests can assert the
+/// two sides are bit-identical. RSA signing is deterministic, which is
+/// what makes byte-level comparison possible at all.
+///
+/// The builder owns a real TreeStore and hashes real subtree state, so
+/// the reference side is also auditable against the live tree.
+class IngestWorkloadBuilder {
+ public:
+  explicit IngestWorkloadBuilder(
+      crypto::HashAlgorithm alg = crypto::HashAlgorithm::kSha1);
+
+  IngestWorkloadBuilder(const IngestWorkloadBuilder&) = delete;
+  IngestWorkloadBuilder& operator=(const IngestWorkloadBuilder&) = delete;
+
+  /// Tracked insert: new root-level object with a provenance record.
+  Result<storage::ObjectId> Insert(size_t participant_idx,
+                                   const storage::Value& value);
+
+  /// Bootstrap data: an object placed in the tree with *no* provenance
+  /// record — it predates collection; its first update starts the chain
+  /// at seq 0 with an empty previous-checksum slot.
+  Result<storage::ObjectId> AddBootstrapObject(const storage::Value& value);
+
+  /// Tracked update of an existing object.
+  Status Update(storage::ObjectId id, size_t participant_idx,
+                const storage::Value& value);
+
+  /// Tracked aggregation of ≥1 existing objects into a fresh compound
+  /// object (inputs deduplicated and sorted into the global order).
+  Result<storage::ObjectId> Aggregate(
+      const std::vector<storage::ObjectId>& inputs, size_t participant_idx,
+      const storage::Value& root_value);
+
+  const std::vector<provenance::IngestRequest>& requests() const {
+    return requests_;
+  }
+  const provenance::ProvenanceStore& reference_store() const {
+    return reference_;
+  }
+  const storage::TreeStore& tree() const { return tree_; }
+  const crypto::ParticipantRegistry& registry() const {
+    return pki_->registry();
+  }
+  crypto::HashAlgorithm algorithm() const { return alg_; }
+  /// Every object with at least one provenance record, in creation order.
+  const std::vector<storage::ObjectId>& tracked_objects() const {
+    return tracked_;
+  }
+
+  /// True once `id` has a chain. Aggregates must only consume tracked
+  /// inputs: an aggregate over an untracked object whose chain starts
+  /// *later* records an input state no record output ever matches, which
+  /// the verifier rightly reports as unresolvable.
+  bool IsTracked(storage::ObjectId id) const {
+    return chains_.Get(id).exists;
+  }
+
+ private:
+  /// Signs `request` against the reference chain tail, commits it to the
+  /// reference store, and appends it to the request stream.
+  Status Apply(provenance::IngestRequest request);
+
+  crypto::HashAlgorithm alg_;
+  TestPki* pki_;
+  provenance::ChecksumEngine engine_;
+  storage::TreeStore tree_;
+  provenance::SubtreeHasher hasher_;
+  provenance::LocalChainState chains_;
+  provenance::ProvenanceStore reference_;
+  std::vector<provenance::IngestRequest> requests_;
+  std::vector<storage::ObjectId> tracked_;
+};
+
+/// Shape of the random workload.
+struct DifferentialWorkloadOptions {
+  size_t num_ops = 60;
+  size_t bootstrap_objects = 3;
+  double insert_weight = 0.40;
+  double update_weight = 0.45;  // remainder is aggregate
+};
+
+/// Drives `num_ops` random operations (insert/update/aggregate mix with
+/// skewed object popularity — early objects are hot) into `builder`,
+/// reproducibly from `seed`. Log the seed on failure to replay.
+Status RandomDifferentialWorkload(IngestWorkloadBuilder* builder,
+                                  uint64_t seed,
+                                  const DifferentialWorkloadOptions& options =
+                                      DifferentialWorkloadOptions());
+
+/// Removes every file under `root`'s shard-* subdirectories (leftovers
+/// from a previous test-binary run would be recovered as live history).
+/// The directories themselves may remain; an empty shard dir recovers to
+/// an empty shard.
+Status WipeIngestRoot(storage::Env* env, const std::string& root);
+
+/// Replays a request stream through a fresh sharded pipeline rooted at
+/// `root_dir` and closes it cleanly; the returned (closed) pipeline
+/// exposes the resulting ShardedProvenanceStore for comparison.
+Result<std::unique_ptr<provenance::IngestPipeline>> ReplayThroughPipeline(
+    storage::Env* env, const std::string& root_dir,
+    const std::vector<provenance::IngestRequest>& requests,
+    provenance::IngestOptions options);
+
+}  // namespace provdb::testing
+
+#endif  // PROVDB_TESTS_TESTING_DIFFERENTIAL_H_

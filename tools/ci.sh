@@ -11,9 +11,14 @@
 #                  recovery matrix + fault-injection crash sweep, run
 #                  under ASan+UBSan so torn-write salvage is also
 #                  memory-clean
-#   tsan           ThreadSanitizer over the parallel verify/audit paths
-#                  and the concurrent metrics-recording tests
+#   tsan           ThreadSanitizer over the parallel verify/audit paths,
+#                  the sharded ingest pipeline's parallel signing, and
+#                  the concurrent metrics-recording tests
 #   asan           ASan+UBSan over the wire-format decoder fuzz tests
+#   differential   the randomized differential + tamper-matrix harness
+#                  (ctest -L differential) under ASan+UBSan: sequential
+#                  store vs sharded pipeline byte-equality, single-field
+#                  tamper detection, WAL byte-flip refusal
 #   docs           markdown link check plus the src/ <-> OBSERVABILITY.md
 #                  metric-name cross-check (both directions)
 #   tidy           clang-tidy (.clang-tidy profile) over src/
@@ -21,7 +26,8 @@
 #
 # Usage: tools/ci.sh [stage...]
 #   No arguments runs the default order:
-#     release-tests lint werror format crash-recovery tsan asan docs
+#     release-tests lint werror format crash-recovery tsan asan
+#     differential docs
 #   plus tidy when PROVDB_TIDY=1 (clang-tidy may be absent, so it is
 #   opt-in). Build trees go under $PROVDB_CI_OUT (default: ./ci-out).
 set -eu
@@ -90,9 +96,9 @@ stage_tsan() {
     -DPROVDB_BUILD_EXAMPLES=OFF
   run cmake --build "$OUT/tsan" -j "$JOBS" \
     --target common_test provenance_core_test provenance_security_test \
-    provenance_ext_test observability_test
+    provenance_ext_test provenance_ingest_test observability_test
   run ctest --test-dir "$OUT/tsan" --output-on-failure -j "$JOBS" \
-    -R 'ThreadPool|Parallel|Audit|Concurrent'
+    -R 'ThreadPool|Parallel|Audit|Concurrent|Ingest'
 }
 
 stage_asan() {
@@ -102,6 +108,19 @@ stage_asan() {
   run cmake --build "$OUT/asan" -j "$JOBS" --target provenance_property_test
   run ctest --test-dir "$OUT/asan" --output-on-failure -j "$JOBS" \
     -R 'Decoder|Fuzz|Property'
+}
+
+stage_differential() {
+  # The randomized differential + tamper-matrix harness under ASan+UBSan:
+  # it deliberately mutates serialized records and raw WAL bytes, exactly
+  # where an out-of-bounds read in the decoder or verifier would hide.
+  run cmake -S "$ROOT" -B "$OUT/asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPROVDB_SANITIZE=address -DPROVDB_BUILD_BENCHMARKS=OFF \
+    -DPROVDB_BUILD_EXAMPLES=OFF
+  run cmake --build "$OUT/asan" -j "$JOBS" \
+    --target integration_differential_test
+  run ctest --test-dir "$OUT/asan" --output-on-failure -j "$JOBS" \
+    -L differential
 }
 
 stage_docs() {
@@ -132,12 +151,13 @@ run_stage() {
     crash-recovery) stage_crash_recovery ;;
     tsan)          stage_tsan ;;
     asan)          stage_asan ;;
+    differential)  stage_differential ;;
     docs)          stage_docs ;;
     tidy)          stage_tidy ;;
     *)
       echo "tools/ci.sh: unknown stage '$1'" >&2
       echo "stages: release-tests lint werror format crash-recovery" \
-        "tsan asan docs tidy" >&2
+        "tsan asan differential docs tidy" >&2
       exit 2
       ;;
   esac
@@ -146,7 +166,7 @@ run_stage() {
 if [ "$#" -gt 0 ]; then
   STAGES="$*"
 else
-  STAGES="release-tests lint werror format crash-recovery tsan asan docs"
+  STAGES="release-tests lint werror format crash-recovery tsan asan differential docs"
   if [ "${PROVDB_TIDY:-0}" = "1" ]; then
     STAGES="$STAGES tidy"
   fi
