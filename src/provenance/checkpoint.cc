@@ -1,0 +1,378 @@
+#include "provenance/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/varint.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
+#include "provenance/serialization.h"
+
+namespace provdb::provenance {
+namespace {
+
+/// The tail of one live chain as sealed into the chain-tails frame.
+struct ChainTail {
+  SeqId seq_id = 0;
+  Bytes checksum;
+};
+
+constexpr char kTmpSuffix[] = ".tmp";
+
+/// "checkpoint-NNNNNN.pvck" -> horizon, or 0 when `name` is not a
+/// (non-temporary) checkpoint file. Unlike WAL segment names a horizon
+/// of 0 never appears in a file name, so 0 is unambiguous here.
+uint64_t ParseCheckpointName(const std::string& name) {
+  const std::string prefix = "checkpoint-";
+  const std::string suffix = ".pvck";
+  if (name.size() <= prefix.size() + suffix.size()) return 0;
+  if (name.compare(0, prefix.size(), prefix) != 0) return 0;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return 0;
+  }
+  uint64_t index = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return 0;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (index > (UINT64_MAX - digit) / 10) return 0;
+    index = index * 10 + digit;
+  }
+  return index;
+}
+
+Bytes BuildCheckpointHeader(uint64_t horizon) {
+  Bytes header;
+  header.reserve(kCheckpointHeaderSize);
+  AppendBytes(&header, ByteView(reinterpret_cast<const uint8_t*>(
+                                    kCheckpointMagic),
+                                sizeof(kCheckpointMagic)));
+  AppendFixed64(&header, horizon);
+  AppendFixed32(&header, Crc32(ByteView(header.data(), header.size())));
+  return header;
+}
+
+Bytes BuildFrame(ByteView payload) {
+  Bytes frame;
+  AppendVarint64(&frame, payload.size());
+  AppendBytes(&frame, payload);
+  AppendFixed32(&frame, Crc32(payload));
+  return frame;
+}
+
+/// Absorbs one frame payload into the running root digest. The fixed
+/// length prefix keeps payload boundaries unambiguous under
+/// concatenation (two different frame sequences can never hash alike).
+void AbsorbFrame(crypto::Hasher* hasher, ByteView payload) {
+  Bytes len;
+  AppendFixed64(&len, payload.size());
+  hasher->Update(len);
+  hasher->Update(payload);
+}
+
+Bytes EncodeManifest(const CheckpointManifest& manifest) {
+  Bytes out;
+  AppendByte(&out, kCheckpointVersion);
+  AppendVarint64(&out, manifest.wal_horizon);
+  AppendVarint64(&out, manifest.sealer);
+  AppendVarint64(&out, static_cast<uint64_t>(manifest.root_hash));
+  AppendVarint64(&out, manifest.live_records);
+  AppendVarint64(&out, manifest.chain_count);
+  return out;
+}
+
+Result<CheckpointManifest> DecodeManifest(ByteView payload) {
+  VarintReader reader(payload);
+  PROVDB_ASSIGN_OR_RETURN(Bytes version, reader.ReadRaw(1));
+  if (version[0] != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(version[0]));
+  }
+  CheckpointManifest manifest;
+  PROVDB_ASSIGN_OR_RETURN(manifest.wal_horizon, reader.ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(manifest.sealer, reader.ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(uint64_t alg, reader.ReadVarint64());
+  if (alg > static_cast<uint64_t>(crypto::HashAlgorithm::kMd5)) {
+    return Status::Corruption("unknown checkpoint root hash algorithm " +
+                              std::to_string(alg));
+  }
+  manifest.root_hash = static_cast<crypto::HashAlgorithm>(alg);
+  PROVDB_ASSIGN_OR_RETURN(manifest.live_records, reader.ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(manifest.chain_count, reader.ReadVarint64());
+  if (!reader.done()) {
+    return Status::Corruption("trailing bytes after checkpoint manifest");
+  }
+  return manifest;
+}
+
+/// The live chain tails of `store`, ascending by object id — the map
+/// iteration order *is* the sealed order.
+std::map<storage::ObjectId, ChainTail> CollectChainTails(
+    const ProvenanceStore& store) {
+  std::map<storage::ObjectId, ChainTail> tails;
+  for (uint64_t i = 0; i < store.record_count(); ++i) {
+    if (store.is_pruned(i)) continue;
+    const ProvenanceRecord& rec = store.record(i);
+    // Index order is seqID order per chain, so the last live record of
+    // an object seen in this scan is its tail.
+    tails[rec.output.object_id] = ChainTail{rec.seq_id, rec.checksum};
+  }
+  return tails;
+}
+
+Bytes EncodeChainTails(const std::map<storage::ObjectId, ChainTail>& tails) {
+  Bytes out;
+  for (const auto& [object, tail] : tails) {
+    AppendVarint64(&out, object);
+    AppendVarint64(&out, tail.seq_id);
+    AppendLengthPrefixed(&out, tail.checksum);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CheckpointFileName(const std::string& dir, uint64_t horizon) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%06llu.pvck",
+                static_cast<unsigned long long>(horizon));
+  return dir + "/" + buf;
+}
+
+Status CheckpointWriter::Write(storage::Env* env, const std::string& dir,
+                               const ProvenanceStore& store,
+                               uint64_t wal_horizon,
+                               const crypto::Signer& signer,
+                               uint64_t sealer_id,
+                               crypto::HashAlgorithm root_hash) {
+  if (wal_horizon == 0) {
+    return Status::InvalidArgument(
+        "checkpoint horizon must cover at least WAL segment 1");
+  }
+  // Checkpoint observability (docs/OBSERVABILITY.md). Resolved here
+  // because sealing is a one-shot static pass, like WAL recovery.
+  observability::MetricsRegistry& metrics = observability::GlobalMetrics();
+  observability::ScopedLatencyTimer timer(
+      metrics.histogram("checkpoint.write.latency_us"));
+  observability::TraceSpan span("checkpoint.write");
+
+  const std::map<storage::ObjectId, ChainTail> tails =
+      CollectChainTails(store);
+  CheckpointManifest manifest;
+  manifest.wal_horizon = wal_horizon;
+  manifest.sealer = sealer_id;
+  manifest.root_hash = root_hash;
+  manifest.live_records = store.live_record_count();
+  manifest.chain_count = tails.size();
+
+  std::unique_ptr<crypto::Hasher> hasher = crypto::CreateHasher(root_hash);
+  hasher->Reset();
+
+  Bytes content = BuildCheckpointHeader(wal_horizon);
+  auto emit = [&](ByteView payload) {
+    AbsorbFrame(hasher.get(), payload);
+    AppendBytes(&content, BuildFrame(payload));
+  };
+  emit(EncodeManifest(manifest));
+  for (uint64_t i = 0; i < store.record_count(); ++i) {
+    if (!store.is_pruned(i)) {
+      emit(EncodeRecord(store.record(i)));
+    }
+  }
+  emit(EncodeChainTails(tails));
+
+  // The seal: sign the store-level root. The signature frame itself is
+  // outside the root (it cannot cover itself); its integrity comes from
+  // the frame CRC plus the fact that a swapped signature fails to
+  // verify.
+  crypto::Digest root = hasher->Finish();
+  PROVDB_ASSIGN_OR_RETURN(Bytes signature, signer.Sign(root.view()));
+  Bytes seal;
+  AppendLengthPrefixed(&seal, signature);
+  AppendBytes(&content, BuildFrame(seal));
+
+  // tmp + fsync + atomic rename + directory fsync (inside RenameFile):
+  // a crash at any point leaves either no checkpoint or the complete
+  // sealed one — never a torn file that recovery must judge.
+  const std::string final_path = CheckpointFileName(dir, wal_horizon);
+  const std::string tmp_path = final_path + kTmpSuffix;
+  PROVDB_ASSIGN_OR_RETURN(std::unique_ptr<storage::WritableFile> file,
+                          env->NewWritableFile(tmp_path));
+  PROVDB_RETURN_IF_ERROR(file->Append(content));
+  PROVDB_RETURN_IF_ERROR(file->Sync());
+  PROVDB_RETURN_IF_ERROR(file->Close());
+  PROVDB_RETURN_IF_ERROR(env->RenameFile(tmp_path, final_path));
+
+  metrics.counter("checkpoint.writes")->Increment();
+  metrics.counter("checkpoint.write.records")->Add(manifest.live_records);
+  metrics.counter("checkpoint.write.bytes")->Add(content.size());
+  return Status::OK();
+}
+
+Result<LoadedCheckpoint> CheckpointReader::Load(
+    storage::Env* env, const std::string& path,
+    const crypto::SignatureVerifier& verifier) {
+  observability::MetricsRegistry& metrics = observability::GlobalMetrics();
+  observability::ScopedLatencyTimer timer(
+      metrics.histogram("checkpoint.load.latency_us"));
+  observability::TraceSpan span("checkpoint.load");
+
+  PROVDB_ASSIGN_OR_RETURN(Bytes content, env->ReadFileToBytes(path));
+  if (content.size() < kCheckpointHeaderSize) {
+    return Status::Corruption("checkpoint " + path + " shorter than header");
+  }
+  // The magic is a public framing constant, not a secret; timing-safe
+  // comparison is not required here.
+  // lint:allow ct-memcmp
+  if (std::memcmp(content.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0 ||
+      ReadFixed32(content, 16) != Crc32(ByteView(content.data(), 16))) {
+    return Status::Corruption("bad checkpoint header in " + path);
+  }
+  const uint64_t header_horizon = ReadFixed64(content, 8);
+
+  // Strict framing: checkpoints are written atomically, so unlike a WAL
+  // tail there is no legal way for one to end mid-frame — every
+  // malformation is corruption, never a salvageable tear.
+  std::vector<Bytes> payloads;
+  VarintReader reader(
+      ByteView(content).subview(kCheckpointHeaderSize));
+  while (!reader.done()) {
+    PROVDB_ASSIGN_OR_RETURN(Bytes payload, reader.ReadLengthPrefixed());
+    PROVDB_ASSIGN_OR_RETURN(Bytes crc_raw, reader.ReadRaw(4));
+    if (ReadFixed32(crc_raw, 0) != Crc32(payload)) {
+      return Status::Corruption("checkpoint frame CRC mismatch in " + path);
+    }
+    payloads.push_back(std::move(payload));
+  }
+  if (payloads.size() < 3) {
+    // Minimum: manifest, chain tails, seal (an empty store still seals).
+    return Status::Corruption("checkpoint " + path + " is missing frames");
+  }
+
+  PROVDB_ASSIGN_OR_RETURN(CheckpointManifest manifest,
+                          DecodeManifest(payloads.front()));
+  if (manifest.wal_horizon != header_horizon) {
+    return Status::Corruption(
+        "checkpoint header horizon disagrees with its manifest in " + path);
+  }
+  if (payloads.size() != manifest.live_records + 3) {
+    return Status::Corruption("checkpoint " + path + " frame count " +
+                              std::to_string(payloads.size()) +
+                              " does not match its manifest");
+  }
+
+  // Verify the seal before trusting a single record: recompute the root
+  // over every sealed payload and check the signature. This is the same
+  // refusal a tampered record meets — kVerificationFailed, no partial
+  // load.
+  std::unique_ptr<crypto::Hasher> hasher =
+      crypto::CreateHasher(manifest.root_hash);
+  hasher->Reset();
+  for (size_t i = 0; i + 1 < payloads.size(); ++i) {
+    AbsorbFrame(hasher.get(), payloads[i]);
+  }
+  crypto::Digest root = hasher->Finish();
+  VarintReader seal_reader(payloads.back());
+  PROVDB_ASSIGN_OR_RETURN(Bytes signature, seal_reader.ReadLengthPrefixed());
+  if (!seal_reader.done()) {
+    return Status::Corruption("trailing bytes after checkpoint seal in " +
+                              path);
+  }
+  Status sealed = verifier.Verify(root.view(), signature);
+  if (!sealed.ok()) {
+    return Status::VerificationFailed(
+        "checkpoint seal of " + path +
+        " does not verify: " + sealed.ToString());
+  }
+
+  // Rebuild the store from the sealed records, then cross-check the
+  // rebuilt chain tails against the sealed ones — a defense-in-depth
+  // consistency check (the signature already covers both).
+  LoadedCheckpoint loaded;
+  loaded.manifest = manifest;
+  for (uint64_t i = 0; i < manifest.live_records; ++i) {
+    PROVDB_ASSIGN_OR_RETURN(ProvenanceRecord rec,
+                            DecodeRecord(payloads[1 + i]));
+    PROVDB_RETURN_IF_ERROR(loaded.store.AddRecord(std::move(rec)).status());
+  }
+  const std::map<storage::ObjectId, ChainTail> rebuilt =
+      CollectChainTails(loaded.store);
+  if (rebuilt.size() != manifest.chain_count) {
+    return Status::Corruption("checkpoint " + path + " chain count " +
+                              std::to_string(rebuilt.size()) +
+                              " does not match its manifest");
+  }
+  VarintReader tails_reader(payloads[payloads.size() - 2]);
+  for (const auto& [object, tail] : rebuilt) {
+    PROVDB_ASSIGN_OR_RETURN(uint64_t sealed_object,
+                            tails_reader.ReadVarint64());
+    PROVDB_ASSIGN_OR_RETURN(uint64_t sealed_seq, tails_reader.ReadVarint64());
+    PROVDB_ASSIGN_OR_RETURN(Bytes sealed_checksum,
+                            tails_reader.ReadLengthPrefixed());
+    if (sealed_object != object || sealed_seq != tail.seq_id ||
+        !ConstantTimeEqual(sealed_checksum, tail.checksum)) {
+      return Status::Corruption(
+          "checkpoint " + path + " chain tail for object " +
+          std::to_string(object) + " disagrees with its sealed records");
+    }
+  }
+  if (!tails_reader.done()) {
+    return Status::Corruption("trailing bytes after checkpoint chain tails in " +
+                              path);
+  }
+
+  metrics.counter("checkpoint.loads")->Increment();
+  metrics.counter("checkpoint.load.records")->Add(manifest.live_records);
+  return loaded;
+}
+
+Result<uint64_t> LatestCheckpointHorizon(storage::Env* env,
+                                         const std::string& dir) {
+  PROVDB_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  uint64_t latest = 0;
+  for (const std::string& name : names) {
+    latest = std::max(latest, ParseCheckpointName(name));
+  }
+  if (latest == 0) {
+    return Status::NotFound("no checkpoint in " + dir);
+  }
+  return latest;
+}
+
+Status RemoveStaleCheckpoints(storage::Env* env, const std::string& dir,
+                              uint64_t keep_horizon) {
+  observability::Counter* removed =
+      observability::GlobalMetrics().counter("checkpoint.stale_removed");
+  PROVDB_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  bool removed_any = false;
+  const size_t tmp_len = sizeof(kTmpSuffix) - 1;
+  for (const std::string& name : names) {
+    const uint64_t horizon = ParseCheckpointName(name);
+    const bool stale_checkpoint = horizon > 0 && horizon < keep_horizon;
+    // A lingering .tmp is always abandoned: the writer builds every
+    // snapshot in a fresh temp file and renames it away on success, and
+    // this cleanup only runs between writes.
+    const bool abandoned_tmp =
+        name.size() > tmp_len &&
+        name.compare(name.size() - tmp_len, tmp_len, kTmpSuffix) == 0 &&
+        ParseCheckpointName(name.substr(0, name.size() - tmp_len)) > 0;
+    if (!stale_checkpoint && !abandoned_tmp) {
+      continue;
+    }
+    PROVDB_RETURN_IF_ERROR(env->RemoveFile(dir + "/" + name));
+    removed->Increment();
+    removed_any = true;
+  }
+  if (removed_any) {
+    PROVDB_RETURN_IF_ERROR(env->SyncDir(dir));
+  }
+  return Status::OK();
+}
+
+}  // namespace provdb::provenance

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "observability/trace.h"
+#include "provenance/checkpoint.h"
 #include "provenance/serialization.h"
 
 namespace provdb::provenance {
@@ -138,7 +139,8 @@ std::string ShardedProvenanceStore::ShardDirName(const std::string& root,
 
 Result<ShardedProvenanceStore> ShardedProvenanceStore::Recover(
     storage::Env* env, const std::string& root, size_t num_shards,
-    std::vector<storage::WalRecoveryReport>* reports) {
+    std::vector<storage::WalRecoveryReport>* reports,
+    const crypto::SignatureVerifier* checkpoint_verifier) {
   if (num_shards == 0) {
     return Status::InvalidArgument("num_shards must be at least 1");
   }
@@ -147,9 +149,10 @@ Result<ShardedProvenanceStore> ShardedProvenanceStore::Recover(
     const std::string dir = ShardDirName(root, i);
     storage::WalRecoveryReport report;
     if (env->FileExists(dir)) {
-      PROVDB_ASSIGN_OR_RETURN(store.shards_[i],
-                              ProvenanceStore::RecoverFromWal(env, dir,
-                                                              &report));
+      PROVDB_ASSIGN_OR_RETURN(
+          store.shards_[i],
+          ProvenanceStore::RecoverFromWal(env, dir, &report,
+                                          checkpoint_verifier));
     }
     // A missing directory is an empty shard: the crash may have hit
     // before this shard received its first batch.
@@ -268,10 +271,12 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Open(
   options.wal.group_commit_bytes = 0;
 
   PROVDB_RETURN_IF_ERROR(env->CreateDir(root_dir));
+  std::vector<storage::WalRecoveryReport> reports;
   PROVDB_ASSIGN_OR_RETURN(
       ShardedProvenanceStore recovered,
       ShardedProvenanceStore::Recover(env, root_dir, options.num_shards,
-                                      recovery_reports));
+                                      &reports,
+                                      options.checkpoint.verifier));
 
   std::unique_ptr<IngestPipeline> pipeline(
       new IngestPipeline(env, root_dir, options));
@@ -279,11 +284,15 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Open(
       std::make_unique<ShardedProvenanceStore>(std::move(recovered));
 
   for (size_t i = 0; i < options.num_shards; ++i) {
+    // The recovered horizon flows into the writer so fresh segments are
+    // numbered past GC'd history and never resurrect a deleted index.
+    storage::WalOptions wal_options = options.wal;
+    wal_options.checkpoint_horizon = reports[i].checkpoint_horizon;
     PROVDB_ASSIGN_OR_RETURN(
         storage::WalWriter wal,
         storage::WalWriter::Open(
             env, ShardedProvenanceStore::ShardDirName(root_dir, i),
-            options.wal));
+            wal_options));
     auto shard = std::make_unique<Shard>(std::move(wal));
     // Seed every chain tail from the recovered records so reopened
     // chains continue exactly where the durable log left them.
@@ -299,6 +308,11 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Open(
   if (!options.signing.sequential()) {
     pipeline->pool_ = std::make_unique<ThreadPool>(
         static_cast<size_t>(options.signing.num_threads));
+  }
+  if (recovery_reports != nullptr) {
+    for (size_t i = 0; i < reports.size(); ++i) {
+      recovery_reports->push_back(reports[i]);
+    }
   }
   return pipeline;
 }
@@ -442,6 +456,64 @@ Status IngestPipeline::FlushShard(Shard* shard, ProvenanceStore* store) {
   batches_->Increment();
   batch_bytes_->Add(flushed_bytes);
   shard->since_flush.Restart();
+
+  shard->records_since_checkpoint += records.size();
+  shard->bytes_since_checkpoint += flushed_bytes;
+  const CheckpointPolicy& policy = options_.checkpoint;
+  if (policy.enabled() &&
+      ((policy.every_records > 0 &&
+        shard->records_since_checkpoint >= policy.every_records) ||
+       (policy.every_bytes > 0 &&
+        shard->bytes_since_checkpoint >= policy.every_bytes))) {
+    PROVDB_RETURN_IF_ERROR(CheckpointShard(shard, store));
+  }
+  return Status::OK();
+}
+
+Status IngestPipeline::CheckpointShard(Shard* shard, ProvenanceStore* store) {
+  // Ordering is the crash-safety argument (DESIGN.md §13): roll first so
+  // the horizon is a closed segment, seal the snapshot (tmp + rename,
+  // atomic), and only then delete covered segments and stale checkpoints.
+  // A crash after the roll costs an extra segment; after the seal,
+  // recovery already prefers the new checkpoint and skips the not-yet-
+  // deleted history; mid-GC, the survivors sit behind the horizon and
+  // are skipped too.
+  PROVDB_ASSIGN_OR_RETURN(uint64_t horizon, shard->wal.RollSegment());
+  if (horizon <= shard->wal.checkpoint_horizon()) {
+    // Nothing durable past the last checkpoint; the existing seal stands.
+    shard->records_since_checkpoint = 0;
+    shard->bytes_since_checkpoint = 0;
+    return Status::OK();
+  }
+  const std::string& dir = shard->wal.dir();
+  PROVDB_RETURN_IF_ERROR(CheckpointWriter::Write(
+      env_, dir, *store, horizon, *options_.checkpoint.signer,
+      options_.checkpoint.sealer_id, options_.hash_algorithm));
+  PROVDB_RETURN_IF_ERROR(RemoveStaleCheckpoints(env_, dir, horizon));
+  PROVDB_RETURN_IF_ERROR(shard->wal.GarbageCollect(horizon));
+  shard->records_since_checkpoint = 0;
+  shard->bytes_since_checkpoint = 0;
+  ++shard->checkpoints;
+  return Status::OK();
+}
+
+Status IngestPipeline::CheckpointNow() {
+  if (!failed_.ok()) return failed_;
+  if (closed_) {
+    return Status::FailedPrecondition("checkpoint on closed ingest pipeline");
+  }
+  if (options_.checkpoint.signer == nullptr) {
+    return Status::FailedPrecondition(
+        "ingest pipeline has no checkpoint signer configured");
+  }
+  PROVDB_RETURN_IF_ERROR(Drain());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Status s = CheckpointShard(shards_[i].get(), &store_->shard(i));
+    if (!s.ok()) {
+      failed_ = s;
+      return failed_;
+    }
+  }
   return Status::OK();
 }
 

@@ -83,10 +83,14 @@ class ShardedProvenanceStore {
   /// Rebuilds every shard from its WAL directory under `root`. A missing
   /// shard directory is an empty shard (the crash may have hit before its
   /// first batch); per-shard salvage reports are appended to `reports`
-  /// when non-null, indexed by shard.
+  /// when non-null, indexed by shard. Shards holding a sealed checkpoint
+  /// recover from it plus their WAL suffix; `checkpoint_verifier` checks
+  /// the seals (required once any shard has checkpointed — see
+  /// ProvenanceStore::RecoverFromWal).
   static Result<ShardedProvenanceStore> Recover(
       storage::Env* env, const std::string& root, size_t num_shards,
-      std::vector<storage::WalRecoveryReport>* reports = nullptr);
+      std::vector<storage::WalRecoveryReport>* reports = nullptr,
+      const crypto::SignatureVerifier* checkpoint_verifier = nullptr);
 
   size_t num_shards() const { return shards_.size(); }
   ProvenanceStore& shard(size_t index) { return shards_[index]; }
@@ -127,6 +131,27 @@ class ShardedProvenanceStore {
   std::vector<ProvenanceStore> shards_;
 };
 
+/// Periodic signed checkpoints (DESIGN.md §13). Inactive unless a signer
+/// is set and at least one threshold is positive. When a shard's flush
+/// commits and the shard has accumulated `every_records` records (or
+/// `every_bytes` of WAL frames) since its last checkpoint, the pipeline
+/// rolls the shard's WAL, seals a snapshot at the rolled horizon, and
+/// garbage-collects the segments (and stale checkpoints) behind it.
+struct CheckpointPolicy {
+  uint64_t every_records = 0;
+  uint64_t every_bytes = 0;
+  /// Seals each checkpoint's root digest (borrowed; must outlive the
+  /// pipeline). Recorded in the manifest as participant `sealer_id`.
+  const crypto::Signer* signer = nullptr;
+  uint64_t sealer_id = 0;
+  /// Verifies existing checkpoint seals during Open recovery (borrowed).
+  const crypto::SignatureVerifier* verifier = nullptr;
+
+  bool enabled() const {
+    return signer != nullptr && (every_records > 0 || every_bytes > 0);
+  }
+};
+
 /// Tuning knobs for IngestPipeline.
 struct IngestOptions {
   size_t num_shards = 1;
@@ -153,6 +178,9 @@ struct IngestOptions {
   /// WAL-level group-commit thresholds are ignored: the pipeline places
   /// every durability point itself (one Sync per batch).
   storage::WalOptions wal;
+
+  /// Periodic per-shard checkpoint + WAL compaction policy.
+  CheckpointPolicy checkpoint;
 };
 
 /// The sharded batched ingest engine. Requests are routed to a shard by
@@ -197,6 +225,18 @@ class IngestPipeline {
   /// Drain + close every shard WAL. Idempotent; further Submits fail.
   Status Close();
 
+  /// Drains, then checkpoints every shard immediately, regardless of the
+  /// policy thresholds (a signer must still be configured). Each shard's
+  /// WAL is rolled, a sealed snapshot written at the rolled horizon, and
+  /// the covered segments garbage-collected. Shards with nothing new
+  /// since their last checkpoint are skipped without I/O.
+  Status CheckpointNow();
+
+  /// Checkpoints sealed for shard `index` since this pipeline opened.
+  uint64_t shard_checkpoints(size_t index) const {
+    return shards_[index]->checkpoints;
+  }
+
   const ShardedProvenanceStore& store() const { return *store_; }
   ShardedProvenanceStore* mutable_store() { return store_.get(); }
 
@@ -219,13 +259,25 @@ class IngestPipeline {
     std::vector<IngestRequest> pending;
     uint64_t pending_bytes = 0;
     Stopwatch since_flush;
+    /// Committed work since the shard's last checkpoint — what the
+    /// CheckpointPolicy thresholds fire against.
+    uint64_t records_since_checkpoint = 0;
+    uint64_t bytes_since_checkpoint = 0;
+    uint64_t checkpoints = 0;
   };
 
   IngestPipeline(storage::Env* env, std::string root_dir,
                  IngestOptions options);
 
-  /// Signs, appends, fsyncs, and commits `shard`'s pending batch.
+  /// Signs, appends, fsyncs, and commits `shard`'s pending batch, then
+  /// checkpoints the shard if the policy thresholds fire.
   Status FlushShard(Shard* shard, ProvenanceStore* store);
+
+  /// Roll → seal → GC for one shard (the §13 compaction step). Called
+  /// only at batch boundaries, so the snapshot state equals the WAL
+  /// content exactly. A no-op when nothing new lies behind the roll
+  /// point.
+  Status CheckpointShard(Shard* shard, ProvenanceStore* store);
 
   storage::Env* env_;
   std::string root_dir_;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/varint.h"
+#include "provenance/checkpoint.h"
 #include "provenance/serialization.h"
 
 namespace provdb::provenance {
@@ -252,17 +253,42 @@ Status ProvenanceStore::AttachWal(storage::WalWriter* wal,
 
 Result<ProvenanceStore> ProvenanceStore::RecoverFromWal(
     storage::Env* env, const std::string& dir,
-    storage::WalRecoveryReport* report) {
+    storage::WalRecoveryReport* report,
+    const crypto::SignatureVerifier* checkpoint_verifier) {
+  // Checkpoint-bounded recovery: rebuild from the newest sealed snapshot
+  // (if any) and replay only the WAL suffix past its horizon on top.
+  ProvenanceStore store;
+  storage::WalReaderOptions reader_options;
+  uint64_t checkpoint_records = 0;
+  Result<uint64_t> latest = LatestCheckpointHorizon(env, dir);
+  if (latest.ok()) {
+    if (checkpoint_verifier == nullptr) {
+      return Status::FailedPrecondition(
+          "a sealed checkpoint exists in " + dir +
+          " but no verifier was supplied to check its seal");
+    }
+    PROVDB_ASSIGN_OR_RETURN(
+        LoadedCheckpoint checkpoint,
+        CheckpointReader::Load(env, CheckpointFileName(dir, latest.value()),
+                               *checkpoint_verifier));
+    reader_options.checkpoint_horizon = checkpoint.manifest.wal_horizon;
+    checkpoint_records = checkpoint.manifest.live_records;
+    store = std::move(checkpoint.store);
+  } else if (latest.status().code() != StatusCode::kNotFound) {
+    return latest.status();
+  }
+
   PROVDB_ASSIGN_OR_RETURN(storage::WalReader reader,
-                          storage::WalReader::Open(env, dir));
+                          storage::WalReader::Open(env, dir, reader_options));
   if (report != nullptr) {
     *report = reader.report();
+    report->checkpoint_horizon = reader_options.checkpoint_horizon;
+    report->checkpoint_records = checkpoint_records;
   }
   // Replay typed WAL entries (not LoadFromLog, whose snapshot files carry
   // bare records): appends re-add, prune markers re-prune, so the
   // recovered store converges to the pre-crash state instead of
   // resurrecting pruned history.
-  ProvenanceStore store;
   Status status = reader.log().ForEach([&](uint64_t, ByteView payload) {
     if (payload.empty()) {
       return Status::Corruption("empty WAL entry");

@@ -10,6 +10,10 @@
 #include "storage/record_log.h"
 #include "storage/wal.h"
 
+namespace provdb::crypto {
+class SignatureVerifier;
+}  // namespace provdb::crypto
+
 namespace provdb::provenance {
 
 /// The provenance database (§5.1): an append-only collection of provenance
@@ -106,9 +110,19 @@ class ProvenanceStore {
   /// (dropped byte counts) are returned through `report` when non-null;
   /// corruption before the tail fails with kCorruption (see DESIGN.md §8
   /// for the decision rule).
+  ///
+  /// Checkpoint-bounded recovery (DESIGN.md §13): when `dir` holds a
+  /// sealed checkpoint, the store is rebuilt from the newest one and only
+  /// the WAL suffix past its horizon is replayed — O(delta), not
+  /// O(history). The checkpoint's seal must verify under
+  /// `checkpoint_verifier`; a checkpoint with no verifier supplied is
+  /// kFailedPrecondition (recovering *around* an unverifiable snapshot
+  /// would silently drop its history), and a tampered one is refused
+  /// exactly like a tampered record.
   static Result<ProvenanceStore> RecoverFromWal(
       storage::Env* env, const std::string& dir,
-      storage::WalRecoveryReport* report = nullptr);
+      storage::WalRecoveryReport* report = nullptr,
+      const crypto::SignatureVerifier* checkpoint_verifier = nullptr);
 
   /// Footnote-3 optimization: after an object is deleted, its provenance
   /// object is no longer relevant and its records may be dropped. Refuses

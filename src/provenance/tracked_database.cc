@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stopwatch.h"
+#include "provenance/checkpoint.h"
 
 namespace provdb::provenance {
 
@@ -662,6 +663,27 @@ Status TrackedDatabase::SyncWal() {
     return Status::FailedPrecondition("no WAL attached to this database");
   }
   return wal->Sync();
+}
+
+Status TrackedDatabase::CheckpointWal(const crypto::Signer& signer,
+                                      uint64_t sealer_id,
+                                      crypto::HashAlgorithm alg) {
+  storage::WalWriter* wal = store_.attached_wal();
+  if (wal == nullptr) {
+    return Status::FailedPrecondition("no WAL attached to this database");
+  }
+  // Roll → seal → GC, the same crash-safe order as the ingest pipeline
+  // (see IngestPipeline::CheckpointShard and DESIGN.md §13).
+  PROVDB_ASSIGN_OR_RETURN(uint64_t horizon, wal->RollSegment());
+  if (horizon <= wal->checkpoint_horizon()) {
+    return Status::OK();
+  }
+  PROVDB_RETURN_IF_ERROR(CheckpointWriter::Write(wal->env(), wal->dir(),
+                                                 store_, horizon, signer,
+                                                 sealer_id, alg));
+  PROVDB_RETURN_IF_ERROR(
+      RemoveStaleCheckpoints(wal->env(), wal->dir(), horizon));
+  return wal->GarbageCollect(horizon);
 }
 
 }  // namespace provdb::provenance

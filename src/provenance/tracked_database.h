@@ -139,6 +139,18 @@ class TrackedDatabase {
   /// OK.
   Status SyncWal();
 
+  /// Seals a signed checkpoint of the provenance store into the attached
+  /// WAL's directory and garbage-collects the segments it covers
+  /// (DESIGN.md §13): the WAL is rolled, a snapshot sealed with `signer`
+  /// (as participant `sealer_id`) at the rolled horizon, stale
+  /// checkpoints removed, and covered segments deleted. Recovery from
+  /// that directory then needs the checkpoint plus the WAL suffix only.
+  /// A no-op when nothing was appended since the last checkpoint;
+  /// kFailedPrecondition without an attached WAL.
+  Status CheckpointWal(const crypto::Signer& signer, uint64_t sealer_id,
+                       crypto::HashAlgorithm alg =
+                           crypto::HashAlgorithm::kSha1);
+
   const TrackedDatabaseOptions& options() const { return options_; }
 
   /// Current compound hash of subtree(id) under the configured algorithm.

@@ -13,6 +13,7 @@ class FaultInjectionWritableFile final : public WritableFile {
       : env_(env), path_(std::move(path)), base_(std::move(base)) {}
 
   Status Append(ByteView data) override {
+    PROVDB_RETURN_IF_ERROR(env_->BeginMutatingOp("append " + path_));
     if (!env_->active_) {
       return Status::IoError("injected fault: filesystem inactive (append " +
                              path_ + ")");
@@ -40,6 +41,7 @@ class FaultInjectionWritableFile final : public WritableFile {
   Status Flush() override { return base_->Flush(); }
 
   Status Sync() override {
+    PROVDB_RETURN_IF_ERROR(env_->BeginMutatingOp("sync " + path_));
     if (!env_->active_) {
       return Status::IoError("injected fault: filesystem inactive (sync " +
                              path_ + ")");
@@ -64,9 +66,13 @@ class FaultInjectionWritableFile final : public WritableFile {
 
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path) {
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("create " + path));
   if (!active_) {
     return Status::IoError("injected fault: filesystem inactive (create " +
                            path + ")");
+  }
+  if (fail_new_file_in_ > 0 && --fail_new_file_in_ == 0) {
+    return Status::IoError("injected fault: create failure at " + path);
   }
   PROVDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
                           base_->NewWritableFile(path));
@@ -81,6 +87,7 @@ Result<Bytes> FaultInjectionEnv::ReadFileToBytes(const std::string& path) {
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("rename " + from));
   if (!active_) {
     return Status::IoError("injected fault: filesystem inactive (rename " +
                            from + ")");
@@ -96,11 +103,21 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 }
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("remove " + path));
+  if (!active_) {
+    return Status::IoError("injected fault: filesystem inactive (remove " +
+                           path + ")");
+  }
   files_.erase(path);
   return base_->RemoveFile(path);
 }
 
 Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("mkdir " + path));
+  if (!active_) {
+    return Status::IoError("injected fault: filesystem inactive (mkdir " +
+                           path + ")");
+  }
   return base_->CreateDir(path);
 }
 
@@ -119,10 +136,16 @@ bool FaultInjectionEnv::FileExists(const std::string& path) {
 
 Status FaultInjectionEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("truncate " + path));
+  if (!active_) {
+    return Status::IoError("injected fault: filesystem inactive (truncate " +
+                           path + ")");
+  }
   return base_->TruncateFile(path, size);
 }
 
 Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("syncdir " + dir));
   if (!active_) {
     return Status::IoError("injected fault: filesystem inactive (syncdir " +
                            dir + ")");
@@ -141,11 +164,34 @@ void FaultInjectionEnv::ScheduleSyncFailure(uint64_t nth) {
   fail_sync_in_ = nth;
 }
 
+void FaultInjectionEnv::ScheduleNewFileFailure(uint64_t nth) {
+  fail_new_file_in_ = nth;
+}
+
+void FaultInjectionEnv::ScheduleCrashAtOp(uint64_t nth) {
+  crash_at_op_ = nth == 0 ? 0 : mutating_op_count_ + nth;
+}
+
+Status FaultInjectionEnv::BeginMutatingOp(const std::string& what) {
+  ++mutating_op_count_;
+  if (crash_at_op_ > 0 && mutating_op_count_ >= crash_at_op_) {
+    // The crash point: this operation fails and the disk image freezes,
+    // exactly as if the process died here.
+    active_ = false;
+    return Status::IoError("injected fault: crash at op #" +
+                           std::to_string(mutating_op_count_) + " (" + what +
+                           ")");
+  }
+  return Status::OK();
+}
+
 void FaultInjectionEnv::ClearFaults() {
   active_ = true;
   fail_append_in_ = 0;
   torn_append_ = false;
   fail_sync_in_ = 0;
+  fail_new_file_in_ = 0;
+  crash_at_op_ = 0;
 }
 
 Status FaultInjectionEnv::DropUnsyncedFileData() {

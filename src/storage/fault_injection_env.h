@@ -61,6 +61,21 @@ class FaultInjectionEnv final : public Env {
   /// The `nth` Sync from now (1-based) fails with kIoError.
   void ScheduleSyncFailure(uint64_t nth);
 
+  /// The `nth` NewWritableFile from now (1-based) fails with kIoError —
+  /// e.g. the segment creation inside a WAL rollover.
+  void ScheduleNewFileFailure(uint64_t nth);
+
+  /// Crash sweep control: the `nth` mutating filesystem operation from
+  /// now (append, sync, dir-sync, create, rename, remove, truncate,
+  /// mkdir) fails with kIoError *and* freezes the filesystem, so the
+  /// process cannot touch the disk image past the crash point. Use
+  /// `mutating_ops()` from a fault-free dry run to size the sweep.
+  void ScheduleCrashAtOp(uint64_t nth);
+
+  /// Mutating operations attempted through this env so far (the unit
+  /// ScheduleCrashAtOp counts in).
+  uint64_t mutating_ops() const { return mutating_op_count_; }
+
   /// Clears scheduled failures and re-activates the filesystem (does not
   /// reset counters or tracked file state).
   void ClearFaults();
@@ -90,15 +105,23 @@ class FaultInjectionEnv final : public Env {
     uint64_t synced = 0;
   };
 
+  /// Bumps the mutating-op counter and applies a scheduled crash: when
+  /// the counter hits the crash point the filesystem freezes and the
+  /// current operation fails. Returns OK otherwise.
+  Status BeginMutatingOp(const std::string& what);
+
   Env* base_;
   bool active_ = true;
   std::map<std::string, FileState> files_;
   uint64_t append_count_ = 0;
   uint64_t sync_count_ = 0;
   uint64_t dir_sync_count_ = 0;
+  uint64_t mutating_op_count_ = 0;
   uint64_t fail_append_in_ = 0;  // 0 = no failure scheduled
   bool torn_append_ = false;
   uint64_t fail_sync_in_ = 0;
+  uint64_t fail_new_file_in_ = 0;
+  uint64_t crash_at_op_ = 0;  // 0 = no crash scheduled
 };
 
 }  // namespace provdb::storage

@@ -9,25 +9,43 @@
 #include "observability/trace.h"
 
 namespace provdb::storage {
-namespace {
 
-/// "wal-000001.log" etc. Returns 0 when `name` is not a segment name.
-uint64_t ParseSegmentName(const std::string& name) {
+WalSegmentNameKind ParseWalSegmentName(const std::string& name,
+                                       uint64_t* index) {
   const std::string prefix = "wal-";
   const std::string suffix = ".log";
-  if (name.size() <= prefix.size() + suffix.size()) return 0;
-  if (name.compare(0, prefix.size(), prefix) != 0) return 0;
-  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
-    return 0;
+  if (name.size() <= prefix.size() + suffix.size()) {
+    return WalSegmentNameKind::kNotSegment;
   }
-  uint64_t index = 0;
+  if (name.compare(0, prefix.size(), prefix) != 0) {
+    return WalSegmentNameKind::kNotSegment;
+  }
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return WalSegmentNameKind::kNotSegment;
+  }
+  uint64_t value = 0;
   for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
     char c = name[i];
-    if (c < '0' || c > '9') return 0;
-    index = index * 10 + static_cast<uint64_t>(c - '0');
+    if (c < '0' || c > '9') return WalSegmentNameKind::kNotSegment;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      // A digit run that overflows uint64_t cannot name a segment the
+      // writer ever produced; treating it modulo 2^64 would let a forged
+      // file alias (and shadow) a real low-numbered segment.
+      return WalSegmentNameKind::kInvalid;
+    }
+    value = value * 10 + digit;
   }
-  return index;
+  if (value == 0) {
+    // Segments are numbered from 1: "wal-000000.log" is segment-shaped
+    // but impossible, so it is flagged instead of silently skipped.
+    return WalSegmentNameKind::kInvalid;
+  }
+  *index = value;
+  return WalSegmentNameKind::kSegment;
 }
+
+namespace {
 
 Bytes BuildSegmentHeader(uint64_t index) {
   Bytes header;
@@ -102,9 +120,23 @@ Result<WalWriter> WalWriter::Open(Env* env, const std::string& dir,
   }
   PROVDB_RETURN_IF_ERROR(env->CreateDir(dir));
   PROVDB_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
-  uint64_t max_index = 0;
+  // The checkpoint horizon is a floor: even when every segment at or
+  // below it has been garbage-collected, new segments keep numbering
+  // past it so a GC'd index is never reused (reused indices would let a
+  // pre-GC segment masquerade as post-checkpoint history).
+  uint64_t max_index = options.checkpoint_horizon;
   for (const std::string& name : names) {
-    max_index = std::max(max_index, ParseSegmentName(name));
+    uint64_t index = 0;
+    switch (ParseWalSegmentName(name, &index)) {
+      case WalSegmentNameKind::kSegment:
+        max_index = std::max(max_index, index);
+        break;
+      case WalSegmentNameKind::kInvalid:
+        return Status::Corruption("invalid WAL segment name '" + name +
+                                  "' in " + dir);
+      case WalSegmentNameKind::kNotSegment:
+        break;
+    }
   }
   // A crash during a previous OpenSegment can leave the highest segment
   // shorter than its header (the header is only Flushed, not Synced,
@@ -112,8 +144,16 @@ Result<WalWriter> WalWriter::Open(Env* env, const std::string& dir,
   // index rather than numbering past it — otherwise it would sit
   // headerless *before* the new segment forever, and recovery must treat
   // a headerless non-final segment as corruption.
-  while (max_index > 0) {
+  while (max_index > options.checkpoint_horizon) {
     const std::string last = SegmentFileName(dir, max_index);
+    if (!env->FileExists(last)) {
+      // The predecessor of a removed headerless segment is itself
+      // missing: a hole inside the live suffix, exactly what
+      // WalReader::Open reports — not an I/O error to fumble over.
+      return Status::Corruption("WAL segment gap: wal segment " +
+                                std::to_string(max_index) + " is missing in " +
+                                dir);
+    }
     PROVDB_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(last));
     if (size >= kWalHeaderSize) break;
     PROVDB_RETURN_IF_ERROR(env->RemoveFile(last));
@@ -139,7 +179,31 @@ Status WalWriter::OpenSegment(uint64_t index) {
   return Status::OK();
 }
 
+Status WalWriter::RollToNextSegment() {
+  // The old segment must be durable before the new one can receive
+  // data: recovery hard-fails on a torn frame that is no longer at the
+  // tail of the log. Any failure in the sequence leaves the writer with
+  // no segment that can legally accept frames (the old one is closed or
+  // in an unknown state, the new one never opened), so it poisons the
+  // writer: a later Append into the stale handle would write records
+  // recovery can never see.
+  Status roll = Sync();
+  if (roll.ok()) roll = file_->Close();
+  if (roll.ok()) roll = OpenSegment(segment_index_ + 1);
+  if (!roll.ok()) {
+    poisoned_ = Status::FailedPrecondition(
+        "WAL writer poisoned by a failed segment rollover in " + dir_ +
+        ": " + roll.ToString());
+    return roll;
+  }
+  rollovers_->Increment();
+  return Status::OK();
+}
+
 Status WalWriter::Append(ByteView payload) {
+  if (!poisoned_.ok()) {
+    return poisoned_;
+  }
   if (closed_) {
     return Status::FailedPrecondition("append to closed WAL " + dir_);
   }
@@ -155,13 +219,7 @@ Status WalWriter::Append(ByteView payload) {
 
   if (segment_records_ > 0 &&
       segment_bytes_ + frame.size() > options_.segment_size_limit) {
-    // Roll over. The old segment must be durable before the new one can
-    // receive data: recovery hard-fails on a torn frame that is no
-    // longer at the tail of the log.
-    PROVDB_RETURN_IF_ERROR(Sync());
-    PROVDB_RETURN_IF_ERROR(file_->Close());
-    PROVDB_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1));
-    rollovers_->Increment();
+    PROVDB_RETURN_IF_ERROR(RollToNextSegment());
   }
 
   PROVDB_RETURN_IF_ERROR(file_->Append(frame));
@@ -184,6 +242,9 @@ Status WalWriter::Append(ByteView payload) {
 }
 
 Status WalWriter::Flush() {
+  if (!poisoned_.ok()) {
+    return poisoned_;
+  }
   if (closed_) {
     return Status::OK();
   }
@@ -191,6 +252,9 @@ Status WalWriter::Flush() {
 }
 
 Status WalWriter::Sync() {
+  if (!poisoned_.ok()) {
+    return poisoned_;
+  }
   if (closed_) {
     return Status::FailedPrecondition("sync of closed WAL " + dir_);
   }
@@ -207,12 +271,71 @@ Status WalWriter::Close() {
   if (closed_) {
     return Status::OK();
   }
+  if (!poisoned_.ok()) {
+    // The active file handle is stale (closed, or never replaced, by the
+    // failed rollover); touching it again is not safe. Surface the
+    // poison instead.
+    file_.reset();
+    closed_ = true;
+    return poisoned_;
+  }
   Status s = Sync();
   Status c = file_->Close();
   file_.reset();
   closed_ = true;
   PROVDB_RETURN_IF_ERROR(s);
   return c;
+}
+
+Result<uint64_t> WalWriter::RollSegment() {
+  if (!poisoned_.ok()) {
+    return poisoned_;
+  }
+  if (closed_) {
+    return Status::FailedPrecondition("roll of closed WAL " + dir_);
+  }
+  if (segment_records_ == 0) {
+    // The current segment is empty: everything appended so far already
+    // sits behind the boundary to its predecessor, so that boundary is
+    // the seal — no I/O needed (and no empty segment left behind).
+    return segment_index_ - 1;
+  }
+  uint64_t sealed = segment_index_;
+  PROVDB_RETURN_IF_ERROR(RollToNextSegment());
+  return sealed;
+}
+
+Status WalWriter::GarbageCollect(uint64_t horizon) {
+  if (horizon >= segment_index_) {
+    return Status::InvalidArgument(
+        "WAL GC horizon " + std::to_string(horizon) +
+        " would cover the active segment " + std::to_string(segment_index_) +
+        " of " + dir_);
+  }
+  observability::Counter* gc_segments =
+      observability::GlobalMetrics().counter("wal.gc.segments");
+  PROVDB_ASSIGN_OR_RETURN(std::vector<std::string> names, env_->ListDir(dir_));
+  bool removed_any = false;
+  for (const std::string& name : names) {
+    uint64_t index = 0;
+    if (ParseWalSegmentName(name, &index) != WalSegmentNameKind::kSegment) {
+      continue;
+    }
+    if (index > horizon) {
+      continue;
+    }
+    PROVDB_RETURN_IF_ERROR(env_->RemoveFile(dir_ + "/" + name));
+    gc_segments->Increment();
+    removed_any = true;
+  }
+  if (removed_any) {
+    // One directory fsync covers the batch: until it lands, a power cut
+    // may resurrect some deleted names, which recovery tolerates — the
+    // checkpoint horizon makes it skip them either way.
+    PROVDB_RETURN_IF_ERROR(env_->SyncDir(dir_));
+  }
+  options_.checkpoint_horizon = std::max(options_.checkpoint_horizon, horizon);
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -234,12 +357,35 @@ Result<WalReader> WalReader::Open(Env* env, const std::string& dir,
   PROVDB_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
   std::vector<std::pair<uint64_t, std::string>> segments;
   for (const std::string& name : names) {
-    uint64_t index = ParseSegmentName(name);
-    if (index > 0) {
-      segments.emplace_back(index, dir + "/" + name);
+    uint64_t index = 0;
+    switch (ParseWalSegmentName(name, &index)) {
+      case WalSegmentNameKind::kSegment:
+        // Segments at or below the checkpoint horizon are history the
+        // sealed snapshot already covers; they are skipped whether or
+        // not GC got to them before the crash.
+        if (index > options.checkpoint_horizon) {
+          segments.emplace_back(index, dir + "/" + name);
+        }
+        break;
+      case WalSegmentNameKind::kInvalid:
+        return Status::Corruption("invalid WAL segment name '" + name +
+                                  "' in " + dir);
+      case WalSegmentNameKind::kNotSegment:
+        break;
     }
   }
   std::sort(segments.begin(), segments.end());
+  // The replayable suffix must start exactly one past the horizon (the
+  // very first segment a fresh log writes is 1). A later start means a
+  // segment vanished — silent truncation of acknowledged history, the
+  // same corruption as an interior hole.
+  if (!segments.empty() &&
+      segments[0].first != options.checkpoint_horizon + 1) {
+    return Status::Corruption(
+        "WAL segment gap: wal segment " +
+        std::to_string(options.checkpoint_horizon + 1) + " is missing in " +
+        dir);
+  }
   for (size_t i = 1; i < segments.size(); ++i) {
     if (segments[i].first != segments[i - 1].first + 1) {
       return Status::Corruption(

@@ -37,6 +37,22 @@ inline constexpr size_t kWalHeaderSize = 8 + 8 + 4;
 /// 32-bit quantity everywhere downstream).
 inline constexpr uint64_t kWalMaxPayload = 0xFFFFFFFFu;
 
+/// Classification of a directory entry by ParseWalSegmentName.
+enum class WalSegmentNameKind {
+  kNotSegment,  // some other file; ignore it
+  kInvalid,     // segment-shaped but illegal: index 0 or uint64 overflow
+  kSegment,     // a well-formed segment name; *index holds its number
+};
+
+/// Strict parse of "wal-NNNNNN.log". Segments are numbered from 1, so an
+/// index of 0 is not a name the writer can ever produce, and a digit run
+/// that overflows uint64_t cannot round-trip through SegmentFileName —
+/// both are kInvalid rather than silently ignored: a file that *claims*
+/// to be a segment but cannot be one is evidence of tampering or of a
+/// foreign file that would otherwise shadow real log state.
+WalSegmentNameKind ParseWalSegmentName(const std::string& name,
+                                       uint64_t* index);
+
 struct WalOptions {
   /// A segment is closed (synced) and a new one started once it would
   /// exceed this many bytes. A segment always accepts at least one frame,
@@ -58,6 +74,13 @@ struct WalOptions {
   /// frame bytes have accumulated since the last durability point.
   /// Either threshold firing triggers the Sync.
   uint64_t group_commit_bytes = 0;
+
+  /// Index of the last WAL segment covered by a sealed checkpoint (0 =
+  /// none). Segments at or below the horizon are checkpoint history: the
+  /// writer numbers new segments past it even when they have been
+  /// garbage-collected, and never reuses an index at or below it, so a
+  /// GC'd segment can never be resurrected under its old name.
+  uint64_t checkpoint_horizon = 0;
 };
 
 /// Incremental appender. Unlike RecordLog::SaveToFile (which rewrites the
@@ -92,6 +115,21 @@ class WalWriter {
   /// Syncs and closes the current segment. Further Appends fail.
   Status Close();
 
+  /// Seals everything appended so far behind a segment boundary and
+  /// returns the sealed index — the checkpoint horizon a snapshot taken
+  /// *now* covers. When the current segment already holds records it is
+  /// synced, closed, and a fresh segment is started; when it is empty the
+  /// boundary already exists and the predecessor index is returned
+  /// without touching the disk.
+  Result<uint64_t> RollSegment();
+
+  /// Deletes every segment with index <= `horizon` — history wholly
+  /// covered by a sealed checkpoint. The active segment is never
+  /// eligible (kInvalidArgument when `horizon` reaches it). Idempotent:
+  /// already-missing segments are skipped, so a crash mid-GC just
+  /// resumes on the next call.
+  Status GarbageCollect(uint64_t horizon);
+
   /// Full path of segment `index` under `dir`.
   static std::string SegmentFileName(const std::string& dir, uint64_t index);
 
@@ -107,12 +145,28 @@ class WalWriter {
 
   uint64_t current_segment_index() const { return segment_index_; }
   uint64_t current_segment_bytes() const { return segment_bytes_; }
+  uint64_t current_segment_records() const { return segment_records_; }
   const std::string& dir() const { return dir_; }
+  Env* env() const { return env_; }
+
+  /// The checkpoint horizon this writer was opened with (see WalOptions).
+  uint64_t checkpoint_horizon() const { return options_.checkpoint_horizon; }
+
+  /// Non-OK once the writer is poisoned (a failed segment rollover left
+  /// no segment that can legally accept frames); every later Append,
+  /// Sync, and RollSegment returns this status.
+  const Status& poisoned() const { return poisoned_; }
 
  private:
   WalWriter(Env* env, std::string dir, WalOptions options);
 
   Status OpenSegment(uint64_t index);
+
+  /// Seals the current segment and opens `segment_index_ + 1`. Any
+  /// failure poisons the writer: the old segment is (or may be) closed
+  /// and no replacement exists, so a later Append would write into a
+  /// closed or stale file.
+  Status RollToNextSegment();
 
   Env* env_;
   std::string dir_;
@@ -125,6 +179,7 @@ class WalWriter {
   uint64_t synced_records_ = 0;
   uint64_t unsynced_bytes_ = 0;
   bool closed_ = false;
+  Status poisoned_ = Status::OK();  // see poisoned()
 
   // WAL observability (docs/OBSERVABILITY.md). Shared process-wide, so
   // several writers aggregate into the same instruments.
@@ -146,6 +201,13 @@ struct WalRecoveryReport {
   uint64_t salvaged_segment = 0;  // segment index of the torn tail, 0 = none
   std::string detail;             // human-readable summary of any salvage
 
+  /// Checkpoint-bounded recovery (filled in by the provenance layer):
+  /// the WAL horizon of the checkpoint the suffix was replayed on top
+  /// of (0 = full-history replay) and the records restored from the
+  /// checkpoint itself rather than from WAL frames.
+  uint64_t checkpoint_horizon = 0;
+  uint64_t checkpoint_records = 0;
+
   bool clean() const { return dropped_bytes == 0; }
 };
 
@@ -157,6 +219,14 @@ struct WalReaderOptions {
   /// holds no records and is removed outright rather than left behind
   /// as a headerless (hence unrecoverable) zero-byte file.
   bool repair_torn_tail = true;
+
+  /// Segments at or below this index are checkpoint history: their
+  /// records live in the sealed snapshot, so the reader skips them
+  /// (they may already be garbage-collected) and replays only the
+  /// suffix. The first surviving segment must be exactly horizon + 1 —
+  /// anything later means a suffix segment vanished, which is the same
+  /// "WAL segment gap" corruption as an interior hole.
+  uint64_t checkpoint_horizon = 0;
 };
 
 /// Crash recovery: scans all segments, validates headers and CRCs, and

@@ -1,0 +1,508 @@
+// Checkpoint + WAL-suffix recovery, end to end: bounded replay after a
+// seal, compaction of covered segments, reopen-and-continue across
+// checkpoints, and a fault-injection sweep that crashes the checkpointed
+// ingest workload at every single mutating filesystem operation —
+// including every write, sync, and rename of the checkpoint seal and
+// every remove of segment GC.
+//
+// Invariants the sweep holds at every crash point: durable records are
+// never lost, pruned history stays pruned, GC'd segments never come
+// back, and a tampered or torn checkpoint is refused rather than
+// half-loaded.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "provenance/checkpoint.h"
+#include "provenance/ingest_pipeline.h"
+#include "provenance/serialization.h"
+#include "provenance/tracked_database.h"
+#include "storage/fault_injection_env.h"
+#include "storage/wal.h"
+#include "testing/differential.h"
+#include "testing/test_pki.h"
+
+namespace provdb::provenance {
+namespace {
+
+using provdb::testing::DifferentialWorkloadOptions;
+using provdb::testing::IngestWorkloadBuilder;
+using provdb::testing::RandomDifferentialWorkload;
+using provdb::testing::TestPki;
+using provdb::testing::WipeIngestRoot;
+using storage::Env;
+using storage::FaultInjectionEnv;
+using storage::ObjectId;
+using storage::Value;
+using storage::WalRecoveryReport;
+using storage::WalWriter;
+
+const crypto::Participant& P(int i) {
+  return TestPki::Instance().participant(static_cast<size_t>(i - 1));
+}
+
+crypto::RsaSignatureVerifier SealVerifier() {
+  return crypto::RsaSignatureVerifier(P(1).public_key());
+}
+
+/// Empties `dir` of both flat WAL/checkpoint files (TrackedDatabase
+/// layout) and shard-NNN subdirectories (ingest layout), so reruns never
+/// recover a previous run's history.
+std::string FreshDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "/provdb_ckpt_recovery_" + tag;
+  EXPECT_TRUE(WipeIngestRoot(Env::Default(), dir).ok());
+  auto names = Env::Default()->ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      if (name.rfind("shard-", 0) == 0) continue;
+      EXPECT_TRUE(Env::Default()->RemoveFile(dir + "/" + name).ok());
+    }
+  }
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// TrackedDatabase::CheckpointWal: bounded recovery and compaction.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointRecoveryTest, RecoveryReplaysOnlyTheSuffix) {
+  std::string dir = FreshDir("suffix");
+  TrackedDatabase db;
+  auto wal = WalWriter::Open(Env::Default(), dir);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(db.AttachWal(&*wal).ok());
+
+  std::vector<ObjectId> docs;
+  for (int i = 0; i < 12; ++i) {
+    docs.push_back(db.Insert(P(1), Value::Int(i)).value());
+  }
+  ASSERT_TRUE(db.CheckpointWal(P(1).signer(), P(1).id()).ok());
+  // The sealed history is compacted away: segment 1 must be gone.
+  EXPECT_FALSE(Env::Default()->FileExists(WalWriter::SegmentFileName(dir, 1)));
+  EXPECT_TRUE(Env::Default()->FileExists(CheckpointFileName(dir, 1)));
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db.Update(P(2), docs[static_cast<size_t>(i)],
+                          Value::Int(100 + i))
+                    .ok());
+  }
+  ASSERT_TRUE(db.SyncWal().ok());
+
+  auto verifier = SealVerifier();
+  WalRecoveryReport report;
+  auto recovered = ProvenanceStore::RecoverFromWal(Env::Default(), dir,
+                                                   &report, &verifier);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // O(delta): 12 records came from the checkpoint, only the 3-record
+  // suffix was replayed from WAL frames.
+  EXPECT_EQ(report.checkpoint_horizon, 1u);
+  EXPECT_EQ(report.checkpoint_records, 12u);
+  EXPECT_EQ(report.records, 3u);
+  ASSERT_EQ(recovered->record_count(), 15u);
+  // Record-for-record equality with the live store.
+  for (uint64_t i = 0; i < recovered->record_count(); ++i) {
+    EXPECT_EQ(EncodeRecord(recovered->record(i)),
+              EncodeRecord(db.provenance().record(i)))
+        << "record " << i;
+  }
+}
+
+TEST(CheckpointRecoveryTest, CheckpointWithoutVerifierIsRefused) {
+  std::string dir = FreshDir("no_verifier");
+  TrackedDatabase db;
+  auto wal = WalWriter::Open(Env::Default(), dir);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(db.AttachWal(&*wal).ok());
+  ASSERT_TRUE(db.Insert(P(1), Value::Int(1)).ok());
+  ASSERT_TRUE(db.CheckpointWal(P(1).signer(), P(1).id()).ok());
+
+  // Recovering *around* an unverifiable snapshot would silently drop its
+  // history — refuse instead.
+  auto recovered = ProvenanceStore::RecoverFromWal(Env::Default(), dir);
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointRecoveryTest, TamperedCheckpointIsRefusedAtRecovery) {
+  std::string dir = FreshDir("tampered");
+  TrackedDatabase db;
+  auto wal = WalWriter::Open(Env::Default(), dir);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(db.AttachWal(&*wal).ok());
+  ASSERT_TRUE(db.Insert(P(1), Value::Int(1)).ok());
+  ASSERT_TRUE(db.Insert(P(1), Value::Int(2)).ok());
+  ASSERT_TRUE(db.CheckpointWal(P(1).signer(), P(1).id()).ok());
+
+  const std::string path = CheckpointFileName(dir, 1);
+  auto content = Env::Default()->ReadFileToBytes(path);
+  ASSERT_TRUE(content.ok());
+  (*content)[content->size() / 2] ^= 0x01;
+  auto file = Env::Default()->NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(*content).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto verifier = SealVerifier();
+  auto recovered = ProvenanceStore::RecoverFromWal(Env::Default(), dir,
+                                                   nullptr, &verifier);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_TRUE(recovered.status().code() == StatusCode::kCorruption ||
+              recovered.status().code() == StatusCode::kVerificationFailed)
+      << recovered.status().ToString();
+}
+
+TEST(CheckpointRecoveryTest, PrunedHistoryStaysPrunedAcrossCheckpoint) {
+  std::string dir = FreshDir("pruned");
+  TrackedDatabase db;
+  auto wal = WalWriter::Open(Env::Default(), dir);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(db.AttachWal(&*wal).ok());
+
+  ObjectId keep = db.Insert(P(1), Value::Int(1)).value();
+  ObjectId doomed = db.Insert(P(1), Value::Int(2)).value();
+  ASSERT_TRUE(db.Update(P(2), doomed, Value::Int(3)).ok());
+  ASSERT_TRUE(db.Delete(P(2), doomed).ok());
+  ASSERT_TRUE(db.mutable_provenance()->PruneObject(doomed).ok());
+  ASSERT_TRUE(db.CheckpointWal(P(1).signer(), P(1).id()).ok());
+  ASSERT_TRUE(db.Update(P(2), keep, Value::Int(4)).ok());
+  ASSERT_TRUE(db.SyncWal().ok());
+
+  auto verifier = SealVerifier();
+  auto recovered = ProvenanceStore::RecoverFromWal(Env::Default(), dir,
+                                                   nullptr, &verifier);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->ChainOf(doomed).empty())
+      << "checkpoint resurrection of pruned history";
+  EXPECT_EQ(recovered->ChainOf(keep).size(), 2u);
+}
+
+TEST(CheckpointRecoveryTest, SecondCheckpointSupersedesTheFirst) {
+  std::string dir = FreshDir("supersede");
+  TrackedDatabase db;
+  auto wal = WalWriter::Open(Env::Default(), dir);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(db.AttachWal(&*wal).ok());
+
+  ObjectId doc = db.Insert(P(1), Value::Int(1)).value();
+  ASSERT_TRUE(db.CheckpointWal(P(1).signer(), P(1).id()).ok());
+  // Nothing new: re-checkpointing is a no-op, not a fresh seal.
+  ASSERT_TRUE(db.CheckpointWal(P(1).signer(), P(1).id()).ok());
+  EXPECT_TRUE(Env::Default()->FileExists(CheckpointFileName(dir, 1)));
+
+  ASSERT_TRUE(db.Update(P(2), doc, Value::Int(2)).ok());
+  ASSERT_TRUE(db.CheckpointWal(P(1).signer(), P(1).id()).ok());
+  // The old seal and every covered segment are gone; only the newest
+  // checkpoint plus the fresh (empty) active segment remain.
+  EXPECT_FALSE(Env::Default()->FileExists(CheckpointFileName(dir, 1)));
+  auto latest = LatestCheckpointHorizon(Env::Default(), dir);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 2u);
+  EXPECT_FALSE(Env::Default()->FileExists(WalWriter::SegmentFileName(dir, 1)));
+  EXPECT_FALSE(Env::Default()->FileExists(WalWriter::SegmentFileName(dir, 2)));
+
+  auto verifier = SealVerifier();
+  WalRecoveryReport report;
+  auto recovered = ProvenanceStore::RecoverFromWal(Env::Default(), dir,
+                                                   &report, &verifier);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(report.checkpoint_horizon, 2u);
+  EXPECT_EQ(recovered->record_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash sweep over TrackedDatabase::CheckpointWal — every mutating
+// filesystem op of the seal (tmp write, sync, rename) and the GC
+// (segment removes, dir syncs) fails in turn, then the power cut hits.
+// ---------------------------------------------------------------------------
+
+/// Phase A (never faulted): a base workload with a durable prune.
+/// Returns the ids of the surviving object and the pruned one.
+void RunCheckpointSweepBase(TrackedDatabase& db, ObjectId* keep,
+                            ObjectId* doomed) {
+  *keep = db.Insert(P(1), Value::Int(1)).value();
+  *doomed = db.Insert(P(1), Value::Int(2)).value();
+  ASSERT_TRUE(db.Update(P(2), *keep, Value::Int(3)).ok());
+  ASSERT_TRUE(db.Delete(P(2), *doomed).ok());
+  ASSERT_TRUE(db.mutable_provenance()->PruneObject(*doomed).ok());
+  ASSERT_TRUE(db.SyncWal().ok());
+}
+
+/// Phase B (swept): checkpoint, more updates, second checkpoint.
+Status RunCheckpointSweepPhaseB(TrackedDatabase& db, ObjectId keep) {
+  PROVDB_RETURN_IF_ERROR(db.CheckpointWal(P(1).signer(), P(1).id()));
+  PROVDB_RETURN_IF_ERROR(db.Update(P(2), keep, Value::Int(4)));
+  PROVDB_RETURN_IF_ERROR(db.Update(P(1), keep, Value::Int(5)));
+  PROVDB_RETURN_IF_ERROR(db.SyncWal());
+  return db.CheckpointWal(P(1).signer(), P(1).id());
+}
+
+TEST(CheckpointCrashSweepTest, CrashAtEveryCheckpointAndGcOp) {
+  // Dry run: count the mutating ops of phase B so the sweep covers every
+  // one of them (checkpoint tmp append, file sync, rename, stale-seal
+  // removes, segment removes, dir syncs — all of it).
+  uint64_t phase_a_ops = 0;
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv env(Env::Default());
+    std::string dir = FreshDir("sweep_dry");
+    TrackedDatabase db;
+    auto wal = WalWriter::Open(&env, dir);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(db.AttachWal(&*wal).ok());
+    ObjectId keep = 0, doomed = 0;
+    RunCheckpointSweepBase(db, &keep, &doomed);
+    if (::testing::Test::HasFatalFailure()) return;
+    phase_a_ops = env.mutating_ops();
+    ASSERT_TRUE(RunCheckpointSweepPhaseB(db, keep).ok());
+    total_ops = env.mutating_ops();
+  }
+  ASSERT_GT(total_ops, phase_a_ops + 10)
+      << "phase B too small to be a sweep";
+
+  for (uint64_t k = phase_a_ops + 1; k <= total_ops; ++k) {
+    SCOPED_TRACE("crash at mutating op " + std::to_string(k));
+    FaultInjectionEnv env(Env::Default());
+    std::string dir = FreshDir("sweep_" + std::to_string(k));
+    ObjectId keep = 0, doomed = 0;
+    uint64_t live_at_crash = 0;
+    {
+      TrackedDatabase db;
+      auto wal = WalWriter::Open(&env, dir);
+      ASSERT_TRUE(wal.ok());
+      ASSERT_TRUE(db.AttachWal(&*wal).ok());
+      RunCheckpointSweepBase(db, &keep, &doomed);
+      if (::testing::Test::HasFatalFailure()) return;
+      env.ScheduleCrashAtOp(k - env.mutating_ops());
+      // The workload stops at its first I/O error, like a real writer.
+      RunCheckpointSweepPhaseB(db, keep).ok();
+      live_at_crash = db.provenance().live_record_count();
+      // Scope exit without Close(): the crash.
+    }
+    env.ClearFaults();
+    ASSERT_TRUE(env.DropUnsyncedFileData().ok());
+
+    auto verifier = SealVerifier();
+    WalRecoveryReport report;
+    auto recovered =
+        ProvenanceStore::RecoverFromWal(&env, dir, &report, &verifier);
+    ASSERT_TRUE(recovered.ok())
+        << "crash point must salvage or report, never fail to recover: "
+        << recovered.status().ToString();
+    // Durable records are never lost: phase A (keep's insert + update
+    // surviving the prune) was synced before the sweep window, and
+    // everything the store committed was WAL'd write-ahead behind a sync
+    // by the time a checkpoint touched it.
+    EXPECT_GE(recovered->live_record_count(), 2u)
+        << "phase A records lost at crash point " << k;
+    EXPECT_LE(recovered->live_record_count(), live_at_crash);
+    // Pruned history stays pruned — no checkpoint or replay path may
+    // resurrect it.
+    EXPECT_TRUE(recovered->ChainOf(doomed).empty());
+    EXPECT_GE(recovered->ChainOf(keep).size(), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IngestPipeline: periodic per-shard checkpoints, reopen-and-continue,
+// and the full-workload crash sweep.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kSweepShards = 2;
+
+IngestOptions CheckpointedIngestOptions(
+    const crypto::SignatureVerifier* verifier) {
+  IngestOptions options;
+  options.num_shards = kSweepShards;
+  options.max_batch_records = 3;
+  options.checkpoint.every_records = 4;
+  options.checkpoint.signer = &P(1).signer();
+  options.checkpoint.sealer_id = P(1).id();
+  options.checkpoint.verifier = verifier;
+  return options;
+}
+
+TEST(CheckpointedIngestTest, PeriodicCheckpointsCompactAndReopen) {
+  auto verifier = SealVerifier();
+  IngestWorkloadBuilder builder;
+  DifferentialWorkloadOptions wl;
+  wl.num_ops = 40;
+  ASSERT_TRUE(RandomDifferentialWorkload(&builder, 0xC4B57u, wl).ok());
+  const std::vector<IngestRequest>& requests = builder.requests();
+
+  std::string root = FreshDir("periodic");
+  std::array<uint64_t, kSweepShards> counts{};
+  {
+    auto pipeline = IngestPipeline::Open(Env::Default(), root,
+                                         CheckpointedIngestOptions(&verifier));
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    for (const IngestRequest& request : requests) {
+      ASSERT_TRUE((*pipeline)->Submit(request).ok());
+    }
+    ASSERT_TRUE((*pipeline)->Drain().ok());
+    uint64_t total_checkpoints = 0;
+    for (size_t s = 0; s < kSweepShards; ++s) {
+      counts[s] = (*pipeline)->store().shard(s).record_count();
+      total_checkpoints += (*pipeline)->shard_checkpoints(s);
+    }
+    EXPECT_GT(total_checkpoints, 0u)
+        << "the policy thresholds never fired — the test is vacuous";
+    ASSERT_TRUE((*pipeline)->Close().ok());
+  }
+
+  // Reopen: recovery must thread each shard's checkpoint horizon through
+  // to its writer and reproduce the exact store.
+  std::vector<WalRecoveryReport> reports;
+  auto pipeline = IngestPipeline::Open(Env::Default(), root,
+                                       CheckpointedIngestOptions(&verifier),
+                                       &reports);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  bool any_checkpointed = false;
+  for (size_t s = 0; s < kSweepShards; ++s) {
+    EXPECT_EQ((*pipeline)->store().shard(s).record_count(), counts[s]);
+    any_checkpointed |= reports[s].checkpoint_horizon > 0;
+  }
+  EXPECT_TRUE(any_checkpointed);
+  auto verify = (*pipeline)->store().VerifyChains(TestPki::Instance().registry());
+  EXPECT_TRUE(verify.ok()) << verify.ToString();
+  ASSERT_TRUE((*pipeline)->Close().ok());
+
+  // Without the verifier, a checkpointed shard must refuse to open.
+  auto blind = IngestPipeline::Open(Env::Default(), root,
+                                    CheckpointedIngestOptions(nullptr));
+  EXPECT_EQ(blind.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointedIngestTest, CheckpointNowSealsEveryShard) {
+  auto verifier = SealVerifier();
+  IngestWorkloadBuilder builder;
+  DifferentialWorkloadOptions wl;
+  wl.num_ops = 16;
+  ASSERT_TRUE(RandomDifferentialWorkload(&builder, 0xC4B58u, wl).ok());
+
+  std::string root = FreshDir("now");
+  IngestOptions options = CheckpointedIngestOptions(&verifier);
+  options.checkpoint.every_records = 0;  // thresholds off; manual only
+  options.checkpoint.every_bytes = 0;
+  auto pipeline = IngestPipeline::Open(Env::Default(), root, options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  for (const IngestRequest& request : builder.requests()) {
+    ASSERT_TRUE((*pipeline)->Submit(request).ok());
+  }
+  ASSERT_TRUE((*pipeline)->CheckpointNow().ok());
+  for (size_t s = 0; s < kSweepShards; ++s) {
+    if ((*pipeline)->store().shard(s).record_count() == 0) continue;
+    const std::string dir = ShardedProvenanceStore::ShardDirName(root, s);
+    auto latest = LatestCheckpointHorizon(Env::Default(), dir);
+    EXPECT_TRUE(latest.ok()) << "shard " << s << " never sealed";
+  }
+  ASSERT_TRUE((*pipeline)->Close().ok());
+}
+
+TEST(CheckpointedIngestCrashSweepTest, CrashAtEveryMutatingOp) {
+  auto verifier = SealVerifier();
+  IngestWorkloadBuilder builder;
+  DifferentialWorkloadOptions wl;
+  wl.num_ops = 18;
+  ASSERT_TRUE(RandomDifferentialWorkload(&builder, 0xC4B59u, wl).ok());
+  const std::vector<IngestRequest>& requests = builder.requests();
+
+  // Golden crash-free run: per-shard record bytes and the op budget.
+  std::array<std::vector<Bytes>, kSweepShards> golden;
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv env(Env::Default());
+    std::string root = FreshDir("golden");
+    auto pipeline = IngestPipeline::Open(&env, root,
+                                         CheckpointedIngestOptions(&verifier));
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    uint64_t checkpoints = 0;
+    for (const IngestRequest& request : requests) {
+      ASSERT_TRUE((*pipeline)->Submit(request).ok());
+    }
+    ASSERT_TRUE((*pipeline)->Close().ok());
+    for (size_t s = 0; s < kSweepShards; ++s) {
+      const ProvenanceStore& shard = (*pipeline)->store().shard(s);
+      for (uint64_t i = 0; i < shard.record_count(); ++i) {
+        golden[s].push_back(EncodeRecord(shard.record(i)));
+      }
+      checkpoints += (*pipeline)->shard_checkpoints(s);
+    }
+    ASSERT_GT(checkpoints, 0u) << "no checkpoint in the sweep window";
+    total_ops = env.mutating_ops();
+  }
+  ASSERT_GT(total_ops, 20u) << "workload too small to be a sweep";
+
+  for (uint64_t k = 1; k <= total_ops; ++k) {
+    SCOPED_TRACE("crash at mutating op " + std::to_string(k));
+    FaultInjectionEnv env(Env::Default());
+    std::string root = FreshDir("op" + std::to_string(k));
+    env.ScheduleCrashAtOp(k);
+
+    std::array<uint64_t, kSweepShards> committed{};
+    {
+      auto pipeline = IngestPipeline::Open(
+          &env, root, CheckpointedIngestOptions(&verifier));
+      if (pipeline.ok()) {
+        for (const IngestRequest& request : requests) {
+          if (!(*pipeline)->Submit(request).ok()) break;
+        }
+        for (size_t s = 0; s < kSweepShards; ++s) {
+          committed[s] = (*pipeline)->store().shard(s).record_count();
+        }
+      }
+      // Scope exit without Close(): the crash.
+    }
+    env.ClearFaults();
+    ASSERT_TRUE(env.DropUnsyncedFileData().ok());
+
+    // Recovery must succeed at every crash point, and the power cut
+    // model pins it exactly: nothing un-fsynced survives, nothing
+    // committed is lost, GC'd segments never resurrect records.
+    std::vector<WalRecoveryReport> reports;
+    auto recovered = ShardedProvenanceStore::Recover(&env, root, kSweepShards,
+                                                     &reports, &verifier);
+    ASSERT_TRUE(recovered.ok())
+        << "crash point must salvage or report, never fail to recover: "
+        << recovered.status().ToString();
+    for (size_t s = 0; s < kSweepShards; ++s) {
+      SCOPED_TRACE("shard " + std::to_string(s));
+      const ProvenanceStore& shard = recovered->shard(s);
+      EXPECT_EQ(shard.record_count(), committed[s]);
+      ASSERT_LE(shard.record_count(), golden[s].size());
+      for (uint64_t i = 0; i < shard.record_count(); ++i) {
+        EXPECT_EQ(EncodeRecord(shard.record(i)), golden[s][i])
+            << "recovered record " << i << " diverged from the golden run";
+      }
+    }
+
+    // Resume: reopen (threading the recovered horizons), ingest the
+    // missing suffix, and require byte-equality with the golden run.
+    {
+      auto pipeline = IngestPipeline::Open(
+          &env, root, CheckpointedIngestOptions(&verifier));
+      ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+      std::array<uint64_t, kSweepShards> seen{};
+      for (const IngestRequest& request : requests) {
+        const size_t s =
+            ShardedProvenanceStore::ShardOf(request.object, kSweepShards);
+        if (seen[s]++ < committed[s]) continue;  // already durable
+        ASSERT_TRUE((*pipeline)->Submit(request).ok());
+      }
+      ASSERT_TRUE((*pipeline)->Close().ok());
+      for (size_t s = 0; s < kSweepShards; ++s) {
+        SCOPED_TRACE("shard " + std::to_string(s) + " after resume");
+        const ProvenanceStore& shard = (*pipeline)->store().shard(s);
+        ASSERT_EQ(shard.record_count(), golden[s].size());
+        for (uint64_t i = 0; i < shard.record_count(); ++i) {
+          EXPECT_EQ(EncodeRecord(shard.record(i)), golden[s][i]);
+        }
+      }
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace provdb::provenance

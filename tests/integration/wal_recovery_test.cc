@@ -124,6 +124,43 @@ TEST(WalRecoveryTest, AttachCheckpointsPreexistingRecords) {
   EXPECT_EQ(restored->record_count(), db.provenance().record_count());
 }
 
+TEST(WalRecoveryTest, FailedAttachCheckpointLeavesStoreUsableAndUnattached) {
+  // If the attach-time checkpoint of pre-existing records fails partway
+  // through its WAL appends, the attach must not half-happen: the store
+  // stays detached (no write-ahead contract against a log holding a
+  // partial history) and remains fully usable in memory.
+  std::string dir = FreshDir("attach_fault");
+  FaultInjectionEnv env(Env::Default());
+  TrackedDatabase db;
+  ASSERT_TRUE(RunWorkload(db).ok());
+  uint64_t before_attach = db.provenance().record_count();
+  ASSERT_GT(before_attach, 1u);
+
+  auto wal = WalWriter::Open(&env, dir);
+  ASSERT_TRUE(wal.ok());
+  env.ScheduleAppendFailure(2);  // fail mid-checkpoint, not on record 1
+  EXPECT_EQ(db.AttachWal(&*wal).code(), StatusCode::kIoError);
+  env.ClearFaults();
+
+  // Unattached: durability calls refuse, mutations bypass the WAL.
+  EXPECT_EQ(db.SyncWal().code(), StatusCode::kFailedPrecondition);
+  uint64_t appended = wal->appended_records();
+  ASSERT_TRUE(db.Insert(P(1), Value::Int(42)).ok());
+  EXPECT_EQ(db.provenance().record_count(), before_attach + 1);
+  EXPECT_EQ(wal->appended_records(), appended)
+      << "a failed attach must not leave the WAL wired to the store";
+
+  // A later attach to a fresh log works and checkpoints everything.
+  std::string dir2 = FreshDir("attach_fault_retry");
+  auto wal2 = WalWriter::Open(Env::Default(), dir2);
+  ASSERT_TRUE(wal2.ok());
+  ASSERT_TRUE(db.AttachWal(&*wal2).ok());
+  ASSERT_TRUE(db.SyncWal().ok());
+  auto restored = ProvenanceStore::RecoverFromWal(Env::Default(), dir2);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->record_count(), db.provenance().record_count());
+}
+
 TEST(WalRecoveryTest, SecondAttachRejected) {
   std::string dir = FreshDir("reattach");
   TrackedDatabase db;

@@ -175,6 +175,36 @@ TEST(LintRulesTest, IngestPipelinePathCarriesNoThreadOrFileIoExemption) {
   EXPECT_NE(r06[0].suggestion.find("storage::Env"), std::string::npos);
 }
 
+TEST(LintRulesTest, CheckpointPathCarriesNoTestOrFileIoExemption) {
+  // The checkpoint subsystem writes and parses sealed snapshot files —
+  // exactly where untested code (R05) or a direct filesystem call
+  // bypassing Env's crash semantics (R06) would be most dangerous. Pin
+  // that its path is on both rules' beats: coverage must come from a
+  // real checkpoint_test.cc, and all I/O must route through storage::Env.
+  Linter linter;
+  linter.SetTestCorpus({
+      {"tests/provenance/checkpoint_test.cc",
+       "#include \"provenance/checkpoint.h\"\n"},
+  });
+  // Covered by its test; drop the corpus entry and the file must fire.
+  EXPECT_TRUE(
+      linter.LintContent("src/provenance/checkpoint.cc", "int x;\n").empty());
+  Linter uncovered;
+  uncovered.SetTestCorpus({{"tests/storage/wal_test.cc", "int y;\n"}});
+  auto r05 =
+      uncovered.LintContent("src/provenance/checkpoint.cc", "int x;\n");
+  ASSERT_EQ(r05.size(), 1u);
+  EXPECT_EQ(r05[0].rule_id, "R05");
+  EXPECT_NE(r05[0].message.find("checkpoint_test.cc"), std::string::npos);
+
+  auto r06 = linter.LintContent(
+      "src/provenance/checkpoint.cc",
+      "void Seal() { std::FILE* f = std::fopen(\"c.pvck.tmp\", \"wb\"); }\n");
+  ASSERT_EQ(r06.size(), 1u);
+  EXPECT_EQ(r06[0].rule_id, "R06");
+  EXPECT_NE(r06[0].suggestion.find("storage::Env"), std::string::npos);
+}
+
 TEST(LintRulesTest, R07FiresOnAdhocChronoOutsideSanctionedOwners) {
   Linter linter;
   std::string content = ReadFixture("r07_adhoc_chrono.cc");

@@ -483,5 +483,251 @@ TEST_F(WalTest, TinySegmentLimitRejected) {
   EXPECT_FALSE(WalWriter::Open(env_, dir_, options).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Segment-name parsing: strict classification, no silent shadowing.
+// ---------------------------------------------------------------------------
+
+TEST(ParseWalSegmentNameTest, AcceptsWellFormedNames) {
+  uint64_t index = 0;
+  EXPECT_EQ(ParseWalSegmentName("wal-000001.log", &index),
+            WalSegmentNameKind::kSegment);
+  EXPECT_EQ(index, 1u);
+  EXPECT_EQ(ParseWalSegmentName("wal-123456.log", &index),
+            WalSegmentNameKind::kSegment);
+  EXPECT_EQ(index, 123456u);
+  // The largest index that round-trips through SegmentFileName.
+  EXPECT_EQ(ParseWalSegmentName("wal-18446744073709551615.log", &index),
+            WalSegmentNameKind::kSegment);
+  EXPECT_EQ(index, 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(ParseWalSegmentNameTest, IgnoresForeignFiles) {
+  uint64_t index = 0;
+  EXPECT_EQ(ParseWalSegmentName("checkpoint-000001.pvck", &index),
+            WalSegmentNameKind::kNotSegment);
+  EXPECT_EQ(ParseWalSegmentName("wal-.log", &index),
+            WalSegmentNameKind::kNotSegment);
+  EXPECT_EQ(ParseWalSegmentName("wal-12x4.log", &index),
+            WalSegmentNameKind::kNotSegment);
+  EXPECT_EQ(ParseWalSegmentName("wal-000001.log.tmp", &index),
+            WalSegmentNameKind::kNotSegment);
+  EXPECT_EQ(ParseWalSegmentName("wal-000001", &index),
+            WalSegmentNameKind::kNotSegment);
+}
+
+TEST(ParseWalSegmentNameTest, RejectsIndexZero) {
+  // Segments are numbered from 1; a wal-000000.log cannot be produced by
+  // any writer and must not be silently skipped.
+  uint64_t index = 99;
+  EXPECT_EQ(ParseWalSegmentName("wal-000000.log", &index),
+            WalSegmentNameKind::kInvalid);
+  EXPECT_EQ(ParseWalSegmentName("wal-0.log", &index),
+            WalSegmentNameKind::kInvalid);
+}
+
+TEST(ParseWalSegmentNameTest, RejectsUint64Overflow) {
+  uint64_t index = 0;
+  // 2^64 exactly: one past the largest representable index.
+  EXPECT_EQ(ParseWalSegmentName("wal-18446744073709551616.log", &index),
+            WalSegmentNameKind::kInvalid);
+  EXPECT_EQ(ParseWalSegmentName("wal-99999999999999999999999.log", &index),
+            WalSegmentNameKind::kInvalid);
+}
+
+TEST_F(WalTest, InvalidSegmentNameInDirectoryIsCorruption) {
+  WriteFiveRecords();
+  AppendRaw(dir_ + "/wal-000000.log", B("imposter"));
+  auto wal = WalWriter::Open(env_, dir_);
+  EXPECT_EQ(wal.status().code(), StatusCode::kCorruption);
+  auto reader = WalReader::Open(env_, dir_);
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Rollover failure poisons the writer (regression: it used to leave the
+// writer pointing at the closed old segment and keep appending into it).
+// ---------------------------------------------------------------------------
+
+TEST_F(WalTest, FailedRolloverPoisonsWriter) {
+  FaultInjectionEnv fault_env(Env::Default());
+  WalOptions options;
+  options.segment_size_limit = 64;  // header 20 + four 10-byte frames
+  auto wal = WalWriter::Open(&fault_env, dir_, options);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(wal->Append(B("rec-" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(wal->Sync().ok());
+
+  // The fifth frame does not fit, so Append must roll — and the new
+  // segment's creation fails.
+  fault_env.ScheduleNewFileFailure(1);
+  EXPECT_EQ(wal->Append(B("rec-4")).code(), StatusCode::kIoError);
+
+  // Poisoned: no later operation may touch the closed (or stale) old
+  // segment. Every call reports the rollover failure, not success.
+  EXPECT_FALSE(wal->poisoned().ok());
+  EXPECT_EQ(wal->Append(B("rec-5")).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(wal->Sync().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(wal->Flush().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(wal->RollSegment().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(wal->Close().code(), StatusCode::kFailedPrecondition);
+
+  // The prefix sealed before the failed rollover recovers intact.
+  auto reader = WalReader::Open(&fault_env, dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->log().record_count(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Headerless-trailing cleanup must not walk across a hole (regression:
+// Open kept decrementing past a missing segment, reusing an interior
+// index and silently shadowing the gap the reader would have caught).
+// ---------------------------------------------------------------------------
+
+TEST_F(WalTest, HeaderlessTrailingSegmentBehindGapIsCorruption) {
+  WriteFiveRecords();  // segment 1
+  // Plant a headerless remnant at index 3 with no segment 2 at all: the
+  // cleanup walk removes 3, then must report the missing 2, not reuse it.
+  AppendRaw(Segment(3), B("stub"));
+  auto wal = WalWriter::Open(env_, dir_);
+  ASSERT_EQ(wal.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(wal.status().ToString().find("WAL segment gap"),
+            std::string::npos)
+      << wal.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// RollSegment / GarbageCollect: the checkpoint horizon machinery.
+// ---------------------------------------------------------------------------
+
+TEST_F(WalTest, RollSegmentSealsCurrentSegment) {
+  auto wal = WalWriter::Open(env_, dir_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(B("rec-0")).ok());
+  auto sealed = wal->RollSegment();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(*sealed, 1u);
+  EXPECT_EQ(wal->current_segment_index(), 2u);
+
+  // An empty current segment already sits behind a boundary: the
+  // predecessor index comes back with no disk I/O and no new segment.
+  auto again = wal->RollSegment();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 1u);
+  EXPECT_EQ(wal->current_segment_index(), 2u);
+
+  ASSERT_TRUE(wal->Append(B("rec-1")).ok());
+  auto third = wal->RollSegment();
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*third, 2u);
+  ASSERT_TRUE(wal->Close().ok());
+
+  auto reader = WalReader::Open(env_, dir_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->log().record_count(), 2u);
+}
+
+TEST_F(WalTest, RollSegmentOnEmptyLogReturnsZero) {
+  auto wal = WalWriter::Open(env_, dir_);
+  ASSERT_TRUE(wal.ok());
+  auto sealed = wal->RollSegment();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(*sealed, 0u) << "nothing appended, nothing to seal";
+}
+
+TEST_F(WalTest, GarbageCollectRemovesOnlyCoveredSegments) {
+  auto wal = WalWriter::Open(env_, dir_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(B("old-0")).ok());
+  ASSERT_TRUE(wal->RollSegment().ok());
+  ASSERT_TRUE(wal->Append(B("old-1")).ok());
+  ASSERT_TRUE(wal->RollSegment().ok());
+  ASSERT_TRUE(wal->Append(B("new-0")).ok());  // segment 3, active
+
+  // The active segment is never eligible.
+  EXPECT_EQ(wal->GarbageCollect(3).code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(wal->GarbageCollect(2).ok());
+  EXPECT_FALSE(env_->FileExists(Segment(1)));
+  EXPECT_FALSE(env_->FileExists(Segment(2)));
+  EXPECT_TRUE(env_->FileExists(Segment(3)));
+  EXPECT_EQ(wal->checkpoint_horizon(), 2u);
+  // Idempotent: a crash mid-GC just resumes on the next call.
+  EXPECT_TRUE(wal->GarbageCollect(2).ok());
+  ASSERT_TRUE(wal->Close().ok());
+
+  // A reader told about the horizon replays exactly the suffix.
+  WalReaderOptions horizon_options;
+  horizon_options.checkpoint_horizon = 2;
+  auto reader = WalReader::Open(env_, dir_, horizon_options);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_EQ(reader->log().record_count(), 1u);
+  EXPECT_EQ(reader->log().Get(0)->ToString(), "new-0");
+
+  // A reader *not* told about the horizon must refuse the truncated log:
+  // segments vanishing without a sealed checkpoint is a truncation
+  // attack, not housekeeping.
+  auto blind = WalReader::Open(env_, dir_);
+  ASSERT_EQ(blind.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(blind.status().ToString().find("WAL segment gap"),
+            std::string::npos);
+}
+
+TEST_F(WalTest, ReaderRejectsMissingFirstSuffixSegment) {
+  auto wal = WalWriter::Open(env_, dir_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(B("old-0")).ok());
+  ASSERT_TRUE(wal->RollSegment().ok());
+  ASSERT_TRUE(wal->Append(B("suffix-0")).ok());
+  ASSERT_TRUE(wal->RollSegment().ok());
+  ASSERT_TRUE(wal->Append(B("suffix-1")).ok());
+  ASSERT_TRUE(wal->GarbageCollect(1).ok());
+  ASSERT_TRUE(wal->Close().ok());
+  // Segments 2 and 3 are the suffix past horizon 1; losing 2 is a hole,
+  // even though the remaining indices are contiguous from 3.
+  ASSERT_TRUE(env_->RemoveFile(Segment(2)).ok());
+
+  WalReaderOptions horizon_options;
+  horizon_options.checkpoint_horizon = 1;
+  auto reader = WalReader::Open(env_, dir_, horizon_options);
+  ASSERT_EQ(reader.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(reader.status().ToString().find("WAL segment gap"),
+            std::string::npos);
+}
+
+TEST_F(WalTest, ReopenNumbersSegmentsPastGcedHistory) {
+  {
+    auto wal = WalWriter::Open(env_, dir_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(B("old-0")).ok());
+    ASSERT_TRUE(wal->RollSegment().ok());
+    ASSERT_TRUE(wal->Append(B("new-0")).ok());
+    ASSERT_TRUE(wal->GarbageCollect(1).ok());
+    ASSERT_TRUE(wal->Close().ok());
+  }
+  // Only segment 2 survives. A reopen that honors the horizon starts at
+  // 3; index 1 is spent forever, so a GC'd segment can never come back
+  // under its old name.
+  WalOptions options;
+  options.checkpoint_horizon = 1;
+  auto wal = WalWriter::Open(env_, dir_, options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(wal->current_segment_index(), 3u);
+  ASSERT_TRUE(wal->Close().ok());
+
+  // Even when *every* segment behind the horizon is gone, the writer
+  // resumes past it rather than recycling index 1.
+  ASSERT_TRUE(env_->RemoveFile(Segment(2)).ok());
+  ASSERT_TRUE(env_->RemoveFile(Segment(3)).ok());
+  WalOptions all_gced;
+  all_gced.checkpoint_horizon = 5;
+  auto fresh = WalWriter::Open(env_, dir_, all_gced);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh->current_segment_index(), 6u);
+  ASSERT_TRUE(fresh->Close().ok());
+}
+
 }  // namespace
 }  // namespace provdb::storage

@@ -11,6 +11,10 @@
 #                  recovery matrix + fault-injection crash sweep, run
 #                  under ASan+UBSan so torn-write salvage is also
 #                  memory-clean
+#   checkpoint     signed checkpoints (DESIGN.md §13) under ASan+UBSan:
+#                  seal/load round trip, the every-byte-flip tamper
+#                  matrix, checkpoint-bounded recovery, and the crash
+#                  sweep over every mutating op of seal + segment GC
 #   tsan           ThreadSanitizer over the parallel verify/audit paths,
 #                  the sharded ingest pipeline's parallel signing, and
 #                  the concurrent metrics-recording tests
@@ -26,8 +30,8 @@
 #
 # Usage: tools/ci.sh [stage...]
 #   No arguments runs the default order:
-#     release-tests lint werror format crash-recovery tsan asan
-#     differential docs
+#     release-tests lint werror format crash-recovery checkpoint tsan
+#     asan differential docs
 #   plus tidy when PROVDB_TIDY=1 (clang-tidy may be absent, so it is
 #   opt-in). Build trees go under $PROVDB_CI_OUT (default: ./ci-out).
 set -eu
@@ -82,9 +86,24 @@ stage_crash_recovery() {
     -DPROVDB_SANITIZE=address -DPROVDB_BUILD_BENCHMARKS=OFF \
     -DPROVDB_BUILD_EXAMPLES=OFF
   run cmake --build "$OUT/asan" -j "$JOBS" \
-    --target storage_durability_test integration_crash_recovery_test
+    --target storage_durability_test integration_crash_recovery_test \
+    provenance_checkpoint_test integration_checkpoint_recovery_test
   run ctest --test-dir "$OUT/asan" --output-on-failure -j "$JOBS" \
     -L crash-recovery
+}
+
+stage_checkpoint() {
+  # The checkpoint subsystem in isolation (its suites also run inside
+  # crash-recovery via the shared label): tamper refusal parses
+  # deliberately corrupted seals, exactly where an out-of-bounds read
+  # would hide, so it runs under ASan+UBSan.
+  run cmake -S "$ROOT" -B "$OUT/asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPROVDB_SANITIZE=address -DPROVDB_BUILD_BENCHMARKS=OFF \
+    -DPROVDB_BUILD_EXAMPLES=OFF
+  run cmake --build "$OUT/asan" -j "$JOBS" \
+    --target provenance_checkpoint_test integration_checkpoint_recovery_test
+  run ctest --test-dir "$OUT/asan" --output-on-failure -j "$JOBS" \
+    -R 'Checkpoint'
 }
 
 stage_tsan() {
@@ -149,6 +168,7 @@ run_stage() {
     werror)        stage_werror ;;
     format)        stage_format ;;
     crash-recovery) stage_crash_recovery ;;
+    checkpoint)    stage_checkpoint ;;
     tsan)          stage_tsan ;;
     asan)          stage_asan ;;
     differential)  stage_differential ;;
@@ -157,7 +177,7 @@ run_stage() {
     *)
       echo "tools/ci.sh: unknown stage '$1'" >&2
       echo "stages: release-tests lint werror format crash-recovery" \
-        "tsan asan differential docs tidy" >&2
+        "checkpoint tsan asan differential docs tidy" >&2
       exit 2
       ;;
   esac
@@ -166,7 +186,7 @@ run_stage() {
 if [ "$#" -gt 0 ]; then
   STAGES="$*"
 else
-  STAGES="release-tests lint werror format crash-recovery tsan asan differential docs"
+  STAGES="release-tests lint werror format crash-recovery checkpoint tsan asan differential docs"
   if [ "${PROVDB_TIDY:-0}" = "1" ]; then
     STAGES="$STAGES tidy"
   fi

@@ -275,10 +275,30 @@ int Stats(bool as_json) {
   provenance::StoreAuditor auditor(&registry, crypto::HashAlgorithm::kSha1,
                                    ParallelismConfig{4});
   auto audit = auditor.Audit(db.provenance(), db.tree());
+
+  // Checkpoint + bounded recovery: seal a signed snapshot (rolling the
+  // WAL and garbage-collecting the segments it covers), append a small
+  // suffix, then recover from checkpoint + suffix — populating the
+  // checkpoint.* and wal.gc.* instruments.
+  crypto::RsaSignatureVerifier seal_verifier(alice.public_key());
+  if (!db.CheckpointWal(alice.signer(), alice.id()).ok()) {
+    std::fprintf(stderr, "WAL checkpoint failed\n");
+    return 1;
+  }
+  for (int i = 0; i < 4; ++i) {
+    db.Update(alice, docs[static_cast<size_t>(4 + i % 4)],
+              storage::Value::Int(200 + i))
+        .ok();
+  }
+  if (!db.SyncWal().ok()) {
+    std::fprintf(stderr, "WAL sync failed\n");
+    return 1;
+  }
   auto recovered = provenance::ProvenanceStore::RecoverFromWal(
-      storage::Env::Default(), wal_dir.string());
+      storage::Env::Default(), wal_dir.string(), nullptr, &seal_verifier);
   std::filesystem::remove_all(wal_dir, ec);
-  if (!report.ok() || !audit.ok() || !recovered.ok()) {
+  if (!report.ok() || !audit.ok() || !recovered.ok() ||
+      recovered->record_count() != db.provenance().record_count()) {
     std::fprintf(stderr, "stats workload failed its own verification\n");
     return 1;
   }
@@ -295,6 +315,10 @@ int Stats(bool as_json) {
   ingest_options.num_shards = 2;
   ingest_options.max_batch_records = 4;
   ingest_options.signing.num_threads = 2;
+  ingest_options.checkpoint.every_records = 4;
+  ingest_options.checkpoint.signer = &alice.signer();
+  ingest_options.checkpoint.sealer_id = alice.id();
+  ingest_options.checkpoint.verifier = &seal_verifier;
   auto pipeline = provenance::IngestPipeline::Open(
       storage::Env::Default(), ingest_dir.string(), ingest_options);
   if (!pipeline.ok()) {
