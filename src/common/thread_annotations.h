@@ -1,0 +1,173 @@
+#ifndef PROVDB_COMMON_THREAD_ANNOTATIONS_H_
+#define PROVDB_COMMON_THREAD_ANNOTATIONS_H_
+
+// Machine-checked lock discipline (DESIGN.md §7).
+//
+// Two things live here, and only here:
+//
+//   1. the PROVDB_* thread-safety macros, which compile to Clang's
+//      `-Wthread-safety` attributes under Clang and to nothing under
+//      every other compiler (zero release-build impact), and
+//   2. the annotated lock vocabulary the rest of src/ is required to
+//      use: `Mutex`, the RAII guard `MutexLock`, and `CondVar`.
+//
+// The standard-library types cannot participate in the analysis because
+// libstdc++ ships them unannotated, so every mutex in src/ is a
+// provdb::Mutex and every acquisition is a scoped MutexLock; lint rules
+// R08 (unannotated-mutex) and R10 (naked-lock) keep that true even on
+// GCC-only machines, and the `tools/ci.sh thread-safety` stage proves
+// the annotations under `clang++ -Wthread-safety -Wthread-safety-beta`
+// with the warnings promoted to errors.
+//
+// Discipline for new code:
+//
+//   * every member a mutex protects is declared PROVDB_GUARDED_BY(mu_);
+//   * a function that needs the lock already held is a private
+//     `FooLocked()` carrying PROVDB_REQUIRES(mu_), and its public
+//     wrapper takes the MutexLock — never an implicit mid-call-chain
+//     acquisition the analysis cannot see;
+//   * blocking I/O (Env Sync/Append/Rename...) stays out of lock scopes
+//     (lint rule R09) unless the component *is* the I/O layer.
+//
+// This header is dependency-free (standard library only) so even the
+// observability layer, which sits below src/common/, may include it.
+
+#include <condition_variable>
+#include <mutex>
+
+// Raw attribute spelling: present under Clang, erased elsewhere.
+#if defined(__clang__)
+#define PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op on GCC/MSVC
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis tracks.
+#define PROVDB_LOCKABLE PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(capability("mutex"))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define PROVDB_SCOPED_LOCKABLE \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// The annotated member may only be read or written while holding `x`.
+#define PROVDB_GUARDED_BY(x) PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// The pointee of the annotated pointer is protected by `x` (the pointer
+/// itself is not).
+#define PROVDB_PT_GUARDED_BY(x) \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities
+/// exclusively — the `FooLocked()` idiom's contract.
+#define PROVDB_REQUIRES(...) \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// As PROVDB_REQUIRES, for shared (reader) access.
+#define PROVDB_REQUIRES_SHARED(...) \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and does not release
+/// them before returning.
+#define PROVDB_ACQUIRE(...) \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define PROVDB_RELEASE(...) \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock guard for
+/// public entry points that take the lock themselves).
+#define PROVDB_EXCLUDES(...) \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations, for when the codebase grows a second
+/// mutex that may nest with the first.
+#define PROVDB_ACQUIRED_BEFORE(...) \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define PROVDB_ACQUIRED_AFTER(...) \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the capability guarding its
+/// result (accessor for an embedded mutex).
+#define PROVDB_RETURN_CAPABILITY(x) \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Runtime assertion that the capability is held; informs the analysis
+/// without acquiring anything.
+#define PROVDB_ASSERT_CAPABILITY(...) \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(__VA_ARGS__))
+
+/// Escape hatch — disables the analysis for one function. Every use
+/// needs a comment justifying why the contract cannot be expressed.
+#define PROVDB_NO_THREAD_SAFETY_ANALYSIS \
+  PROVDB_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+namespace provdb {
+
+/// std::mutex wrapped as an annotated capability. Locking is normally
+/// done through MutexLock; Lock/Unlock exist for the guard itself and
+/// for the rare annotated manual site (none today — lint rule R10).
+class PROVDB_LOCKABLE Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PROVDB_ACQUIRE() { inner_.lock(); }
+  void Unlock() PROVDB_RELEASE() { inner_.unlock(); }
+
+  /// Documents (to the analysis) that the lock is held at this point,
+  /// e.g. inside a callback invoked under the lock. No runtime effect.
+  void AssertHeld() PROVDB_ASSERT_CAPABILITY() {}
+
+ private:
+  friend class CondVar;
+  std::mutex inner_;
+};
+
+/// RAII guard: acquires `mu` for its scope. The only sanctioned way to
+/// lock a Mutex outside this header (lint rule R10).
+class PROVDB_SCOPED_LOCKABLE MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) PROVDB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() PROVDB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to one Mutex. Wait() must be called with the
+/// mutex held (callers hold it via MutexLock, so the analysis sees the
+/// guarded state accessed under the lock across the wait loop); like
+/// LevelDB's port::CondVar, the wait itself is below the analysis —
+/// std::condition_variable carries no annotations to check against.
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the bound mutex, blocks, and re-acquires it
+  /// before returning. Spurious wakeups happen: always wait in a
+  /// `while (!predicate)` loop.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_->inner_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+}  // namespace provdb
+
+#endif  // PROVDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -22,10 +22,10 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.SignalAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) {
       worker.join();
@@ -34,7 +34,7 @@ void ThreadPool::Shutdown() {
 }
 
 uint64_t ThreadPool::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return executed_;
 }
 
@@ -42,8 +42,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) {
+        wake_.Wait();
+      }
       if (queue_.empty()) {
         return;  // stopping_ and fully drained
       }
@@ -57,7 +59,7 @@ void ThreadPool::WorkerLoop() {
     }
     tasks_total_->Increment();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++executed_;
     }
   }

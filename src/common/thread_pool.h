@@ -1,17 +1,16 @@
 #ifndef PROVDB_COMMON_THREAD_POOL_H_
 #define PROVDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "observability/metrics.h"
 
 namespace provdb {
@@ -65,11 +64,11 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!stopping_) {
         queue_.emplace_back([task] { (*task)(); });
         queue_depth_->Add(1);
-        wake_.notify_one();
+        wake_.Signal();
         return future;
       }
     }
@@ -88,12 +87,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_;
+  CondVar wake_{&mu_};
+  std::deque<std::function<void()>> queue_ PROVDB_GUARDED_BY(mu_);
+  // Written only by the constructor and joined by Shutdown — the spawn
+  // and the join order against every worker, so no lock guards the vector
+  // itself.
   std::vector<std::thread> workers_;
-  uint64_t executed_ = 0;
-  bool stopping_ = false;
+  uint64_t executed_ PROVDB_GUARDED_BY(mu_) = 0;
+  bool stopping_ PROVDB_GUARDED_BY(mu_) = false;
 
   // Pool observability (docs/OBSERVABILITY.md): registered once at
   // construction; shared across every pool in the process.

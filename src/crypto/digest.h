@@ -25,7 +25,9 @@ class Digest {
   static Digest FromBytes(ByteView data) {
     Digest d;
     d.size_ = data.size() > kMaxSize ? kMaxSize : data.size();
-    std::memcpy(d.bytes_.data(), data.data(), d.size_);
+    // An empty ByteView carries data() == nullptr, which memcpy must not
+    // see even for a zero-length copy.
+    if (d.size_ != 0) std::memcpy(d.bytes_.data(), data.data(), d.size_);
     return d;
   }
 

@@ -14,7 +14,9 @@ Digest HmacCompute(HashAlgorithm alg, ByteView key, ByteView message) {
   if (key.size() > kBlockSize) {
     Digest kd = HashBytes(alg, key);
     std::memcpy(key_block, kd.data(), kd.size());
-  } else {
+  } else if (!key.empty()) {
+    // Empty keys are legal (RFC 2104 test vectors use them) but carry a
+    // null data(); the zeroed block already is the padded empty key.
     std::memcpy(key_block, key.data(), key.size());
   }
 

@@ -54,6 +54,9 @@ void Md5Hasher::Reset() {
 }
 
 void Md5Hasher::Update(ByteView data) {
+  // Empty views carry data() == nullptr, which memcpy below must not
+  // see even when take == 0.
+  if (data.empty()) return;
   total_bytes_ += data.size();
   size_t pos = 0;
   if (buffered_ > 0) {

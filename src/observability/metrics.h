@@ -15,8 +15,9 @@
 //      instrumented code paths allocate nothing either way (pinned by
 //      tests/observability/alloc_test.cc).
 //
-// This library sits below src/common/ (stdlib-only, no provdb deps) so
-// even ThreadPool can be instrumented without a dependency cycle. The
+// This library sits below src/common/ (stdlib-only, no provdb link deps;
+// the one include, common/thread_annotations.h, is a dependency-free
+// header) so even ThreadPool can be instrumented without a cycle. The
 // metric-name inventory is documented in docs/OBSERVABILITY.md; the CI
 // docs stage cross-checks that every name registered here-in-src/ appears
 // there and vice versa (tools/check_metrics_docs.sh).
@@ -26,9 +27,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace provdb::observability {
 
@@ -200,10 +202,13 @@ class MetricsRegistry {
 
  private:
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PROVDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PROVDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PROVDB_GUARDED_BY(mu_);
 };
 
 /// Shorthand used at instrumentation sites.

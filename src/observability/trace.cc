@@ -3,8 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "observability/metrics.h"
 
 namespace provdb::observability {
@@ -16,8 +16,8 @@ namespace {
 // through stdio rather than storage::Env (which would also invert the
 // layering: storage itself is instrumented by this library).
 std::atomic<bool> g_enabled{false};
-std::mutex g_mu;
-std::FILE* g_file = nullptr;
+Mutex g_mu;
+std::FILE* g_file PROVDB_GUARDED_BY(g_mu) = nullptr;
 
 std::atomic<uint64_t> g_next_span_id{1};
 std::atomic<uint64_t> g_next_thread_ordinal{1};
@@ -34,12 +34,12 @@ uint64_t ThreadOrdinal() {
 /// "start_us" origin, so span timestamps are small offsets instead of raw
 /// monotonic-clock values. Set before g_enabled flips, so no span can
 /// start earlier than the epoch.
-uint64_t g_epoch_micros = 0;
+uint64_t g_epoch_micros PROVDB_GUARDED_BY(g_mu) = 0;
 
 }  // namespace
 
 bool TraceSink::Enable(const std::string& path) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(&g_mu);
   if (g_file != nullptr) {
     std::fclose(g_file);
     g_file = nullptr;
@@ -53,7 +53,7 @@ bool TraceSink::Enable(const std::string& path) {
 }
 
 void TraceSink::Disable() {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(&g_mu);
   g_enabled.store(false, std::memory_order_release);
   if (g_file != nullptr) {
     std::fflush(g_file);
@@ -84,7 +84,7 @@ TraceSpan::~TraceSpan() {
   if (id_ == 0) return;
   t_current_span = parent_;
   uint64_t duration = ScopedLatencyTimer::NowMicros() - start_micros_;
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(&g_mu);
   if (g_file == nullptr) return;  // sink closed while the span was open
   std::fprintf(g_file,
                "{\"name\":\"%s\",\"id\":%llu,\"parent\":%llu,"

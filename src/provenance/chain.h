@@ -1,10 +1,11 @@
 #ifndef PROVDB_PROVENANCE_CHAIN_H_
 #define PROVDB_PROVENANCE_CHAIN_H_
 
-#include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "common/bytes.h"
+#include "common/thread_annotations.h"
 #include "provenance/record.h"
 #include "storage/tree_store.h"
 
@@ -58,10 +59,16 @@ class GlobalChainState {
   };
 
   /// Returns the current global tail. Callers hold the chain lock across
-  /// Get + Set via WithLock to enforce the required total order.
-  Tail Get() const { return tail_; }
+  /// Get + Set via WithLock to enforce the required total order; the
+  /// callback receives `*this` with the lock held, which the analysis
+  /// cannot see across the type-erased call — hence AssertHeld().
+  Tail Get() const {
+    mutex_.AssertHeld();
+    return tail_;
+  }
 
   void Set(SeqId seq, Bytes checksum) {
+    mutex_.AssertHeld();
     tail_ = Tail{seq, std::move(checksum), true};
   }
 
@@ -69,13 +76,13 @@ class GlobalChainState {
   /// multi-participant deployment would need.
   template <typename Fn>
   auto WithLock(Fn&& fn) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     return fn(*this);
   }
 
  private:
-  std::mutex mutex_;
-  Tail tail_;
+  mutable Mutex mutex_;
+  Tail tail_ PROVDB_GUARDED_BY(mutex_);
 };
 
 }  // namespace provdb::provenance

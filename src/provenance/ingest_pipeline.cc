@@ -283,26 +283,31 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Open(
   pipeline->store_ =
       std::make_unique<ShardedProvenanceStore>(std::move(recovered));
 
-  for (size_t i = 0; i < options.num_shards; ++i) {
-    // The recovered horizon flows into the writer so fresh segments are
-    // numbered past GC'd history and never resurrect a deleted index.
-    storage::WalOptions wal_options = options.wal;
-    wal_options.checkpoint_horizon = reports[i].checkpoint_horizon;
-    PROVDB_ASSIGN_OR_RETURN(
-        storage::WalWriter wal,
-        storage::WalWriter::Open(
-            env, ShardedProvenanceStore::ShardDirName(root_dir, i),
-            wal_options));
-    auto shard = std::make_unique<Shard>(std::move(wal));
-    // Seed every chain tail from the recovered records so reopened
-    // chains continue exactly where the durable log left them.
-    const ProvenanceStore& store = pipeline->store_->shard(i);
-    for (uint64_t r = 0; r < store.record_count(); ++r) {
-      if (store.is_pruned(r)) continue;
-      const ProvenanceRecord& rec = store.record(r);
-      shard->chains.Set(rec.output.object_id, rec.seq_id, rec.checksum);
+  {
+    // The pipeline is not yet published, but shards_ is guarded by mu_,
+    // so seed it under the (uncontended) lock to keep the analysis exact.
+    MutexLock lock(&pipeline->mu_);
+    for (size_t i = 0; i < options.num_shards; ++i) {
+      // The recovered horizon flows into the writer so fresh segments are
+      // numbered past GC'd history and never resurrect a deleted index.
+      storage::WalOptions wal_options = options.wal;
+      wal_options.checkpoint_horizon = reports[i].checkpoint_horizon;
+      PROVDB_ASSIGN_OR_RETURN(
+          storage::WalWriter wal,
+          storage::WalWriter::Open(
+              env, ShardedProvenanceStore::ShardDirName(root_dir, i),
+              wal_options));
+      auto shard = std::make_unique<Shard>(std::move(wal));
+      // Seed every chain tail from the recovered records so reopened
+      // chains continue exactly where the durable log left them.
+      const ProvenanceStore& store = pipeline->store_->shard(i);
+      for (uint64_t r = 0; r < store.record_count(); ++r) {
+        if (store.is_pruned(r)) continue;
+        const ProvenanceRecord& rec = store.record(r);
+        shard->chains.Set(rec.output.object_id, rec.seq_id, rec.checksum);
+      }
+      pipeline->shards_.push_back(std::move(shard));
     }
-    pipeline->shards_.push_back(std::move(shard));
   }
 
   if (!options.signing.sequential()) {
@@ -318,11 +323,13 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Open(
 }
 
 const storage::WalWriter* IngestPipeline::shard_wal(size_t index) const {
+  MutexLock lock(&mu_);
   const Shard& shard = *shards_[index];
   return shard.wal_open ? &shard.wal : nullptr;
 }
 
 Status IngestPipeline::Submit(const IngestRequest& request) {
+  MutexLock lock(&mu_);
   if (!failed_.ok()) return failed_;
   if (closed_) {
     return Status::FailedPrecondition("submit to closed ingest pipeline");
@@ -346,7 +353,7 @@ Status IngestPipeline::Submit(const IngestRequest& request) {
        shard->since_flush.ElapsedSeconds() >=
            options_.flush_interval_seconds);
   if (threshold) {
-    Status s = FlushShard(shard, &store_->shard(index));
+    Status s = FlushShardLocked(shard, &store_->shard(index));
     if (!s.ok()) {
       failed_ = s;
       return failed_;
@@ -355,7 +362,8 @@ Status IngestPipeline::Submit(const IngestRequest& request) {
   return Status::OK();
 }
 
-Status IngestPipeline::FlushShard(Shard* shard, ProvenanceStore* store) {
+Status IngestPipeline::FlushShardLocked(Shard* shard,
+                                        ProvenanceStore* store) {
   if (shard->pending.empty()) {
     shard->since_flush.Restart();
     return Status::OK();
@@ -465,12 +473,13 @@ Status IngestPipeline::FlushShard(Shard* shard, ProvenanceStore* store) {
         shard->records_since_checkpoint >= policy.every_records) ||
        (policy.every_bytes > 0 &&
         shard->bytes_since_checkpoint >= policy.every_bytes))) {
-    PROVDB_RETURN_IF_ERROR(CheckpointShard(shard, store));
+    PROVDB_RETURN_IF_ERROR(CheckpointShardLocked(shard, store));
   }
   return Status::OK();
 }
 
-Status IngestPipeline::CheckpointShard(Shard* shard, ProvenanceStore* store) {
+Status IngestPipeline::CheckpointShardLocked(Shard* shard,
+                                             ProvenanceStore* store) {
   // Ordering is the crash-safety argument (DESIGN.md §13): roll first so
   // the horizon is a closed segment, seal the snapshot (tmp + rename,
   // atomic), and only then delete covered segments and stale checkpoints.
@@ -498,6 +507,7 @@ Status IngestPipeline::CheckpointShard(Shard* shard, ProvenanceStore* store) {
 }
 
 Status IngestPipeline::CheckpointNow() {
+  MutexLock lock(&mu_);
   if (!failed_.ok()) return failed_;
   if (closed_) {
     return Status::FailedPrecondition("checkpoint on closed ingest pipeline");
@@ -506,9 +516,9 @@ Status IngestPipeline::CheckpointNow() {
     return Status::FailedPrecondition(
         "ingest pipeline has no checkpoint signer configured");
   }
-  PROVDB_RETURN_IF_ERROR(Drain());
+  PROVDB_RETURN_IF_ERROR(DrainLocked());
   for (size_t i = 0; i < shards_.size(); ++i) {
-    Status s = CheckpointShard(shards_[i].get(), &store_->shard(i));
+    Status s = CheckpointShardLocked(shards_[i].get(), &store_->shard(i));
     if (!s.ok()) {
       failed_ = s;
       return failed_;
@@ -518,12 +528,17 @@ Status IngestPipeline::CheckpointNow() {
 }
 
 Status IngestPipeline::Drain() {
+  MutexLock lock(&mu_);
+  return DrainLocked();
+}
+
+Status IngestPipeline::DrainLocked() {
   if (!failed_.ok()) return failed_;
   if (closed_) return Status::OK();
   observability::ScopedLatencyTimer timer(drain_latency_);
   observability::TraceSpan span("ingest.drain");
   for (size_t i = 0; i < shards_.size(); ++i) {
-    Status s = FlushShard(shards_[i].get(), &store_->shard(i));
+    Status s = FlushShardLocked(shards_[i].get(), &store_->shard(i));
     if (!s.ok()) {
       failed_ = s;
       return failed_;
@@ -533,8 +548,9 @@ Status IngestPipeline::Drain() {
 }
 
 Status IngestPipeline::Close() {
+  MutexLock lock(&mu_);
   if (closed_) return Status::OK();
-  Status drain = failed_.ok() ? Drain() : failed_;
+  Status drain = failed_.ok() ? DrainLocked() : failed_;
   Status close_status = Status::OK();
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (!shards_[i]->wal_open) continue;

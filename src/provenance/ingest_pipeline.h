@@ -9,6 +9,7 @@
 #include "common/hashmix.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "crypto/pki.h"
 #include "observability/metrics.h"
@@ -192,11 +193,18 @@ struct IngestOptions {
 /// committed in memory. Write-ahead ordering is therefore preserved
 /// batch-wide: no in-memory commit ever precedes its durability point.
 ///
-/// Not thread-safe: one producer drives Submit/Drain (the parallelism is
-/// inside, in the signing fan-out). After any flush error the pipeline
-/// is poisoned — every later Submit/Drain returns the same status —
-/// because a failed WAL append leaves no safe way to keep ordering
-/// guarantees for subsequent records of the same chain.
+/// Thread-safe, serialized: every public operation acquires the
+/// pipeline-wide mutex `mu_`, so concurrent producers may call
+/// Submit/Drain/Close from any thread and their requests interleave at
+/// request granularity (the signing fan-out inside a flush still runs on
+/// the shared thread pool). A single producer pays only an uncontended
+/// lock and produces byte-identical output to the pre-locking pipeline.
+/// Reading `store()` while other threads ingest is racy — call Drain()
+/// first and read during quiescence, as every test and tool here does.
+/// After any flush error the pipeline is poisoned — every later
+/// Submit/Drain returns the same status — because a failed WAL append
+/// leaves no safe way to keep ordering guarantees for subsequent records
+/// of the same chain.
 class IngestPipeline {
  public:
   /// Opens (or reopens) a pipeline rooted at `root_dir`: recovers any
@@ -234,6 +242,7 @@ class IngestPipeline {
 
   /// Checkpoints sealed for shard `index` since this pipeline opened.
   uint64_t shard_checkpoints(size_t index) const {
+    MutexLock lock(&mu_);
     return shards_[index]->checkpoints;
   }
 
@@ -245,8 +254,14 @@ class IngestPipeline {
   /// committed counts.
   const storage::WalWriter* shard_wal(size_t index) const;
 
-  uint64_t submitted() const { return submitted_count_; }
-  uint64_t committed() const { return committed_count_; }
+  uint64_t submitted() const {
+    MutexLock lock(&mu_);
+    return submitted_count_;
+  }
+  uint64_t committed() const {
+    MutexLock lock(&mu_);
+    return committed_count_;
+  }
   const IngestOptions& options() const { return options_; }
   const std::string& root_dir() const { return root_dir_; }
 
@@ -271,25 +286,37 @@ class IngestPipeline {
 
   /// Signs, appends, fsyncs, and commits `shard`'s pending batch, then
   /// checkpoints the shard if the policy thresholds fire.
-  Status FlushShard(Shard* shard, ProvenanceStore* store);
+  Status FlushShardLocked(Shard* shard, ProvenanceStore* store)
+      PROVDB_REQUIRES(mu_);
 
   /// Roll → seal → GC for one shard (the §13 compaction step). Called
   /// only at batch boundaries, so the snapshot state equals the WAL
   /// content exactly. A no-op when nothing new lies behind the roll
   /// point.
-  Status CheckpointShard(Shard* shard, ProvenanceStore* store);
+  Status CheckpointShardLocked(Shard* shard, ProvenanceStore* store)
+      PROVDB_REQUIRES(mu_);
+
+  /// Flushes every shard in shard order; the body of Drain(), factored
+  /// out so Close() and CheckpointNow() can drain under their own lock.
+  Status DrainLocked() PROVDB_REQUIRES(mu_);
 
   storage::Env* env_;
   std::string root_dir_;
   IngestOptions options_;
   ChecksumEngine engine_;
+  /// Serializes every public entry point; see the class comment. Guards
+  /// the shards (buffers, chain tails, WALs — their records are appended
+  /// only under this lock) and the poison/counters below. The store
+  /// pointer itself is set once in Open and never reassigned.
+  mutable Mutex mu_;
   std::unique_ptr<ShardedProvenanceStore> store_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_ PROVDB_GUARDED_BY(mu_);
   std::unique_ptr<ThreadPool> pool_;  // null when signing is sequential
-  Status failed_ = Status::OK();      // poison; see class comment
-  bool closed_ = false;
-  uint64_t submitted_count_ = 0;
-  uint64_t committed_count_ = 0;
+  Status failed_ PROVDB_GUARDED_BY(mu_) =
+      Status::OK();  // poison; see class comment
+  bool closed_ PROVDB_GUARDED_BY(mu_) = false;
+  uint64_t submitted_count_ PROVDB_GUARDED_BY(mu_) = 0;
+  uint64_t committed_count_ PROVDB_GUARDED_BY(mu_) = 0;
 
   // Ingest observability (docs/OBSERVABILITY.md).
   observability::Counter* submitted_;

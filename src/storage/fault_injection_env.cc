@@ -13,7 +13,8 @@ class FaultInjectionWritableFile final : public WritableFile {
       : env_(env), path_(std::move(path)), base_(std::move(base)) {}
 
   Status Append(ByteView data) override {
-    PROVDB_RETURN_IF_ERROR(env_->BeginMutatingOp("append " + path_));
+    MutexLock lock(&env_->mu_);
+    PROVDB_RETURN_IF_ERROR(env_->BeginMutatingOpLocked("append " + path_));
     if (!env_->active_) {
       return Status::IoError("injected fault: filesystem inactive (append " +
                              path_ + ")");
@@ -41,7 +42,8 @@ class FaultInjectionWritableFile final : public WritableFile {
   Status Flush() override { return base_->Flush(); }
 
   Status Sync() override {
-    PROVDB_RETURN_IF_ERROR(env_->BeginMutatingOp("sync " + path_));
+    MutexLock lock(&env_->mu_);
+    PROVDB_RETURN_IF_ERROR(env_->BeginMutatingOpLocked("sync " + path_));
     if (!env_->active_) {
       return Status::IoError("injected fault: filesystem inactive (sync " +
                              path_ + ")");
@@ -66,7 +68,8 @@ class FaultInjectionWritableFile final : public WritableFile {
 
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path) {
-  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("create " + path));
+  MutexLock lock(&mu_);
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOpLocked("create " + path));
   if (!active_) {
     return Status::IoError("injected fault: filesystem inactive (create " +
                            path + ")");
@@ -87,7 +90,8 @@ Result<Bytes> FaultInjectionEnv::ReadFileToBytes(const std::string& path) {
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("rename " + from));
+  MutexLock lock(&mu_);
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOpLocked("rename " + from));
   if (!active_) {
     return Status::IoError("injected fault: filesystem inactive (rename " +
                            from + ")");
@@ -103,7 +107,8 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 }
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
-  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("remove " + path));
+  MutexLock lock(&mu_);
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOpLocked("remove " + path));
   if (!active_) {
     return Status::IoError("injected fault: filesystem inactive (remove " +
                            path + ")");
@@ -113,7 +118,8 @@ Status FaultInjectionEnv::RemoveFile(const std::string& path) {
 }
 
 Status FaultInjectionEnv::CreateDir(const std::string& path) {
-  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("mkdir " + path));
+  MutexLock lock(&mu_);
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOpLocked("mkdir " + path));
   if (!active_) {
     return Status::IoError("injected fault: filesystem inactive (mkdir " +
                            path + ")");
@@ -136,7 +142,8 @@ bool FaultInjectionEnv::FileExists(const std::string& path) {
 
 Status FaultInjectionEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
-  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("truncate " + path));
+  MutexLock lock(&mu_);
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOpLocked("truncate " + path));
   if (!active_) {
     return Status::IoError("injected fault: filesystem inactive (truncate " +
                            path + ")");
@@ -145,7 +152,8 @@ Status FaultInjectionEnv::TruncateFile(const std::string& path,
 }
 
 Status FaultInjectionEnv::SyncDir(const std::string& dir) {
-  PROVDB_RETURN_IF_ERROR(BeginMutatingOp("syncdir " + dir));
+  MutexLock lock(&mu_);
+  PROVDB_RETURN_IF_ERROR(BeginMutatingOpLocked("syncdir " + dir));
   if (!active_) {
     return Status::IoError("injected fault: filesystem inactive (syncdir " +
                            dir + ")");
@@ -156,23 +164,27 @@ Status FaultInjectionEnv::SyncDir(const std::string& dir) {
 }
 
 void FaultInjectionEnv::ScheduleAppendFailure(uint64_t nth, bool torn) {
+  MutexLock lock(&mu_);
   fail_append_in_ = nth;
   torn_append_ = torn;
 }
 
 void FaultInjectionEnv::ScheduleSyncFailure(uint64_t nth) {
+  MutexLock lock(&mu_);
   fail_sync_in_ = nth;
 }
 
 void FaultInjectionEnv::ScheduleNewFileFailure(uint64_t nth) {
+  MutexLock lock(&mu_);
   fail_new_file_in_ = nth;
 }
 
 void FaultInjectionEnv::ScheduleCrashAtOp(uint64_t nth) {
+  MutexLock lock(&mu_);
   crash_at_op_ = nth == 0 ? 0 : mutating_op_count_ + nth;
 }
 
-Status FaultInjectionEnv::BeginMutatingOp(const std::string& what) {
+Status FaultInjectionEnv::BeginMutatingOpLocked(const std::string& what) {
   ++mutating_op_count_;
   if (crash_at_op_ > 0 && mutating_op_count_ >= crash_at_op_) {
     // The crash point: this operation fails and the disk image freezes,
@@ -186,6 +198,7 @@ Status FaultInjectionEnv::BeginMutatingOp(const std::string& what) {
 }
 
 void FaultInjectionEnv::ClearFaults() {
+  MutexLock lock(&mu_);
   active_ = true;
   fail_append_in_ = 0;
   torn_append_ = false;
@@ -195,6 +208,7 @@ void FaultInjectionEnv::ClearFaults() {
 }
 
 Status FaultInjectionEnv::DropUnsyncedFileData() {
+  MutexLock lock(&mu_);
   for (const auto& [path, state] : files_) {
     if (!base_->FileExists(path)) {
       continue;
@@ -207,11 +221,13 @@ Status FaultInjectionEnv::DropUnsyncedFileData() {
 }
 
 uint64_t FaultInjectionEnv::synced_bytes(const std::string& path) const {
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   return it == files_.end() ? 0 : it->second.synced;
 }
 
 uint64_t FaultInjectionEnv::appended_bytes(const std::string& path) const {
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   return it == files_.end() ? 0 : it->second.appended;
 }

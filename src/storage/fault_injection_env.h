@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "storage/env.h"
 
 namespace provdb::storage {
@@ -27,7 +28,13 @@ namespace provdb::storage {
 /// underlying Env, so tests can assert sync contracts ("SaveToFile syncs
 /// the file before renaming") rather than trust comments.
 ///
-/// Single-threaded use only (it is a unit-test double).
+/// Thread-safe: one coarse mutex serializes every operation and all
+/// bookkeeping (it is a test double — fidelity beats parallelism), so it
+/// can sit under components exercised from several threads, e.g. the
+/// serialized IngestPipeline driven by concurrent producers. Fault
+/// scheduling ("the nth append fails") stays deterministic only when the
+/// *workload* is deterministic; concurrent tests should assert on the
+/// counters and the sync contract, not on which thread hits the fault.
 class FaultInjectionEnv final : public Env {
  public:
   /// `base` must outlive this env. Typically Env::Default().
@@ -50,8 +57,14 @@ class FaultInjectionEnv final : public Env {
   // --- Fault controls ---------------------------------------------------
 
   /// When false, every Append/Sync/rename fails with kIoError.
-  void SetFilesystemActive(bool active) { active_ = active; }
-  bool filesystem_active() const { return active_; }
+  void SetFilesystemActive(bool active) {
+    MutexLock lock(&mu_);
+    active_ = active;
+  }
+  bool filesystem_active() const {
+    MutexLock lock(&mu_);
+    return active_;
+  }
 
   /// The `nth` Append from now (1-based) fails with kIoError. With
   /// `torn`, the failing append first writes the front half of its
@@ -74,7 +87,10 @@ class FaultInjectionEnv final : public Env {
 
   /// Mutating operations attempted through this env so far (the unit
   /// ScheduleCrashAtOp counts in).
-  uint64_t mutating_ops() const { return mutating_op_count_; }
+  uint64_t mutating_ops() const {
+    MutexLock lock(&mu_);
+    return mutating_op_count_;
+  }
 
   /// Clears scheduled failures and re-activates the filesystem (does not
   /// reset counters or tracked file state).
@@ -87,9 +103,18 @@ class FaultInjectionEnv final : public Env {
 
   // --- Observability ----------------------------------------------------
 
-  uint64_t append_count() const { return append_count_; }
-  uint64_t sync_count() const { return sync_count_; }
-  uint64_t dir_sync_count() const { return dir_sync_count_; }
+  uint64_t append_count() const {
+    MutexLock lock(&mu_);
+    return append_count_;
+  }
+  uint64_t sync_count() const {
+    MutexLock lock(&mu_);
+    return sync_count_;
+  }
+  uint64_t dir_sync_count() const {
+    MutexLock lock(&mu_);
+    return dir_sync_count_;
+  }
 
   /// Bytes currently guaranteed durable for `path` (0 if untracked).
   uint64_t synced_bytes(const std::string& path) const;
@@ -108,20 +133,25 @@ class FaultInjectionEnv final : public Env {
   /// Bumps the mutating-op counter and applies a scheduled crash: when
   /// the counter hits the crash point the filesystem freezes and the
   /// current operation fails. Returns OK otherwise.
-  Status BeginMutatingOp(const std::string& what);
+  Status BeginMutatingOpLocked(const std::string& what) PROVDB_REQUIRES(mu_);
 
   Env* base_;
-  bool active_ = true;
-  std::map<std::string, FileState> files_;
-  uint64_t append_count_ = 0;
-  uint64_t sync_count_ = 0;
-  uint64_t dir_sync_count_ = 0;
-  uint64_t mutating_op_count_ = 0;
-  uint64_t fail_append_in_ = 0;  // 0 = no failure scheduled
-  bool torn_append_ = false;
-  uint64_t fail_sync_in_ = 0;
-  uint64_t fail_new_file_in_ = 0;
-  uint64_t crash_at_op_ = 0;  // 0 = no crash scheduled
+  /// The coarse lock: held across each operation's bookkeeping *and* its
+  /// forwarded base-env call, so the tracked state (appended/synced
+  /// bytes) never disagrees with the real disk image mid-operation.
+  mutable Mutex mu_;
+  bool active_ PROVDB_GUARDED_BY(mu_) = true;
+  std::map<std::string, FileState> files_ PROVDB_GUARDED_BY(mu_);
+  uint64_t append_count_ PROVDB_GUARDED_BY(mu_) = 0;
+  uint64_t sync_count_ PROVDB_GUARDED_BY(mu_) = 0;
+  uint64_t dir_sync_count_ PROVDB_GUARDED_BY(mu_) = 0;
+  uint64_t mutating_op_count_ PROVDB_GUARDED_BY(mu_) = 0;
+  // 0 = no failure scheduled
+  uint64_t fail_append_in_ PROVDB_GUARDED_BY(mu_) = 0;
+  bool torn_append_ PROVDB_GUARDED_BY(mu_) = false;
+  uint64_t fail_sync_in_ PROVDB_GUARDED_BY(mu_) = 0;
+  uint64_t fail_new_file_in_ PROVDB_GUARDED_BY(mu_) = 0;
+  uint64_t crash_at_op_ PROVDB_GUARDED_BY(mu_) = 0;  // 0 = no crash
 };
 
 }  // namespace provdb::storage

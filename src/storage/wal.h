@@ -85,6 +85,13 @@ struct WalOptions {
 
 /// Incremental appender. Unlike RecordLog::SaveToFile (which rewrites the
 /// world), WalWriter makes each record durable in O(record) I/O.
+///
+/// Externally synchronized: a WalWriter holds no mutex of its own.
+/// Exactly one owner drives it at a time — in the sharded pipeline that
+/// owner is IngestPipeline, whose pipeline-wide lock `mu_` serializes all
+/// shard WAL calls (the shards_ vector that reaches the writers is
+/// PROVDB_GUARDED_BY(mu_), so the analysis enforces the ownership path
+/// even though the writer itself carries no annotations).
 class WalWriter {
  public:
   WalWriter(WalWriter&&) = default;

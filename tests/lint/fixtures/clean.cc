@@ -1,10 +1,30 @@
 // Fixture: no violations. Banned tokens appear only inside comments and
 // string literals, which the scanner must ignore: memcmp(, rand(),
-// std::thread, time(NULL).
+// std::thread, time(NULL), mu_.lock(), wal.Sync() under a MutexLock.
 #include <map>
 #include <string>
 
+#include "common/thread_annotations.h"
+
 namespace provdb::provenance {
+
+// A comment mentioning a declaration like `Mutex stray_mu_;` is not a
+// declaration, and `.lock()` / `.unlock()` in prose is not a call.
+class AnnotatedState {
+ public:
+  int Get() const {
+    MutexLock lock(&mu_);
+    // Strings mentioning file->Sync() and wal.Append(frame) are not
+    // blocking calls, even inside this live guard scope:
+    const char* doc = "never file->Sync() or wal.Append(frame) here";
+    (void)doc;
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ PROVDB_GUARDED_BY(mu_) = 0;
+};
 
 // A comment mentioning std::unordered_map iteration is not iteration.
 int DescribeBannedThings() {

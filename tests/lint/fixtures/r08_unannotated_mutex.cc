@@ -1,0 +1,37 @@
+// Fixture: violates R08 (unannotated-mutex) when linted under a src/
+// path. Both mutexes below are declared but nothing in the file is
+// PROVDB_GUARDED_BY / PROVDB_REQUIRES against them, so the clang
+// thread-safety tier has nothing to check: forgetting the lock compiles
+// silently.
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace provdb {
+
+class UnannotatedCache {
+ public:
+  void Put(int key) {
+    MutexLock lock(&mu_);
+    last_key_ = key;
+  }
+
+ private:
+  mutable Mutex mu_;  // VIOLATION (no PROVDB_GUARDED_BY(mu_) user)
+  int last_key_ = 0;  // should be PROVDB_GUARDED_BY(mu_)
+};
+
+class LegacyCounter {
+ private:
+  std::mutex raw_mu_;  // VIOLATION (raw std::mutex, also unannotated)
+  int count_ = 0;
+};
+
+/// The annotated shape R08 wants — no finding.
+class AnnotatedCache {
+ private:
+  mutable Mutex good_mu_;
+  int value_ PROVDB_GUARDED_BY(good_mu_) = 0;
+};
+
+}  // namespace provdb

@@ -1,0 +1,38 @@
+// Fixture: violates R09 (io-under-lock) when linted under a src/ path
+// outside the Env layer. An fsync-class call while holding a mutex
+// stalls every thread contending for it — the latency cliff the
+// pipeline's group-commit design exists to avoid.
+#include <mutex>
+
+#include "common/thread_annotations.h"
+#include "storage/env.h"
+
+namespace provdb::storage {
+
+class LockedLog {
+ public:
+  void AppendUnderRaiiGuard(WritableFile* file, ByteView data) {
+    MutexLock lock(&mu_);
+    file->Append(data).IgnoreError();  // VIOLATION (Append under MutexLock)
+  }
+
+  void SyncUnderStdGuard(WritableFile* file) {
+    std::lock_guard<std::mutex> guard(raw_mu_);
+    file->Sync().IgnoreError();  // VIOLATION (Sync under lock_guard)
+  }
+
+  void FlushAfterRelease(WritableFile* file) {
+    {
+      MutexLock lock(&mu_);
+      pending_ = 0;  // bookkeeping only under the lock
+    }
+    file->Flush().IgnoreError();  // clean: the guard scope has closed
+  }
+
+ private:
+  mutable Mutex mu_;
+  uint64_t pending_ PROVDB_GUARDED_BY(mu_) = 0;
+  std::mutex raw_mu_;  // lint:allow unannotated-mutex
+};
+
+}  // namespace provdb::storage

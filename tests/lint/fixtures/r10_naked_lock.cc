@@ -1,0 +1,40 @@
+// Fixture: violates R10 (naked-lock) when linted under a src/ path
+// outside the lock plumbing. Manual lock()/unlock() pairs leak on every
+// early return and exception path, and the clang thread-safety analysis
+// cannot pair a manual acquire with its release across branches.
+#include <mutex>
+
+namespace provdb {
+
+class NakedLocker {
+ public:
+  bool Bump(bool should) {
+    mu_.lock();  // VIOLATION (manual .lock())
+    if (!should) {
+      return false;  // the classic leak: unlock never runs
+    }
+    ++count_;
+    mu_.unlock();  // VIOLATION (manual .unlock())
+    return true;
+  }
+
+  bool TryBump() {
+    if (!mu_.try_lock()) return false;  // VIOLATION (manual .try_lock())
+    ++count_;
+    mu_.unlock();  // VIOLATION (manual .unlock())
+    return true;
+  }
+
+  void RaiiBump() {
+    // Clean: a guard declaration is not a member call, so the RAII
+    // spelling `MutexLock lock(&mu_)` / std::lock_guard never fires.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;  // lint:allow unannotated-mutex
+  int count_ = 0;
+};
+
+}  // namespace provdb

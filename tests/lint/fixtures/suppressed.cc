@@ -21,4 +21,17 @@ bool OrderingComparator(const unsigned char* a, const unsigned char* b) {
   return std::memcmp(a, b, 16) < 0;  // lint:allow ct-memcmp
 }
 
+class LegacyAdapter {
+ public:
+  void Poke() {
+    // Bridging to a C API that demands a bare mutex across a callback.
+    // lint:allow naked-lock
+    legacy_mu_.lock();
+    legacy_mu_.unlock();  // lint:allow R10
+  }
+
+ private:
+  std::mutex legacy_mu_;  // lint:allow unannotated-mutex
+};
+
 }  // namespace provdb::provenance

@@ -1,0 +1,33 @@
+// Deliberately-racy negative fixture for the thread-safety CI tier.
+//
+// This file is NOT part of any build target. tools/ci.sh's thread-safety
+// stage compiles it standalone with clang -Wthread-safety -Werror and
+// asserts that the compile FAILS: the write to `balance_` below touches a
+// PROVDB_GUARDED_BY(mu_) member without holding mu_, which is exactly the
+// bug class the tier exists to reject. If this file ever compiles clean
+// under the tier's flags, the analysis is not actually armed (wrong
+// compiler, macros expanding to nothing, flags dropped) and the stage
+// fails loudly instead of certifying nothing.
+#include "common/thread_annotations.h"
+
+namespace provdb {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    // BUG (on purpose): no MutexLock — a concurrent Deposit races.
+    balance_ += amount;  // expected error: writing variable 'balance_'
+                         // requires holding mutex 'mu_' exclusively
+  }
+
+  int balance() const {
+    MutexLock lock(&mu_);
+    return balance_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int balance_ PROVDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace provdb

@@ -5,6 +5,12 @@
 #   lint           provdb_lint over src/ (determinism / checked-verify rules)
 #   werror         src/ under the hardened tier: -Wconversion -Wshadow
 #                  -Wextra-semi -Werror (PROVDB_WERROR=ON)
+#   thread-safety  clang -Wthread-safety[-beta] as errors over src/
+#                  (PROVDB_THREAD_SAFETY=ON): every PROVDB_GUARDED_BY /
+#                  PROVDB_REQUIRES contract machine-checked, plus a
+#                  negative control — the deliberately-racy fixture in
+#                  tests/thread_safety/ must FAIL to compile. Skipped
+#                  when clang is absent (analysis-only stage)
 #   format         clang-format --dry-run over first-party sources
 #                  (check-only; skipped when clang-format is absent)
 #   crash-recovery the durability suite (ctest -L crash-recovery): WAL
@@ -19,6 +25,10 @@
 #                  the sharded ingest pipeline's parallel signing, and
 #                  the concurrent metrics-recording tests
 #   asan           ASan+UBSan over the wire-format decoder fuzz tests
+#   ubsan          strict UBSan (PROVDB_SANITIZE=undefined,
+#                  -fno-sanitize-recover) over the full release-test
+#                  suite: any diagnosed undefined behavior aborts the
+#                  test instead of printing and passing
 #   differential   the randomized differential + tamper-matrix harness
 #                  (ctest -L differential) under ASan+UBSan: sequential
 #                  store vs sharded pipeline byte-equality, single-field
@@ -30,8 +40,8 @@
 #
 # Usage: tools/ci.sh [stage...]
 #   No arguments runs the default order:
-#     release-tests lint werror format crash-recovery checkpoint tsan
-#     asan differential docs
+#     release-tests lint werror thread-safety format crash-recovery
+#     checkpoint tsan asan ubsan differential docs
 #   plus tidy when PROVDB_TIDY=1 (clang-tidy may be absent, so it is
 #   opt-in). Build trees go under $PROVDB_CI_OUT (default: ./ci-out).
 set -eu
@@ -63,6 +73,44 @@ stage_werror() {
     -DPROVDB_BUILD_BENCHMARKS=OFF -DPROVDB_BUILD_EXAMPLES=OFF
   run cmake --build "$OUT/werror" -j "$JOBS" \
     --target provdb_provenance provdb_workload
+}
+
+stage_thread_safety() {
+  # Clang's thread-safety analysis is the machine check behind the
+  # PROVDB_GUARDED_BY / PROVDB_REQUIRES annotations; GCC parses the
+  # macros to nothing, so this stage needs a real clang.
+  CLANGXX=""
+  for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+      clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANGXX="$candidate"
+      break
+    fi
+  done
+  if [ -z "$CLANGXX" ]; then
+    echo "==> thread-safety: clang++ not installed, skipping" \
+      "(analysis-only stage; annotations still compile away under GCC)"
+    return 0
+  fi
+  run cmake -S "$ROOT" -B "$OUT/thread-safety" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_COMPILER="$CLANGXX" -DPROVDB_THREAD_SAFETY=ON \
+    -DPROVDB_BUILD_TESTS=OFF -DPROVDB_BUILD_BENCHMARKS=OFF \
+    -DPROVDB_BUILD_EXAMPLES=OFF
+  run cmake --build "$OUT/thread-safety" -j "$JOBS" \
+    --target provdb_provenance provdb_workload
+  # Negative control: the deliberately-racy fixture (an unlocked write to
+  # a PROVDB_GUARDED_BY member) must FAIL to compile. If it passes, the
+  # analysis is not armed and the green build above certified nothing.
+  echo "==> thread-safety: negative control (racy fixture must fail)"
+  if "$CLANGXX" -std=c++20 -fsyntax-only -I "$ROOT/src" \
+      -Wthread-safety -Wthread-safety-beta \
+      -Werror=thread-safety -Werror=thread-safety-beta \
+      "$ROOT/tests/thread_safety/racy_guarded_write.cc" 2>/dev/null; then
+    echo "==> thread-safety: racy fixture compiled CLEAN —" \
+      "the analysis is not armed" >&2
+    exit 1
+  fi
+  echo "==> thread-safety: src/ clean, racy fixture rejected"
 }
 
 stage_format() {
@@ -129,6 +177,19 @@ stage_asan() {
     -R 'Decoder|Fuzz|Property'
 }
 
+stage_ubsan() {
+  # Strict UBSan over the full suite: -fno-sanitize-recover makes any
+  # diagnosed undefined behavior abort the test, so a green run means no
+  # UB was *executed* anywhere the tests reach. (The asan tier's UBSan
+  # half runs in the default recoverable mode; this one cannot be talked
+  # past.)
+  run cmake -S "$ROOT" -B "$OUT/ubsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPROVDB_SANITIZE=undefined -DPROVDB_BUILD_BENCHMARKS=OFF \
+    -DPROVDB_BUILD_EXAMPLES=OFF
+  run cmake --build "$OUT/ubsan" -j "$JOBS"
+  run ctest --test-dir "$OUT/ubsan" --output-on-failure -j "$JOBS"
+}
+
 stage_differential() {
   # The randomized differential + tamper-matrix harness under ASan+UBSan:
   # it deliberately mutates serialized records and raw WAL bytes, exactly
@@ -166,18 +227,21 @@ run_stage() {
     release-tests) stage_release_tests ;;
     lint)          stage_lint ;;
     werror)        stage_werror ;;
+    thread-safety) stage_thread_safety ;;
     format)        stage_format ;;
     crash-recovery) stage_crash_recovery ;;
     checkpoint)    stage_checkpoint ;;
     tsan)          stage_tsan ;;
     asan)          stage_asan ;;
+    ubsan)         stage_ubsan ;;
     differential)  stage_differential ;;
     docs)          stage_docs ;;
     tidy)          stage_tidy ;;
     *)
       echo "tools/ci.sh: unknown stage '$1'" >&2
-      echo "stages: release-tests lint werror format crash-recovery" \
-        "checkpoint tsan asan differential docs tidy" >&2
+      echo "stages: release-tests lint werror thread-safety format" \
+        "crash-recovery checkpoint tsan asan ubsan differential docs" \
+        "tidy" >&2
       exit 2
       ;;
   esac
@@ -186,7 +250,7 @@ run_stage() {
 if [ "$#" -gt 0 ]; then
   STAGES="$*"
 else
-  STAGES="release-tests lint werror format crash-recovery checkpoint tsan asan differential docs"
+  STAGES="release-tests lint werror thread-safety format crash-recovery checkpoint tsan asan ubsan differential docs"
   if [ "${PROVDB_TIDY:-0}" = "1" ]; then
     STAGES="$STAGES tidy"
   fi

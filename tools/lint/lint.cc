@@ -167,6 +167,55 @@ bool ContainsWord(const std::string& text, const std::string& token,
   return false;
 }
 
+/// `token` as a whole word followed (after whitespace) by '(' — method
+/// invocations included. Unlike ContainsCall, a '.', '->', or '::'
+/// qualifier on the left counts: R09 hunts `wal.Sync()` and
+/// `file->Append(...)`, exactly the spellings ContainsCall rejects.
+bool ContainsInvocation(const std::string& text, const std::string& token,
+                        size_t* pos_out = nullptr) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    size_t end = pos + token.size();
+    bool word_end = end >= text.size() || !IsIdentChar(text[end]);
+    size_t after = end;
+    while (after < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[after]))) {
+      ++after;
+    }
+    if (left_ok && word_end && after < text.size() && text[after] == '(') {
+      if (pos_out != nullptr) *pos_out = pos;
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+/// `token` as a member call: preceded by '.' or '->', followed (after
+/// whitespace) by '('. `guard.lock()` matches; the RAII declaration
+/// `MutexLock lock(&mu_)` does not.
+bool ContainsMemberCall(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    bool member =
+        (pos > 0 && text[pos - 1] == '.') ||
+        (pos > 1 && text[pos - 1] == '>' && text[pos - 2] == '-');
+    size_t end = pos + token.size();
+    bool word_end = end >= text.size() || !IsIdentChar(text[end]);
+    size_t after = end;
+    while (after < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[after]))) {
+      ++after;
+    }
+    if (member && word_end && after < text.size() && text[after] == '(') {
+      return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
 /// `token` as a whole word followed (after whitespace) by '('.
 bool ContainsCall(const std::string& text, const std::string& token) {
   size_t pos = 0;
@@ -590,6 +639,200 @@ void RunR07(const std::string& path, const std::vector<std::string>& code,
   }
 }
 
+// ---------------------------------------------------------------------------
+// R08 unannotated-mutex
+// ---------------------------------------------------------------------------
+
+/// Declared mutex member/variable on `line` after the type token ending
+/// at `after`: skips '*', '&', cv-qualifiers, then takes the identifier,
+/// and accepts it only when the declarator ends in ';', '{', or '=' —
+/// so parameters (`Mutex* mu)`) and template arguments never count.
+std::string MutexDeclName(const std::string& line, size_t after) {
+  size_t cursor = after;
+  while (cursor < line.size()) {
+    char c = line[cursor];
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '*' ||
+        c == '&') {
+      ++cursor;
+      continue;
+    }
+    if (line.compare(cursor, 5, "const") == 0 &&
+        (cursor + 5 >= line.size() || !IsIdentChar(line[cursor + 5]))) {
+      cursor += 5;
+      continue;
+    }
+    break;
+  }
+  size_t start = cursor;
+  while (cursor < line.size() && IsIdentChar(line[cursor])) ++cursor;
+  if (cursor == start) return "";
+  std::string name = line.substr(start, cursor - start);
+  while (cursor < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[cursor]))) {
+    ++cursor;
+  }
+  if (cursor < line.size() &&
+      (line[cursor] == ';' || line[cursor] == '{' || line[cursor] == '=')) {
+    return name;
+  }
+  return "";
+}
+
+void RunR08(const std::string& path, const std::vector<std::string>& code,
+            std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/")) return;
+  // The annotation vocabulary itself wraps the raw primitive.
+  if (StartsWith(path, "src/common/thread_annotations.h")) return;
+  std::string joined;
+  for (const std::string& line : code) {
+    joined += line;
+    joined += '\n';
+  }
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    std::string name;
+    size_t pos;
+    if (ContainsWord(line, "Mutex", &pos)) {
+      name = MutexDeclName(line, pos + std::string("Mutex").size());
+    }
+    if (name.empty() && ContainsWord(line, "mutex", &pos)) {
+      // std::mutex / pthread-style lowercase spellings.
+      name = MutexDeclName(line, pos + std::string("mutex").size());
+    }
+    if (name.empty()) continue;
+    bool used =
+        joined.find("PROVDB_GUARDED_BY(" + name + ")") != std::string::npos ||
+        joined.find("PROVDB_PT_GUARDED_BY(" + name + ")") !=
+            std::string::npos ||
+        joined.find("PROVDB_REQUIRES(" + name + ")") != std::string::npos ||
+        joined.find("PROVDB_REQUIRES(" + name + ",") != std::string::npos;
+    if (used) continue;
+    findings->push_back(Finding{
+        "R08", "unannotated-mutex", path, i + 1,
+        "declares mutex `" + name +
+            "` but nothing in this file is PROVDB_GUARDED_BY(" + name +
+            ") or PROVDB_REQUIRES(" + name +
+            "); an unannotated mutex guards nothing the clang "
+            "thread-safety analysis can check, so a forgotten lock "
+            "compiles silently",
+        "declare the mutex as provdb::Mutex "
+        "(src/common/thread_annotations.h), mark every member it "
+        "protects PROVDB_GUARDED_BY(" +
+            name +
+            "), and give lock-requiring helpers PROVDB_REQUIRES(" + name +
+            ")"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R09 io-under-lock
+// ---------------------------------------------------------------------------
+
+void RunR09(const std::string& path, const std::vector<std::string>& code,
+            std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/")) return;
+  // The Env layer owns the blocking primitives; its fault-injecting test
+  // double deliberately holds a coarse lock across forwarded calls so
+  // its bookkeeping matches the disk image (see its class comment).
+  if (StartsWith(path, "src/storage/env.")) return;
+  if (StartsWith(path, "src/storage/fault_injection_env.")) return;
+  static const char* kGuards[] = {"lock_guard", "unique_lock",
+                                  "scoped_lock", "MutexLock"};
+  static const char* kBlocking[] = {"Sync",   "SyncDir",   "Flush",
+                                    "Append", "RenameFile", "Rename"};
+  int depth = 0;
+  std::vector<int> live;  // depth at which each live guard was declared
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    // Events in this line, processed left to right: braces move scope
+    // depth, a guard declaration arms the lock, a blocking invocation
+    // under an armed guard is the finding.
+    struct Event {
+      size_t pos;
+      int kind;  // 0 = '{', 1 = '}', 2 = guard decl, 3 = blocking call
+      const char* token;
+    };
+    std::vector<Event> events;
+    for (size_t p = 0; p < line.size(); ++p) {
+      if (line[p] == '{') events.push_back(Event{p, 0, nullptr});
+      if (line[p] == '}') events.push_back(Event{p, 1, nullptr});
+    }
+    for (const char* guard : kGuards) {
+      size_t pos;
+      if (ContainsWord(line, guard, &pos)) {
+        events.push_back(Event{pos, 2, guard});
+      }
+    }
+    for (const char* token : kBlocking) {
+      size_t pos;
+      if (ContainsInvocation(line, token, &pos)) {
+        events.push_back(Event{pos, 3, token});
+        break;  // one finding per line is enough
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.pos < b.pos; });
+    for (const Event& event : events) {
+      switch (event.kind) {
+        case 0:
+          ++depth;
+          break;
+        case 1:
+          --depth;
+          while (!live.empty() && live.back() > depth) live.pop_back();
+          break;
+        case 2:
+          live.push_back(depth);
+          break;
+        case 3:
+          if (!live.empty()) {
+            findings->push_back(Finding{
+                "R09", "io-under-lock", path, i + 1,
+                std::string("calls blocking `") + event.token +
+                    "` inside a live lock scope; an fsync-class stall "
+                    "under a mutex freezes every thread contending for "
+                    "it (the latency cliff DESIGN.md's group-commit "
+                    "design exists to avoid)",
+                "move the I/O outside the critical section, or factor "
+                "the locked part into a FooLocked() helper marked "
+                "PROVDB_REQUIRES(mu) and do the I/O after release"});
+          }
+          break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R10 naked-lock
+// ---------------------------------------------------------------------------
+
+void RunR10(const std::string& path, const std::vector<std::string>& code,
+            std::vector<Finding>* findings) {
+  if (!StartsWith(path, "src/")) return;
+  // The annotated Mutex wrapper and the pool's wait loop are the two
+  // sanctioned owners of bare lock()/unlock() plumbing.
+  if (StartsWith(path, "src/common/thread_annotations.h")) return;
+  if (StartsWith(path, "src/common/thread_pool.")) return;
+  static const char* kNaked[] = {"lock", "unlock", "try_lock"};
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const char* token : kNaked) {
+      if (!ContainsMemberCall(code[i], token)) continue;
+      findings->push_back(Finding{
+          "R10", "naked-lock", path, i + 1,
+          std::string("calls `.") + token +
+              "()` manually; a lock without RAII leaks on every early "
+              "return and exception path, and the clang thread-safety "
+              "analysis cannot pair manual acquire/release across "
+              "branches",
+          "hold the mutex with provdb::MutexLock "
+          "(src/common/thread_annotations.h) — or std::lock_guard for "
+          "a bare std::mutex — scoped to the critical section"});
+      break;  // one finding per line is enough
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -625,6 +868,18 @@ const std::vector<RuleInfo>& Rules() {
       {"R07", "adhoc-chrono",
        "no direct std::chrono outside src/common/stopwatch.* and "
        "src/observability/; time via Stopwatch or ScopedLatencyTimer"},
+      {"R08", "unannotated-mutex",
+       "every mutex declared in src/ needs a PROVDB_GUARDED_BY / "
+       "PROVDB_REQUIRES user in the same file, so the clang "
+       "thread-safety analysis has something to check"},
+      {"R09", "io-under-lock",
+       "no blocking file call (Sync/Flush/Append/Rename) lexically "
+       "inside a live lock scope outside src/storage/env.* and the "
+       "fault-injection env"},
+      {"R10", "naked-lock",
+       "no manual .lock()/.unlock(); critical sections are held by RAII "
+       "guards (MutexLock) outside src/common/thread_pool.* and "
+       "thread_annotations.h"},
   };
   return *rules;
 }
@@ -647,6 +902,9 @@ std::vector<Finding> Linter::LintContent(const std::string& path,
   if (has_corpus_) RunR05(path, corpus_, &findings);
   RunR06(path, source.code, &findings);
   RunR07(path, source.code, &findings);
+  RunR08(path, source.code, &findings);
+  RunR09(path, source.code, &findings);
+  RunR10(path, source.code, &findings);
 
   findings.erase(
       std::remove_if(findings.begin(), findings.end(),

@@ -40,6 +40,21 @@
 //                          Stopwatch or a metrics histogram, so timing
 //                          is visible to observability and wall-clock
 //                          types stay out of deterministic code)
+//   R08 unannotated-mutex  every mutex declared in src/ must have a
+//                          PROVDB_GUARDED_BY / PROVDB_REQUIRES user in
+//                          the same file — an unannotated mutex guards
+//                          nothing the clang -Wthread-safety tier can
+//                          check (common/thread_annotations.h)
+//   R09 io-under-lock      no blocking file call (Sync/Flush/Append/
+//                          Rename) lexically inside a live lock_guard/
+//                          unique_lock/scoped_lock/MutexLock scope;
+//                          exempt: src/storage/env.* and the
+//                          fault-injection env (sanctioned I/O layer)
+//   R10 naked-lock         no manual .lock()/.unlock()/.try_lock()
+//                          member calls; critical sections use RAII
+//                          guards so early returns cannot leak a lock.
+//                          Exempt: src/common/thread_pool.* and
+//                          thread_annotations.h (the lock plumbing)
 //
 // Any finding can be suppressed with a pragma on the offending line or
 // the line above it:   // lint:allow <rule>   where <rule> is the id
