@@ -20,6 +20,10 @@ enum class StatusCode : int {
   kVerificationFailed = 8,
   kInternal = 9,
   kUnimplemented = 10,
+  /// Transient overload: the request was shed by admission control and
+  /// may be retried later. Distinct from kFailedPrecondition (the caller
+  /// did nothing wrong) and from kIoError (nothing is broken).
+  kUnavailable = 11,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -78,6 +82,9 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the status represents success.

@@ -32,6 +32,15 @@ Result<uint64_t> VarintReader::ReadVarint64() {
     }
     v |= static_cast<uint64_t>(b & 0x7F) << shift;
     if ((b & 0x80) == 0) {
+      // Canonical-form check: AppendVarint64 never emits a final byte of
+      // zero except for the single-byte encoding of 0, so an overlong
+      // encoding (e.g. 0x80 0x00 for 0) is not a value the serializer
+      // can produce. Accepting it would break the encode/decode
+      // bijection the tamper matrix and the wire protocol rely on: two
+      // distinct byte strings would decode to the same record.
+      if (b == 0 && shift > 0) {
+        return Status::Corruption("non-canonical varint (overlong encoding)");
+      }
       return v;
     }
     shift += 7;

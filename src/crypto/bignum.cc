@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace provdb::crypto {
 
@@ -229,7 +231,25 @@ BigUInt BigUInt::Add(const BigUInt& a, const BigUInt& b) {
 }
 
 BigUInt BigUInt::Sub(const BigUInt& a, const BigUInt& b) {
-  assert(Compare(a, b) >= 0 && "BigUInt::Sub requires a >= b");
+  // Enforced in all build types, not just under NDEBUG-off: a silent
+  // two's-complement-style wrap would flow a garbage limb vector into
+  // RSA/CRT arithmetic (see header). Call-site audit as of this writing:
+  //   - rsa.cc key generation: Sub(n, 1), Sub(n, 3), Sub(p, 1), Sub(q, 1)
+  //     on primes >= 3 by construction;
+  //   - rsa.cc SignDigest CRT: Sub(s1, s2) behind an explicit Compare,
+  //     and Sub(lifted, s2_mod_p) where lifted = s1 + p > s2_mod_p
+  //     because s2_mod_p < p;
+  //   - ModInverse below: magnitude subtraction behind an explicit
+  //     Compare, and Sub(m, reduced) with reduced = old_t mod m < m;
+  //   - MontgomeryContext::MulReduce / ModExp: Sub(out, modulus_) behind
+  //     an explicit Compare.
+  if (Compare(a, b) < 0) {
+    std::fprintf(stderr,
+                 "BigUInt::Sub precondition violated: a < b "
+                 "(a=%zu bits, b=%zu bits); aborting\n",
+                 a.BitLength(), b.BitLength());
+    std::abort();
+  }
   BigUInt out;
   out.limbs_.resize(a.limbs_.size(), 0);
   int64_t borrow = 0;
@@ -427,7 +447,11 @@ Result<BigUInt> BigUInt::ModExp(const BigUInt& base, const BigUInt& exp,
     PROVDB_ASSIGN_OR_RETURN(MontgomeryContext ctx, MontgomeryContext::Create(m));
     return ctx.ModExp(base, exp);
   }
-  // Generic square-and-multiply for even moduli.
+  // Generic square-and-multiply for even moduli. The square feeding bit
+  // i+1 is computed only while bits remain: squaring after the last
+  // exponent bit would be a full-width Mul + DivMod whose result is
+  // discarded — pure waste (for RSA-sized operands the single largest
+  // step of the loop).
   PROVDB_ASSIGN_OR_RETURN(BigUInt acc, Mod(base, m));
   BigUInt result(1);
   size_t bits = exp.BitLength();
@@ -435,7 +459,9 @@ Result<BigUInt> BigUInt::ModExp(const BigUInt& base, const BigUInt& exp,
     if (exp.GetBit(i)) {
       PROVDB_ASSIGN_OR_RETURN(result, Mod(Mul(result, acc), m));
     }
-    PROVDB_ASSIGN_OR_RETURN(acc, Mod(Mul(acc, acc), m));
+    if (i + 1 < bits) {
+      PROVDB_ASSIGN_OR_RETURN(acc, Mod(Mul(acc, acc), m));
+    }
   }
   return result;
 }
@@ -528,11 +554,11 @@ Result<MontgomeryContext> MontgomeryContext::Create(const BigUInt& modulus) {
   ctx.n_prime_ = static_cast<uint32_t>(0u - inv);
 
   BigUInt r = BigUInt(1).ShiftLeft(32 * ctx.num_limbs_);
-  auto r_mod = BigUInt::Mod(r, modulus);
-  auto r2_mod = BigUInt::Mod(BigUInt::Mul(r_mod.value(), r_mod.value()),
-                             modulus);
-  ctx.r_mod_m_ = std::move(r_mod).value();
-  ctx.r2_mod_m_ = std::move(r2_mod).value();
+  PROVDB_ASSIGN_OR_RETURN(BigUInt r_mod, BigUInt::Mod(r, modulus));
+  PROVDB_ASSIGN_OR_RETURN(
+      BigUInt r2_mod, BigUInt::Mod(BigUInt::Mul(r_mod, r_mod), modulus));
+  ctx.r_mod_m_ = std::move(r_mod);
+  ctx.r2_mod_m_ = std::move(r2_mod);
   return ctx;
 }
 

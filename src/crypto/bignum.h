@@ -71,7 +71,15 @@ class BigUInt {
   // -- Arithmetic ------------------------------------------------------
   static BigUInt Add(const BigUInt& a, const BigUInt& b);
 
-  /// Requires a >= b (asserts in debug builds; wraps otherwise undefined).
+  /// Requires a >= b. The precondition is enforced in every build type:
+  /// violating it aborts the process rather than silently wrapping. A
+  /// wrapped difference inside RSA-CRT or the extended Euclid would
+  /// produce a structurally valid but cryptographically wrong value — a
+  /// signature that fails verification at best, a key-dependent
+  /// miscomputation at worst — so there is no safe "release" behavior to
+  /// fall back to. All in-tree call sites either compare first or
+  /// subtract a value bounded by construction (see the audit notes at
+  /// each site in bignum.cc / rsa.cc).
   static BigUInt Sub(const BigUInt& a, const BigUInt& b);
 
   static BigUInt Mul(const BigUInt& a, const BigUInt& b);

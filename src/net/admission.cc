@@ -1,0 +1,32 @@
+#include "net/admission.h"
+
+namespace provdb::net {
+
+AdmissionController::AdmissionController(
+    uint64_t budget_bytes, observability::MetricsRegistry* metrics)
+    : budget_(budget_bytes),
+      in_flight_gauge_(metrics->gauge("server.inflight.bytes")),
+      shed_(metrics->counter("server.requests.shed")) {}
+
+bool AdmissionController::Admit(uint64_t bytes) {
+  if (in_flight_ + bytes > budget_) {
+    shed_->Increment();
+    return false;
+  }
+  in_flight_ += bytes;
+  in_flight_gauge_->Set(static_cast<int64_t>(in_flight_));
+  return true;
+}
+
+void AdmissionController::Swap(uint64_t from, uint64_t to) {
+  in_flight_ -= from;
+  in_flight_ += to;
+  in_flight_gauge_->Set(static_cast<int64_t>(in_flight_));
+}
+
+void AdmissionController::Release(uint64_t bytes) {
+  in_flight_ -= bytes;
+  in_flight_gauge_->Set(static_cast<int64_t>(in_flight_));
+}
+
+}  // namespace provdb::net

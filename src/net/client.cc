@@ -1,0 +1,54 @@
+#include "net/client.h"
+
+namespace provdb::net {
+
+Result<ProvenanceClient> ProvenanceClient::Connect(
+    const std::string& host, uint16_t port, size_t max_response_payload) {
+  PROVDB_ASSIGN_OR_RETURN(Socket sock, Socket::ConnectTcp(host, port));
+  PROVDB_RETURN_IF_ERROR(sock.SetNoDelay());
+  return ProvenanceClient(std::move(sock), max_response_payload);
+}
+
+Result<Response> ProvenanceClient::Call(const Request& request) {
+  PROVDB_RETURN_IF_ERROR(SendRequest(request));
+  return ReadResponse();
+}
+
+Status ProvenanceClient::SendRequest(const Request& request) {
+  return SendBytes(EncodeFrame(EncodeRequest(request)));
+}
+
+Result<Response> ProvenanceClient::ReadResponse() {
+  for (;;) {
+    size_t consumed = 0;
+    Bytes payload;
+    PROVDB_ASSIGN_OR_RETURN(
+        bool complete, TryDecodeFrame(rbuf_, max_response_payload_,
+                                      &consumed, &payload));
+    if (complete) {
+      rbuf_.erase(rbuf_.begin(),
+                  rbuf_.begin() + static_cast<ptrdiff_t>(consumed));
+      return DecodeResponse(payload);
+    }
+    PROVDB_ASSIGN_OR_RETURN(IoResult io, sock_.Read(64 * 1024, &rbuf_));
+    if (io.eof) {
+      return Status::IoError("connection closed mid-response");
+    }
+    // A blocking socket never reports would_block; loop for more bytes.
+  }
+}
+
+Status ProvenanceClient::SendBytes(ByteView raw) {
+  size_t offset = 0;
+  while (offset < raw.size()) {
+    PROVDB_ASSIGN_OR_RETURN(IoResult io,
+                            sock_.Write(raw.subview(offset)));
+    offset += io.bytes;
+    if (io.bytes == 0 && io.would_block) {
+      return Status::IoError("blocking socket reported would_block");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace provdb::net

@@ -1,0 +1,569 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <utility>
+
+#include "common/varint.h"
+#include "observability/trace.h"
+#include "provenance/serialization.h"
+#include "provenance/verifier.h"
+
+namespace provdb::net {
+
+namespace {
+
+/// Read chunk per poll tick; level-triggered poll re-fires while more is
+/// queued, so this bounds per-tick work, not throughput.
+constexpr size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+ProvenanceServer::ProvenanceServer(
+    provenance::IngestPipeline* pipeline,
+    const crypto::ParticipantRegistry* registry,
+    std::map<crypto::ParticipantId, const crypto::Participant*> participants,
+    ServerOptions options)
+    : pipeline_(pipeline),
+      registry_(registry),
+      participants_(std::move(participants)),
+      options_(options),
+      engine_(pipeline->options().hash_algorithm),
+      admission_(options.max_inflight_bytes,
+                 &observability::GlobalMetrics()),
+      connections_accepted_(observability::GlobalMetrics().counter(
+          "server.connections.accepted")),
+      connections_active_(observability::GlobalMetrics().gauge(
+          "server.connections.active")),
+      requests_received_(observability::GlobalMetrics().counter(
+          "server.requests.received")),
+      requests_ok_(
+          observability::GlobalMetrics().counter("server.requests.ok")),
+      requests_failed_(observability::GlobalMetrics().counter(
+          "server.requests.failed")),
+      requests_corrupt_(observability::GlobalMetrics().counter(
+          "server.requests.corrupt")),
+      records_committed_(observability::GlobalMetrics().counter(
+          "server.records.committed")),
+      request_latency_(observability::GlobalMetrics().histogram(
+          "server.request.latency")) {}
+
+Result<std::unique_ptr<ProvenanceServer>> ProvenanceServer::Start(
+    provenance::IngestPipeline* pipeline,
+    const crypto::ParticipantRegistry* registry,
+    std::map<crypto::ParticipantId, const crypto::Participant*> participants,
+    ServerOptions options) {
+  // Quiesce the pipeline so the store is safely readable for seeding.
+  PROVDB_RETURN_IF_ERROR(pipeline->Drain());
+  std::unique_ptr<ProvenanceServer> server(new ProvenanceServer(
+      pipeline, registry, std::move(participants), options));
+  PROVDB_ASSIGN_OR_RETURN(server->listener_,
+                          ListenSocket::Listen(options.port));
+  PROVDB_ASSIGN_OR_RETURN(server->wake_, WakePipe::Create());
+  // Seed the chain-tail guard from the recovered store: the executor must
+  // know every existing chain or a remote insert could collide with one
+  // and poison the pipeline.
+  for (const auto& [object, chain] : pipeline->store().AllChains()) {
+    if (!chain.empty()) {
+      server->tails_[object] = chain.back()->seq_id;
+    }
+  }
+  server->loop_pool_ = std::make_unique<ThreadPool>(1);
+  server->exec_pool_ = std::make_unique<ThreadPool>(1);
+  ProvenanceServer* raw = server.get();
+  raw->loop_pool_->Submit([raw] { raw->PollLoop(); });
+  return server;
+}
+
+ProvenanceServer::~ProvenanceServer() { Stop(); }
+
+void ProvenanceServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+  }
+  wake_.Wake();
+  loop_pool_->Shutdown();
+  exec_pool_->Shutdown();
+}
+
+// -- Poll thread -------------------------------------------------------
+
+void ProvenanceServer::PollLoop() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_sessions;
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (stop_) break;
+    }
+    // Deliver executor completions first: they free admission budget and
+    // may unblock response ordering.
+    std::deque<DoneItem> done;
+    {
+      MutexLock lock(&mu_);
+      done.swap(done_queue_);
+    }
+    while (!done.empty()) {
+      HandleDone(std::move(done.front()));
+      done.pop_front();
+    }
+    // Sweep sessions that finished (or died).
+    std::vector<uint64_t> doomed;
+    for (const auto& [id, s] : sessions_) {
+      bool drained = s.wq.empty() && s.ready.empty() && s.pending == 0;
+      if (s.dead || ((s.closing || s.defunct) && drained)) {
+        doomed.push_back(id);
+      }
+    }
+    for (uint64_t id : doomed) DestroySession(id);
+
+    fds.clear();
+    fd_sessions.clear();
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    fds.push_back(pollfd{wake_.read_fd(), POLLIN, 0});
+    for (const auto& [id, s] : sessions_) {
+      short events = 0;
+      if (!s.closing && !s.defunct) events |= POLLIN;
+      if (!s.wq.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{s.sock.fd(), events, 0});
+      fd_sessions.push_back(id);
+    }
+    ::poll(fds.data(), fds.size(), options_.poll_timeout_ms);
+    if (fds[1].revents != 0) wake_.DrainWakes();
+    if ((fds[0].revents & POLLIN) != 0) AcceptAll();
+    for (size_t i = 2; i < fds.size(); ++i) {
+      auto it = sessions_.find(fd_sessions[i - 2]);
+      if (it == sessions_.end()) continue;
+      Session* s = &it->second;
+      if ((fds[i].revents & (POLLERR | POLLNVAL)) != 0) {
+        s->dead = true;
+        continue;
+      }
+      if ((fds[i].revents & POLLOUT) != 0) FlushSession(s);
+      if (!s->dead && (fds[i].revents & (POLLIN | POLLHUP)) != 0) {
+        ReadSession(s);
+      }
+    }
+  }
+  listener_.Close();
+  std::vector<uint64_t> all;
+  all.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) all.push_back(id);
+  for (uint64_t id : all) DestroySession(id);
+}
+
+void ProvenanceServer::AcceptAll() {
+  for (;;) {
+    bool would_block = false;
+    auto sock = listener_.Accept(&would_block);
+    if (!sock.ok() || would_block) return;
+    // Group commit already batches; Nagle would only add latency.
+    Status nodelay = sock->SetNoDelay();
+    if (!nodelay.ok()) {
+      continue;  // dying fd; drop the connection
+    }
+    uint64_t id = next_session_id_++;
+    Session session;
+    session.id = id;
+    session.sock = std::move(*sock);
+    sessions_.emplace(id, std::move(session));
+    connections_accepted_->Increment();
+    connections_active_->Set(static_cast<int64_t>(sessions_.size()));
+  }
+}
+
+void ProvenanceServer::ReadSession(Session* s) {
+  auto io = s->sock.Read(kReadChunk, &s->rbuf);
+  if (!io.ok()) {
+    s->dead = true;
+    return;
+  }
+  if (io->eof) s->defunct = true;
+
+  size_t offset = 0;
+  std::vector<ExecItem> enqueue;
+  while (!s->closing) {
+    size_t consumed = 0;
+    Bytes payload;
+    auto frame =
+        TryDecodeFrame(ByteView(s->rbuf).subview(offset),
+                       options_.max_frame_payload, &consumed, &payload);
+    if (!frame.ok()) {
+      // The stream cannot be resynchronized after a framing error:
+      // answer with the typed error and close once it flushes.
+      requests_corrupt_->Increment();
+      RejectNow(s, frame.status().code(), frame.status().message());
+      s->closing = true;
+      s->rbuf.clear();
+      offset = 0;
+      break;
+    }
+    if (!*frame) break;  // incomplete frame: wait for more bytes
+    offset += consumed;
+    requests_received_->Increment();
+    const uint64_t charge = consumed;
+    if (s->pending >= options_.max_pending_per_connection) {
+      admission_.NoteShed();
+      RejectNow(s, StatusCode::kUnavailable,
+                "connection pending-request queue is full");
+      continue;
+    }
+    if (!admission_.Admit(charge)) {
+      RejectNow(s, StatusCode::kUnavailable,
+                "server admission budget exhausted");
+      continue;
+    }
+    auto request = DecodeRequest(payload);
+    if (!request.ok()) {
+      admission_.Release(charge);
+      requests_corrupt_->Increment();
+      RejectNow(s, request.status().code(), request.status().message());
+      s->closing = true;
+      s->rbuf.clear();
+      offset = 0;
+      break;
+    }
+    ExecItem item;
+    item.session = s->id;
+    item.seq = s->next_seq++;
+    item.request = std::move(*request);
+    item.charge = charge;
+    item.arrival_micros = observability::ScopedLatencyTimer::NowMicros();
+    ++s->pending;
+    enqueue.push_back(std::move(item));
+  }
+  if (offset > 0) {
+    s->rbuf.erase(s->rbuf.begin(),
+                  s->rbuf.begin() + static_cast<ptrdiff_t>(offset));
+  }
+  if (!enqueue.empty()) {
+    bool kick = false;
+    {
+      MutexLock lock(&mu_);
+      for (auto& item : enqueue) exec_queue_.push_back(std::move(item));
+      if (!exec_scheduled_) {
+        exec_scheduled_ = true;
+        kick = true;
+      }
+    }
+    if (kick) exec_pool_->Submit([this] { ExecutorRun(); });
+  }
+}
+
+void ProvenanceServer::FlushSession(Session* s) {
+  while (!s->wq.empty()) {
+    ReadyResponse& front = s->wq.front();
+    ByteView rest(front.frame.data() + s->wq_front_written,
+                  front.frame.size() - s->wq_front_written);
+    auto io = s->sock.Write(rest);
+    if (!io.ok()) {
+      s->dead = true;
+      return;
+    }
+    s->wq_front_written += io->bytes;
+    if (io->would_block || io->bytes < rest.size()) return;
+    s->wq_bytes -= front.frame.size();
+    if (front.charge > 0) admission_.Release(front.charge);
+    s->wq.pop_front();
+    s->wq_front_written = 0;
+  }
+}
+
+void ProvenanceServer::HandleDone(DoneItem item) {
+  auto it = sessions_.find(item.session);
+  if (it == sessions_.end()) {
+    // The connection died while its request executed; the work is done
+    // (and durable, for submits) but the answer has no recipient.
+    admission_.Release(item.charge);
+    return;
+  }
+  Session* s = &it->second;
+  --s->pending;
+  if (item.ok) {
+    requests_ok_->Increment();
+  } else {
+    requests_failed_->Increment();
+  }
+  request_latency_->Record(observability::ScopedLatencyTimer::NowMicros() -
+                           item.arrival_micros);
+  const uint64_t response_charge = item.frame.size();
+  admission_.Swap(item.charge, response_charge);
+  EmitReady(s, item.seq, std::move(item.frame), response_charge);
+}
+
+void ProvenanceServer::EmitReady(Session* s, uint64_t seq, Bytes frame,
+                                 uint64_t charge) {
+  s->ready.emplace(seq, ReadyResponse{std::move(frame), charge});
+  for (;;) {
+    auto it = s->ready.find(s->next_respond);
+    if (it == s->ready.end()) break;
+    s->wq_bytes += it->second.frame.size();
+    s->wq.push_back(std::move(it->second));
+    s->ready.erase(it);
+    ++s->next_respond;
+  }
+  FlushSession(s);
+  // A peer that does not read its responses must not grow our buffers
+  // without bound: stop reading new requests at the soft cap, drop the
+  // connection outright at the hard one (soft + one maximal response —
+  // a single legitimately large chain response never trips it).
+  if (s->wq_bytes > options_.max_connection_buffer) s->closing = true;
+  if (s->wq_bytes >
+      options_.max_connection_buffer + options_.max_response_payload) {
+    s->dead = true;
+  }
+}
+
+void ProvenanceServer::RejectNow(Session* s, StatusCode code,
+                                 std::string message) {
+  Response response;
+  response.code = code;
+  response.message = std::move(message);
+  Bytes frame = EncodeFrame(EncodeResponse(response));
+  requests_failed_->Increment();
+  EmitReady(s, s->next_seq++, std::move(frame), 0);
+}
+
+void ProvenanceServer::DestroySession(uint64_t id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  for (const auto& r : s.wq) {
+    if (r.charge > 0) admission_.Release(r.charge);
+  }
+  for (const auto& [seq, r] : s.ready) {
+    if (r.charge > 0) admission_.Release(r.charge);
+  }
+  // Charges for requests still on the executor are released when their
+  // DoneItems come back and find no session.
+  sessions_.erase(it);
+  connections_active_->Set(static_cast<int64_t>(sessions_.size()));
+}
+
+// -- Executor strand ---------------------------------------------------
+
+void ProvenanceServer::ExecutorRun() {
+  for (;;) {
+    std::deque<ExecItem> batch;
+    {
+      MutexLock lock(&mu_);
+      if (exec_queue_.empty()) {
+        exec_scheduled_ = false;
+        return;
+      }
+      batch.swap(exec_queue_);
+    }
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void ProvenanceServer::ProcessBatch(std::deque<ExecItem> batch) {
+  std::vector<DoneItem> out;
+  std::vector<std::pair<ExecItem, provenance::SeqId>> awaiting;
+  auto make_done = [](const ExecItem& item, Response response) {
+    DoneItem done;
+    done.session = item.session;
+    done.seq = item.seq;
+    done.charge = item.charge;
+    done.arrival_micros = item.arrival_micros;
+    done.ok = response.ok();
+    done.frame = EncodeFrame(EncodeResponse(response));
+    return done;
+  };
+  for (auto& item : batch) {
+    observability::TraceSpan span("server.request");
+    if (item.request.op == NetOp::kSubmitRecord) {
+      provenance::SeqId assigned = 0;
+      Status valid = ValidateSubmit(item.request.submit, &assigned);
+      if (valid.ok()) {
+        const SubmitRequest& submit = item.request.submit;
+        provenance::IngestRequest ingest;
+        ingest.op = submit.op;
+        ingest.object = submit.object;
+        ingest.post_hash = submit.post_hash;
+        ingest.has_pre_hash = submit.has_pre_hash;
+        ingest.pre_hash = submit.pre_hash;
+        ingest.inputs = submit.inputs;
+        ingest.input_prev_checksums = submit.input_prev_checksums;
+        ingest.aggregate_seq = submit.aggregate_seq;
+        ingest.inherited = submit.inherited;
+        ingest.participant = participants_.at(submit.participant_id);
+        valid = pipeline_->Submit(ingest);
+        if (valid.ok()) {
+          awaiting.emplace_back(std::move(item), assigned);
+          continue;
+        }
+      }
+      Response response;
+      response.code = valid.code();
+      response.message = valid.message();
+      out.push_back(make_done(item, std::move(response)));
+    } else {
+      // A read observes everything submitted before it on this
+      // connection ordering: commit the pending run first.
+      DrainAndAck(&out, &awaiting);
+      out.push_back(make_done(item, ExecuteRead(item.request)));
+    }
+  }
+  DrainAndAck(&out, &awaiting);
+  PushDone(std::move(out));
+}
+
+void ProvenanceServer::DrainAndAck(
+    std::vector<DoneItem>* out,
+    std::vector<std::pair<ExecItem, provenance::SeqId>>* awaiting) {
+  if (awaiting->empty()) return;
+  // ONE fsync point for the whole run — the group-commit batch these
+  // submits rode in. Only after it do the acks exist at all: an accepted
+  // record is durable, unconditionally.
+  Status drained = pipeline_->Drain();
+  for (auto& [item, assigned] : *awaiting) {
+    Response response;
+    if (drained.ok()) {
+      AppendVarint64(&response.body, assigned);
+      records_committed_->Increment();
+    } else {
+      response.code = drained.code();
+      response.message = drained.message();
+    }
+    DoneItem done;
+    done.session = item.session;
+    done.seq = item.seq;
+    done.charge = item.charge;
+    done.arrival_micros = item.arrival_micros;
+    done.ok = response.ok();
+    done.frame = EncodeFrame(EncodeResponse(response));
+    out->push_back(std::move(done));
+  }
+  awaiting->clear();
+}
+
+Status ProvenanceServer::ValidateSubmit(const SubmitRequest& submit,
+                                        provenance::SeqId* assigned) {
+  if (participants_.find(submit.participant_id) == participants_.end()) {
+    return Status::NotFound("unknown participant id " +
+                            std::to_string(submit.participant_id));
+  }
+  if (submit.object == storage::kInvalidObjectId) {
+    return Status::InvalidArgument("submit has no output object");
+  }
+  auto tail = tails_.find(submit.object);
+  const bool exists = tail != tails_.end();
+  switch (submit.op) {
+    case provenance::OperationType::kInsert:
+      if (!submit.inputs.empty() || !submit.input_prev_checksums.empty()) {
+        return Status::InvalidArgument("insert carries explicit inputs");
+      }
+      if (exists) {
+        return Status::FailedPrecondition(
+            "object " + std::to_string(submit.object) +
+            " already has a chain");
+      }
+      *assigned = 0;
+      break;
+    case provenance::OperationType::kUpdate:
+      if (!submit.inputs.empty() || !submit.input_prev_checksums.empty()) {
+        return Status::InvalidArgument("update carries explicit inputs");
+      }
+      // Bootstrap objects (no chain yet) legitimately start at seq 0.
+      *assigned = exists ? tail->second + 1 : 0;
+      break;
+    case provenance::OperationType::kAggregate:
+      if (exists) {
+        return Status::FailedPrecondition(
+            "aggregate output " + std::to_string(submit.object) +
+            " already has a chain");
+      }
+      if (submit.inputs.empty()) {
+        return Status::InvalidArgument(
+            "aggregate requires at least one input");
+      }
+      if (submit.input_prev_checksums.size() != submit.inputs.size()) {
+        return Status::InvalidArgument(
+            "aggregate prev-checksum count does not match its inputs");
+      }
+      for (size_t i = 1; i < submit.inputs.size(); ++i) {
+        if (submit.inputs[i].object_id <= submit.inputs[i - 1].object_id) {
+          return Status::InvalidArgument(
+              "aggregate inputs must be strictly ascending by object id");
+        }
+      }
+      *assigned = submit.aggregate_seq;
+      break;
+  }
+  tails_[submit.object] = *assigned;
+  return Status::OK();
+}
+
+Response ProvenanceServer::ExecuteRead(const Request& request) {
+  Response response;
+  switch (request.op) {
+    case NetOp::kQueryChain: {
+      auto records = pipeline_->store().ChainRecords(request.object);
+      if (records.empty()) {
+        response.code = StatusCode::kNotFound;
+        response.message =
+            "no chain for object " + std::to_string(request.object);
+        break;
+      }
+      Bytes body;
+      AppendVarint64(&body, records.size());
+      for (const auto* record : records) {
+        AppendLengthPrefixed(&body, provenance::EncodeRecord(*record));
+      }
+      if (body.size() > options_.max_response_payload) {
+        response.code = StatusCode::kOutOfRange;
+        response.message = "chain exceeds the response size ceiling";
+        break;
+      }
+      response.body = std::move(body);
+      break;
+    }
+    case NetOp::kVerifyObject: {
+      auto records = pipeline_->store().ChainRecords(request.object);
+      if (records.empty()) {
+        response.code = StatusCode::kNotFound;
+        response.message =
+            "no chain for object " + std::to_string(request.object);
+        break;
+      }
+      std::map<storage::ObjectId,
+               std::vector<const provenance::ProvenanceRecord*>>
+          chains;
+      chains.emplace(request.object, std::move(records));
+      provenance::VerificationReport report;
+      provenance::VerifyRecordChains(*registry_, engine_, chains, &report,
+                                     nullptr);
+      VerifySummary summary;
+      summary.records_checked = report.records_checked;
+      summary.signatures_verified = report.signatures_verified;
+      summary.issues = report.issues.size();
+      summary.ok = report.ok();
+      response.body = EncodeVerifySummary(summary);
+      break;
+    }
+    case NetOp::kStats: {
+      std::string json = observability::GlobalMetrics().SnapshotJson();
+      response.body = Bytes(json.begin(), json.end());
+      break;
+    }
+    case NetOp::kSubmitRecord:
+      response.code = StatusCode::kInternal;
+      response.message = "submit routed to the read path";
+      break;
+  }
+  return response;
+}
+
+void ProvenanceServer::PushDone(std::vector<DoneItem> items) {
+  if (items.empty()) return;
+  {
+    MutexLock lock(&mu_);
+    for (auto& item : items) done_queue_.push_back(std::move(item));
+  }
+  wake_.Wake();
+}
+
+}  // namespace provdb::net

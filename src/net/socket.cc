@@ -1,0 +1,253 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace provdb::net {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::IoError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+Status MakeNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// -- Socket ------------------------------------------------------------
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  Socket sock(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  // Retry on EINTR: a signal during connect must not look like a refusal.
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) < 0) {
+    if (errno == EINTR) continue;
+    return ErrnoStatus("connect");
+  }
+  return sock;
+}
+
+Status Socket::SetNonBlocking() { return MakeNonBlocking(fd_); }
+
+Status Socket::SetNoDelay() {
+  int one = 1;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<IoResult> Socket::Read(size_t max, Bytes* out) {
+  IoResult io;
+  uint8_t buf[16 * 1024];
+  size_t want = max < sizeof(buf) ? max : sizeof(buf);
+  for (;;) {
+    ssize_t n = ::read(fd_, buf, want);
+    if (n > 0) {
+      io.bytes = static_cast<size_t>(n);
+      out->insert(out->end(), buf, buf + n);
+      return io;
+    }
+    if (n == 0) {
+      io.eof = true;
+      return io;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      io.would_block = true;
+      return io;
+    }
+    // A reset peer is normal connection teardown, not an I/O fault worth
+    // a distinct error path: surface it as EOF so the session just ends.
+    if (errno == ECONNRESET) {
+      io.eof = true;
+      return io;
+    }
+    return ErrnoStatus("read");
+  }
+}
+
+Result<IoResult> Socket::Write(ByteView data) {
+  IoResult io;
+  for (;;) {
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) {
+      io.bytes = static_cast<size_t>(n);
+      return io;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      io.would_block = true;
+      return io;
+    }
+    return ErrnoStatus("write");
+  }
+}
+
+void Socket::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// -- ListenSocket ------------------------------------------------------
+
+ListenSocket::~ListenSocket() { Close(); }
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(other.fd_), bound_port_(other.bound_port_) {
+  other.fd_ = -1;
+  other.bound_port_ = 0;
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    bound_port_ = other.bound_port_;
+    other.fd_ = -1;
+    other.bound_port_ = 0;
+  }
+  return *this;
+}
+
+Result<ListenSocket> ListenSocket::Listen(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  ListenSocket sock;
+  sock.fd_ = fd;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd, backlog) < 0) return ErrnoStatus("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  sock.bound_port_ = ntohs(addr.sin_port);
+  PROVDB_RETURN_IF_ERROR(MakeNonBlocking(fd));
+  return sock;
+}
+
+Result<Socket> ListenSocket::Accept(bool* would_block) {
+  *would_block = false;
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      PROVDB_RETURN_IF_ERROR(MakeNonBlocking(fd));
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return Socket();
+    }
+    return ErrnoStatus("accept");
+  }
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// -- WakePipe ----------------------------------------------------------
+
+WakePipe::~WakePipe() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0) ::close(write_fd_);
+}
+
+WakePipe::WakePipe(WakePipe&& other) noexcept
+    : read_fd_(other.read_fd_), write_fd_(other.write_fd_) {
+  other.read_fd_ = -1;
+  other.write_fd_ = -1;
+}
+
+WakePipe& WakePipe::operator=(WakePipe&& other) noexcept {
+  if (this != &other) {
+    if (read_fd_ >= 0) ::close(read_fd_);
+    if (write_fd_ >= 0) ::close(write_fd_);
+    read_fd_ = other.read_fd_;
+    write_fd_ = other.write_fd_;
+    other.read_fd_ = -1;
+    other.write_fd_ = -1;
+  }
+  return *this;
+}
+
+Result<WakePipe> WakePipe::Create() {
+  int fds[2];
+  if (::pipe(fds) < 0) return ErrnoStatus("pipe");
+  WakePipe pipe(fds[0], fds[1]);
+  PROVDB_RETURN_IF_ERROR(MakeNonBlocking(fds[0]));
+  PROVDB_RETURN_IF_ERROR(MakeNonBlocking(fds[1]));
+  return pipe;
+}
+
+void WakePipe::Wake() {
+  uint8_t b = 1;
+  // EAGAIN means the pipe already holds unconsumed wakes — the loop is
+  // guaranteed to wake, so dropping this byte is correct.
+  [[maybe_unused]] ssize_t n = ::write(write_fd_, &b, 1);
+}
+
+void WakePipe::DrainWakes() {
+  uint8_t buf[256];
+  while (::read(read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace provdb::net

@@ -1,0 +1,135 @@
+#ifndef PROVDB_NET_SOCKET_H_
+#define PROVDB_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace provdb::net {
+
+/// Outcome of one non-blocking read or write attempt.
+struct IoResult {
+  /// Bytes transferred (0 is legal for writes with a full kernel buffer).
+  size_t bytes = 0;
+  /// The kernel had nothing to give / no room to take; retry after poll.
+  bool would_block = false;
+  /// Read only: the peer closed its write half.
+  bool eof = false;
+};
+
+/// Thin RAII wrapper over one TCP socket fd. Loopback-oriented (the
+/// provenance service fronts a trusted store; transport security between
+/// sites is out of scope, as is the paper's). Move-only; the destructor
+/// closes the fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Blocking connect to `host:port` (IPv4 dotted quad, e.g. 127.0.0.1).
+  static Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Switches the fd to non-blocking mode.
+  Status SetNonBlocking();
+
+  /// Disables Nagle batching; the protocol does its own (group commit).
+  Status SetNoDelay();
+
+  /// Reads up to `max` bytes, appending to `*out`.
+  Result<IoResult> Read(size_t max, Bytes* out);
+
+  /// Writes as much of `data` as the kernel accepts.
+  Result<IoResult> Write(ByteView data);
+
+  /// Half-close: signals EOF to the peer while keeping the read side
+  /// open, so a client can say "no more requests" and still collect every
+  /// response (the tamper matrix drives truncated-frame cases this way).
+  void ShutdownWrite();
+
+  /// Closes eagerly (also done by the destructor).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII listening socket bound to 127.0.0.1. Port 0 binds an ephemeral
+/// port, reported by `bound_port()` — tests and benches never race over a
+/// fixed port.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), listens, and switches the
+  /// accept queue to non-blocking.
+  static Result<ListenSocket> Listen(uint16_t port, int backlog = 128);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  uint16_t bound_port() const { return bound_port_; }
+
+  /// Accepts one pending connection; `would_block` when none is queued.
+  /// The accepted socket is already non-blocking.
+  Result<Socket> Accept(bool* would_block);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t bound_port_ = 0;
+};
+
+/// Self-pipe used to wake a poll(2) loop from another thread: the poll
+/// set includes `read_fd()`; any thread calls `Wake()`; the loop calls
+/// `DrainWakes()` once woken. Both ends are non-blocking, so a burst of
+/// wakes coalesces instead of blocking the waker.
+class WakePipe {
+ public:
+  WakePipe() = default;
+  ~WakePipe();
+
+  WakePipe(WakePipe&& other) noexcept;
+  WakePipe& operator=(WakePipe&& other) noexcept;
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  static Result<WakePipe> Create();
+
+  bool valid() const { return read_fd_ >= 0; }
+  int read_fd() const { return read_fd_; }
+
+  /// Nudges the poll loop. Safe from any thread; a full pipe is fine
+  /// (the loop is already guaranteed to wake).
+  void Wake();
+
+  /// Consumes every queued wake byte.
+  void DrainWakes();
+
+ private:
+  WakePipe(int read_fd, int write_fd)
+      : read_fd_(read_fd), write_fd_(write_fd) {}
+
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+};
+
+}  // namespace provdb::net
+
+#endif  // PROVDB_NET_SOCKET_H_

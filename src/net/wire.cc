@@ -1,0 +1,291 @@
+#include "net/wire.h"
+
+#include "common/crc32.h"
+#include "common/varint.h"
+#include "crypto/digest.h"
+#include "provenance/serialization.h"
+
+namespace provdb::net {
+
+namespace {
+
+/// Highest StatusCode a response may carry (common/status.h).
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(
+    StatusCode::kUnavailable);
+
+/// Reads a digest encoded as a length-prefixed field. Lengths above the
+/// digest width are rejected rather than truncated: truncation would make
+/// two distinct byte strings decode to the same request, breaking the
+/// encode/decode bijection the tamper matrix relies on.
+Result<crypto::Digest> ReadDigest(VarintReader* reader) {
+  PROVDB_ASSIGN_OR_RETURN(Bytes raw, reader->ReadLengthPrefixed());
+  if (raw.size() > crypto::Digest::kMaxSize) {
+    return Status::Corruption("digest field exceeds digest width");
+  }
+  return crypto::Digest::FromBytes(raw);
+}
+
+Bytes EncodeSubmitBody(const SubmitRequest& submit) {
+  Bytes out;
+  AppendVarint64(&out, submit.participant_id);
+  AppendByte(&out, static_cast<uint8_t>(submit.op));
+  AppendVarint64(&out, submit.object);
+  uint8_t flags = 0;
+  if (submit.has_pre_hash) flags |= 0x01;
+  if (submit.inherited) flags |= 0x02;
+  AppendByte(&out, flags);
+  AppendLengthPrefixed(&out, submit.post_hash.view());
+  if (submit.has_pre_hash) {
+    AppendLengthPrefixed(&out, submit.pre_hash.view());
+  }
+  AppendVarint64(&out, submit.inputs.size());
+  for (size_t i = 0; i < submit.inputs.size(); ++i) {
+    AppendVarint64(&out, submit.inputs[i].object_id);
+    AppendLengthPrefixed(&out, submit.inputs[i].state_hash.view());
+    const Bytes empty;
+    AppendLengthPrefixed(&out, i < submit.input_prev_checksums.size()
+                                   ? ByteView(submit.input_prev_checksums[i])
+                                   : ByteView(empty));
+  }
+  AppendVarint64(&out, submit.aggregate_seq);
+  return out;
+}
+
+Result<SubmitRequest> DecodeSubmitBody(VarintReader* reader) {
+  SubmitRequest submit;
+  PROVDB_ASSIGN_OR_RETURN(submit.participant_id, reader->ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(Bytes op_byte, reader->ReadRaw(1));
+  if (op_byte[0] > static_cast<uint8_t>(
+                       provenance::OperationType::kAggregate)) {
+    return Status::Corruption("unknown operation type in submit request");
+  }
+  submit.op = static_cast<provenance::OperationType>(op_byte[0]);
+  PROVDB_ASSIGN_OR_RETURN(submit.object, reader->ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(Bytes flags, reader->ReadRaw(1));
+  if ((flags[0] & ~uint8_t{0x03}) != 0) {
+    return Status::Corruption("unknown flag bits in submit request");
+  }
+  submit.has_pre_hash = (flags[0] & 0x01) != 0;
+  submit.inherited = (flags[0] & 0x02) != 0;
+  PROVDB_ASSIGN_OR_RETURN(submit.post_hash, ReadDigest(reader));
+  if (submit.has_pre_hash) {
+    PROVDB_ASSIGN_OR_RETURN(submit.pre_hash, ReadDigest(reader));
+  }
+  PROVDB_ASSIGN_OR_RETURN(uint64_t num_inputs, reader->ReadVarint64());
+  // Every input occupies at least 3 encoded bytes, so a count beyond
+  // remaining() cannot be satisfied — fail before allocating for it.
+  if (num_inputs > reader->remaining()) {
+    return Status::Corruption("submit input count exceeds payload");
+  }
+  submit.inputs.reserve(static_cast<size_t>(num_inputs));
+  submit.input_prev_checksums.reserve(static_cast<size_t>(num_inputs));
+  for (uint64_t i = 0; i < num_inputs; ++i) {
+    provenance::ObjectState state;
+    PROVDB_ASSIGN_OR_RETURN(state.object_id, reader->ReadVarint64());
+    PROVDB_ASSIGN_OR_RETURN(state.state_hash, ReadDigest(reader));
+    submit.inputs.push_back(state);
+    PROVDB_ASSIGN_OR_RETURN(Bytes prev, reader->ReadLengthPrefixed());
+    submit.input_prev_checksums.push_back(std::move(prev));
+  }
+  PROVDB_ASSIGN_OR_RETURN(submit.aggregate_seq, reader->ReadVarint64());
+  return submit;
+}
+
+}  // namespace
+
+std::string_view NetOpName(NetOp op) {
+  switch (op) {
+    case NetOp::kSubmitRecord:
+      return "submit-record";
+    case NetOp::kQueryChain:
+      return "query-chain";
+    case NetOp::kVerifyObject:
+      return "verify-object";
+    case NetOp::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
+Bytes EncodeFrame(ByteView payload) {
+  Bytes out;
+  out.reserve(payload.size() + kMaxFrameOverhead);
+  AppendVarint64(&out, payload.size());
+  AppendBytes(&out, payload);
+  AppendFixed32(&out, Crc32(payload));
+  return out;
+}
+
+Result<bool> TryDecodeFrame(ByteView buf, size_t max_payload,
+                            size_t* consumed, Bytes* payload) {
+  // Parse the length varint byte-by-byte so an incomplete prefix is
+  // "need more", while a malformed one (overlong, over 64 bits) is
+  // corruption even before the rest of the frame arrives.
+  uint64_t len = 0;
+  size_t header = 0;
+  int shift = 0;
+  for (;; ++header) {
+    if (header >= buf.size()) return false;  // mid-varint: need more
+    uint8_t b = buf[header];
+    if (shift >= 63 && (b & 0x7F) > 1) {
+      return Status::Corruption("frame length varint overflows 64 bits");
+    }
+    len |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      if (b == 0 && shift > 0) {
+        return Status::Corruption("non-canonical frame length varint");
+      }
+      ++header;
+      break;
+    }
+    shift += 7;
+    if (shift > 63) {
+      return Status::Corruption("frame length varint too long");
+    }
+  }
+  if (len > max_payload) {
+    return Status::Corruption("frame payload exceeds protocol maximum");
+  }
+  const size_t total = header + static_cast<size_t>(len) + 4;
+  if (buf.size() < total) return false;  // need more
+  ByteView body = buf.subview(header, static_cast<size_t>(len));
+  uint32_t stored = ReadFixed32(buf, header + static_cast<size_t>(len));
+  if (Crc32(body) != stored) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  *consumed = total;
+  *payload = body.ToBytes();
+  return true;
+}
+
+Bytes EncodeRequest(const Request& request) {
+  Bytes out;
+  AppendByte(&out, kWireVersion);
+  AppendByte(&out, static_cast<uint8_t>(request.op));
+  switch (request.op) {
+    case NetOp::kSubmitRecord: {
+      Bytes body = EncodeSubmitBody(request.submit);
+      AppendBytes(&out, body);
+      break;
+    }
+    case NetOp::kQueryChain:
+    case NetOp::kVerifyObject:
+      AppendVarint64(&out, request.object);
+      break;
+    case NetOp::kStats:
+      break;
+  }
+  return out;
+}
+
+Result<Request> DecodeRequest(ByteView payload) {
+  VarintReader reader(payload);
+  PROVDB_ASSIGN_OR_RETURN(Bytes version, reader.ReadRaw(1));
+  if (version[0] != kWireVersion) {
+    return Status::Corruption("unsupported wire version");
+  }
+  PROVDB_ASSIGN_OR_RETURN(Bytes op_byte, reader.ReadRaw(1));
+  if (op_byte[0] < static_cast<uint8_t>(NetOp::kSubmitRecord) ||
+      op_byte[0] > static_cast<uint8_t>(NetOp::kStats)) {
+    return Status::Corruption("unknown request op");
+  }
+  Request request;
+  request.op = static_cast<NetOp>(op_byte[0]);
+  switch (request.op) {
+    case NetOp::kSubmitRecord: {
+      PROVDB_ASSIGN_OR_RETURN(request.submit, DecodeSubmitBody(&reader));
+      break;
+    }
+    case NetOp::kQueryChain:
+    case NetOp::kVerifyObject: {
+      PROVDB_ASSIGN_OR_RETURN(request.object, reader.ReadVarint64());
+      break;
+    }
+    case NetOp::kStats:
+      break;
+  }
+  if (!reader.done()) {
+    return Status::Corruption("trailing bytes after request body");
+  }
+  return request;
+}
+
+Bytes EncodeResponse(const Response& response) {
+  Bytes out;
+  AppendByte(&out, kWireVersion);
+  AppendByte(&out, static_cast<uint8_t>(response.code));
+  AppendLengthPrefixed(&out, ByteView(response.message));
+  AppendLengthPrefixed(&out, response.body);
+  return out;
+}
+
+Result<Response> DecodeResponse(ByteView payload) {
+  VarintReader reader(payload);
+  PROVDB_ASSIGN_OR_RETURN(Bytes version, reader.ReadRaw(1));
+  if (version[0] != kWireVersion) {
+    return Status::Corruption("unsupported wire version");
+  }
+  PROVDB_ASSIGN_OR_RETURN(Bytes code, reader.ReadRaw(1));
+  if (code[0] > kMaxStatusCode) {
+    return Status::Corruption("unknown status code in response");
+  }
+  Response response;
+  response.code = static_cast<StatusCode>(code[0]);
+  PROVDB_ASSIGN_OR_RETURN(Bytes message, reader.ReadLengthPrefixed());
+  response.message = ByteView(message).ToString();
+  PROVDB_ASSIGN_OR_RETURN(response.body, reader.ReadLengthPrefixed());
+  if (!reader.done()) {
+    return Status::Corruption("trailing bytes after response body");
+  }
+  return response;
+}
+
+Bytes EncodeVerifySummary(const VerifySummary& summary) {
+  Bytes out;
+  AppendVarint64(&out, summary.records_checked);
+  AppendVarint64(&out, summary.signatures_verified);
+  AppendVarint64(&out, summary.issues);
+  AppendByte(&out, summary.ok ? 1 : 0);
+  return out;
+}
+
+Result<VerifySummary> DecodeVerifySummary(ByteView body) {
+  VarintReader reader(body);
+  VerifySummary summary;
+  PROVDB_ASSIGN_OR_RETURN(summary.records_checked, reader.ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(summary.signatures_verified,
+                          reader.ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(summary.issues, reader.ReadVarint64());
+  PROVDB_ASSIGN_OR_RETURN(Bytes ok_byte, reader.ReadRaw(1));
+  if (ok_byte[0] > 1) {
+    return Status::Corruption("verify summary ok flag out of range");
+  }
+  summary.ok = ok_byte[0] == 1;
+  if (!reader.done()) {
+    return Status::Corruption("trailing bytes after verify summary");
+  }
+  return summary;
+}
+
+Result<std::vector<provenance::ProvenanceRecord>> DecodeChainBody(
+    ByteView body) {
+  VarintReader reader(body);
+  PROVDB_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint64());
+  if (count > reader.remaining()) {
+    return Status::Corruption("chain record count exceeds payload");
+  }
+  std::vector<provenance::ProvenanceRecord> records;
+  records.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    PROVDB_ASSIGN_OR_RETURN(Bytes encoded, reader.ReadLengthPrefixed());
+    PROVDB_ASSIGN_OR_RETURN(provenance::ProvenanceRecord record,
+                            provenance::DecodeRecord(encoded));
+    records.push_back(std::move(record));
+  }
+  if (!reader.done()) {
+    return Status::Corruption("trailing bytes after chain body");
+  }
+  return records;
+}
+
+}  // namespace provdb::net

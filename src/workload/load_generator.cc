@@ -1,0 +1,219 @@
+#include "workload/load_generator.h"
+
+#include <future>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "crypto/digest.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "workload/zipf.h"
+
+namespace provdb::workload {
+
+namespace {
+
+/// One simulated client: a connection plus the local view of its chains.
+struct ClientState {
+  explicit ClientState(net::ProvenanceClient conn) : conn(std::move(conn)) {}
+
+  net::ProvenanceClient conn;
+
+  struct ObjectView {
+    bool exists = false;
+    crypto::Digest last;  // post-hash of the last *accepted* record
+  };
+  std::vector<ObjectView> objects;
+  /// Object indices with a request in flight this batch.
+  std::vector<uint8_t> in_flight;
+
+  Rng rng{0};
+  uint64_t remaining = 0;
+  uint64_t request_counter = 0;
+};
+
+/// A sent-but-unanswered submit; applied to ObjectView iff the response
+/// is OK.
+struct PendingSubmit {
+  size_t object_index;
+  crypto::Digest post_hash;
+};
+
+struct DriverStats {
+  uint64_t requests_sent = 0;
+  uint64_t accepted = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+};
+
+crypto::Digest RandomDigest(Rng* rng, size_t hash_bytes) {
+  Bytes raw;
+  rng->NextBytes(&raw, hash_bytes);
+  return crypto::Digest::FromBytes(raw);
+}
+
+/// Sends up to `pipeline_depth` submits on one connection, then reads
+/// their responses. Returns the number of requests sent, or an error on
+/// transport failure.
+Result<size_t> RunBatch(const LoadOptions& options,
+                        const ZipfGenerator& zipf, size_t client_index,
+                        ClientState* client, DriverStats* stats) {
+  std::vector<PendingSubmit> batch;
+  const size_t depth =
+      options.pipeline_depth == 0 ? 1 : options.pipeline_depth;
+  while (batch.size() < depth && client->remaining > 0 &&
+         batch.size() < client->objects.size()) {
+    size_t k = static_cast<size_t>(zipf.Next(&client->rng));
+    // One in-flight request per object: an accepted update must chain off
+    // an *acknowledged* post-hash, never an optimistic one that admission
+    // control might shed. Linear-probe to the next idle object (the guard
+    // above caps the batch at the slice size, so one always exists).
+    while (client->in_flight[k]) k = (k + 1) % client->objects.size();
+    client->in_flight[k] = 1;
+
+    ClientState::ObjectView& view = client->objects[k];
+    net::Request request;
+    request.op = net::NetOp::kSubmitRecord;
+    request.submit.participant_id =
+        options.participant_ids[client->request_counter %
+                                options.participant_ids.size()];
+    request.submit.op = view.exists ? provenance::OperationType::kUpdate
+                                    : provenance::OperationType::kInsert;
+    request.submit.object =
+        options.first_object +
+        static_cast<storage::ObjectId>(k * options.num_clients +
+                                       client_index);
+    request.submit.post_hash =
+        RandomDigest(&client->rng, options.hash_bytes);
+    if (view.exists) {
+      request.submit.has_pre_hash = true;
+      request.submit.pre_hash = view.last;
+    }
+    PROVDB_RETURN_IF_ERROR(client->conn.SendRequest(request));
+    batch.push_back(PendingSubmit{k, request.submit.post_hash});
+    ++client->request_counter;
+    --client->remaining;
+  }
+
+  for (const PendingSubmit& pending : batch) {
+    PROVDB_ASSIGN_OR_RETURN(net::Response response,
+                            client->conn.ReadResponse());
+    client->in_flight[pending.object_index] = 0;
+    if (response.ok()) {
+      ++stats->accepted;
+      ClientState::ObjectView& view = client->objects[pending.object_index];
+      view.exists = true;
+      view.last = pending.post_hash;
+    } else if (response.code == StatusCode::kUnavailable) {
+      ++stats->shed;
+    } else {
+      ++stats->failed;
+    }
+  }
+  stats->requests_sent += batch.size();
+  return batch.size();
+}
+
+/// Runs clients [begin, end) round-robin, one batch per turn, until all
+/// have issued their full request budget.
+Result<DriverStats> RunDriver(const LoadOptions& options,
+                              const ZipfGenerator& zipf,
+                              std::vector<ClientState>* clients,
+                              size_t begin, size_t end) {
+  DriverStats stats;
+  bool any_active = true;
+  while (any_active) {
+    any_active = false;
+    for (size_t c = begin; c < end; ++c) {
+      ClientState& client = (*clients)[c];
+      if (client.remaining == 0) continue;
+      PROVDB_RETURN_IF_ERROR(
+          RunBatch(options, zipf, c, &client, &stats).status());
+      any_active = any_active || client.remaining > 0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<LoadReport> RunLoad(const LoadOptions& options) {
+  if (options.num_clients == 0) {
+    return Status::InvalidArgument("num_clients must be positive");
+  }
+  if (options.objects_per_client == 0) {
+    return Status::InvalidArgument("objects_per_client must be positive");
+  }
+  if (options.participant_ids.empty()) {
+    return Status::InvalidArgument("participant_ids must be non-empty");
+  }
+
+  std::vector<ClientState> clients;
+  clients.reserve(options.num_clients);
+  for (size_t c = 0; c < options.num_clients; ++c) {
+    PROVDB_ASSIGN_OR_RETURN(
+        net::ProvenanceClient conn,
+        net::ProvenanceClient::Connect(options.host, options.port));
+    ClientState client(std::move(conn));
+    client.objects.resize(options.objects_per_client);
+    client.in_flight.assign(options.objects_per_client, 0);
+    // Distinct odd multiplier per client: fixed seed -> fixed workload,
+    // but no two clients replay the same key/hash sequence.
+    client.rng = Rng(options.seed ^ (0x9E3779B97F4A7C15ull * (c + 1)));
+    client.remaining = options.requests_per_client;
+    clients.push_back(std::move(client));
+  }
+
+  // All clients share one slice size and skew; ZipfGenerator::Next is
+  // const (the caller's Rng carries the state), so one shared instance
+  // serves every driver thread.
+  const ZipfGenerator zipf(options.objects_per_client, options.zipf_theta);
+
+  size_t num_drivers = options.num_driver_threads;
+  if (num_drivers == 0) {
+    num_drivers = static_cast<size_t>(ParallelismConfig::Hardware()
+                                          .num_threads);
+  }
+  if (num_drivers > options.num_clients) num_drivers = options.num_clients;
+
+  // Contiguous client slices per driver; a client is owned by exactly one
+  // driver thread, so client state needs no locking.
+  const size_t per_driver =
+      (options.num_clients + num_drivers - 1) / num_drivers;
+
+  Stopwatch wall;
+  std::vector<std::future<Result<DriverStats>>> futures;
+  {
+    ThreadPool pool(num_drivers);
+    for (size_t d = 0; d < num_drivers; ++d) {
+      const size_t begin = d * per_driver;
+      const size_t end = begin + per_driver < options.num_clients
+                             ? begin + per_driver
+                             : options.num_clients;
+      if (begin >= end) break;
+      futures.push_back(pool.Submit([&options, &zipf, &clients, begin, end] {
+        return RunDriver(options, zipf, &clients, begin, end);
+      }));
+    }
+    // ThreadPool::~ThreadPool drains the queue; futures are ready after.
+  }
+
+  LoadReport report;
+  for (auto& future : futures) {
+    PROVDB_ASSIGN_OR_RETURN(DriverStats stats, future.get());
+    report.requests_sent += stats.requests_sent;
+    report.accepted += stats.accepted;
+    report.shed += stats.shed;
+    report.failed += stats.failed;
+  }
+  report.elapsed_seconds = wall.ElapsedSeconds();
+  report.records_per_second =
+      report.elapsed_seconds > 0
+          ? static_cast<double>(report.accepted) / report.elapsed_seconds
+          : 0;
+  return report;
+}
+
+}  // namespace provdb::workload

@@ -1,0 +1,37 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+namespace provdb::workload {
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n),
+      theta_(theta),
+      alpha_(1.0 / (1.0 - theta)),
+      zetan_(Zeta(n_, theta)),
+      eta_((1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta)) /
+           (1.0 - Zeta(2, theta) / zetan_)) {}
+
+uint64_t ZipfGenerator::Next(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t k = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return k >= n_ ? n_ - 1 : k;
+}
+
+}  // namespace provdb::workload

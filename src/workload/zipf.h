@@ -1,0 +1,41 @@
+#ifndef PROVDB_WORKLOAD_ZIPF_H_
+#define PROVDB_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace provdb::workload {
+
+/// Zipf-distributed key picker over [0, n), YCSB-style (Gray et al.'s
+/// "Quickly generating billion-record synthetic databases" rejection-free
+/// formula): rank 0 is the hottest key, popularity decays as 1/rank^theta.
+/// theta in (0, 1); YCSB's default 0.99 makes ~10% of keys draw ~90% of
+/// traffic — the skew the server bench uses so hot chains grow long while
+/// cold ones stay short.
+///
+/// Construction is O(n) (the harmonic normalizer is an exact sum — no
+/// sampled approximation, n stays bench-sized); Next() is O(1). Not
+/// thread-safe; the caller owns the Rng, so a fixed seed reproduces the
+/// exact key sequence (R02: no ambient randomness).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws a key in [0, n).
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;  // 1 / (1 - theta)
+  double zetan_;  // zeta(n, theta)
+  double eta_;
+};
+
+}  // namespace provdb::workload
+
+#endif  // PROVDB_WORKLOAD_ZIPF_H_

@@ -36,6 +36,7 @@ TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
       {Status::Internal("m"), StatusCode::kInternal, "Internal"},
       {Status::Unimplemented("m"), StatusCode::kUnimplemented,
        "Unimplemented"},
+      {Status::Unavailable("m"), StatusCode::kUnavailable, "Unavailable"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -95,6 +95,53 @@ TEST(VarintTest, OverlongVarintIsCorruption) {
   EXPECT_FALSE(reader.ReadVarint64().ok());
 }
 
+TEST(VarintTest, NonCanonicalEncodingsRejected) {
+  // Overlong encodings decode to the same value as a shorter encoding;
+  // accepting them would break the encode/decode bijection that the
+  // tamper-evidence tests and the wire protocol rely on. AppendVarint64
+  // never produces a terminal zero byte except for the one-byte zero, so
+  // any multi-byte sequence ending in 0x00 must be rejected.
+  const std::vector<Bytes> overlong = {
+      {0x80, 0x00},              // 0 in two bytes
+      {0x81, 0x00},              // 1 in two bytes
+      {0xFF, 0x00},              // 127 in two bytes
+      {0x80, 0x80, 0x00},        // 0 in three bytes
+      {0xAC, 0x82, 0x80, 0x00},  // 300 in four bytes
+  };
+  for (const Bytes& bytes : overlong) {
+    VarintReader reader(bytes);
+    auto r = reader.ReadVarint64();
+    ASSERT_FALSE(r.ok()) << ByteView(bytes).ToString();
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+  // The one-byte zero is the canonical encoding and must still decode.
+  Bytes zero = {0x00};
+  VarintReader reader(zero);
+  auto r = reader.ReadVarint64();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+}
+
+TEST(VarintTest, EncodeDecodeBijection) {
+  // Every canonical encoding decodes back to its value (round trip), and
+  // decoding then re-encoding reproduces the exact input bytes — i.e. the
+  // decoder accepts exactly the image of the encoder.
+  Rng rng(321);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.NextUint64() >> rng.NextBelow(64);
+    Bytes enc;
+    AppendVarint64(&enc, v);
+    VarintReader reader(enc);
+    auto back = reader.ReadVarint64();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(reader.done());
+    Bytes re;
+    AppendVarint64(&re, *back);
+    EXPECT_EQ(re, enc);
+  }
+}
+
 TEST(VarintTest, LengthPrefixedRoundTrip) {
   Bytes out;
   AppendLengthPrefixed(&out, ByteView(std::string_view("hello")));

@@ -234,6 +234,61 @@ TEST(BigUIntTest, ModExpEvenModulus) {
   EXPECT_EQ(r->ToUint64(), 7u);
 }
 
+TEST(BigUIntTest, ModExpEvenModulusMatchesReference) {
+  // Pins the even-modulus square-and-multiply loop (which now skips the
+  // dead squaring after the last exponent bit) against a naive
+  // multiply-one-bit-at-a-time reference, across exponents of every small
+  // bit length so the loop boundary is exercised directly.
+  Rng rng(14);
+  for (int i = 0; i < 40; ++i) {
+    BigUInt m = RandomBig(&rng, 24);
+    if (m.IsOdd()) m = BigUInt::Add(m, BigUInt(1));  // force even
+    if (m.IsZero()) continue;
+    BigUInt base = RandomBig(&rng, 24);
+    uint64_t e = rng.NextUint64() >> rng.NextBelow(58);
+    auto got = BigUInt::ModExp(base, BigUInt(e), m);
+    ASSERT_TRUE(got.ok());
+    // Reference: repeated modular multiplication, one exponent unit at a
+    // time would be too slow, so square-and-multiply MSB-first (a
+    // structurally different loop from the implementation's LSB-first).
+    BigUInt expected = BigUInt::Mod(BigUInt(1), m).value();
+    BigUInt b = BigUInt::Mod(base, m).value();
+    BigUInt exp(e);
+    for (size_t bit = exp.BitLength(); bit-- > 0;) {
+      expected = BigUInt::Mod(BigUInt::Mul(expected, expected), m).value();
+      if (exp.GetBit(bit)) {
+        expected = BigUInt::Mod(BigUInt::Mul(expected, b), m).value();
+      }
+    }
+    EXPECT_EQ(got.value(), expected) << "e=" << e;
+  }
+}
+
+TEST(BigUIntTest, ModExpEvenModulusHighBitExponent) {
+  // Exponent with only the top bit set: the result depends entirely on
+  // the squarings before the final bit, making any off-by-one in the
+  // loop's last iteration visible.
+  // 3^(2^20) mod 2^30: 3^1048576 mod 1073741824.
+  BigUInt m = BigUInt(1).ShiftLeft(30);
+  auto got = BigUInt::ModExp(BigUInt(3), BigUInt(1ull << 20), m);
+  ASSERT_TRUE(got.ok());
+  BigUInt expected = BigUInt::Mod(BigUInt(3), m).value();
+  for (int i = 0; i < 20; ++i) {
+    expected = BigUInt::Mod(BigUInt::Mul(expected, expected), m).value();
+  }
+  EXPECT_EQ(got.value(), expected);
+}
+
+TEST(BigUIntSubDeathTest, UnderflowAbortsInAllBuildTypes) {
+  // Sub requires a >= b; a silent wrap inside RSA-CRT or the extended
+  // Euclid would be a key-dependent miscomputation, so the precondition
+  // is enforced by aborting even in release builds.
+  EXPECT_DEATH(BigUInt::Sub(BigUInt(1), BigUInt(2)),
+               "Sub precondition violated");
+  EXPECT_DEATH(BigUInt::Sub(BigUInt(0), BigUInt(1)),
+               "Sub precondition violated");
+}
+
 TEST(BigUIntTest, ModExpLargeConsistentWithSquaring) {
   Rng rng(9);
   BigUInt m = RandomBig(&rng, 32);

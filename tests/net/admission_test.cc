@@ -1,0 +1,91 @@
+// AdmissionController unit tests: the in-flight byte budget is a hard
+// bound (Admit never overshoots), Swap re-charges without shedding, and
+// the gauge/counter instrumentation tracks every transition.
+
+#include "net/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "observability/metrics.h"
+
+namespace provdb::net {
+namespace {
+
+uint64_t ShedCount(observability::MetricsRegistry* metrics) {
+  for (const auto& [name, value] : metrics->Snapshot().counters) {
+    if (name == "server.requests.shed") return value;
+  }
+  return 0;
+}
+
+int64_t InFlightGauge(observability::MetricsRegistry* metrics) {
+  for (const auto& [name, value] : metrics->Snapshot().gauges) {
+    if (name == "server.inflight.bytes") return value;
+  }
+  return -1;
+}
+
+TEST(AdmissionTest, AdmitsUpToBudgetExactly) {
+  observability::MetricsRegistry metrics;
+  AdmissionController admission(100, &metrics);
+  EXPECT_TRUE(admission.Admit(60));
+  EXPECT_TRUE(admission.Admit(40));  // exactly at budget
+  EXPECT_EQ(admission.in_flight_bytes(), 100u);
+  EXPECT_FALSE(admission.Admit(1));  // over
+  EXPECT_EQ(admission.in_flight_bytes(), 100u);  // refused charge not taken
+  EXPECT_EQ(ShedCount(&metrics), 1u);
+}
+
+TEST(AdmissionTest, OversizedSingleRequestRefusedEvenWhenIdle) {
+  observability::MetricsRegistry metrics;
+  AdmissionController admission(100, &metrics);
+  EXPECT_FALSE(admission.Admit(101));
+  EXPECT_EQ(admission.in_flight_bytes(), 0u);
+}
+
+TEST(AdmissionTest, ReleaseFreesBudget) {
+  observability::MetricsRegistry metrics;
+  AdmissionController admission(100, &metrics);
+  EXPECT_TRUE(admission.Admit(100));
+  EXPECT_FALSE(admission.Admit(10));
+  admission.Release(50);
+  EXPECT_TRUE(admission.Admit(50));
+  admission.Release(100);
+  EXPECT_EQ(admission.in_flight_bytes(), 0u);
+  EXPECT_EQ(InFlightGauge(&metrics), 0);
+}
+
+TEST(AdmissionTest, SwapIsUnconditional) {
+  observability::MetricsRegistry metrics;
+  AdmissionController admission(100, &metrics);
+  EXPECT_TRUE(admission.Admit(80));
+  // The response is bigger than the remaining budget; the swap still
+  // happens (bounded overshoot), but nothing new is admitted while over.
+  admission.Swap(80, 150);
+  EXPECT_EQ(admission.in_flight_bytes(), 150u);
+  EXPECT_FALSE(admission.Admit(1));
+  admission.Release(150);
+  EXPECT_TRUE(admission.Admit(1));
+}
+
+TEST(AdmissionTest, GaugeTracksCharges) {
+  observability::MetricsRegistry metrics;
+  AdmissionController admission(1000, &metrics);
+  EXPECT_TRUE(admission.Admit(300));
+  EXPECT_EQ(InFlightGauge(&metrics), 300);
+  admission.Swap(300, 120);
+  EXPECT_EQ(InFlightGauge(&metrics), 120);
+  admission.Release(120);
+  EXPECT_EQ(InFlightGauge(&metrics), 0);
+}
+
+TEST(AdmissionTest, NoteShedCountsQueueSheds) {
+  observability::MetricsRegistry metrics;
+  AdmissionController admission(100, &metrics);
+  admission.NoteShed();
+  admission.NoteShed();
+  EXPECT_EQ(ShedCount(&metrics), 2u);
+}
+
+}  // namespace
+}  // namespace provdb::net

@@ -1,0 +1,528 @@
+// Loopback integration tests for the provenance service: the four wire
+// ops end to end, pipelined response ordering, chain-tail seeding across
+// server restarts, remote-poison rejection (a network peer must never be
+// able to wedge the pipeline), and the admission-control overload
+// contract — saturated budgets shed with typed kUnavailable while every
+// *accepted* record stays durable and byte-identical to what a direct
+// IngestPipeline ingest of the same accepted set produces.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/varint.h"
+#include "net/client.h"
+#include "observability/metrics.h"
+#include "provenance/ingest_pipeline.h"
+#include "provenance/serialization.h"
+#include "storage/env.h"
+#include "testing/test_pki.h"
+
+namespace provdb::net {
+namespace {
+
+using provdb::testing::TestPki;
+using provenance::IngestOptions;
+using provenance::IngestPipeline;
+using provenance::OperationType;
+using storage::Env;
+using storage::ObjectId;
+
+const crypto::Participant& P(size_t i) {
+  return TestPki::Instance().participant(i);
+}
+
+crypto::Digest D(uint8_t tag) {
+  Bytes b(20, tag);
+  return crypto::Digest::FromBytes(ByteView(b.data(), b.size()));
+}
+
+std::string FreshDir(const std::string& tag) {
+  std::string root = ::testing::TempDir() + "/provdb_server_" + tag;
+  auto shards = Env::Default()->ListDir(root);
+  if (shards.ok()) {
+    for (const std::string& shard : *shards) {
+      auto files = Env::Default()->ListDir(root + "/" + shard);
+      if (!files.ok()) continue;
+      for (const std::string& f : *files) {
+        EXPECT_TRUE(
+            Env::Default()->RemoveFile(root + "/" + shard + "/" + f).ok());
+      }
+    }
+  }
+  return root;
+}
+
+std::map<crypto::ParticipantId, const crypto::Participant*> Participants() {
+  std::map<crypto::ParticipantId, const crypto::Participant*> out;
+  for (size_t i = 0; i < TestPki::kNumParticipants; ++i) {
+    out[P(i).certificate().participant_id] = &P(i);
+  }
+  return out;
+}
+
+std::unique_ptr<IngestPipeline> OpenPipeline(const std::string& root,
+                                             size_t shards = 2) {
+  IngestOptions options;
+  options.num_shards = shards;
+  auto pipeline = IngestPipeline::Open(Env::Default(), root, options);
+  EXPECT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  return std::move(pipeline).value();
+}
+
+std::unique_ptr<ProvenanceServer> StartServer(
+    IngestPipeline* pipeline, ServerOptions options = ServerOptions()) {
+  auto server = ProvenanceServer::Start(
+      pipeline, &TestPki::Instance().registry(), Participants(), options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return std::move(server).value();
+}
+
+ProvenanceClient Connect(const ProvenanceServer& server) {
+  auto client = ProvenanceClient::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+Request Insert(ObjectId object, uint8_t tag, uint64_t participant = 1) {
+  Request request;
+  request.op = NetOp::kSubmitRecord;
+  request.submit.participant_id = participant;
+  request.submit.op = OperationType::kInsert;
+  request.submit.object = object;
+  request.submit.post_hash = D(tag);
+  return request;
+}
+
+Request Update(ObjectId object, uint8_t pre, uint8_t post,
+               uint64_t participant = 1) {
+  Request request;
+  request.op = NetOp::kSubmitRecord;
+  request.submit.participant_id = participant;
+  request.submit.op = OperationType::kUpdate;
+  request.submit.object = object;
+  request.submit.has_pre_hash = true;
+  request.submit.pre_hash = D(pre);
+  request.submit.post_hash = D(post);
+  return request;
+}
+
+Request Read(NetOp op, ObjectId object) {
+  Request request;
+  request.op = op;
+  request.object = object;
+  return request;
+}
+
+uint64_t SeqOf(const Response& response) {
+  VarintReader reader(response.body);
+  auto seq = reader.ReadVarint64();
+  EXPECT_TRUE(seq.ok());
+  return seq.ok() ? *seq : UINT64_MAX;
+}
+
+/// Turns an accepted SubmitRequest back into the pipeline-level request
+/// the differential replay feeds to a direct IngestPipeline.
+provenance::IngestRequest ToIngestRequest(const SubmitRequest& submit) {
+  provenance::IngestRequest request;
+  request.op = submit.op;
+  request.object = submit.object;
+  request.post_hash = submit.post_hash;
+  request.has_pre_hash = submit.has_pre_hash;
+  request.pre_hash = submit.pre_hash;
+  request.inputs = submit.inputs;
+  request.input_prev_checksums = submit.input_prev_checksums;
+  request.aggregate_seq = submit.aggregate_seq;
+  request.inherited = submit.inherited;
+  request.participant = &P(submit.participant_id - 1);
+  return request;
+}
+
+/// Every record of every chain, flattened in the store's canonical
+/// (object id, then seq) order, as EncodeRecord bytes.
+std::vector<Bytes> FlattenStore(
+    const provenance::ShardedProvenanceStore& store) {
+  std::vector<Bytes> out;
+  for (const auto& [object, chain] : store.AllChains()) {
+    for (const auto* record : chain) {
+      out.push_back(provenance::EncodeRecord(*record));
+    }
+  }
+  return out;
+}
+
+/// Replays `accepted` into a fresh direct pipeline and requires the
+/// resulting store to be byte-identical to `server_store` — the wire path
+/// must add nothing, lose nothing, and change nothing.
+void ExpectByteIdenticalToDirectIngest(
+    const std::string& tag, const std::vector<SubmitRequest>& accepted,
+    const provenance::ShardedProvenanceStore& server_store, size_t shards) {
+  std::unique_ptr<IngestPipeline> direct =
+      OpenPipeline(FreshDir(tag), shards);
+  for (const SubmitRequest& submit : accepted) {
+    ASSERT_TRUE(direct->Submit(ToIngestRequest(submit)).ok());
+  }
+  ASSERT_TRUE(direct->Drain().ok());
+  EXPECT_EQ(FlattenStore(server_store), FlattenStore(direct->store()));
+}
+
+// -- Basic ops ---------------------------------------------------------
+
+TEST(ServerIntegrationTest, InsertUpdateQueryVerifyStats) {
+  auto pipeline = OpenPipeline(FreshDir("basic"));
+  auto server = StartServer(pipeline.get());
+  auto client = Connect(*server);
+
+  auto insert = client.Call(Insert(7, 0x10));
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  ASSERT_TRUE(insert->ok()) << insert->message;
+  EXPECT_EQ(SeqOf(*insert), 0u);
+
+  auto update = client.Call(Update(7, 0x10, 0x11));
+  ASSERT_TRUE(update.ok());
+  ASSERT_TRUE(update->ok()) << update->message;
+  EXPECT_EQ(SeqOf(*update), 1u);
+
+  auto chain = client.Call(Read(NetOp::kQueryChain, 7));
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(chain->ok()) << chain->message;
+  auto records = DecodeChainBody(chain->body);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].seq_id, 0u);
+  EXPECT_EQ((*records)[0].op, OperationType::kInsert);
+  EXPECT_EQ((*records)[0].output.object_id, 7u);
+  EXPECT_EQ((*records)[0].output.state_hash, D(0x10));
+  EXPECT_EQ((*records)[1].seq_id, 1u);
+  EXPECT_EQ((*records)[1].op, OperationType::kUpdate);
+  EXPECT_EQ((*records)[1].output.state_hash, D(0x11));
+
+  auto verify = client.Call(Read(NetOp::kVerifyObject, 7));
+  ASSERT_TRUE(verify.ok());
+  ASSERT_TRUE(verify->ok()) << verify->message;
+  auto summary = DecodeVerifySummary(verify->body);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->ok);
+  EXPECT_EQ(summary->records_checked, 2u);
+  EXPECT_EQ(summary->signatures_verified, 2u);
+  EXPECT_EQ(summary->issues, 0u);
+
+  auto stats = client.Call(Read(NetOp::kStats, 0));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->ok());
+  const std::string json(stats->body.begin(), stats->body.end());
+  EXPECT_NE(json.find("server.requests.received"), std::string::npos);
+}
+
+TEST(ServerIntegrationTest, UnknownObjectAnswersNotFound) {
+  auto pipeline = OpenPipeline(FreshDir("notfound"));
+  auto server = StartServer(pipeline.get());
+  auto client = Connect(*server);
+
+  for (NetOp op : {NetOp::kQueryChain, NetOp::kVerifyObject}) {
+    auto response = client.Call(Read(op, 424242));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->code, StatusCode::kNotFound) << NetOpName(op);
+  }
+}
+
+TEST(ServerIntegrationTest, MultipleParticipantsSignTheirOwnRecords) {
+  auto pipeline = OpenPipeline(FreshDir("multiparty"));
+  auto server = StartServer(pipeline.get());
+  auto client = Connect(*server);
+
+  ASSERT_TRUE(client.Call(Insert(1, 0x01, 1))->ok());
+  ASSERT_TRUE(client.Call(Update(1, 0x01, 0x02, 2))->ok());
+  ASSERT_TRUE(client.Call(Update(1, 0x02, 0x03, 3))->ok());
+
+  auto chain = client.Call(Read(NetOp::kQueryChain, 1));
+  ASSERT_TRUE(chain.ok() && chain->ok());
+  auto records = DecodeChainBody(chain->body);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].participant, 1u);
+  EXPECT_EQ((*records)[1].participant, 2u);
+  EXPECT_EQ((*records)[2].participant, 3u);
+
+  auto verify = client.Call(Read(NetOp::kVerifyObject, 1));
+  ASSERT_TRUE(verify.ok() && verify->ok());
+  auto summary = DecodeVerifySummary(verify->body);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->ok);
+}
+
+// -- Remote poison prevention ------------------------------------------
+
+TEST(ServerIntegrationTest, BadSubmitsRejectedTypedWithoutWedgingIngest) {
+  auto pipeline = OpenPipeline(FreshDir("poison"));
+  auto server = StartServer(pipeline.get());
+  auto client = Connect(*server);
+
+  ASSERT_TRUE(client.Call(Insert(5, 0x50))->ok());
+
+  // Each of these would poison the pipeline if it reached a flush; the
+  // executor must reject them up front with the right typed error.
+  auto duplicate = client.Call(Insert(5, 0x51));
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_EQ(duplicate->code, StatusCode::kFailedPrecondition);
+
+  auto unknown_participant = client.Call(Insert(6, 0x60, 99));
+  ASSERT_TRUE(unknown_participant.ok());
+  EXPECT_EQ(unknown_participant->code, StatusCode::kNotFound);
+
+  Request zero = Insert(0, 0x00);
+  auto invalid_object = client.Call(zero);
+  ASSERT_TRUE(invalid_object.ok());
+  EXPECT_EQ(invalid_object->code, StatusCode::kInvalidArgument);
+
+  Request insert_with_inputs = Insert(8, 0x80);
+  insert_with_inputs.submit.inputs.push_back(
+      provenance::ObjectState{5, D(0x50)});
+  insert_with_inputs.submit.input_prev_checksums.push_back(Bytes{});
+  auto bad_inputs = client.Call(insert_with_inputs);
+  ASSERT_TRUE(bad_inputs.ok());
+  EXPECT_EQ(bad_inputs->code, StatusCode::kInvalidArgument);
+
+  Request empty_aggregate;
+  empty_aggregate.op = NetOp::kSubmitRecord;
+  empty_aggregate.submit.participant_id = 1;
+  empty_aggregate.submit.op = OperationType::kAggregate;
+  empty_aggregate.submit.object = 9;
+  empty_aggregate.submit.post_hash = D(0x90);
+  empty_aggregate.submit.aggregate_seq = 1;
+  auto no_inputs = client.Call(empty_aggregate);
+  ASSERT_TRUE(no_inputs.ok());
+  EXPECT_EQ(no_inputs->code, StatusCode::kInvalidArgument);
+
+  Request unsorted = empty_aggregate;
+  unsorted.submit.inputs = {provenance::ObjectState{5, D(0x50)},
+                            provenance::ObjectState{5, D(0x50)}};
+  unsorted.submit.input_prev_checksums = {Bytes{}, Bytes{}};
+  auto dup_inputs = client.Call(unsorted);
+  ASSERT_TRUE(dup_inputs.ok());
+  EXPECT_EQ(dup_inputs->code, StatusCode::kInvalidArgument);
+
+  // The pipeline must still ingest: nothing above reached a flush.
+  auto good = client.Call(Update(5, 0x50, 0x52));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->ok()) << good->message;
+  EXPECT_EQ(SeqOf(*good), 1u);
+
+  server->Stop();
+  server.reset();
+  ASSERT_TRUE(pipeline->Drain().ok());
+  EXPECT_EQ(pipeline->store().record_count(), 2u);
+}
+
+// -- Ordering and restarts ---------------------------------------------
+
+TEST(ServerIntegrationTest, PipelinedResponsesArriveInRequestOrder) {
+  auto pipeline = OpenPipeline(FreshDir("pipelined"));
+  auto server = StartServer(pipeline.get());
+  auto client = Connect(*server);
+
+  constexpr size_t kObjects = 16;
+  for (size_t i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(client
+                    .SendRequest(Insert(100 + i,
+                                        static_cast<uint8_t>(i)))
+                    .ok());
+  }
+  ASSERT_TRUE(client.SendRequest(Read(NetOp::kQueryChain, 100)).ok());
+
+  // Responses must pair positionally: kObjects submit acks, then the
+  // chain of the first object.
+  for (size_t i = 0; i < kObjects; ++i) {
+    auto response = client.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->ok()) << i << ": " << response->message;
+    EXPECT_EQ(SeqOf(*response), 0u);
+  }
+  auto chain = client.ReadResponse();
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(chain->ok());
+  auto records = DecodeChainBody(chain->body);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].output.object_id, 100u);
+}
+
+TEST(ServerIntegrationTest, ChainTailsSeededAcrossServerRestart) {
+  auto root = FreshDir("restart");
+  auto pipeline = OpenPipeline(root);
+  auto server = StartServer(pipeline.get());
+  {
+    auto client = Connect(*server);
+    ASSERT_TRUE(client.Call(Insert(3, 0x30))->ok());
+  }
+  server->Stop();
+  server.reset();
+
+  // A new server over the same pipeline must know chain 3 exists.
+  server = StartServer(pipeline.get());
+  auto client = Connect(*server);
+  auto duplicate = client.Call(Insert(3, 0x31));
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_EQ(duplicate->code, StatusCode::kFailedPrecondition);
+  auto update = client.Call(Update(3, 0x30, 0x32));
+  ASSERT_TRUE(update.ok());
+  ASSERT_TRUE(update->ok()) << update->message;
+  EXPECT_EQ(SeqOf(*update), 1u);
+}
+
+TEST(ServerIntegrationTest, ConcurrentConnectionsAllCommit) {
+  auto pipeline = OpenPipeline(FreshDir("conns"));
+  auto server = StartServer(pipeline.get());
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 8;
+  std::vector<ProvenanceClient> clients;
+  for (size_t c = 0; c < kClients; ++c) clients.push_back(Connect(*server));
+  // Interleave pipelined submits across connections (disjoint objects).
+  for (size_t i = 0; i < kPerClient; ++i) {
+    for (size_t c = 0; c < kClients; ++c) {
+      ASSERT_TRUE(clients[c]
+                      .SendRequest(Insert(1000 + c * kPerClient + i,
+                                          static_cast<uint8_t>(c)))
+                      .ok());
+    }
+  }
+  for (size_t c = 0; c < kClients; ++c) {
+    for (size_t i = 0; i < kPerClient; ++i) {
+      auto response = clients[c].ReadResponse();
+      ASSERT_TRUE(response.ok());
+      EXPECT_TRUE(response->ok()) << response->message;
+    }
+  }
+
+  server->Stop();
+  server.reset();
+  ASSERT_TRUE(pipeline->Drain().ok());
+  EXPECT_EQ(pipeline->store().record_count(), kClients * kPerClient);
+}
+
+// -- The write-ahead + differential contract ---------------------------
+
+TEST(ServerIntegrationTest, AcceptedRecordsByteIdenticalToDirectIngest) {
+  const size_t kShards = 2;
+  auto root = FreshDir("diff_server");
+  auto pipeline = OpenPipeline(root, kShards);
+  auto server = StartServer(pipeline.get());
+  auto client = Connect(*server);
+
+  // A mixed accepted stream: inserts then chained updates, several
+  // participants, several objects.
+  std::vector<SubmitRequest> accepted;
+  auto call = [&](const Request& request) {
+    auto response = client.Call(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->ok()) << response->message;
+    accepted.push_back(request.submit);
+  };
+  uint8_t tag = 1;
+  for (ObjectId object = 50; object < 58; ++object) {
+    call(Insert(object, tag, 1 + object % 4));
+    ++tag;
+  }
+  for (ObjectId object = 50; object < 58; ++object) {
+    call(Update(object, static_cast<uint8_t>(object - 49), tag,
+                1 + (object + 1) % 4));
+    ++tag;
+  }
+
+  server->Stop();
+  server.reset();
+  ASSERT_TRUE(pipeline->Drain().ok());
+  ASSERT_EQ(pipeline->store().record_count(), accepted.size());
+
+  ExpectByteIdenticalToDirectIngest("diff_direct", accepted,
+                                    pipeline->store(), kShards);
+
+  // And the accepted set is *durable*: a recovery-path reopen of the same
+  // root must reconstruct the identical store.
+  std::vector<Bytes> before = FlattenStore(pipeline->store());
+  pipeline.reset();
+  auto reopened = OpenPipeline(root, kShards);
+  EXPECT_EQ(FlattenStore(reopened->store()), before);
+}
+
+// -- Overload ----------------------------------------------------------
+
+TEST(ServerOverloadTest, SaturatedAdmissionShedsTypedAndCommitsTheRest) {
+  const size_t kShards = 2;
+  auto root = FreshDir("overload");
+  auto pipeline = OpenPipeline(root, kShards);
+
+  ServerOptions options;
+  // A budget of a couple of frames and a tiny pending queue: a 64-deep
+  // pipelined burst MUST shed.
+  options.max_inflight_bytes = 256;
+  options.max_pending_per_connection = 2;
+  auto server = StartServer(pipeline.get(), options);
+  auto client = Connect(*server);
+
+  constexpr size_t kBurst = 64;
+  std::vector<Request> requests;
+  for (size_t i = 0; i < kBurst; ++i) {
+    requests.push_back(
+        Insert(700 + i, static_cast<uint8_t>(i), 1 + i % 4));
+  }
+  // One contiguous write so the burst lands ahead of any response.
+  Bytes blob;
+  for (const Request& request : requests) {
+    Bytes frame = EncodeFrame(EncodeRequest(request));
+    blob.insert(blob.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(client.SendBytes(blob).ok());
+
+  size_t ok = 0, shed = 0;
+  std::vector<SubmitRequest> accepted;
+  for (size_t i = 0; i < kBurst; ++i) {
+    auto response = client.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response->ok()) {
+      ++ok;
+      accepted.push_back(requests[i].submit);
+    } else {
+      // Overload is exactly kUnavailable — never a corruption verdict on
+      // a well-formed frame, never a dropped connection.
+      ASSERT_EQ(response->code, StatusCode::kUnavailable)
+          << response->message;
+      EXPECT_FALSE(response->message.empty());
+      ++shed;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(ok + shed, kBurst);
+
+  // The connection survived the shedding: it still serves requests.
+  Request post_burst = Insert(9000, 0xAB);
+  auto after = client.Call(post_burst);
+  ASSERT_TRUE(after.ok());
+  if (after->ok()) accepted.push_back(post_burst.submit);
+
+  server->Stop();
+  server.reset();
+  ASSERT_TRUE(pipeline->Drain().ok());
+
+  // Exactly the accepted set committed — nothing shed leaked in, nothing
+  // accepted got lost — and its bytes match a direct ingest replay.
+  ASSERT_EQ(pipeline->store().record_count(), accepted.size());
+  ExpectByteIdenticalToDirectIngest("overload_direct", accepted,
+                                    pipeline->store(), kShards);
+
+  // Budget fully released once the burst is answered.
+  for (const auto& [name, value] :
+       observability::GlobalMetrics().Snapshot().gauges) {
+    if (name == "server.inflight.bytes") EXPECT_EQ(value, 0);
+  }
+}
+
+}  // namespace
+}  // namespace provdb::net

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -25,10 +26,15 @@ class TestPki {
   }
 
   /// PKI whose participants hash-then-sign with `alg` (a deployment uses
-  /// one algorithm system-wide). Instances are cached per algorithm.
+  /// one algorithm system-wide). Instances are cached per algorithm. Safe
+  /// to call from concurrent test threads: the cache is mutex-guarded
+  /// (first touch of an algorithm mutates the map, and tests drive this
+  /// from thread-pool workers).
   static TestPki& InstanceFor(crypto::HashAlgorithm alg) {
+    static std::mutex* mu = new std::mutex();
     static std::map<crypto::HashAlgorithm, TestPki*>* instances =
         new std::map<crypto::HashAlgorithm, TestPki*>();
+    std::lock_guard<std::mutex> lock(*mu);
     auto it = instances->find(alg);
     if (it == instances->end()) {
       it = instances->emplace(alg, new TestPki(alg)).first;

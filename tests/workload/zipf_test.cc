@@ -1,0 +1,78 @@
+// ZipfGenerator tests: range, determinism, and the skew shape (rank 0
+// hottest, frequencies decaying with rank) that makes the server bench's
+// hot chains hot.
+
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace provdb::workload {
+namespace {
+
+TEST(ZipfTest, DrawsStayInRange) {
+  ZipfGenerator zipf(64, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(&rng), 64u);
+  }
+}
+
+TEST(ZipfTest, SingleKeyDomainAlwaysZero) {
+  ZipfGenerator zipf(1, 0.99);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Next(&rng), 0u);
+  }
+}
+
+TEST(ZipfTest, DeterministicGivenSeed) {
+  ZipfGenerator zipf(1000, 0.99);
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.Next(&a), zipf.Next(&b));
+  }
+}
+
+TEST(ZipfTest, RankZeroIsHottestAndHeadDominates) {
+  const uint64_t n = 100;
+  ZipfGenerator zipf(n, 0.99);
+  Rng rng(7);
+  std::vector<uint64_t> counts(n, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Next(&rng)]++;
+
+  // Rank 0 beats every other rank.
+  for (uint64_t k = 1; k < n; ++k) {
+    EXPECT_GT(counts[0], counts[k]) << "rank " << k;
+  }
+  // theta=0.99 over 100 keys: the top decile draws well over half the
+  // traffic (analytically ~63%); assert a loose 50% floor.
+  uint64_t head = 0;
+  for (uint64_t k = 0; k < n / 10; ++k) head += counts[k];
+  EXPECT_GT(head, static_cast<uint64_t>(kDraws) / 2);
+  // And the tail is still reachable: no key starves entirely at 200k
+  // draws over 100 keys.
+  for (uint64_t k = 0; k < n; ++k) {
+    EXPECT_GT(counts[k], 0u) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, LowerThetaIsFlatter) {
+  const uint64_t n = 100;
+  ZipfGenerator skewed(n, 0.99);
+  ZipfGenerator flatter(n, 0.5);
+  Rng a(9), b(9);
+  uint64_t skewed_head = 0, flatter_head = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (skewed.Next(&a) < n / 10) ++skewed_head;
+    if (flatter.Next(&b) < n / 10) ++flatter_head;
+  }
+  EXPECT_GT(skewed_head, flatter_head);
+}
+
+}  // namespace
+}  // namespace provdb::workload

@@ -21,9 +21,16 @@
 #                  seal/load round trip, the every-byte-flip tamper
 #                  matrix, checkpoint-bounded recovery, and the crash
 #                  sweep over every mutating op of seal + segment GC
+#   server         the network provenance service under ASan+UBSan: the
+#                  wire-codec bijection suites, the loopback integration
+#                  suites (live server, pipelined clients, admission
+#                  overload), the load-generator suites, and the
+#                  every-byte-flip / every-truncation wire tamper matrix
 #   tsan           ThreadSanitizer over the parallel verify/audit paths,
-#                  the sharded ingest pipeline's parallel signing, and
-#                  the concurrent metrics-recording tests
+#                  the sharded ingest pipeline's parallel signing, the
+#                  concurrent metrics-recording tests, and the network
+#                  server's poll/executor/multi-client thread soup (the
+#                  Server* suites)
 #   asan           ASan+UBSan over the wire-format decoder fuzz tests
 #   ubsan          strict UBSan (PROVDB_SANITIZE=undefined,
 #                  -fno-sanitize-recover) over the full release-test
@@ -41,7 +48,7 @@
 # Usage: tools/ci.sh [stage...]
 #   No arguments runs the default order:
 #     release-tests lint werror thread-safety format crash-recovery
-#     checkpoint tsan asan ubsan differential docs
+#     checkpoint server tsan asan ubsan differential docs
 #   plus tidy when PROVDB_TIDY=1 (clang-tidy may be absent, so it is
 #   opt-in). Build trees go under $PROVDB_CI_OUT (default: ./ci-out).
 set -eu
@@ -154,6 +161,21 @@ stage_checkpoint() {
     -R 'Checkpoint'
 }
 
+stage_server() {
+  # The network boundary under ASan+UBSan: the tamper matrix feeds the
+  # server every single-byte flip and every truncation of real frames,
+  # exactly where an out-of-bounds read in the wire decoder would hide,
+  # and the overload suites stress the admission/charge accounting.
+  run cmake -S "$ROOT" -B "$OUT/asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPROVDB_SANITIZE=address -DPROVDB_BUILD_BENCHMARKS=OFF \
+    -DPROVDB_BUILD_EXAMPLES=OFF
+  run cmake --build "$OUT/asan" -j "$JOBS" \
+    --target net_wire_test net_server_test net_server_corruption_test \
+    workload_load_generator_test
+  run ctest --test-dir "$OUT/asan" --output-on-failure -j "$JOBS" \
+    -R 'Wire|Admission|Server'
+}
+
 stage_tsan() {
   # Benchmarks/examples are skipped: TSan only needs the thread pool, the
   # parallel verifier/auditor, the parallel subtree hasher, and the
@@ -163,9 +185,10 @@ stage_tsan() {
     -DPROVDB_BUILD_EXAMPLES=OFF
   run cmake --build "$OUT/tsan" -j "$JOBS" \
     --target common_test provenance_core_test provenance_security_test \
-    provenance_ext_test provenance_ingest_test observability_test
+    provenance_ext_test provenance_ingest_test observability_test \
+    net_server_test workload_load_generator_test
   run ctest --test-dir "$OUT/tsan" --output-on-failure -j "$JOBS" \
-    -R 'ThreadPool|Parallel|Audit|Concurrent|Ingest'
+    -R 'ThreadPool|Parallel|Audit|Concurrent|Ingest|Server'
 }
 
 stage_asan() {
@@ -231,6 +254,7 @@ run_stage() {
     format)        stage_format ;;
     crash-recovery) stage_crash_recovery ;;
     checkpoint)    stage_checkpoint ;;
+    server)        stage_server ;;
     tsan)          stage_tsan ;;
     asan)          stage_asan ;;
     ubsan)         stage_ubsan ;;
@@ -240,8 +264,8 @@ run_stage() {
     *)
       echo "tools/ci.sh: unknown stage '$1'" >&2
       echo "stages: release-tests lint werror thread-safety format" \
-        "crash-recovery checkpoint tsan asan ubsan differential docs" \
-        "tidy" >&2
+        "crash-recovery checkpoint server tsan asan ubsan differential" \
+        "docs tidy" >&2
       exit 2
       ;;
   esac
@@ -250,7 +274,7 @@ run_stage() {
 if [ "$#" -gt 0 ]; then
   STAGES="$*"
 else
-  STAGES="release-tests lint werror thread-safety format crash-recovery checkpoint tsan asan ubsan differential docs"
+  STAGES="release-tests lint werror thread-safety format crash-recovery checkpoint server tsan asan ubsan differential docs"
   if [ "${PROVDB_TIDY:-0}" = "1" ]; then
     STAGES="$STAGES tidy"
   fi
