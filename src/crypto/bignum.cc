@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "crypto/bignum_kernels.h"
+#include "observability/metrics.h"
+
 namespace provdb::crypto {
 
 namespace {
@@ -240,9 +243,10 @@ BigUInt BigUInt::Sub(const BigUInt& a, const BigUInt& b) {
   //     and Sub(lifted, s2_mod_p) where lifted = s1 + p > s2_mod_p
   //     because s2_mod_p < p;
   //   - ModInverse below: magnitude subtraction behind an explicit
-  //     Compare, and Sub(m, reduced) with reduced = old_t mod m < m;
-  //   - MontgomeryContext::MulReduce / ModExp: Sub(out, modulus_) behind
-  //     an explicit Compare.
+  //     Compare, and Sub(m, reduced) with reduced = old_t mod m < m.
+  // MontgomeryContext no longer calls Sub: its conditional final
+  // subtraction runs on flat limbs inside MontMulInto, likewise behind
+  // an explicit comparison.
   if (Compare(a, b) < 0) {
     std::fprintf(stderr,
                  "BigUInt::Sub precondition violated: a < b "
@@ -271,21 +275,18 @@ BigUInt BigUInt::Sub(const BigUInt& a, const BigUInt& b) {
 }
 
 BigUInt BigUInt::Mul(const BigUInt& a, const BigUInt& b) {
+  return MulWithKernel(a, b, SelectedBigNumKernels().mul);
+}
+
+BigUInt BigUInt::MulWithKernel(const BigUInt& a, const BigUInt& b,
+                               MulKernel kernel) {
   if (a.IsZero() || b.IsZero()) {
     return BigUInt();
   }
   BigUInt out;
-  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
-  for (size_t i = 0; i < a.limbs_.size(); ++i) {
-    uint64_t carry = 0;
-    uint64_t ai = a.limbs_[i];
-    for (size_t j = 0; j < b.limbs_.size(); ++j) {
-      uint64_t cur = out.limbs_[i + j] + ai * b.limbs_[j] + carry;
-      out.limbs_[i + j] = static_cast<uint32_t>(cur);
-      carry = cur >> 32;
-    }
-    out.limbs_[i + b.limbs_.size()] += static_cast<uint32_t>(carry);
-  }
+  out.limbs_.resize(a.limbs_.size() + b.limbs_.size());
+  MulLimbs(a.limbs_.data(), a.limbs_.size(), b.limbs_.data(),
+           b.limbs_.size(), out.limbs_.data(), kernel);
   out.Normalize();
   return out;
 }
@@ -537,10 +538,75 @@ Result<BigUInt> BigUInt::ModInverse(const BigUInt& a, const BigUInt& m) {
 // ---------------------------------------------------------------------
 // MontgomeryContext
 
+namespace {
+
+using detail::MontLimb;
+
+// Double-width type for the engine radix: every MontLimb product must
+// fit it exactly.
+#if defined(__SIZEOF_INT128__)
+using MontWide = unsigned __int128;
+#else
+using MontWide = uint64_t;
+#endif
+
+constexpr size_t kMontLimbBits = sizeof(MontLimb) * 8;
+
+// Repacks little-endian 32-bit limbs into `count` engine limbs
+// (zero-padded). Works for any engine radix that is a multiple of 32.
+std::vector<MontLimb> PackMontLimbs(const std::vector<uint32_t>& limbs,
+                                    size_t count) {
+  std::vector<MontLimb> out(count, 0);
+  for (size_t i = 0; i < limbs.size(); ++i) {
+    out[i * 32 / kMontLimbBits] |= static_cast<MontLimb>(limbs[i])
+                                   << ((i * 32) % kMontLimbBits);
+  }
+  return out;
+}
+
+// Constant-time window-table row selection: touches every row and
+// accumulates the requested one through an all-ones/all-zero mask, so
+// neither memory addresses nor branches depend on the (secret) window
+// value. `rows` is at most 32 (k <= 5), so r ^ idx < 2^31 and the
+// borrow trick below is exact. See DESIGN.md §15.
+void CtSelectRow(const MontLimb* table, uint32_t rows, size_t n,
+                 uint32_t idx, MontLimb* out) {
+  std::fill(out, out + n, static_cast<MontLimb>(0));
+  for (uint32_t r = 0; r < rows; ++r) {
+    const uint32_t d = r ^ idx;  // 0 iff this row
+    const MontLimb mask = static_cast<MontLimb>(0) -
+                          static_cast<MontLimb>((d - 1u) >> 31);
+    const MontLimb* row = table + static_cast<size_t>(r) * n;
+    for (size_t j = 0; j < n; ++j) {
+      out[j] |= row[j] & mask;
+    }
+  }
+}
+
+// k exponent bits starting at bit `lo` (LSB first); bits past the end
+// read as zero, so the top window is naturally short.
+uint32_t WindowAt(const BigUInt& exp, size_t lo, size_t k) {
+  uint32_t w = 0;
+  for (size_t j = 0; j < k; ++j) {
+    if (exp.GetBit(lo + j)) {
+      w |= 1u << j;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
 Result<MontgomeryContext> MontgomeryContext::Create(const BigUInt& modulus) {
   if (!modulus.IsOdd() || modulus <= BigUInt(1)) {
     return Status::InvalidArgument("Montgomery modulus must be odd and > 1");
   }
+  // Context derivation (two divisions + the Newton inverse) is the cost
+  // callers are expected to amortize; the counter lets tests pin that a
+  // cached signer/verifier really does reuse its context.
+  static observability::Counter* context_counter =
+      observability::GlobalMetrics().counter("crypto.bignum.montgomery_contexts");
+  context_counter->Increment();
   MontgomeryContext ctx;
   ctx.modulus_ = modulus;
   ctx.num_limbs_ = modulus.limbs_.size();
@@ -559,21 +625,46 @@ Result<MontgomeryContext> MontgomeryContext::Create(const BigUInt& modulus) {
       BigUInt r2_mod, BigUInt::Mod(BigUInt::Mul(r_mod, r_mod), modulus));
   ctx.r_mod_m_ = std::move(r_mod);
   ctx.r2_mod_m_ = std::move(r2_mod);
+
+  // Engine-radix mirror for the exponentiation ladder (header comment on
+  // mont_m_): same modulus repacked into MontLimb limbs, with R_L and
+  // n' recomputed for that radix.
+  ctx.mont_limbs_ =
+      (ctx.num_limbs_ * 32 + kMontLimbBits - 1) / kMontLimbBits;
+  ctx.mont_m_ = PackMontLimbs(modulus.limbs_, ctx.mont_limbs_);
+  MontLimb inv_l = 1;
+  for (size_t i = 0; kMontLimbBits >> i > 1; ++i) {
+    inv_l *= 2 - ctx.mont_m_[0] * inv_l;  // doubles correct low bits
+  }
+  ctx.mont_n_prime_ = static_cast<MontLimb>(0) - inv_l;
+
+  BigUInt r_l = BigUInt(1).ShiftLeft(kMontLimbBits * ctx.mont_limbs_);
+  PROVDB_ASSIGN_OR_RETURN(BigUInt r_l_mod, BigUInt::Mod(r_l, modulus));
+  PROVDB_ASSIGN_OR_RETURN(
+      BigUInt r2_l_mod,
+      BigUInt::Mod(BigUInt::Mul(r_l_mod, r_l_mod), modulus));
+  ctx.mont_r_ = PackMontLimbs(r_l_mod.limbs_, ctx.mont_limbs_);
+  ctx.mont_r2_ = PackMontLimbs(r2_l_mod.limbs_, ctx.mont_limbs_);
   return ctx;
 }
 
-BigUInt MontgomeryContext::MulReduce(const BigUInt& a, const BigUInt& b) const {
+void MontgomeryContext::MontMulInto(const uint32_t* a, const uint32_t* b,
+                                    uint32_t* out, uint32_t* scratch) const {
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication
+  // on flat limbs. The one-limb shift after each REDC round is fused into
+  // the REDC pass (it writes t[j-1]), so each round is exactly two
+  // multiply-accumulate sweeps. `out` is written only after both inputs
+  // have been fully consumed, which is what makes aliasing legal.
   const size_t n = num_limbs_;
-  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
-  std::vector<uint32_t> t(n + 2, 0);
+  const uint32_t* m = modulus_.limbs_.data();
+  uint32_t* t = scratch;
+  std::fill(t, t + n + 2, 0u);
   for (size_t i = 0; i < n; ++i) {
-    uint64_t ai = i < a.limbs_.size() ? a.limbs_[i] : 0;
-
     // t += a[i] * b
+    const uint64_t ai = a[i];
     uint64_t carry = 0;
     for (size_t j = 0; j < n; ++j) {
-      uint64_t bj = j < b.limbs_.size() ? b.limbs_[j] : 0;
-      uint64_t cur = t[j] + ai * bj + carry;
+      uint64_t cur = t[j] + ai * b[j] + carry;
       t[j] = static_cast<uint32_t>(cur);
       carry = cur >> 32;
     }
@@ -581,33 +672,136 @@ BigUInt MontgomeryContext::MulReduce(const BigUInt& a, const BigUInt& b) const {
     t[n] = static_cast<uint32_t>(cur);
     t[n + 1] = static_cast<uint32_t>(t[n + 1] + (cur >> 32));
 
-    // t += (t[0] * n') * m; then t >>= 32 (one limb).
-    uint32_t u = static_cast<uint32_t>(t[0] * n_prime_);
-    carry = 0;
-    for (size_t j = 0; j < n; ++j) {
-      uint64_t cur2 = t[j] + static_cast<uint64_t>(u) * modulus_.limbs_[j] +
-                      carry;
-      t[j] = static_cast<uint32_t>(cur2);
+    // t = (t + (t[0] * n') * m) >> 32. The low limb of the sum is zero
+    // by construction of n', so writing t[j-1] performs the shift.
+    const uint32_t u = static_cast<uint32_t>(t[0] * n_prime_);
+    uint64_t cur2 = t[0] + static_cast<uint64_t>(u) * m[0];
+    carry = cur2 >> 32;
+    for (size_t j = 1; j < n; ++j) {
+      cur2 = t[j] + static_cast<uint64_t>(u) * m[j] + carry;
+      t[j - 1] = static_cast<uint32_t>(cur2);
       carry = cur2 >> 32;
     }
     cur = t[n] + carry;
-    t[n] = static_cast<uint32_t>(cur);
-    t[n + 1] = static_cast<uint32_t>(t[n + 1] + (cur >> 32));
-
-    // Shift down one limb (t[0] is zero after the REDC step).
-    for (size_t j = 0; j <= n; ++j) {
-      t[j] = t[j + 1];
-    }
+    t[n - 1] = static_cast<uint32_t>(cur);
+    t[n] = static_cast<uint32_t>(t[n + 1] + (cur >> 32));
     t[n + 1] = 0;
   }
 
-  BigUInt out;
-  out.limbs_.assign(t.begin(), t.begin() + n + 1);
-  out.Normalize();
-  if (BigUInt::Compare(out, modulus_) >= 0) {
-    out = BigUInt::Sub(out, modulus_);
+  // Conditional final subtraction: t in [0, 2m), t[n] <= 1. The branch
+  // is on the *value* of the product — accepted CIOS leakage, identical
+  // to the pre-kernel implementation (DESIGN.md §15).
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;  // equal compares as >=, matching BigUInt::Compare
+    for (size_t j = n; j-- > 0;) {
+      if (t[j] != m[j]) {
+        ge = t[j] > m[j];
+        break;
+      }
+    }
   }
-  return out;
+  if (ge) {
+    int64_t borrow = 0;
+    for (size_t j = 0; j < n; ++j) {
+      int64_t diff = static_cast<int64_t>(t[j]) - borrow -
+                     static_cast<int64_t>(m[j]);
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      out[j] = static_cast<uint32_t>(diff);
+    }
+  } else {
+    std::copy(t, t + n, out);
+  }
+}
+
+void MontgomeryContext::MontMulIntoL(const MontLimb* a, const MontLimb* b,
+                                     MontLimb* out,
+                                     MontLimb* scratch) const {
+  // Same fused CIOS as MontMulInto, on the engine radix: with 64-bit
+  // limbs each multiply-accumulate sweep is a quarter the length, which
+  // is where the ladder's speedup over the 32-bit core comes from.
+  const size_t n = mont_limbs_;
+  const MontLimb* m = mont_m_.data();
+  MontLimb* t = scratch;
+  std::fill(t, t + n + 2, static_cast<MontLimb>(0));
+  for (size_t i = 0; i < n; ++i) {
+    const MontWide ai = a[i];
+    MontWide carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      MontWide cur = t[j] + ai * b[j] + carry;
+      t[j] = static_cast<MontLimb>(cur);
+      carry = cur >> kMontLimbBits;
+    }
+    MontWide cur = t[n] + carry;
+    t[n] = static_cast<MontLimb>(cur);
+    t[n + 1] = static_cast<MontLimb>(t[n + 1] +
+                                     static_cast<MontLimb>(cur >> kMontLimbBits));
+
+    const MontLimb u = static_cast<MontLimb>(t[0] * mont_n_prime_);
+    MontWide cur2 = t[0] + static_cast<MontWide>(u) * m[0];
+    carry = cur2 >> kMontLimbBits;
+    for (size_t j = 1; j < n; ++j) {
+      cur2 = t[j] + static_cast<MontWide>(u) * m[j] + carry;
+      t[j - 1] = static_cast<MontLimb>(cur2);
+      carry = cur2 >> kMontLimbBits;
+    }
+    cur = t[n] + carry;
+    t[n - 1] = static_cast<MontLimb>(cur);
+    t[n] = static_cast<MontLimb>(t[n + 1] +
+                                 static_cast<MontLimb>(cur >> kMontLimbBits));
+    t[n + 1] = 0;
+  }
+
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;  // equal compares as >=
+    for (size_t j = n; j-- > 0;) {
+      if (t[j] != m[j]) {
+        ge = t[j] > m[j];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    MontLimb borrow = 0;
+    for (size_t j = 0; j < n; ++j) {
+      const MontLimb mj = m[j];
+      const MontLimb tj = t[j];
+      const MontLimb diff = tj - mj - borrow;
+      // Borrow out of tj - mj - borrow_in, branch-free on the limb
+      // values (the subtraction itself is taken on a value branch
+      // above, same as the 32-bit core).
+      borrow = static_cast<MontLimb>((tj < mj) ||
+                                     (tj == mj && borrow != 0) ? 1 : 0);
+      out[j] = diff;
+    }
+  } else {
+    std::copy(t, t + n, out);
+  }
+}
+
+BigUInt MontgomeryContext::MulReduce(const BigUInt& a, const BigUInt& b) const {
+  const size_t n = num_limbs_;
+  std::vector<uint32_t> ap(n, 0);
+  std::vector<uint32_t> bp(n, 0);
+  std::vector<uint32_t> out(n);
+  std::vector<uint32_t> scratch(n + 2);
+  const size_t na = std::min(n, a.limbs_.size());
+  std::copy(a.limbs_.begin(), a.limbs_.begin() + static_cast<ptrdiff_t>(na),
+            ap.begin());
+  const size_t nb = std::min(n, b.limbs_.size());
+  std::copy(b.limbs_.begin(), b.limbs_.begin() + static_cast<ptrdiff_t>(nb),
+            bp.begin());
+  MontMulInto(ap.data(), bp.data(), out.data(), scratch.data());
+  BigUInt result;
+  result.limbs_.assign(out.begin(), out.end());
+  result.Normalize();
+  return result;
 }
 
 BigUInt MontgomeryContext::ToMontgomery(const BigUInt& a) const {
@@ -624,16 +818,102 @@ BigUInt MontgomeryContext::FromMontgomery(const BigUInt& a) const {
 
 BigUInt MontgomeryContext::ModExp(const BigUInt& base,
                                   const BigUInt& exp) const {
-  BigUInt acc = ToMontgomery(base);
-  BigUInt result = r_mod_m_;  // 1 in Montgomery form.
-  size_t bits = exp.BitLength();
-  for (size_t i = bits; i-- > 0;) {
-    result = MulReduce(result, result);
-    if (exp.GetBit(i)) {
-      result = MulReduce(result, acc);
+  return ModExpWithKernel(base, exp, SelectedBigNumKernels().mod_exp);
+}
+
+BigUInt MontgomeryContext::ModExpWithKernel(const BigUInt& base,
+                                            const BigUInt& exp,
+                                            ModExpKernel kernel) const {
+  const size_t n = mont_limbs_;
+
+  // All ladder state lives in flat engine-radix buffers allocated here,
+  // once per exponentiation; the MontMulIntoL core allocates nothing.
+  // For an RSA-1024 CRT half that replaces ~1500 vector allocations
+  // with a handful.
+  std::vector<MontLimb> scratch(n + 2);
+  std::vector<MontLimb> result(n, 0);
+
+  // base, reduced mod m, into Montgomery form: (base mod m) * R_L^2 *
+  // R_L^-1.
+  std::vector<MontLimb> base_mont;
+  {
+    BigUInt reduced = base;
+    if (BigUInt::Compare(reduced, modulus_) >= 0) {
+      reduced = BigUInt::Mod(reduced, modulus_).value();
+    }
+    base_mont = PackMontLimbs(reduced.limbs_, n);
+    MontMulIntoL(base_mont.data(), mont_r2_.data(), base_mont.data(),
+                 scratch.data());
+  }
+
+  const size_t bits = exp.BitLength();
+
+  // Short exponents degrade windowed ladders to binary — see
+  // kWindowedLadderMinExpBits. exp == 0 lands there too: zero loop
+  // iterations leave result = 1 in Montgomery form.
+  const bool binary = kernel == ModExpKernel::kBinary ||
+                      bits < kWindowedLadderMinExpBits;
+
+  if (binary) {
+    // Bit-at-a-time square-and-multiply, MSB first.
+    std::copy(mont_r_.begin(), mont_r_.end(), result.begin());
+    for (size_t i = bits; i-- > 0;) {
+      MontMulIntoL(result.data(), result.data(), result.data(),
+                   scratch.data());
+      if (exp.GetBit(i)) {
+        MontMulIntoL(result.data(), base_mont.data(), result.data(),
+                     scratch.data());
+      }
+    }
+  } else {
+    // Fixed k-bit windows, MSB first: per window k squarings then one
+    // multiply by table[window]. table[0] = 1 in Montgomery form, so a
+    // zero window performs the same multiply as any other — the
+    // operation sequence depends only on BitLength(exp), and the table
+    // row is fetched with the mask scan in CtSelectRow, never indexed
+    // by the secret window value.
+    const size_t k = kernel == ModExpKernel::kWindow4 ? 4 : 5;
+    const uint32_t rows = 1u << k;
+    std::vector<MontLimb> table(static_cast<size_t>(rows) * n);
+    std::copy(mont_r_.begin(), mont_r_.end(), table.begin());
+    std::copy(base_mont.begin(), base_mont.end(),
+              table.begin() + static_cast<ptrdiff_t>(n));
+    for (uint32_t w = 2; w < rows; ++w) {
+      MontMulIntoL(&table[static_cast<size_t>(w - 1) * n],
+                   base_mont.data(), &table[static_cast<size_t>(w) * n],
+                   scratch.data());
+    }
+
+    std::vector<MontLimb> sel(n);
+    const size_t windows = (bits + k - 1) / k;
+    CtSelectRow(table.data(), rows, n, WindowAt(exp, (windows - 1) * k, k),
+                result.data());
+    for (size_t wi = windows - 1; wi-- > 0;) {
+      for (size_t s = 0; s < k; ++s) {
+        MontMulIntoL(result.data(), result.data(), result.data(),
+                     scratch.data());
+      }
+      CtSelectRow(table.data(), rows, n, WindowAt(exp, wi * k, k),
+                  sel.data());
+      MontMulIntoL(result.data(), sel.data(), result.data(),
+                   scratch.data());
     }
   }
-  return FromMontgomery(result);
+
+  // Out of Montgomery form: result * 1 * R_L^-1 mod m.
+  std::vector<MontLimb> one(n, 0);
+  one[0] = 1;
+  MontMulIntoL(result.data(), one.data(), result.data(), scratch.data());
+
+  // Unpack engine limbs back into the 32-bit representation.
+  BigUInt out;
+  out.limbs_.assign(n * (kMontLimbBits / 32), 0);
+  for (size_t j = 0; j < out.limbs_.size(); ++j) {
+    out.limbs_[j] = static_cast<uint32_t>(
+        result[j * 32 / kMontLimbBits] >> ((j * 32) % kMontLimbBits));
+  }
+  out.Normalize();
+  return out;
 }
 
 }  // namespace provdb::crypto

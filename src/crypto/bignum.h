@@ -8,18 +8,35 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "crypto/bignum_kernels.h"
 
 namespace provdb::crypto {
 
 struct DivModResult;
 
+namespace detail {
+/// Limb type of the Montgomery exponentiation engine. The public BigUInt
+/// representation stays 32-bit; the ladder repacks operands into the
+/// widest limb the compiler can multiply to double width (64-bit via
+/// __int128 where available), which more than halves the inner-loop
+/// work. Results are identical either way — only the internal radix
+/// changes.
+#if defined(__SIZEOF_INT128__)
+using MontLimb = uint64_t;
+#else
+using MontLimb = uint32_t;
+#endif
+}  // namespace detail
+
 /// Arbitrary-precision unsigned integer. Backing for the from-scratch RSA
 /// implementation (the paper's checksum signatures use 1024-bit RSA, §5.1).
 ///
 /// Representation: little-endian vector of 32-bit limbs, normalized (no
-/// trailing zero limbs; zero is the empty vector). All arithmetic is
-/// schoolbook O(n^2) or better, which is ample for RSA-1024/2048 operand
-/// sizes; ModExp uses Montgomery multiplication for odd moduli.
+/// trailing zero limbs; zero is the empty vector). Multiplication and
+/// modular exponentiation route through runtime-selected kernels
+/// (bignum_kernels.h, docs/CRYPTO.md): schoolbook or Karatsuba multiply,
+/// binary or fixed-window Montgomery ladders for odd moduli. Every
+/// kernel computes the same function — selection is a speed choice only.
 class BigUInt {
  public:
   /// Zero.
@@ -82,7 +99,15 @@ class BigUInt {
   /// each site in bignum.cc / rsa.cc).
   static BigUInt Sub(const BigUInt& a, const BigUInt& b);
 
+  /// Dispatches to the process-selected multiply kernel
+  /// (SelectedBigNumKernels, docs/CRYPTO.md). All kernels produce
+  /// identical results.
   static BigUInt Mul(const BigUInt& a, const BigUInt& b);
+
+  /// Mul under an explicit kernel — cross-check tests and benchmarks
+  /// compare kernels in one process without touching the global selection.
+  static BigUInt MulWithKernel(const BigUInt& a, const BigUInt& b,
+                               MulKernel kernel);
 
   /// Quotient and remainder; `divisor` must be non-zero.
   static Result<DivModResult> DivMod(const BigUInt& dividend,
@@ -148,16 +173,48 @@ class MontgomeryContext {
   BigUInt MulReduce(const BigUInt& a, const BigUInt& b) const;
 
   /// (base ^ exp) mod m, operands in ordinary (non-Montgomery) form.
+  /// Dispatches to the process-selected ladder kernel
+  /// (SelectedBigNumKernels); all ladders produce identical results.
   BigUInt ModExp(const BigUInt& base, const BigUInt& exp) const;
+
+  /// ModExp under an explicit ladder kernel — for kernel cross-check
+  /// tests and benchmark A/B runs.
+  BigUInt ModExpWithKernel(const BigUInt& base, const BigUInt& exp,
+                           ModExpKernel kernel) const;
 
  private:
   MontgomeryContext() = default;
+
+  /// Allocation-free CIOS Montgomery product on flat 32-bit limb arrays
+  /// (the MulReduce/ToMontgomery/FromMontgomery radix): out = a * b *
+  /// R^-1 mod m. `a`, `b`, `out` are num_limbs_ wide; `scratch` is
+  /// num_limbs_ + 2 wide. `out` may alias `a` and/or `b` (inputs are
+  /// consumed before `out` is written); `scratch` must not alias
+  /// anything.
+  void MontMulInto(const uint32_t* a, const uint32_t* b, uint32_t* out,
+                   uint32_t* scratch) const;
+
+  /// Same contract on the engine radix (detail::MontLimb, mont_limbs_
+  /// wide, scratch mont_limbs_ + 2): the ladder hot path — no heap, no
+  /// BigUInt.
+  void MontMulIntoL(const detail::MontLimb* a, const detail::MontLimb* b,
+                    detail::MontLimb* out, detail::MontLimb* scratch) const;
 
   BigUInt modulus_;
   BigUInt r_mod_m_;   // R mod m, R = 2^(32 * limbs)
   BigUInt r2_mod_m_;  // R^2 mod m
   uint32_t n_prime_ = 0;  // -m^-1 mod 2^32
   size_t num_limbs_ = 0;
+
+  // Engine-radix mirror of the modulus (docs/CRYPTO.md). R_L =
+  // 2^(bits(MontLimb) * mont_limbs_) differs from R when the radix
+  // differs; that is invisible outside ModExp, which converts on entry
+  // and exit.
+  std::vector<detail::MontLimb> mont_m_;
+  std::vector<detail::MontLimb> mont_r_;   // R_L mod m
+  std::vector<detail::MontLimb> mont_r2_;  // R_L^2 mod m
+  detail::MontLimb mont_n_prime_ = 0;      // -m^-1 mod 2^bits(MontLimb)
+  size_t mont_limbs_ = 0;
 };
 
 }  // namespace provdb::crypto

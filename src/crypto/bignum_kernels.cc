@@ -1,0 +1,286 @@
+#include "crypto/bignum_kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "observability/metrics.h"
+
+namespace provdb::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Selection
+
+// Packed selection: bit 32 = "set", bits [8,16) = mul kernel, bits [0,8)
+// = modexp kernel. One word so readers never see a half-updated pair.
+constexpr uint64_t kSelectedFlag = 1ull << 32;
+
+uint64_t Pack(const BigNumKernelSet& set) {
+  return kSelectedFlag |
+         (static_cast<uint64_t>(static_cast<uint32_t>(set.mul)) << 8) |
+         static_cast<uint64_t>(static_cast<uint32_t>(set.mod_exp));
+}
+
+BigNumKernelSet Unpack(uint64_t packed) {
+  BigNumKernelSet set;
+  set.mul = static_cast<MulKernel>(static_cast<int32_t>((packed >> 8) & 0xFF));
+  set.mod_exp = static_cast<ModExpKernel>(static_cast<int32_t>(packed & 0xFF));
+  return set;
+}
+
+std::atomic<uint64_t> g_selected{0};
+
+// The selection gauges make "which kernel ran" part of every benchmark's
+// metrics footer: id values match the enum values documented in
+// docs/OBSERVABILITY.md.
+void PublishKernelGauges(const BigNumKernelSet& set) {
+  auto& metrics = observability::GlobalMetrics();
+  metrics.gauge("crypto.bignum.kernel")
+      ->Set(static_cast<int64_t>(set.mod_exp));
+  metrics.gauge("crypto.bignum.kernel.mul")
+      ->Set(static_cast<int64_t>(set.mul));
+}
+
+// ---------------------------------------------------------------------
+// Multiply kernels. Both write the full an+bn limbs of `out` and assume
+// it is zero-initialized on entry (MulLimbs clears it once up front;
+// recursion writes into disjoint, still-zero regions).
+
+void SchoolbookMulInto(const uint32_t* a, size_t an, const uint32_t* b,
+                       size_t bn, uint32_t* out) {
+  for (size_t i = 0; i < an; ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = a[i];
+    for (size_t j = 0; j < bn; ++j) {
+      uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out[i + bn] = static_cast<uint32_t>(out[i + bn] + carry);
+  }
+}
+
+// acc[0..acc_len) += src[0..src_len); the caller guarantees the sum fits
+// (every use adds a partial product into a wider accumulator).
+void AddAt(uint32_t* acc, size_t acc_len, const uint32_t* src,
+           size_t src_len) {
+  assert(src_len <= acc_len);
+  uint64_t carry = 0;
+  size_t i = 0;
+  for (; i < src_len; ++i) {
+    uint64_t cur = static_cast<uint64_t>(acc[i]) + src[i] + carry;
+    acc[i] = static_cast<uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  for (; carry != 0 && i < acc_len; ++i) {
+    uint64_t cur = static_cast<uint64_t>(acc[i]) + carry;
+    acc[i] = static_cast<uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  assert(carry == 0);
+}
+
+// a[0..an) -= b[0..bn); the caller guarantees a >= b (Karatsuba's middle
+// term (a0+a1)(b0+b1) always dominates z0 and z2).
+void SubAt(uint32_t* a, size_t an, const uint32_t* b, size_t bn) {
+  assert(bn <= an);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < an; ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow;
+    if (i < bn) diff -= b[i];
+    if (diff < 0) {
+      diff += static_cast<int64_t>(1ull << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    a[i] = static_cast<uint32_t>(diff);
+  }
+  assert(borrow == 0);
+}
+
+// out[0..max(an,bn)+1) = a + b.
+void AddLimbs(const uint32_t* a, size_t an, const uint32_t* b, size_t bn,
+              uint32_t* out) {
+  const size_t n = std::max(an, bn);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t cur = carry;
+    if (i < an) cur += a[i];
+    if (i < bn) cur += b[i];
+    out[i] = static_cast<uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  out[n] = static_cast<uint32_t>(carry);
+}
+
+size_t TrimmedLen(const uint32_t* v, size_t len) {
+  while (len > 0 && v[len - 1] == 0) --len;
+  return len;
+}
+
+// Karatsuba with unbalanced-operand block decomposition. Preconditions:
+// an >= bn, out zeroed with an+bn limbs, out does not alias a or b.
+// Per-level temporaries are heap vectors — only keygen/verify-sized
+// operands (>= kKaratsubaThresholdLimbs) ever reach this, never the
+// CIOS signing core, which is allocation-free (bignum.cc).
+void KaratsubaMulInto(const uint32_t* a, size_t an, const uint32_t* b,
+                      size_t bn, uint32_t* out) {
+  assert(an >= bn);
+  if (bn < kKaratsubaThresholdLimbs) {
+    SchoolbookMulInto(a, an, b, bn, out);
+    return;
+  }
+  const size_t h = (an + 1) / 2;  // low-half width of a
+
+  if (bn <= h) {
+    // b spans only a's low half: a*b = a0*b + (a1*b << 32h).
+    KaratsubaMulInto(a, h, b, bn, out);
+    std::vector<uint32_t> hi(an - h + bn, 0);
+    if (an - h >= bn) {
+      KaratsubaMulInto(a + h, an - h, b, bn, hi.data());
+    } else {
+      KaratsubaMulInto(b, bn, a + h, an - h, hi.data());
+    }
+    AddAt(out + h, an + bn - h, hi.data(), hi.size());
+    return;
+  }
+
+  // Balanced split at h: a = a1·B^h + a0, b = b1·B^h + b0 with
+  // |a1| = an-h <= h and |b1| = bn-h <= h.
+  //   z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)(b0+b1) - z0 - z2
+  //   a*b = z2·B^2h + z1·B^h + z0
+  // z0 and z2 land in disjoint halves of `out`, so only z1 needs a
+  // temporary.
+  KaratsubaMulInto(a, h, b, h, out);                          // z0 -> out[0..2h)
+  KaratsubaMulInto(a + h, an - h, b + h, bn - h, out + 2 * h);  // z2
+
+  std::vector<uint32_t> asum(h + 1), bsum(h + 1);
+  AddLimbs(a, h, a + h, an - h, asum.data());
+  AddLimbs(b, h, b + h, bn - h, bsum.data());
+
+  std::vector<uint32_t> z1(2 * (h + 1), 0);
+  KaratsubaMulInto(asum.data(), h + 1, bsum.data(), h + 1, z1.data());
+  SubAt(z1.data(), z1.size(), out, 2 * h);                    // -= z0
+  SubAt(z1.data(), z1.size(), out + 2 * h, an + bn - 2 * h);  // -= z2
+
+  // z1 < B^(an+bn-h) by construction; trim so the add fits the slots
+  // that remain above offset h.
+  AddAt(out + h, an + bn - h, z1.data(), TrimmedLen(z1.data(), z1.size()));
+}
+
+}  // namespace
+
+std::string_view MulKernelName(MulKernel kernel) {
+  switch (kernel) {
+    case MulKernel::kSchoolbook:
+      return "schoolbook";
+    case MulKernel::kKaratsuba:
+      return "karatsuba";
+  }
+  return "unknown";
+}
+
+std::string_view ModExpKernelName(ModExpKernel kernel) {
+  switch (kernel) {
+    case ModExpKernel::kBinary:
+      return "binary";
+    case ModExpKernel::kWindow4:
+      return "window4";
+    case ModExpKernel::kWindow5:
+      return "window5";
+  }
+  return "unknown";
+}
+
+Result<BigNumKernelSet> ParseBigNumKernelSpec(std::string_view spec) {
+  BigNumKernelSet set;
+  bool any = false;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find_first_of(",+ \t", pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view token = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    any = true;
+    if (token == "schoolbook") {
+      set.mul = MulKernel::kSchoolbook;
+    } else if (token == "karatsuba") {
+      set.mul = MulKernel::kKaratsuba;
+    } else if (token == "binary") {
+      set.mod_exp = ModExpKernel::kBinary;
+    } else if (token == "window4") {
+      set.mod_exp = ModExpKernel::kWindow4;
+    } else if (token == "window5") {
+      set.mod_exp = ModExpKernel::kWindow5;
+    } else if (token == "default") {
+      // Explicit "defaults, please" — keeps scripts self-documenting.
+    } else {
+      return Status::InvalidArgument("unknown bignum kernel token: " +
+                                     std::string(token));
+    }
+  }
+  if (!any) {
+    return Status::InvalidArgument("empty bignum kernel spec");
+  }
+  return set;
+}
+
+BigNumKernelSet SelectedBigNumKernels() {
+  uint64_t packed = g_selected.load(std::memory_order_acquire);
+  if (packed == 0) {
+    BigNumKernelSet set;
+    const char* env = std::getenv("PROVDB_BIGNUM_KERNEL");
+    if (env != nullptr && env[0] != '\0') {
+      Result<BigNumKernelSet> parsed = ParseBigNumKernelSpec(env);
+      if (!parsed.ok()) {
+        // Fail fast: a CI tier that asked for a specific kernel must not
+        // silently measure (or green-light) the default one instead.
+        std::fprintf(stderr, "invalid PROVDB_BIGNUM_KERNEL=\"%s\": %s\n", env,
+                     parsed.status().message().c_str());
+        std::abort();
+      }
+      set = parsed.value();
+    }
+    // First selection wins a race; losers adopt the published value.
+    uint64_t expected = 0;
+    if (g_selected.compare_exchange_strong(expected, Pack(set),
+                                           std::memory_order_acq_rel)) {
+      PublishKernelGauges(set);
+      packed = Pack(set);
+    } else {
+      packed = expected;
+    }
+  }
+  return Unpack(packed);
+}
+
+void ForceBigNumKernels(const BigNumKernelSet& set) {
+  g_selected.store(Pack(set), std::memory_order_release);
+  PublishKernelGauges(set);
+}
+
+void MulLimbs(const uint32_t* a, size_t an, const uint32_t* b, size_t bn,
+              uint32_t* out, MulKernel kernel) {
+  std::fill(out, out + an + bn, 0u);
+  if (an == 0 || bn == 0) return;
+  if (kernel == MulKernel::kKaratsuba &&
+      std::min(an, bn) >= kKaratsubaThresholdLimbs) {
+    if (an >= bn) {
+      KaratsubaMulInto(a, an, b, bn, out);
+    } else {
+      KaratsubaMulInto(b, bn, a, an, out);
+    }
+  } else {
+    SchoolbookMulInto(a, an, b, bn, out);
+  }
+}
+
+}  // namespace provdb::crypto

@@ -1,0 +1,87 @@
+#ifndef PROVDB_CRYPTO_BIGNUM_KERNELS_H_
+#define PROVDB_CRYPTO_BIGNUM_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace provdb::crypto {
+
+/// Runtime-dispatched bignum kernels (docs/CRYPTO.md). Every kernel in a
+/// category computes the exact same function — selection trades speed,
+/// never results — so RSA signatures stay byte-identical whichever kernel
+/// runs. Selection happens once per process (first use), honours the
+/// PROVDB_BIGNUM_KERNEL environment override, and is surfaced through the
+/// `crypto.bignum.kernel` / `crypto.bignum.kernel.mul` gauges.
+
+/// Full-width multiply kernels (BigUInt::Mul and everything above it).
+enum class MulKernel : int32_t {
+  kSchoolbook = 0,  // portable O(n^2) limb loop
+  kKaratsuba = 1,   // three-way split above kKaratsubaThresholdLimbs
+};
+
+/// Montgomery modular-exponentiation ladders (MontgomeryContext::ModExp).
+enum class ModExpKernel : int32_t {
+  kBinary = 0,   // bit-at-a-time square-and-multiply
+  kWindow4 = 1,  // fixed 4-bit windows, constant-time table selection
+  kWindow5 = 2,  // fixed 5-bit windows, constant-time table selection
+};
+
+/// Operand size (in 32-bit limbs, smaller operand) below which Karatsuba
+/// recursion falls back to the schoolbook loop. Tuned on the RSA-2048
+/// keygen/verify path; below this the O(n^2) loop's locality wins.
+inline constexpr size_t kKaratsubaThresholdLimbs = 24;
+
+/// Exponent bit length below which the windowed ladders degrade to the
+/// binary ladder: building the 2^k-entry table costs more multiplies
+/// than windowing saves on a short exponent (RSA's e = 65537 is the
+/// textbook case). The cutoff depends only on BitLength(exp), which the
+/// ladder's operation count reveals anyway — no new leakage.
+inline constexpr size_t kWindowedLadderMinExpBits = 128;
+
+/// One kernel per category; the unit of selection and of the
+/// PROVDB_BIGNUM_KERNEL spec.
+struct BigNumKernelSet {
+  MulKernel mul = MulKernel::kKaratsuba;
+  ModExpKernel mod_exp = ModExpKernel::kWindow5;
+
+  bool operator==(const BigNumKernelSet& o) const {
+    return mul == o.mul && mod_exp == o.mod_exp;
+  }
+  bool operator!=(const BigNumKernelSet& o) const { return !(*this == o); }
+};
+
+/// Stable lowercase names, also the PROVDB_BIGNUM_KERNEL spec tokens.
+std::string_view MulKernelName(MulKernel kernel);
+std::string_view ModExpKernelName(ModExpKernel kernel);
+
+/// Parses a kernel spec: comma/plus/space-separated tokens from
+/// {schoolbook, karatsuba, binary, window4, window5, default}. Tokens
+/// override their own category only; within a category the last token
+/// wins. Empty or unknown tokens are an error.
+Result<BigNumKernelSet> ParseBigNumKernelSpec(std::string_view spec);
+
+/// The process-wide kernel selection. First call reads
+/// PROVDB_BIGNUM_KERNEL (an invalid spec aborts — a CI run exercising a
+/// kernel must never silently fall back to the default), publishes the
+/// selection gauges, and latches the result; later calls are two relaxed
+/// atomic loads.
+BigNumKernelSet SelectedBigNumKernels();
+
+/// Overrides the process-wide selection (tests and bench A/B runs). Safe
+/// at any point because kernels are result-identical; values computed
+/// before the switch remain valid.
+void ForceBigNumKernels(const BigNumKernelSet& set);
+
+/// Flat-limb multiply: out[0 .. an+bn) = a * b under the chosen kernel.
+/// `out` must not alias the inputs; it is fully overwritten. Limbs are
+/// little-endian, operands need not be normalized. an == 0 or bn == 0
+/// yields all-zero output.
+void MulLimbs(const uint32_t* a, size_t an, const uint32_t* b, size_t bn,
+              uint32_t* out, MulKernel kernel);
+
+}  // namespace provdb::crypto
+
+#endif  // PROVDB_CRYPTO_BIGNUM_KERNELS_H_

@@ -248,7 +248,8 @@ Result<Bytes> RsaSignDigest(const RsaPrivateKey& key, HashAlgorithm alg,
 }
 
 Status RsaVerifyDigest(const RsaPublicKey& key, HashAlgorithm alg,
-                       const Digest& digest, ByteView signature) {
+                       const Digest& digest, ByteView signature,
+                       const MontgomeryContext* n_ctx) {
   const size_t k = key.ModulusBytes();
   if (signature.size() != k) {
     return Status::VerificationFailed("signature length mismatch");
@@ -257,7 +258,9 @@ Status RsaVerifyDigest(const RsaPublicKey& key, HashAlgorithm alg,
   if (BigUInt::Compare(s, key.n) >= 0) {
     return Status::VerificationFailed("signature out of range");
   }
-  auto m_or = BigUInt::ModExp(s, key.e, key.n);
+  Result<BigUInt> m_or = n_ctx != nullptr
+                             ? Result<BigUInt>(n_ctx->ModExp(s, key.e))
+                             : BigUInt::ModExp(s, key.e, key.n);
   if (!m_or.ok()) {
     return Status::VerificationFailed("RSA exponentiation failed");
   }

@@ -74,9 +74,13 @@ Result<Bytes> RsaSignDigest(const RsaPrivateKey& key, HashAlgorithm alg,
                             const Digest& digest);
 
 /// Verifies a signature produced by RsaSignDigest. OK on success;
-/// kVerificationFailed when the signature does not match.
+/// kVerificationFailed when the signature does not match. Callers that
+/// verify repeatedly under one key should pass `n_ctx`, a Montgomery
+/// context for key.n (RsaSignatureVerifier does): without it every call
+/// re-derives the context from scratch.
 Status RsaVerifyDigest(const RsaPublicKey& key, HashAlgorithm alg,
-                       const Digest& digest, ByteView signature);
+                       const Digest& digest, ByteView signature,
+                       const MontgomeryContext* n_ctx = nullptr);
 
 /// Precomputed signing context: builds the per-prime Montgomery contexts
 /// once and reuses them for every signature. Checksum generation signs

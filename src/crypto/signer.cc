@@ -27,10 +27,20 @@ std::string RsaSigner::scheme_name() const {
          std::string(HashAlgorithmName(alg_));
 }
 
+RsaSignatureVerifier::RsaSignatureVerifier(RsaPublicKey key,
+                                           HashAlgorithm alg)
+    : key_(std::move(key)), alg_(alg) {
+  Result<MontgomeryContext> ctx = MontgomeryContext::Create(key_.n);
+  if (ctx.ok()) {
+    n_ctx_.emplace(std::move(ctx.value()));
+  }
+}
+
 Status RsaSignatureVerifier::Verify(ByteView message,
                                     ByteView signature) const {
   Digest d = HashBytes(alg_, message);
-  return RsaVerifyDigest(key_, alg_, d, signature);
+  return RsaVerifyDigest(key_, alg_, d, signature,
+                         n_ctx_.has_value() ? &*n_ctx_ : nullptr);
 }
 
 Result<Bytes> HmacSigner::Sign(ByteView message) const {

@@ -2,6 +2,7 @@
 #define PROVDB_CRYPTO_SIGNER_H_
 
 #include <memory>
+#include <optional>
 #include <string_view>
 
 #include "common/bytes.h"
@@ -59,18 +60,23 @@ class RsaSigner final : public Signer {
   HashAlgorithm alg_;
 };
 
-/// Verifier for RsaSigner signatures.
+/// Verifier for RsaSigner signatures. Derives the Montgomery context for
+/// the key once at construction and reuses it for every Verify call —
+/// the verify-side analogue of RsaSigningContext (chain verification
+/// checks one signature per record under the same handful of keys).
 class RsaSignatureVerifier final : public SignatureVerifier {
  public:
   RsaSignatureVerifier(RsaPublicKey key,
-                       HashAlgorithm alg = HashAlgorithm::kSha1)
-      : key_(std::move(key)), alg_(alg) {}
+                       HashAlgorithm alg = HashAlgorithm::kSha1);
 
   Status Verify(ByteView message, ByteView signature) const override;
 
  private:
   RsaPublicKey key_;
   HashAlgorithm alg_;
+  // nullopt only for a degenerate key (even modulus); Verify then falls
+  // back to the per-call path, which reports the failure.
+  std::optional<MontgomeryContext> n_ctx_;
 };
 
 /// Symmetric HMAC "signer" for the ablation benchmarks: roughly three

@@ -181,6 +181,13 @@ ChainCheckResult VerifyOneChain(
   };
   const ChecksumEngine& engine_ = engine;  // keep the original loop body verbatim
 
+  // One RsaSignatureVerifier — and thus one Montgomery context — per
+  // participant seen in this chain, not one per record. Context
+  // derivation is the expensive part of setting a verifier up
+  // (crypto.bignum.montgomery_contexts counts them); a chain's records
+  // typically come from a handful of participants.
+  std::map<crypto::ParticipantId, crypto::RsaSignatureVerifier> verifiers;
+
   {
     const ProvenanceRecord* prev = nullptr;
     for (const ProvenanceRecord* rec : chain) {
@@ -305,9 +312,15 @@ ChainCheckResult VerifyOneChain(
                   "participant " + std::to_string(rec->participant) +
                       " has no CA-endorsed certificate");
       } else {
-        crypto::RsaSignatureVerifier verifier(key.value(),
-                                              engine_.algorithm());
-        Status sig = verifier.Verify(payload, rec->checksum);
+        auto it = verifiers.find(rec->participant);
+        if (it == verifiers.end()) {
+          it = verifiers
+                   .emplace(rec->participant,
+                            crypto::RsaSignatureVerifier(
+                                key.value(), engine_.algorithm()))
+                   .first;
+        }
+        Status sig = it->second.Verify(payload, rec->checksum);
         if (!sig.ok()) {
           metrics.signatures_bad->Increment();
           add_issue(IssueKind::kBadSignature, object, rec->seq_id,

@@ -17,7 +17,8 @@ namespace {
 
 /// One simulated client: a connection plus the local view of its chains.
 struct ClientState {
-  explicit ClientState(net::ProvenanceClient conn) : conn(std::move(conn)) {}
+  explicit ClientState(net::ProvenanceClient connection)
+      : conn(std::move(connection)) {}
 
   net::ProvenanceClient conn;
 

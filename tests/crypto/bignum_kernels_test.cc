@@ -1,0 +1,274 @@
+// Kernel dispatch layer: spec parsing, selection, multiply/ladder edge
+// cases, and the pins that cached signer/verifier paths really do reuse
+// their Montgomery contexts. The randomized all-kernels-agree sweeps
+// live in crypto_kernel_differential_test.cc (ctest label: differential).
+
+#include "crypto/bignum_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/bignum.h"
+#include "crypto/signer.h"
+#include "observability/metrics.h"
+#include "testing/test_pki.h"
+
+namespace provdb::crypto {
+namespace {
+
+BigUInt FromHex(std::string_view hex) {
+  auto r = BigUInt::FromHexString(hex);
+  EXPECT_TRUE(r.ok());
+  return r.value();
+}
+
+BigUInt RandomBig(Rng* rng, size_t bytes) {
+  Bytes raw;
+  rng->NextBytes(&raw, bytes);
+  return BigUInt::FromBytesBigEndian(raw);
+}
+
+// Kernel-independent reference: repeated multiply + divide. Slow but
+// shares no code with the Montgomery ladders.
+BigUInt SlowModExp(const BigUInt& base, const BigUInt& exp,
+                   const BigUInt& m) {
+  BigUInt acc = BigUInt::Mod(base, m).value();
+  BigUInt result = BigUInt::Mod(BigUInt(1), m).value();
+  for (size_t i = exp.BitLength(); i-- > 0;) {
+    result = BigUInt::Mod(BigUInt::Mul(result, result), m).value();
+    if (exp.GetBit(i)) {
+      result = BigUInt::Mod(BigUInt::Mul(result, acc), m).value();
+    }
+  }
+  return result;
+}
+
+// Restores the default selection when a test that forces kernels exits.
+struct KernelGuard {
+  ~KernelGuard() { ForceBigNumKernels(BigNumKernelSet{}); }
+};
+
+constexpr ModExpKernel kAllLadders[] = {
+    ModExpKernel::kBinary, ModExpKernel::kWindow4, ModExpKernel::kWindow5};
+
+// ---------------------------------------------------------------------
+// Spec parsing and selection
+
+TEST(BigNumKernelsTest, ParseSingleTokens) {
+  auto r = ParseBigNumKernelSpec("schoolbook");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().mul, MulKernel::kSchoolbook);
+  EXPECT_EQ(r.value().mod_exp, ModExpKernel::kWindow5);  // default kept
+
+  r = ParseBigNumKernelSpec("binary");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().mul, MulKernel::kKaratsuba);  // default kept
+  EXPECT_EQ(r.value().mod_exp, ModExpKernel::kBinary);
+}
+
+TEST(BigNumKernelsTest, ParseCombinedSpecs) {
+  for (const char* spec :
+       {"schoolbook,binary", "schoolbook+binary", "binary schoolbook"}) {
+    auto r = ParseBigNumKernelSpec(spec);
+    ASSERT_TRUE(r.ok()) << spec;
+    EXPECT_EQ(r.value().mul, MulKernel::kSchoolbook) << spec;
+    EXPECT_EQ(r.value().mod_exp, ModExpKernel::kBinary) << spec;
+  }
+}
+
+TEST(BigNumKernelsTest, ParseLastTokenWinsWithinCategory) {
+  auto r = ParseBigNumKernelSpec("window4,window5,binary");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().mod_exp, ModExpKernel::kBinary);
+}
+
+TEST(BigNumKernelsTest, ParseDefaultToken) {
+  auto r = ParseBigNumKernelSpec("default");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), BigNumKernelSet{});
+}
+
+TEST(BigNumKernelsTest, ParseRejectsUnknownAndEmpty) {
+  EXPECT_FALSE(ParseBigNumKernelSpec("montgomery").ok());
+  EXPECT_FALSE(ParseBigNumKernelSpec("").ok());
+  EXPECT_FALSE(ParseBigNumKernelSpec(",, ").ok());
+  EXPECT_FALSE(ParseBigNumKernelSpec("karatsuba,fast").ok());
+}
+
+TEST(BigNumKernelsTest, KernelNamesRoundTripThroughParser) {
+  for (MulKernel k : {MulKernel::kSchoolbook, MulKernel::kKaratsuba}) {
+    auto r = ParseBigNumKernelSpec(MulKernelName(k));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().mul, k);
+  }
+  for (ModExpKernel k : kAllLadders) {
+    auto r = ParseBigNumKernelSpec(ModExpKernelName(k));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().mod_exp, k);
+  }
+}
+
+TEST(BigNumKernelsTest, ForcedSelectionIsVisibleAndPublishesGauges) {
+  KernelGuard guard;
+  BigNumKernelSet set;
+  set.mul = MulKernel::kSchoolbook;
+  set.mod_exp = ModExpKernel::kWindow4;
+  ForceBigNumKernels(set);
+  EXPECT_EQ(SelectedBigNumKernels(), set);
+  auto& metrics = observability::GlobalMetrics();
+  EXPECT_EQ(metrics.gauge("crypto.bignum.kernel")->value(),
+            static_cast<int64_t>(ModExpKernel::kWindow4));
+  EXPECT_EQ(metrics.gauge("crypto.bignum.kernel.mul")->value(),
+            static_cast<int64_t>(MulKernel::kSchoolbook));
+}
+
+// ---------------------------------------------------------------------
+// Multiply kernels
+
+TEST(BigNumKernelsTest, MulKernelsAgreeAroundKaratsubaThreshold) {
+  Rng rng(0xE41);
+  // Straddle the recursion cutoff: exactly at, one below, one above, and
+  // well above (multiple recursion levels).
+  const size_t kThresholdBytes = kKaratsubaThresholdLimbs * 4;
+  const size_t sizes[] = {kThresholdBytes - 4, kThresholdBytes,
+                          kThresholdBytes + 4, 4 * kThresholdBytes};
+  for (size_t a_bytes : sizes) {
+    for (size_t b_bytes : sizes) {
+      BigUInt a = RandomBig(&rng, a_bytes);
+      BigUInt b = RandomBig(&rng, b_bytes);
+      BigUInt school = BigUInt::MulWithKernel(a, b, MulKernel::kSchoolbook);
+      BigUInt kara = BigUInt::MulWithKernel(a, b, MulKernel::kKaratsuba);
+      EXPECT_EQ(school, kara) << a_bytes << "x" << b_bytes;
+    }
+  }
+}
+
+TEST(BigNumKernelsTest, MulKernelsHandleUnbalancedOperands) {
+  Rng rng(7);
+  // Karatsuba's block-decomposition path: one operand much wider.
+  BigUInt wide = RandomBig(&rng, 4 * kKaratsubaThresholdLimbs * 4);
+  BigUInt narrow = RandomBig(&rng, kKaratsubaThresholdLimbs * 4 + 8);
+  EXPECT_EQ(BigUInt::MulWithKernel(wide, narrow, MulKernel::kSchoolbook),
+            BigUInt::MulWithKernel(wide, narrow, MulKernel::kKaratsuba));
+  EXPECT_EQ(BigUInt::MulWithKernel(narrow, wide, MulKernel::kSchoolbook),
+            BigUInt::MulWithKernel(narrow, wide, MulKernel::kKaratsuba));
+}
+
+TEST(BigNumKernelsTest, MulKernelsHandleZeroAndOne) {
+  BigUInt zero;
+  BigUInt one(1);
+  Rng rng(9);
+  BigUInt big = RandomBig(&rng, kKaratsubaThresholdLimbs * 8);
+  for (MulKernel k : {MulKernel::kSchoolbook, MulKernel::kKaratsuba}) {
+    EXPECT_TRUE(BigUInt::MulWithKernel(zero, big, k).IsZero());
+    EXPECT_TRUE(BigUInt::MulWithKernel(big, zero, k).IsZero());
+    EXPECT_EQ(BigUInt::MulWithKernel(one, big, k), big);
+    EXPECT_EQ(BigUInt::MulWithKernel(big, one, k), big);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Ladder kernels (edge cases; randomized sweeps are in the differential
+// suite)
+
+TEST(BigNumKernelsTest, ModExpExponentZeroAndOne) {
+  Rng rng(11);
+  BigUInt m = RandomBig(&rng, 64);
+  if (!m.IsOdd()) m = BigUInt::Add(m, BigUInt(1));
+  auto ctx = MontgomeryContext::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  BigUInt base = RandomBig(&rng, 48);
+  BigUInt base_mod = BigUInt::Mod(base, m).value();
+  for (ModExpKernel k : kAllLadders) {
+    EXPECT_EQ(ctx.value().ModExpWithKernel(base, BigUInt(), k), BigUInt(1))
+        << ModExpKernelName(k);
+    EXPECT_EQ(ctx.value().ModExpWithKernel(base, BigUInt(1), k), base_mod)
+        << ModExpKernelName(k);
+  }
+}
+
+TEST(BigNumKernelsTest, ModExpBaseNotBelowModulus) {
+  // base >= m, base == m, and base = 0 must all reduce correctly.
+  BigUInt m = FromHex("f123456789abcdef0123456789abcdef1");
+  auto ctx = MontgomeryContext::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  BigUInt exp(0x12345);
+  BigUInt big_base = FromHex("ffffffffffffffffffffffffffffffffffffffff");
+  for (ModExpKernel k : kAllLadders) {
+    EXPECT_EQ(ctx.value().ModExpWithKernel(big_base, exp, k),
+              SlowModExp(big_base, exp, m))
+        << ModExpKernelName(k);
+    EXPECT_TRUE(ctx.value().ModExpWithKernel(m, exp, k).IsZero())
+        << ModExpKernelName(k);
+    EXPECT_TRUE(ctx.value().ModExpWithKernel(BigUInt(), exp, k).IsZero())
+        << ModExpKernelName(k);
+  }
+}
+
+TEST(BigNumKernelsTest, ModExpSingleLimbModulus) {
+  auto ctx = MontgomeryContext::Create(BigUInt(0xFFFFFFFBull));  // prime
+  ASSERT_TRUE(ctx.ok());
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    BigUInt base = RandomBig(&rng, 9);
+    BigUInt exp = RandomBig(&rng, 20);  // crosses the window fallback
+    BigUInt want = SlowModExp(base, exp, ctx.value().modulus());
+    for (ModExpKernel k : kAllLadders) {
+      EXPECT_EQ(ctx.value().ModExpWithKernel(base, exp, k), want)
+          << ModExpKernelName(k);
+    }
+  }
+}
+
+TEST(BigNumKernelsTest, ModExpLongExponentMatchesReference) {
+  // Long enough that windowed ladders actually window (>= 128 bits).
+  Rng rng(17);
+  BigUInt m = RandomBig(&rng, 40);
+  if (!m.IsOdd()) m = BigUInt::Add(m, BigUInt(1));
+  auto ctx = MontgomeryContext::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  BigUInt base = RandomBig(&rng, 40);
+  BigUInt exp = RandomBig(&rng, 40);
+  BigUInt want = SlowModExp(base, exp, m);
+  for (ModExpKernel k : kAllLadders) {
+    EXPECT_EQ(ctx.value().ModExpWithKernel(base, exp, k), want)
+        << ModExpKernelName(k);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Context reuse pins
+
+uint64_t MontgomeryContextCount() {
+  return observability::GlobalMetrics()
+      .counter("crypto.bignum.montgomery_contexts")
+      ->value();
+}
+
+TEST(BigNumKernelsTest, SigningTwiceReusesTheSigningContext) {
+  const auto& p = provdb::testing::TestPki::Instance().participant(0);
+  Bytes msg = {'r', 'e', 'u', 's', 'e'};
+  // Warm up so lazily built state doesn't count against the window.
+  ASSERT_TRUE(p.signer().Sign(msg).ok());
+  const uint64_t before = MontgomeryContextCount();
+  ASSERT_TRUE(p.signer().Sign(msg).ok());
+  ASSERT_TRUE(p.signer().Sign(msg).ok());
+  EXPECT_EQ(MontgomeryContextCount(), before)
+      << "RsaSigner must not re-derive Montgomery contexts per signature";
+}
+
+TEST(BigNumKernelsTest, VerifyingTwiceReusesTheVerifierContext) {
+  const auto& p = provdb::testing::TestPki::Instance().participant(0);
+  Bytes msg = {'v', 'e', 'r', 'i', 'f', 'y'};
+  auto sig = p.signer().Sign(msg);
+  ASSERT_TRUE(sig.ok());
+  RsaSignatureVerifier verifier(p.public_key());
+  const uint64_t before = MontgomeryContextCount();
+  EXPECT_TRUE(verifier.Verify(msg, sig.value()).ok());
+  EXPECT_TRUE(verifier.Verify(msg, sig.value()).ok());
+  EXPECT_EQ(MontgomeryContextCount(), before)
+      << "RsaSignatureVerifier must reuse its construction-time context";
+}
+
+}  // namespace
+}  // namespace provdb::crypto
