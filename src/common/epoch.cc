@@ -1,0 +1,125 @@
+#include "common/epoch.h"
+
+#include <thread>
+
+namespace provdb {
+
+EpochDomain::EpochDomain()
+    : active_readers_(
+          observability::GlobalMetrics().gauge("epoch.active_readers")),
+      retired_metric_(observability::GlobalMetrics().counter("epoch.retired")),
+      reclaimed_metric_(
+          observability::GlobalMetrics().counter("epoch.reclaimed")),
+      oldest_pinned_age_(
+          observability::GlobalMetrics().gauge("epoch.oldest_pinned_age")) {}
+
+EpochDomain::~EpochDomain() {
+  // Destruction is a quiescent point by contract: no pinned readers, no
+  // reachable retired nodes. Drain unconditionally.
+  EpochRetired* node = retired_head_;
+  while (node != nullptr) {
+    EpochRetired* next = node->epoch_next_;
+    delete node;
+    node = next;
+  }
+  retired_head_ = nullptr;
+  retired_count_ = 0;
+}
+
+EpochDomain::Guard EpochDomain::Pin() {
+  for (;;) {
+    for (size_t i = 0; i < kMaxSlots; ++i) {
+      if (slots_[i].epoch.load(std::memory_order_relaxed) != 0) {
+        continue;  // occupied; cheap pre-check before the CAS
+      }
+      uint64_t e = global_.load(std::memory_order_seq_cst);
+      uint64_t expected = 0;
+      if (!slots_[i].epoch.compare_exchange_strong(
+              expected, e, std::memory_order_seq_cst)) {
+        continue;  // lost the slot race
+      }
+      // Store-then-recheck: the writer may have advanced between our
+      // global load and the slot store. Re-publishing the newer epoch
+      // and looping makes the final slot value always >= any epoch the
+      // collector could have missed us at — see the reclamation-rule
+      // comment in epoch.h for why this closes the race.
+      for (;;) {
+        uint64_t g = global_.load(std::memory_order_seq_cst);
+        if (g == e) {
+          active_readers_->Add(1);
+          return Guard(this, i, e);
+        }
+        slots_[i].epoch.store(g, std::memory_order_seq_cst);
+        e = g;
+      }
+    }
+    std::this_thread::yield();  // all slots busy; readers unpin quickly
+  }
+}
+
+void EpochDomain::Guard::Release() {
+  if (domain_ == nullptr) {
+    return;
+  }
+  domain_->slots_[slot_].epoch.store(0, std::memory_order_seq_cst);
+  domain_->active_readers_->Sub(1);
+  domain_ = nullptr;
+}
+
+void EpochDomain::Retire(EpochRetired* node) {
+  node->epoch_stamp_ = global_.load(std::memory_order_seq_cst);
+  node->epoch_next_ = retired_head_;
+  retired_head_ = node;
+  ++retired_count_;
+  retired_metric_->Increment();
+}
+
+uint64_t EpochDomain::Advance() {
+  return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+uint64_t EpochDomain::min_pinned_epoch() const {
+  uint64_t min_pinned = 0;
+  for (size_t i = 0; i < kMaxSlots; ++i) {
+    uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && (min_pinned == 0 || e < min_pinned)) {
+      min_pinned = e;
+    }
+  }
+  return min_pinned;
+}
+
+size_t EpochDomain::Collect() {
+  const uint64_t global = global_.load(std::memory_order_seq_cst);
+  const uint64_t min_pinned = min_pinned_epoch();
+  const uint64_t horizon = min_pinned == 0
+                               ? global
+                               : (min_pinned < global ? min_pinned : global);
+  oldest_pinned_age_->Set(
+      min_pinned == 0 ? 0 : static_cast<int64_t>(global - min_pinned));
+
+  // Partition the intrusive list: free everything stamped before the
+  // horizon, keep the rest. No allocation either way.
+  EpochRetired* keep_head = nullptr;
+  EpochRetired* node = retired_head_;
+  size_t freed = 0;
+  while (node != nullptr) {
+    EpochRetired* next = node->epoch_next_;
+    if (node->epoch_stamp_ < horizon) {
+      delete node;
+      ++freed;
+    } else {
+      node->epoch_next_ = keep_head;
+      keep_head = node;
+    }
+    node = next;
+  }
+  retired_head_ = keep_head;
+  retired_count_ -= freed;
+  if (freed > 0) {
+    reclaimed_metric_->Add(static_cast<uint64_t>(freed));
+  }
+  return freed;
+}
+
+}  // namespace provdb

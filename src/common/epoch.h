@@ -1,0 +1,165 @@
+#ifndef PROVDB_COMMON_EPOCH_H_
+#define PROVDB_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "observability/metrics.h"
+
+namespace provdb {
+
+/// Base class for anything reclaimed through an EpochDomain. Retirement
+/// is intrusive (the two fields below), so retiring never allocates —
+/// a hard requirement for the ingest write path, which retires replaced
+/// store versions inside its group-commit critical section.
+class EpochRetired {
+ public:
+  EpochRetired() = default;
+  virtual ~EpochRetired() = default;
+
+  EpochRetired(const EpochRetired&) = delete;
+  EpochRetired& operator=(const EpochRetired&) = delete;
+
+ private:
+  friend class EpochDomain;
+  EpochRetired* epoch_next_ = nullptr;
+  uint64_t epoch_stamp_ = 0;
+};
+
+/// Classic epoch-based reclamation (EBR), specialized for this codebase's
+/// single-writer / many-reader stores:
+///
+///   * Readers Pin() the domain (claiming one of a fixed set of
+///     cache-line-aligned epoch slots), traverse immutable copy-on-write
+///     structures, and unpin. Pin/unpin are lock-free, allocation-free,
+///     and safe from any thread — including ThreadPool workers; a Guard
+///     may be held by one thread while others (e.g. a verify fan-out on
+///     the shared pool) traverse under its protection, because protection
+///     attaches to the pinned slot, not to the pinning thread.
+///
+///   * The writer — externally serialized, e.g. by the ingest pipeline's
+///     mutex — unlinks nodes from the published structure, Retire()s
+///     them (stamping the current epoch), Advance()s the global epoch at
+///     each publish point, and Collect()s whatever no pinned reader can
+///     still reach.
+///
+/// Reclamation rule: a node retired at stamp S was unlinked from the
+/// published structure while the global epoch was S, and the publish of
+/// its replacement precedes the advance to S+1. A reader that pinned at
+/// epoch e synchronizes with the advance that set the global to e, so it
+/// observes every structure published before that advance — it can only
+/// reach nodes with stamp >= e. Collect() therefore frees exactly the
+/// nodes with stamp < min(every pinned epoch, the global epoch); the
+/// second bound covers not-yet-visible publishes within the current
+/// epoch. All slot and global-epoch accesses are seq_cst, which is what
+/// makes the "scan saw the slot empty" / "reader re-checks the global
+/// after claiming" race resolve safely (see epoch.cc).
+class EpochDomain {
+ public:
+  /// Upper bound on simultaneously pinned readers. Pin() spins (yielding)
+  /// when all slots are busy; with snapshots held briefly per audit pass
+  /// this bound is never approached in practice.
+  static constexpr size_t kMaxSlots = 64;
+
+  /// RAII pin. Default-constructed guards are unpinned no-ops, so they
+  /// can be members of movable snapshot objects.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept { *this = std::move(other); }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        domain_ = other.domain_;
+        slot_ = other.slot_;
+        epoch_ = other.epoch_;
+        other.domain_ = nullptr;
+      }
+      return *this;
+    }
+    ~Guard() { Release(); }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    bool pinned() const { return domain_ != nullptr; }
+    /// The epoch this guard is pinned at (0 when unpinned).
+    uint64_t epoch() const { return domain_ != nullptr ? epoch_ : 0; }
+
+   private:
+    friend class EpochDomain;
+    Guard(EpochDomain* domain, size_t slot, uint64_t epoch)
+        : domain_(domain), slot_(slot), epoch_(epoch) {}
+    void Release();
+
+    EpochDomain* domain_ = nullptr;
+    size_t slot_ = 0;
+    uint64_t epoch_ = 0;
+  };
+
+  EpochDomain();
+  /// Frees every still-retired node. No reader may be pinned and no
+  /// retired node may still be reachable when the domain dies.
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Pins the calling context at the current epoch. Lock-free and
+  /// allocation-free; spins only if all kMaxSlots slots are occupied.
+  Guard Pin();
+
+  // --- Writer side. Retire/Advance/Collect must be externally
+  // --- serialized against each other (the ingest pipeline calls all
+  // --- three under its own mutex); they never block readers.
+
+  /// Takes ownership of `node` (must be unlinked from every published
+  /// structure already) and stamps it with the current epoch. Never
+  /// allocates.
+  void Retire(EpochRetired* node);
+
+  /// Starts a new epoch; called at each publish point (after the new
+  /// structure version is visible). Returns the new epoch. Never
+  /// allocates.
+  uint64_t Advance();
+
+  /// Frees every retired node no pinned reader can still reach (stamp <
+  /// min(pinned epochs, global epoch)). Returns how many were freed.
+  size_t Collect();
+
+  uint64_t current_epoch() const {
+    return global_.load(std::memory_order_seq_cst);
+  }
+
+  /// Retired-but-not-yet-freed nodes (writer-side view). The soak test
+  /// asserts this drains to zero at quiescence.
+  uint64_t retired_pending() const { return retired_count_; }
+
+  /// Smallest epoch any reader is pinned at, or 0 when none are pinned.
+  uint64_t min_pinned_epoch() const;
+
+ private:
+  struct alignas(64) Slot {
+    /// 0 = free; otherwise the epoch the occupying reader is pinned at.
+    std::atomic<uint64_t> epoch{0};
+  };
+
+  std::atomic<uint64_t> global_{1};
+  Slot slots_[kMaxSlots];
+
+  // Retired list — writer-side only, intrusive, never allocates.
+  EpochRetired* retired_head_ = nullptr;
+  uint64_t retired_count_ = 0;
+
+  // Observability (docs/OBSERVABILITY.md): shared, registry-owned
+  // instruments, so every domain in the process feeds the same series.
+  observability::Gauge* active_readers_;
+  observability::Counter* retired_metric_;
+  observability::Counter* reclaimed_metric_;
+  observability::Gauge* oldest_pinned_age_;
+};
+
+}  // namespace provdb
+
+#endif  // PROVDB_COMMON_EPOCH_H_

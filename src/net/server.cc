@@ -501,7 +501,13 @@ Response ProvenanceServer::ExecuteRead(const Request& request) {
   Response response;
   switch (request.op) {
     case NetOp::kQueryChain: {
-      auto records = pipeline_->store().ChainRecords(request.object);
+      // Reads run against a pinned batch-boundary snapshot, not the live
+      // store: the connection-ordering drain above guarantees this
+      // client's own submits are committed (and therefore published),
+      // while concurrent writers from other connections keep ingesting
+      // without being blocked by — or racing — this traversal.
+      provenance::StoreSnapshot snapshot = pipeline_->OpenSnapshot();
+      auto records = snapshot.ChainRecords(request.object);
       if (records.empty()) {
         response.code = StatusCode::kNotFound;
         response.message =
@@ -522,7 +528,8 @@ Response ProvenanceServer::ExecuteRead(const Request& request) {
       break;
     }
     case NetOp::kVerifyObject: {
-      auto records = pipeline_->store().ChainRecords(request.object);
+      provenance::StoreSnapshot snapshot = pipeline_->OpenSnapshot();
+      auto records = snapshot.ChainRecords(request.object);
       if (records.empty()) {
         response.code = StatusCode::kNotFound;
         response.message =

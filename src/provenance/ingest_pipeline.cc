@@ -128,7 +128,36 @@ Result<ProvenanceRecord> BuildSignedIngestRecord(
 // ---------------------------------------------------------------------------
 
 ShardedProvenanceStore::ShardedProvenanceStore(size_t num_shards)
-    : shards_(num_shards == 0 ? 1 : num_shards) {}
+    : domain_(std::make_unique<EpochDomain>()),
+      shards_(num_shards == 0 ? 1 : num_shards) {
+  AttachDomains();
+}
+
+void ShardedProvenanceStore::AttachDomains() {
+  for (ProvenanceStore& shard : shards_) {
+    shard.AttachEpochDomain(domain_.get());
+  }
+}
+
+StoreSnapshot ShardedProvenanceStore::OpenSnapshot() const {
+  // Pin first, then load each shard's published version: the pin
+  // guarantees nothing loaded afterwards is reclaimed while the
+  // snapshot lives.
+  EpochDomain::Guard guard = domain_->Pin();
+  std::vector<StoreReadView> views;
+  views.reserve(shards_.size());
+  for (const ProvenanceStore& shard : shards_) {
+    views.emplace_back(shard.published_version());
+  }
+  return StoreSnapshot(std::move(guard), std::move(views));
+}
+
+void ShardedProvenanceStore::PublishAll() {
+  for (ProvenanceStore& shard : shards_) {
+    shard.PublishSnapshot();
+  }
+  domain_->Collect();
+}
 
 std::string ShardedProvenanceStore::ShardDirName(const std::string& root,
                                                  size_t index) {
@@ -160,6 +189,11 @@ Result<ShardedProvenanceStore> ShardedProvenanceStore::Recover(
       reports->push_back(report);
     }
   }
+  // Recovery built the shards domainless (RecoverFromWal returns
+  // standalone stores); re-attach and publish so snapshots opened right
+  // after recovery already see the recovered (durable) state.
+  store.AttachDomains();
+  store.PublishAll();
   return store;
 }
 
@@ -464,6 +498,16 @@ Status IngestPipeline::FlushShardLocked(Shard* shard,
   batches_->Increment();
   batch_bytes_->Add(flushed_bytes);
   shard->since_flush.Restart();
+
+  // The batch is durable (fsynced) and committed — publish the epoch
+  // tick. Everything a concurrent snapshot can now observe is an exact
+  // prefix of durable batches. PublishSnapshot is allocation-free
+  // (preallocated version skeleton); Collect only frees superseded
+  // nodes no pinned reader can reach.
+  store->PublishSnapshot();
+  if (store->epoch_domain() != nullptr) {
+    store->epoch_domain()->Collect();
+  }
 
   shard->records_since_checkpoint += records.size();
   shard->bytes_since_checkpoint += flushed_bytes;

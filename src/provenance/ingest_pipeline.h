@@ -17,6 +17,7 @@
 #include "provenance/checksum.h"
 #include "provenance/provenance_store.h"
 #include "provenance/record.h"
+#include "provenance/snapshot.h"
 #include "provenance/verifier.h"
 #include "storage/env.h"
 #include "storage/wal.h"
@@ -66,6 +67,10 @@ Result<ProvenanceRecord> BuildSignedIngestRecord(
 /// live wholly inside the shard its id mixes into. Sharding is by stable
 /// hash of the *output* object id, so the assignment is a durable
 /// on-disk contract (see common/hashmix.h).
+///
+/// Owns the epoch domain all its shards retire superseded index nodes
+/// through, which makes OpenSnapshot() possible: a pinned, consistent
+/// cross-shard cut readable while a single writer keeps mutating.
 class ShardedProvenanceStore {
  public:
   explicit ShardedProvenanceStore(size_t num_shards);
@@ -128,7 +133,32 @@ class ShardedProvenanceStore {
   /// unchanged over a sharded deployment.
   Result<ProvenanceStore> MergedStore() const;
 
+  /// Pins the epoch domain and captures each shard's latest published
+  /// version: a consistent cross-shard cut at batch boundaries,
+  /// traversable lock-free while the writer keeps ingesting. Lock-free
+  /// and allocation-light itself (one pin + one vector). See
+  /// StoreSnapshot for the semantics.
+  StoreSnapshot OpenSnapshot() const;
+
+  /// Publishes every shard's current state (writer-side; requires the
+  /// same external serialization as mutating the shards). The ingest
+  /// pipeline publishes per-shard at each group-commit fsync instead;
+  /// this entry point is for recovery seeding and directly-driven
+  /// stores (tests, tools).
+  void PublishAll();
+
+  /// The domain protecting this store's snapshots.
+  EpochDomain* epoch_domain() const { return domain_.get(); }
+
  private:
+  /// Points every shard at domain_ — needed after recovery
+  /// move-assigns freshly recovered stores into shards_.
+  void AttachDomains();
+
+  /// Declared before shards_ so it is destroyed after them: shard
+  /// destructors free their live structures while retired nodes drain
+  /// in the domain's destructor.
+  std::unique_ptr<EpochDomain> domain_;
   std::vector<ProvenanceStore> shards_;
 };
 
@@ -248,6 +278,15 @@ class IngestPipeline {
 
   const ShardedProvenanceStore& store() const { return *store_; }
   ShardedProvenanceStore* mutable_store() { return store_.get(); }
+
+  /// Opens a pinned snapshot of the store *without* taking the pipeline
+  /// lock: snapshots never serialize against Submit/Drain. Safe because
+  /// store_ is set once in Open and each shard's published version is
+  /// reached through one atomic load under the epoch pin. Every
+  /// published version is an exact prefix of that shard's durable
+  /// (fsynced) batches — the pipeline publishes the epoch tick only
+  /// after each group commit's fsync + in-memory commit.
+  StoreSnapshot OpenSnapshot() const { return store_->OpenSnapshot(); }
 
   /// The shard's WAL writer (null after Close) — exposed for the
   /// fault-injection crash sweep, which asserts synced_records against

@@ -9,16 +9,123 @@
 
 namespace provdb::provenance {
 
+ProvenanceStore::~ProvenanceStore() { DestroyOwned(); }
+
+ProvenanceStore::ProvenanceStore(ProvenanceStore&& other) noexcept {
+  *this = std::move(other);
+}
+
+// Moves are writer-side operations: they require quiescence on both
+// stores (no pinned reader may hold either store's versions), which
+// every caller — recovery, LoadFromLog, test plumbing — satisfies.
+ProvenanceStore& ProvenanceStore::operator=(ProvenanceStore&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  DestroyOwned();
+  chunks_ = std::move(other.chunks_);
+  record_count_ = other.record_count_;
+  other.record_count_ = 0;
+  pruned_ = std::move(other.pruned_);
+  chain_root_ = other.chain_root_;
+  other.chain_root_ = nullptr;
+  aggregation_input_refs_ = std::move(other.aggregation_input_refs_);
+  live_count_ = other.live_count_;
+  other.live_count_ = 0;
+  paper_schema_bytes_ = other.paper_schema_bytes_;
+  other.paper_schema_bytes_ = 0;
+  checksum_bytes_ = other.checksum_bytes_;
+  other.checksum_bytes_ = 0;
+  wal_ = other.wal_;
+  other.wal_ = nullptr;
+  domain_ = other.domain_;
+  other.domain_ = nullptr;
+  published_.store(other.published_.exchange(nullptr,
+                                             std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  spare_ = other.spare_;
+  other.spare_ = nullptr;
+  dirty_ = other.dirty_;
+  other.dirty_ = false;
+  publish_tick_ = other.publish_tick_;
+  other.publish_tick_ = 0;
+  return *this;
+}
+
+void ProvenanceStore::DestroyOwned() {
+  // The current trie (and the chain cells its live leaves reach) is
+  // owned here; every *superseded* node went through RetireOrDelete and
+  // is the domain's to free. The published version shares subtrees with
+  // the current root, so only the version object itself is deleted.
+  ChainIndex::FreeAll(chain_root_);
+  chain_root_ = nullptr;
+  delete published_.exchange(nullptr, std::memory_order_relaxed);
+  delete spare_;
+  spare_ = nullptr;
+}
+
+void ProvenanceStore::RetireOrDelete(EpochRetired* node) {
+  if (domain_ != nullptr) {
+    domain_->Retire(node);
+  } else {
+    delete node;
+  }
+}
+
+ProvenanceRecord* ProvenanceStore::ArenaAppend(ProvenanceRecord record) {
+  if (record_count_ % kChunkRecords == 0) {
+    chunks_.push_back(std::make_unique<Chunk>());
+  }
+  ProvenanceRecord* slot =
+      &chunks_.back()->slots[record_count_ % kChunkRecords];
+  *slot = std::move(record);
+  ++record_count_;
+  return slot;
+}
+
+void ProvenanceStore::MarkDirty() {
+  dirty_ = true;
+  if (domain_ != nullptr && spare_ == nullptr) {
+    spare_ = new StoreVersion;
+  }
+}
+
+void ProvenanceStore::PublishSnapshot() {
+  if (domain_ == nullptr || !dirty_) {
+    return;
+  }
+  StoreVersion* version = spare_;
+  if (version == nullptr) {
+    // Only reachable when the state was built without a domain and the
+    // domain attached afterwards (recovery); steady-state publishes use
+    // the skeleton MarkDirty preallocated and stay allocation-free.
+    version = new StoreVersion;
+  }
+  version->root = chain_root_;
+  version->record_count = record_count_;
+  version->live_records = live_count_;
+  version->tick = ++publish_tick_;
+  StoreVersion* old =
+      published_.exchange(version, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    domain_->Retire(old);
+  }
+  spare_ = nullptr;
+  dirty_ = false;
+  // Readers pinning from here on synchronize with this advance and
+  // therefore see `version` (or newer) — the reclamation rule's anchor.
+  domain_->Advance();
+}
+
 Result<uint64_t> ProvenanceStore::AddRecord(ProvenanceRecord record) {
-  // find(), not operator[]: nothing may be inserted into the index until
-  // the WAL append below has succeeded, or a failed append would leave an
-  // empty chain entry behind.
-  auto chain_it = by_output_.find(record.output.object_id);
-  if (chain_it != by_output_.end() && !chain_it->second.empty()) {
-    const ProvenanceRecord& last = records_[chain_it->second.back()];
+  const storage::ObjectId id = record.output.object_id;
+  const ChainIndex::Leaf* existing = ChainIndex::Find(chain_root_, id);
+  const ChainNode* head = existing != nullptr ? existing->head : nullptr;
+  if (head != nullptr) {
+    const ProvenanceRecord& last = *head->record;
     if (record.seq_id <= last.seq_id) {
       return Status::FailedPrecondition(
-          "records for object " + std::to_string(record.output.object_id) +
+          "records for object " + std::to_string(id) +
           " must have increasing seqIDs (have " +
           std::to_string(last.seq_id) + ", got " +
           std::to_string(record.seq_id) + ")");
@@ -30,7 +137,7 @@ Result<uint64_t> ProvenanceStore::AddRecord(ProvenanceRecord record) {
     // and the caller sees the I/O failure instead of diverging from disk.
     PROVDB_RETURN_IF_ERROR(wal_->Append(EncodeWalRecordEntry(record)));
   }
-  uint64_t index = records_.size();
+  const uint64_t index = record_count_;
   paper_schema_bytes_ += 12 + record.checksum.size();
   checksum_bytes_ += record.checksum.size();
   if (record.op == OperationType::kAggregate) {
@@ -38,10 +145,19 @@ Result<uint64_t> ProvenanceStore::AddRecord(ProvenanceRecord record) {
       ++aggregation_input_refs_[input.object_id];
     }
   }
-  by_output_[record.output.object_id].push_back(index);
-  records_.push_back(std::move(record));
+  ProvenanceRecord* slot = ArenaAppend(std::move(record));
+  ChainNode* cell = new ChainNode;
+  cell->record = slot;
+  cell->index = index;
+  cell->prev = head;
+  cell->length = head != nullptr ? head->length + 1 : 1;
+  ChainIndex::Leaf* leaf = new ChainIndex::Leaf;
+  leaf->key = id;
+  leaf->head = cell;
+  chain_root_ = ChainIndex::Insert(chain_root_, leaf, domain_);
   pruned_.push_back(false);
   ++live_count_;
+  MarkDirty();
   return index;
 }
 
@@ -53,8 +169,9 @@ Result<size_t> ProvenanceStore::PruneObject(storage::ObjectId id) {
         std::to_string(refs->second) +
         " record(s); its provenance is still referenced downstream");
   }
-  auto it = by_output_.find(id);
-  if (it == by_output_.end()) {
+  const ChainIndex::Leaf* leaf = ChainIndex::Find(chain_root_, id);
+  const ChainNode* head = leaf != nullptr ? leaf->head : nullptr;
+  if (head == nullptr) {
     return static_cast<size_t>(0);
   }
   if (wal_ != nullptr) {
@@ -64,11 +181,11 @@ Result<size_t> ProvenanceStore::PruneObject(storage::ObjectId id) {
     PROVDB_RETURN_IF_ERROR(wal_->Append(EncodeWalPruneEntry(id)));
   }
   size_t dropped = 0;
-  for (uint64_t index : it->second) {
-    if (pruned_[index]) {
+  for (const ChainNode* cell = head; cell != nullptr; cell = cell->prev) {
+    if (pruned_[cell->index]) {
       continue;
     }
-    const ProvenanceRecord& rec = records_[index];
+    const ProvenanceRecord& rec = *cell->record;
     paper_schema_bytes_ -= 12 + rec.checksum.size();
     checksum_bytes_ -= rec.checksum.size();
     if (rec.op == OperationType::kAggregate) {
@@ -79,30 +196,49 @@ Result<size_t> ProvenanceStore::PruneObject(storage::ObjectId id) {
         }
       }
     }
-    pruned_[index] = true;
+    pruned_[cell->index] = true;
     --live_count_;
     ++dropped;
   }
-  by_output_.erase(it);
+  // Tombstone the leaf (readers on older roots still see the chain) and
+  // retire the now-unreachable cons cells behind the old head.
+  ChainIndex::Leaf* tombstone = new ChainIndex::Leaf;
+  tombstone->key = id;
+  tombstone->head = nullptr;
+  chain_root_ = ChainIndex::Insert(chain_root_, tombstone, domain_);
+  const ChainNode* cell = head;
+  while (cell != nullptr) {
+    const ChainNode* prev = cell->prev;
+    RetireOrDelete(const_cast<ChainNode*>(cell));
+    cell = prev;
+  }
+  MarkDirty();
   return dropped;
 }
 
 std::vector<uint64_t> ProvenanceStore::ChainOf(storage::ObjectId id) const {
-  auto it = by_output_.find(id);
-  if (it == by_output_.end()) {
+  const ChainIndex::Leaf* leaf = ChainIndex::Find(chain_root_, id);
+  const ChainNode* head = leaf != nullptr ? leaf->head : nullptr;
+  if (head == nullptr) {
     return {};
   }
-  return it->second;
+  std::vector<uint64_t> out(static_cast<size_t>(head->length));
+  size_t pos = out.size();
+  for (const ChainNode* cell = head; cell != nullptr; cell = cell->prev) {
+    out[--pos] = cell->index;
+  }
+  return out;
 }
 
 Result<const ProvenanceRecord*> ProvenanceStore::LatestFor(
     storage::ObjectId id) const {
-  auto it = by_output_.find(id);
-  if (it == by_output_.end() || it->second.empty()) {
+  const ChainIndex::Leaf* leaf = ChainIndex::Find(chain_root_, id);
+  const ChainNode* head = leaf != nullptr ? leaf->head : nullptr;
+  if (head == nullptr) {
     return Status::NotFound("no provenance records for object " +
                             std::to_string(id));
   }
-  return &records_[it->second.back()];
+  return head->record;
 }
 
 namespace {
@@ -127,17 +263,16 @@ std::vector<ProvenanceRecord> ProvenanceStore::CollectClosure(
   while (!work.empty()) {
     Prefix prefix = work.back();
     work.pop_back();
-    auto it = by_output_.find(prefix.object);
-    if (it == by_output_.end()) {
+    const std::vector<uint64_t> chain = ChainOf(prefix.object);
+    if (chain.empty()) {
       continue;  // untracked input (bootstrap data): no history to include
     }
-    const std::vector<uint64_t>& chain = it->second;
     for (size_t pos = 0; pos <= prefix.end_pos && pos < chain.size(); ++pos) {
       uint64_t idx = chain[pos];
       if (!included.insert(idx).second) {
         continue;  // already included (shared history via the DAG)
       }
-      const ProvenanceRecord& rec = records_[idx];
+      const ProvenanceRecord& rec = record(idx);
       if (rec.op != OperationType::kAggregate) {
         continue;
       }
@@ -145,15 +280,11 @@ std::vector<ProvenanceRecord> ProvenanceStore::CollectClosure(
       // the exact input state (matching output hash), then include that
       // input's chain up to there.
       for (const ObjectState& input : rec.inputs) {
-        auto input_chain_it = by_output_.find(input.object_id);
-        if (input_chain_it == by_output_.end()) {
-          continue;  // untracked input
-        }
-        const std::vector<uint64_t>& input_chain = input_chain_it->second;
+        const std::vector<uint64_t> input_chain = ChainOf(input.object_id);
         // Scan from the end: the matching record is the latest one whose
         // output state equals the recorded input state.
         for (size_t pos2 = input_chain.size(); pos2-- > 0;) {
-          const ProvenanceRecord& cand = records_[input_chain[pos2]];
+          const ProvenanceRecord& cand = record(input_chain[pos2]);
           if (cand.output.state_hash == input.state_hash &&
               cand.seq_id < rec.seq_id) {
             work.push_back({input.object_id, pos2});
@@ -167,35 +298,35 @@ std::vector<ProvenanceRecord> ProvenanceStore::CollectClosure(
   std::vector<ProvenanceRecord> out;
   out.reserve(included.size());
   for (uint64_t idx : included) {  // std::set iterates in ascending order
-    out.push_back(records_[idx]);
+    out.push_back(record(idx));
   }
   return out;
 }
 
 Result<std::vector<ProvenanceRecord>> ProvenanceStore::ExtractProvenance(
     storage::ObjectId subject) const {
-  auto subject_chain = by_output_.find(subject);
-  if (subject_chain == by_output_.end() || subject_chain->second.empty()) {
+  const std::vector<uint64_t> subject_chain = ChainOf(subject);
+  if (subject_chain.empty()) {
     return Status::NotFound("no provenance records for object " +
                             std::to_string(subject));
   }
-  return CollectClosure({{subject, subject_chain->second.size() - 1}});
+  return CollectClosure({{subject, subject_chain.size() - 1}});
 }
 
 Result<std::vector<ProvenanceRecord>> ProvenanceStore::ExtractProvenanceDeep(
     storage::ObjectId subject,
     const std::vector<storage::ObjectId>& descendants) const {
-  auto subject_chain = by_output_.find(subject);
-  if (subject_chain == by_output_.end() || subject_chain->second.empty()) {
+  const std::vector<uint64_t> subject_chain = ChainOf(subject);
+  if (subject_chain.empty()) {
     return Status::NotFound("no provenance records for object " +
                             std::to_string(subject));
   }
   std::vector<std::pair<storage::ObjectId, size_t>> seeds;
-  seeds.emplace_back(subject, subject_chain->second.size() - 1);
+  seeds.emplace_back(subject, subject_chain.size() - 1);
   for (storage::ObjectId descendant : descendants) {
-    auto it = by_output_.find(descendant);
-    if (it != by_output_.end() && !it->second.empty()) {
-      seeds.emplace_back(descendant, it->second.size() - 1);
+    const std::vector<uint64_t> chain = ChainOf(descendant);
+    if (!chain.empty()) {
+      seeds.emplace_back(descendant, chain.size() - 1);
     }
   }
   return CollectClosure(std::move(seeds));
@@ -203,18 +334,18 @@ Result<std::vector<ProvenanceRecord>> ProvenanceStore::ExtractProvenanceDeep(
 
 uint64_t ProvenanceStore::SerializedBytes() const {
   uint64_t total = 0;
-  for (uint64_t i = 0; i < records_.size(); ++i) {
+  for (uint64_t i = 0; i < record_count_; ++i) {
     if (!pruned_[i]) {
-      total += EncodeRecord(records_[i]).size();
+      total += EncodeRecord(record(i)).size();
     }
   }
   return total;
 }
 
 Status ProvenanceStore::SaveToLog(storage::RecordLog* log) const {
-  for (uint64_t i = 0; i < records_.size(); ++i) {
+  for (uint64_t i = 0; i < record_count_; ++i) {
     if (!pruned_[i]) {
-      PROVDB_RETURN_IF_ERROR(log->Append(EncodeRecord(records_[i])).status());
+      PROVDB_RETURN_IF_ERROR(log->Append(EncodeRecord(record(i))).status());
     }
   }
   return Status::OK();
@@ -241,9 +372,9 @@ Status ProvenanceStore::AttachWal(storage::WalWriter* wal,
   if (checkpoint_existing) {
     // Only live records are checkpointed, so already-pruned history needs
     // no prune markers: the WAL starts from the post-prune state.
-    for (uint64_t i = 0; i < records_.size(); ++i) {
+    for (uint64_t i = 0; i < record_count_; ++i) {
       if (!pruned_[i]) {
-        PROVDB_RETURN_IF_ERROR(wal->Append(EncodeWalRecordEntry(records_[i])));
+        PROVDB_RETURN_IF_ERROR(wal->Append(EncodeWalRecordEntry(record(i))));
       }
     }
   }

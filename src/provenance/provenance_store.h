@@ -1,12 +1,18 @@
 #ifndef PROVDB_PROVENANCE_PROVENANCE_STORE_H_
 #define PROVDB_PROVENANCE_PROVENANCE_STORE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/result.h"
+#include "provenance/chain_index.h"
 #include "provenance/record.h"
+#include "provenance/snapshot.h"
 #include "storage/record_log.h"
 #include "storage/wal.h"
 
@@ -21,29 +27,43 @@ namespace provdb::provenance {
 /// Definition 1's partially-ordered record set for one data object — is
 /// materialized on demand by ExtractProvenance, which follows aggregation
 /// edges transitively (the non-linear DAG of Figure 2).
+///
+/// Concurrency model (DESIGN.md §16): the store is single-writer. Records
+/// live in chunked stable storage (a record, once added, never moves) and
+/// the per-object chain index is a copy-on-write radix trie whose
+/// replaced nodes are retired through an attached epoch domain. The
+/// writer makes its state visible to concurrent readers only at explicit
+/// PublishSnapshot() points (the ingest pipeline calls one per
+/// group-commit fsync), so a published version is always an exact prefix
+/// of durable batches. Readers never touch writer state: they pin the
+/// epoch domain and traverse a published version (see StoreSnapshot).
+/// Without an attached domain the store behaves exactly as before:
+/// mutations and reads must be externally serialized (quiescence), and
+/// superseded index nodes are freed immediately.
 class ProvenanceStore {
  public:
   ProvenanceStore() = default;
+  ~ProvenanceStore();
 
   ProvenanceStore(const ProvenanceStore&) = delete;
   ProvenanceStore& operator=(const ProvenanceStore&) = delete;
-  ProvenanceStore(ProvenanceStore&&) = default;
-  ProvenanceStore& operator=(ProvenanceStore&&) = default;
+  ProvenanceStore(ProvenanceStore&& other) noexcept;
+  ProvenanceStore& operator=(ProvenanceStore&& other) noexcept;
 
   /// Appends a record; returns its stable index. Records for the same
   /// output object must arrive in increasing seqID order (enforced).
   Result<uint64_t> AddRecord(ProvenanceRecord record);
 
-  uint64_t record_count() const { return records_.size(); }
+  uint64_t record_count() const { return record_count_; }
 
   const ProvenanceRecord& record(uint64_t index) const {
-    return records_[index];
+    return chunks_[index / kChunkRecords]->slots[index % kChunkRecords];
   }
 
   /// Mutable access — exists solely so the attack simulator and tests can
   /// model a tampering adversary. Honest code never calls this.
   ProvenanceRecord* mutable_record(uint64_t index) {
-    return &records_[index];
+    return &chunks_[index / kChunkRecords]->slots[index % kChunkRecords];
   }
 
   /// Indices of the records whose *output* object is `id`, in seqID order
@@ -140,22 +160,88 @@ class ProvenanceStore {
   /// Records currently live (record_count() minus pruned ones).
   uint64_t live_record_count() const { return live_count_; }
 
+  // --- Snapshot machinery (DESIGN.md §16) ---
+
+  /// Attaches the epoch domain that retires superseded index nodes and
+  /// store versions. Set by the owning ShardedProvenanceStore; a store
+  /// without a domain frees superseded nodes immediately and never
+  /// publishes (single-threaded contract).
+  void AttachEpochDomain(EpochDomain* domain) { domain_ = domain; }
+  EpochDomain* epoch_domain() const { return domain_; }
+
+  /// Publishes the current state as an immutable StoreVersion and starts
+  /// a new epoch. The hot-path cost is POD fills, one atomic store, one
+  /// intrusive retire, and one epoch advance — zero allocation (the
+  /// version skeleton is preallocated by the mutation that dirtied the
+  /// store; pinned by the alloc test). Writer-side: must be externally
+  /// serialized with mutations. No-op when nothing changed or no domain
+  /// is attached. The ingest pipeline calls this once per group-commit
+  /// fsync, so published versions are always durable-batch prefixes.
+  void PublishSnapshot();
+
+  /// Last published version (null before the first publish). Readers
+  /// must hold an epoch pin to traverse it — see StoreSnapshot.
+  const StoreVersion* published_version() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  /// View of the *writer-current* state (which may be ahead of the last
+  /// published version). Only valid under the single-writer contract:
+  /// the caller must guarantee no concurrent mutation for the view's
+  /// lifetime — the quiescent entry points (StoreAuditor::Audit over a
+  /// bare store, SaveToLog, ...) run on exactly that contract.
+  StoreReadView CurrentView() const {
+    return StoreReadView(chain_root_, record_count_, live_count_,
+                         publish_tick_);
+  }
+
  private:
+  /// Records per storage chunk. Chunked storage gives every record a
+  /// stable address for its whole lifetime (chain cells and snapshot
+  /// readers hold plain pointers), unlike a reallocating vector.
+  static constexpr uint64_t kChunkRecords = 256;
+  struct Chunk {
+    std::array<ProvenanceRecord, kChunkRecords> slots;
+  };
+
   /// Shared DAG-closure walk behind both Extract variants: includes each
   /// seed object's chain up to the given position, following aggregation
   /// edges transitively.
   std::vector<ProvenanceRecord> CollectClosure(
       std::vector<std::pair<storage::ObjectId, size_t>> seeds) const;
 
-  std::vector<ProvenanceRecord> records_;
+  /// Appends into chunked storage; returns the record's stable address.
+  ProvenanceRecord* ArenaAppend(ProvenanceRecord record);
+
+  /// Marks writer state as ahead of the published version and
+  /// preallocates the next publish's version skeleton (so the publish
+  /// hook itself never allocates).
+  void MarkDirty();
+
+  /// Retires through the domain, or frees immediately without one.
+  void RetireOrDelete(EpochRetired* node);
+
+  /// Frees everything this store owns (current trie + chain cells,
+  /// published/spare versions). Retired nodes belong to the domain.
+  void DestroyOwned();
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  uint64_t record_count_ = 0;
   std::vector<bool> pruned_;
-  std::unordered_map<storage::ObjectId, std::vector<uint64_t>> by_output_;
+  /// Copy-on-write chain index over the records (current writer root).
+  const ChainIndex::Node* chain_root_ = nullptr;
   /// Objects consumed by some aggregation (prune-protected).
   std::unordered_map<storage::ObjectId, uint64_t> aggregation_input_refs_;
   uint64_t live_count_ = 0;
   uint64_t paper_schema_bytes_ = 0;
   uint64_t checksum_bytes_ = 0;
   storage::WalWriter* wal_ = nullptr;  // borrowed; see AttachWal
+
+  EpochDomain* domain_ = nullptr;  // borrowed; see AttachEpochDomain
+  std::atomic<StoreVersion*> published_{nullptr};
+  StoreVersion* spare_ = nullptr;  // preallocated next version
+  bool dirty_ = false;             // writer state ahead of published_
+  uint64_t publish_tick_ = 0;
 };
 
 }  // namespace provdb::provenance

@@ -15,10 +15,10 @@ std::string LineageSummary::ToString() const {
   return out;
 }
 
-Result<LineageSummary> SummarizeLineage(const ProvenanceStore& store,
-                                        storage::ObjectId subject) {
-  PROVDB_ASSIGN_OR_RETURN(std::vector<ProvenanceRecord> records,
-                          store.ExtractProvenance(subject));
+namespace {
+
+LineageSummary SummarizeRecords(const std::vector<ProvenanceRecord>& records,
+                                storage::ObjectId subject) {
   LineageSummary summary;
   for (const ProvenanceRecord& rec : records) {
     ++summary.record_count;
@@ -47,6 +47,22 @@ Result<LineageSummary> SummarizeLineage(const ProvenanceStore& store,
   return summary;
 }
 
+}  // namespace
+
+Result<LineageSummary> SummarizeLineage(const ProvenanceStore& store,
+                                        storage::ObjectId subject) {
+  PROVDB_ASSIGN_OR_RETURN(std::vector<ProvenanceRecord> records,
+                          store.ExtractProvenance(subject));
+  return SummarizeRecords(records, subject);
+}
+
+Result<LineageSummary> SummarizeLineage(const StoreSnapshot& snapshot,
+                                        storage::ObjectId subject) {
+  PROVDB_ASSIGN_OR_RETURN(std::vector<ProvenanceRecord> records,
+                          snapshot.ExtractProvenance(subject));
+  return SummarizeRecords(records, subject);
+}
+
 std::vector<uint64_t> RecordsByParticipant(const ProvenanceStore& store,
                                            crypto::ParticipantId participant) {
   std::vector<uint64_t> out;
@@ -58,11 +74,40 @@ std::vector<uint64_t> RecordsByParticipant(const ProvenanceStore& store,
   return out;
 }
 
+std::vector<const ProvenanceRecord*> RecordsByParticipant(
+    const StoreSnapshot& snapshot, crypto::ParticipantId participant) {
+  std::vector<const ProvenanceRecord*> out;
+  // AllChains iterates objects in ascending id order and chains in seqID
+  // order, giving the canonical cross-shard record order.
+  for (const auto& [object, chain] : snapshot.AllChains()) {
+    (void)object;
+    for (const ProvenanceRecord* rec : chain) {
+      if (rec->participant == participant) {
+        out.push_back(rec);
+      }
+    }
+  }
+  return out;
+}
+
 Result<bool> ParticipantTouched(const ProvenanceStore& store,
                                 storage::ObjectId subject,
                                 crypto::ParticipantId participant) {
   PROVDB_ASSIGN_OR_RETURN(std::vector<ProvenanceRecord> records,
                           store.ExtractProvenance(subject));
+  for (const ProvenanceRecord& rec : records) {
+    if (rec.participant == participant) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> ParticipantTouched(const StoreSnapshot& snapshot,
+                                storage::ObjectId subject,
+                                crypto::ParticipantId participant) {
+  PROVDB_ASSIGN_OR_RETURN(std::vector<ProvenanceRecord> records,
+                          snapshot.ExtractProvenance(subject));
   for (const ProvenanceRecord& rec : records) {
     if (rec.participant == participant) {
       return true;
@@ -92,6 +137,26 @@ Result<std::vector<ProvenanceRecord>> HistorySlice(
   return out;
 }
 
+Result<std::vector<ProvenanceRecord>> HistorySlice(
+    const StoreSnapshot& snapshot, storage::ObjectId subject, SeqId from_seq,
+    SeqId to_seq) {
+  if (from_seq > to_seq) {
+    return Status::InvalidArgument("from_seq must be <= to_seq");
+  }
+  std::vector<const ProvenanceRecord*> chain = snapshot.ChainRecords(subject);
+  if (chain.empty()) {
+    return Status::NotFound("no provenance records for object " +
+                            std::to_string(subject));
+  }
+  std::vector<ProvenanceRecord> out;
+  for (const ProvenanceRecord* rec : chain) {
+    if (rec->seq_id >= from_seq && rec->seq_id <= to_seq) {
+      out.push_back(*rec);
+    }
+  }
+  return out;
+}
+
 Result<std::vector<ObjectState>> DirectSources(const ProvenanceStore& store,
                                                storage::ObjectId subject) {
   std::vector<uint64_t> chain = store.ChainOf(subject);
@@ -100,6 +165,20 @@ Result<std::vector<ObjectState>> DirectSources(const ProvenanceStore& store,
                             std::to_string(subject));
   }
   const ProvenanceRecord& first = store.record(chain.front());
+  if (first.op != OperationType::kAggregate) {
+    return std::vector<ObjectState>{};
+  }
+  return first.inputs;
+}
+
+Result<std::vector<ObjectState>> DirectSources(const StoreSnapshot& snapshot,
+                                               storage::ObjectId subject) {
+  std::vector<const ProvenanceRecord*> chain = snapshot.ChainRecords(subject);
+  if (chain.empty()) {
+    return Status::NotFound("no provenance records for object " +
+                            std::to_string(subject));
+  }
+  const ProvenanceRecord& first = *chain.front();
   if (first.op != OperationType::kAggregate) {
     return std::vector<ObjectState>{};
   }

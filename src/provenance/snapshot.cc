@@ -1,0 +1,185 @@
+#include "provenance/snapshot.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace provdb::provenance {
+
+const ChainNode* StoreReadView::head_for(storage::ObjectId id) const {
+  const ChainIndex::Leaf* leaf = ChainIndex::Find(root_, id);
+  return leaf != nullptr ? leaf->head : nullptr;
+}
+
+namespace {
+
+/// Reverses a cons list into seqID (ascending) order.
+std::vector<const ProvenanceRecord*> MaterializeChain(const ChainNode* head) {
+  if (head == nullptr) {
+    return {};
+  }
+  std::vector<const ProvenanceRecord*> out(
+      static_cast<size_t>(head->length));
+  size_t pos = out.size();
+  for (const ChainNode* cell = head; cell != nullptr; cell = cell->prev) {
+    out[--pos] = cell->record;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<const ProvenanceRecord*> StoreReadView::ChainRecords(
+    storage::ObjectId id) const {
+  return MaterializeChain(head_for(id));
+}
+
+void StoreReadView::AppendChains(
+    std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>* out)
+    const {
+  ForEachChain([out](storage::ObjectId id, const ChainNode* head) {
+    (*out)[id] = MaterializeChain(head);
+  });
+}
+
+uint64_t StoreSnapshot::record_count() const {
+  uint64_t total = 0;
+  for (const StoreReadView& view : views_) {
+    total += view.record_count();
+  }
+  return total;
+}
+
+uint64_t StoreSnapshot::live_record_count() const {
+  uint64_t total = 0;
+  for (const StoreReadView& view : views_) {
+    total += view.live_record_count();
+  }
+  return total;
+}
+
+std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>
+StoreSnapshot::AllChains() const {
+  std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>> chains;
+  for (const StoreReadView& view : views_) {
+    view.AppendChains(&chains);
+  }
+  return chains;
+}
+
+std::vector<const ProvenanceRecord*> StoreSnapshot::ChainRecords(
+    storage::ObjectId id) const {
+  if (views_.empty()) {
+    return {};
+  }
+  return view_for(id).ChainRecords(id);
+}
+
+namespace {
+
+/// Work item of the DAG closure: include an object's chain up to and
+/// including `end_pos` (mirrors ProvenanceStore::CollectClosure).
+struct Prefix {
+  storage::ObjectId object;
+  size_t end_pos;
+};
+
+}  // namespace
+
+std::vector<ProvenanceRecord> StoreSnapshot::CollectClosure(
+    std::vector<std::pair<storage::ObjectId, size_t>> seeds) const {
+  std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>> cache;
+  auto chain_of = [&](storage::ObjectId id)
+      -> const std::vector<const ProvenanceRecord*>& {
+    auto it = cache.find(id);
+    if (it == cache.end()) {
+      it = cache.emplace(id, ChainRecords(id)).first;
+    }
+    return it->second;
+  };
+
+  std::set<const ProvenanceRecord*> included;
+  std::vector<Prefix> work;
+  for (const auto& [object, end_pos] : seeds) {
+    work.push_back({object, end_pos});
+  }
+
+  while (!work.empty()) {
+    Prefix prefix = work.back();
+    work.pop_back();
+    const std::vector<const ProvenanceRecord*>& chain =
+        chain_of(prefix.object);
+    for (size_t pos = 0; pos <= prefix.end_pos && pos < chain.size(); ++pos) {
+      const ProvenanceRecord* rec = chain[pos];
+      if (!included.insert(rec).second) {
+        continue;  // already included (shared history via the DAG)
+      }
+      if (rec->op != OperationType::kAggregate) {
+        continue;
+      }
+      for (const ObjectState& input : rec->inputs) {
+        const std::vector<const ProvenanceRecord*>& input_chain =
+            chain_of(input.object_id);
+        // Scan from the end: the matching record is the latest one whose
+        // output state equals the recorded input state.
+        for (size_t pos2 = input_chain.size(); pos2-- > 0;) {
+          const ProvenanceRecord* cand = input_chain[pos2];
+          if (cand->output.state_hash == input.state_hash &&
+              cand->seq_id < rec->seq_id) {
+            work.push_back({input.object_id, pos2});
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Ascending (object id, seqID): the canonical cross-shard linear
+  // extension of the seqID partial order (matches MergedStore order).
+  std::vector<const ProvenanceRecord*> ordered(included.begin(),
+                                               included.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ProvenanceRecord* a, const ProvenanceRecord* b) {
+              if (a->output.object_id != b->output.object_id) {
+                return a->output.object_id < b->output.object_id;
+              }
+              return a->seq_id < b->seq_id;
+            });
+  std::vector<ProvenanceRecord> out;
+  out.reserve(ordered.size());
+  for (const ProvenanceRecord* rec : ordered) {
+    out.push_back(*rec);
+  }
+  return out;
+}
+
+Result<std::vector<ProvenanceRecord>> StoreSnapshot::ExtractProvenance(
+    storage::ObjectId subject) const {
+  std::vector<const ProvenanceRecord*> chain = ChainRecords(subject);
+  if (chain.empty()) {
+    return Status::NotFound("no provenance records for object " +
+                            std::to_string(subject));
+  }
+  return CollectClosure({{subject, chain.size() - 1}});
+}
+
+Result<std::vector<ProvenanceRecord>> StoreSnapshot::ExtractProvenanceDeep(
+    storage::ObjectId subject,
+    const std::vector<storage::ObjectId>& descendants) const {
+  std::vector<const ProvenanceRecord*> chain = ChainRecords(subject);
+  if (chain.empty()) {
+    return Status::NotFound("no provenance records for object " +
+                            std::to_string(subject));
+  }
+  std::vector<std::pair<storage::ObjectId, size_t>> seeds;
+  seeds.emplace_back(subject, chain.size() - 1);
+  for (storage::ObjectId descendant : descendants) {
+    std::vector<const ProvenanceRecord*> dchain = ChainRecords(descendant);
+    if (!dchain.empty()) {
+      seeds.emplace_back(descendant, dchain.size() - 1);
+    }
+  }
+  return CollectClosure(std::move(seeds));
+}
+
+}  // namespace provdb::provenance

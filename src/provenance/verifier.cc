@@ -130,6 +130,19 @@ VerificationReport ProvenanceVerifier::Verify(
   return report;
 }
 
+VerificationReport ProvenanceVerifier::VerifyStore(
+    const StoreSnapshot& snapshot) const {
+  observability::ScopedLatencyTimer timer(run_latency_);
+  observability::TraceSpan run_span("verify.run");
+  runs_->Increment();
+  VerificationReport report;
+  // Snapshot chains are already per-object in seqID order (AddRecord
+  // enforces monotonicity); no grouping or sorting pass is needed.
+  VerifyRecordChains(*registry_, engine_, snapshot.AllChains(), &report,
+                     pool_.get());
+  return report;
+}
+
 namespace {
 
 /// Verification result of one per-object chain. Chains are self-contained
@@ -195,6 +208,19 @@ ChainCheckResult VerifyOneChain(
 
       // -- Structural validity -------------------------------------
       bool malformed = false;
+      if (rec->output.object_id != object) {
+        // The chain key is the object the store committed the record
+        // under; a record claiming a different output is re-attribution
+        // (R5). Honest groupings key chains by output id, so this can
+        // only fire when the stored record bytes were tampered after
+        // commit (e.g. under a pinned snapshot's chain index).
+        add_issue(IssueKind::kSubjectMismatch, object, rec->seq_id,
+                  "record claims output object " +
+                      std::to_string(rec->output.object_id) +
+                      " but is filed in the chain of object " +
+                      std::to_string(object) + " (re-attribution, R5)");
+        malformed = true;
+      }
       if (rec->op == OperationType::kInsert && !rec->inputs.empty()) {
         add_issue(IssueKind::kMalformedRecord, object, rec->seq_id,
                   "insert record must have no inputs");

@@ -12,6 +12,7 @@
 #include "provenance/bundle.h"
 #include "provenance/checksum.h"
 #include "provenance/record.h"
+#include "provenance/snapshot.h"
 
 namespace provdb::provenance {
 
@@ -105,7 +106,20 @@ class ProvenanceVerifier {
   /// Runs all checks over `bundle` and reports every issue found (the
   /// verifier does not stop at the first failure). [[nodiscard]]: an
   /// unread report is an undetected tamper.
+  ///
+  /// Bundles are value snapshots, so Verify itself never races ingest;
+  /// but *building* a bundle from a live store requires quiescence — to
+  /// verify a moving deployment, pin a StoreSnapshot and use VerifyStore
+  /// (DESIGN.md §16).
   [[nodiscard]] VerificationReport Verify(const RecipientBundle& bundle) const;
+
+  /// Check 2 over every chain in a pinned snapshot: recompute every
+  /// checksum payload and verify every signature. Safe while ingest is
+  /// live — the snapshot is an immutable batch-boundary cut, so this
+  /// takes no store lock and blocks no writer. (Check 1 needs the
+  /// back-end tree; that is StoreAuditor's job.)
+  [[nodiscard]] VerificationReport VerifyStore(
+      const StoreSnapshot& snapshot) const;
 
  private:
   const crypto::ParticipantRegistry* registry_;

@@ -196,6 +196,107 @@ TEST(IngestTamperMatrixTest, EverySingleFieldMutationIsDetected) {
   EXPECT_GE(applied, base.size() * 8);
 }
 
+// Snapshot-path entry of the matrix (DESIGN.md §16): an auditor holding
+// an epoch-pinned snapshot reads the same stable record storage the
+// writer committed — so in-place tampering with any serialized record
+// field is visible through the held snapshot and must be 100% detected
+// by snapshot verify/audit. Mutations are applied between verification
+// passes on this thread (tamper-evidence needs no racing mutator; the
+// racing-writer case is the concurrent-audit differential's job), which
+// also keeps the test TSan-clean. The snapshot itself must only ever
+// observe whole durable batches.
+TEST(IngestTamperMatrixTest, SnapshotHeldByAuditorDetectsEveryFieldMutation) {
+  IngestWorkloadBuilder builder;
+  BuildTamperWorkload(&builder);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  IngestOptions options;
+  options.num_shards = 2;
+  options.max_batch_records = 3;
+  std::string root = ::testing::TempDir() + "/provdb_tamper_snapshot";
+  ASSERT_TRUE(WipeIngestRoot(Env::Default(), root).ok());
+  auto pipeline =
+      ReplayThroughPipeline(Env::Default(), root, builder.requests(), options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  // The held cut: exactly the full drained workload, never a partial
+  // batch.
+  StoreSnapshot snapshot = (*pipeline)->OpenSnapshot();
+  ASSERT_EQ(snapshot.record_count(), builder.requests().size());
+
+  StoreAuditor auditor(&builder.registry(), builder.algorithm());
+  ProvenanceVerifier verifier(&builder.registry(), builder.algorithm());
+  ASSERT_TRUE(verifier.VerifyStore(snapshot).ok());
+  ASSERT_TRUE(auditor.Audit(snapshot, builder.tree()).ok());
+
+  const std::vector<std::pair<std::string,
+                              std::function<bool(ProvenanceRecord*)>>>
+      mutations = {
+          {"seq_id+1",
+           [](ProvenanceRecord* r) {
+             r->seq_id += 1;
+             return true;
+           }},
+          {"participant->other",
+           [](ProvenanceRecord* r) {
+             r->participant =
+                 (r->participant % TestPki::kNumParticipants) + 1;
+             return true;
+           }},
+          {"output.object_id rename",
+           [](ProvenanceRecord* r) {
+             r->output.object_id += 1000000;
+             return true;
+           }},
+          {"output.state_hash flip",
+           [](ProvenanceRecord* r) {
+             if (r->output.state_hash.size() == 0) return false;
+             Bytes raw(
+                 r->output.state_hash.data(),
+                 r->output.state_hash.data() + r->output.state_hash.size());
+             raw[0] ^= 0x01;
+             r->output.state_hash =
+                 crypto::Digest::FromBytes(ByteView(raw.data(), raw.size()));
+             return true;
+           }},
+          {"checksum byte flip",
+           [](ProvenanceRecord* r) {
+             if (r->checksum.empty()) return false;
+             r->checksum[r->checksum.size() / 2] ^= 0x40;
+             return true;
+           }},
+      };
+
+  size_t applied = 0;
+  ShardedProvenanceStore* store = (*pipeline)->mutable_store();
+  for (size_t s = 0; s < store->num_shards(); ++s) {
+    ProvenanceStore& shard = store->shard(s);
+    for (uint64_t i = 0; i < shard.record_count(); ++i) {
+      for (const auto& [name, apply] : mutations) {
+        ProvenanceRecord* live = shard.mutable_record(i);
+        const ProvenanceRecord original = *live;
+        if (!apply(live)) continue;
+        SCOPED_TRACE("shard " + std::to_string(s) + " record " +
+                     std::to_string(i) + " (object " +
+                     std::to_string(original.output.object_id) + " seq " +
+                     std::to_string(original.seq_id) + "): " + name);
+        // The held snapshot reads the tampered bytes — and catches them.
+        VerificationReport verify = verifier.VerifyStore(snapshot);
+        VerificationReport audit = auditor.Audit(snapshot, builder.tree());
+        EXPECT_TRUE(!verify.ok() || !audit.ok())
+            << "in-place tampering escaped the snapshot audit";
+        *live = original;
+        ++applied;
+      }
+    }
+  }
+  EXPECT_GE(applied, builder.requests().size() * 4);
+
+  // Restored store verifies clean again through the same held snapshot.
+  EXPECT_TRUE(verifier.VerifyStore(snapshot).ok());
+  EXPECT_TRUE(auditor.Audit(snapshot, builder.tree()).ok());
+}
+
 TEST(IngestTamperMatrixTest, WalByteFlipsAreRefusedOrReported) {
   IngestWorkloadBuilder builder;
   BuildTamperWorkload(&builder);

@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/epoch.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
+#include "provenance/provenance_store.h"
 #include "provenance/tracked_database.h"
 #include "testing/test_pki.h"
 
@@ -115,6 +117,54 @@ TEST(AllocTest, InsertPathAllocationsUnchangedByMetrics) {
   uint64_t without_metrics = count_inserts(false);
   EXPECT_EQ(with_metrics, without_metrics);
   EXPECT_GT(with_metrics, 0u);  // sanity: the pin is actually measuring
+}
+
+// The snapshot-publish hook sits inside the ingest group-commit critical
+// section, so PublishSnapshot() must never allocate: the version skeleton
+// is preallocated by the mutation that dirtied the store (MarkDirty), and
+// publish itself is POD fills + one atomic store + one intrusive retire +
+// one epoch advance (DESIGN.md §16).
+TEST(AllocTest, SnapshotPublishHookAllocatesNothing) {
+  using provenance::ObjectState;
+  using provenance::OperationType;
+  using provenance::ProvenanceRecord;
+  using provenance::ProvenanceStore;
+
+  auto record = [](storage::ObjectId object, provenance::SeqId seq) {
+    ProvenanceRecord rec;
+    rec.seq_id = seq;
+    rec.participant = 1;
+    rec.op = OperationType::kInsert;
+    rec.output = ObjectState{
+        object, crypto::Digest::FromBytes(Bytes(20, uint8_t(seq + 1)))};
+    rec.checksum = Bytes(128, uint8_t(seq + 1));
+    return rec;
+  };
+
+  EpochDomain domain;
+  ProvenanceStore store;
+  store.AttachEpochDomain(&domain);
+  // Warm up: first mutation + publish build the initial version chain.
+  ASSERT_TRUE(store.AddRecord(record(1, 0)).ok());
+  store.PublishSnapshot();
+
+  for (provenance::SeqId seq = 1; seq <= 50; ++seq) {
+    // The mutation may allocate (records, trie path copies, the next
+    // spare version); the publish point itself must not.
+    ASSERT_TRUE(store.AddRecord(record(seq + 1, 0)).ok());
+    uint64_t before = AllocationCount();
+    store.PublishSnapshot();
+    EXPECT_EQ(AllocationCount(), before);
+    // Re-publishing with nothing dirty is a no-op and equally clean.
+    store.PublishSnapshot();
+    EXPECT_EQ(AllocationCount(), before);
+  }
+  // Reclaiming the retired backlog is intrusive list surgery — deletes
+  // only, no news.
+  domain.Advance();
+  uint64_t before = AllocationCount();
+  EXPECT_GT(domain.Collect(), 0u);
+  EXPECT_EQ(AllocationCount(), before);
 }
 
 }  // namespace

@@ -1,7 +1,14 @@
 #include "testing/differential.h"
 
 #include <algorithm>
+#include <atomic>
+#include <map>
+#include <set>
 #include <utility>
+
+#include "common/thread_pool.h"
+#include "provenance/serialization.h"
+#include "provenance/snapshot.h"
 
 namespace provdb::testing {
 
@@ -196,6 +203,177 @@ Status WipeIngestRoot(storage::Env* env, const std::string& root) {
     }
   }
   return Status::OK();
+}
+
+Status CheckSnapshotIsBatchPrefix(const provenance::StoreSnapshot& snapshot,
+                                  const IngestWorkloadBuilder& builder,
+                                  size_t max_batch_records) {
+  const size_t num_shards = snapshot.num_shards();
+  const std::vector<IngestRequest>& requests = builder.requests();
+  const provenance::ProvenanceStore& reference = builder.reference_store();
+
+  // Request i produced reference record i (the builder applies them in
+  // submission order), so each shard's durable prefix is a prefix of
+  // that shard's subsequence of reference record indices.
+  std::vector<std::vector<uint64_t>> shard_seq(num_shards);
+  for (uint64_t i = 0; i < requests.size(); ++i) {
+    const size_t s = provenance::ShardedProvenanceStore::ShardOf(
+        requests[i].object, num_shards);
+    shard_seq[s].push_back(i);
+  }
+
+  // Per-shard: boundary-count legality, then byte-identical chains.
+  std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>
+      expected_all;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const provenance::StoreReadView& view = snapshot.shard_view(s);
+    const uint64_t n = view.record_count();
+    if (n > shard_seq[s].size()) {
+      return Status::Internal("shard " + std::to_string(s) + " cut at " +
+                              std::to_string(n) + " records but only " +
+                              std::to_string(shard_seq[s].size()) +
+                              " were ever routed to it");
+    }
+    const bool at_boundary =
+        n == shard_seq[s].size() ||
+        (max_batch_records != 0 && n % max_batch_records == 0);
+    if (!at_boundary) {
+      return Status::Internal(
+          "shard " + std::to_string(s) + " cut at " + std::to_string(n) +
+          " records, which is not a group-commit batch boundary (batch " +
+          "size " + std::to_string(max_batch_records) + ")");
+    }
+
+    std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>>
+        expected;
+    for (uint64_t k = 0; k < n; ++k) {
+      const ProvenanceRecord& rec = reference.record(shard_seq[s][k]);
+      expected[rec.output.object_id].push_back(&rec);
+      expected_all[rec.output.object_id].push_back(&rec);
+    }
+    std::map<storage::ObjectId, std::vector<const ProvenanceRecord*>> actual;
+    view.AppendChains(&actual);
+    if (actual.size() != expected.size()) {
+      return Status::Internal("shard " + std::to_string(s) + " cut has " +
+                              std::to_string(actual.size()) +
+                              " chains, expected " +
+                              std::to_string(expected.size()));
+    }
+    for (const auto& [object, chain] : expected) {
+      auto it = actual.find(object);
+      if (it == actual.end()) {
+        return Status::Internal("shard " + std::to_string(s) +
+                                " cut is missing the chain of object " +
+                                std::to_string(object));
+      }
+      if (it->second.size() != chain.size()) {
+        return Status::Internal(
+            "object " + std::to_string(object) + " has " +
+            std::to_string(it->second.size()) + " records in the cut, " +
+            std::to_string(chain.size()) + " in the reference prefix");
+      }
+      for (size_t i = 0; i < chain.size(); ++i) {
+        if (provenance::EncodeRecord(*it->second[i]) !=
+            provenance::EncodeRecord(*chain[i])) {
+          return Status::Internal(
+              "record " + std::to_string(i) + " of object " +
+              std::to_string(object) +
+              " differs between the cut and the reference prefix");
+        }
+      }
+    }
+  }
+
+  // The report over the cut must be byte-identical to the report over a
+  // quiesced store stopped at the same per-shard prefixes. A cut may
+  // legitimately leave a cross-shard aggregate input unresolved — but
+  // then the quiesced replay of that exact prefix reports it too.
+  provenance::ChecksumEngine engine(builder.algorithm());
+  provenance::VerificationReport expected_report;
+  provenance::VerifyRecordChains(builder.registry(), engine, expected_all,
+                                 &expected_report);
+  provenance::VerificationReport cut_report;
+  provenance::VerifyRecordChains(builder.registry(), engine,
+                                 snapshot.AllChains(), &cut_report);
+  if (cut_report.ToString() != expected_report.ToString()) {
+    return Status::Internal(
+        "verification report over the cut differs from the quiesced "
+        "replay of the same prefix:\n--- cut ---\n" +
+        cut_report.ToString() + "\n--- quiesced ---\n" +
+        expected_report.ToString());
+  }
+  return Status::OK();
+}
+
+Result<ConcurrentAuditStats> RunConcurrentAuditDifferential(
+    storage::Env* env, const std::string& root,
+    const IngestWorkloadBuilder& builder, provenance::IngestOptions options) {
+  // Only the record-count threshold may fire, or cuts could land on
+  // byte/time boundaries CheckSnapshotIsBatchPrefix cannot predict.
+  options.max_batch_bytes = 1ull << 30;
+  options.flush_interval_seconds = 0;
+  options.sync_every_record = false;
+  PROVDB_RETURN_IF_ERROR(WipeIngestRoot(env, root));
+  PROVDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<provenance::IngestPipeline> pipeline,
+      provenance::IngestPipeline::Open(env, root, options));
+
+  // Writer on a pool task (R03: no raw threads); auditor on this thread.
+  std::atomic<bool> done{false};
+  ThreadPool pool(1);
+  provenance::IngestPipeline* live = pipeline.get();
+  const std::vector<IngestRequest>* requests = &builder.requests();
+  std::future<Status> writer =
+      pool.Submit([live, requests, &done]() -> Status {
+        Status status = Status::OK();
+        for (const IngestRequest& request : *requests) {
+          status = live->Submit(request);
+          if (!status.ok()) break;
+        }
+        if (status.ok()) {
+          status = live->Drain();
+        }
+        done.store(true, std::memory_order_release);
+        return status;
+      });
+
+  ConcurrentAuditStats stats;
+  std::set<uint64_t> cut_sizes;
+  Status cut_check = Status::OK();
+  while (!done.load(std::memory_order_acquire)) {
+    provenance::StoreSnapshot snapshot = live->OpenSnapshot();
+    cut_check =
+        CheckSnapshotIsBatchPrefix(snapshot, builder, options.max_batch_records);
+    ++stats.snapshots_checked;
+    if (snapshot.record_count() > 0) {
+      ++stats.nonempty_snapshots;
+    }
+    cut_sizes.insert(snapshot.record_count());
+    if (!cut_check.ok()) {
+      break;
+    }
+  }
+  Status writer_status = writer.get();
+  PROVDB_RETURN_IF_ERROR(writer_status);
+  PROVDB_RETURN_IF_ERROR(cut_check);
+
+  // Quiesced epilogue: the final cut is the whole workload, and it still
+  // validates as a (complete) prefix.
+  provenance::StoreSnapshot final_cut = pipeline->OpenSnapshot();
+  if (final_cut.record_count() != builder.requests().size()) {
+    return Status::Internal(
+        "drained pipeline published " +
+        std::to_string(final_cut.record_count()) + " records, expected " +
+        std::to_string(builder.requests().size()));
+  }
+  PROVDB_RETURN_IF_ERROR(CheckSnapshotIsBatchPrefix(
+      final_cut, builder, options.max_batch_records));
+  cut_sizes.insert(final_cut.record_count());
+  ++stats.snapshots_checked;
+  ++stats.nonempty_snapshots;
+  stats.distinct_cuts = cut_sizes.size();
+  PROVDB_RETURN_IF_ERROR(pipeline->Close());
+  return stats;
 }
 
 Result<std::unique_ptr<provenance::IngestPipeline>> ReplayThroughPipeline(

@@ -125,6 +125,46 @@ Result<std::unique_ptr<provenance::IngestPipeline>> ReplayThroughPipeline(
     const std::vector<provenance::IngestRequest>& requests,
     provenance::IngestOptions options);
 
+// ---------------------------------------------------------------------
+// Concurrent-auditor mode (DESIGN.md §16): audit a *moving* pipeline.
+// ---------------------------------------------------------------------
+
+/// What the auditor side of RunConcurrentAuditDifferential observed.
+struct ConcurrentAuditStats {
+  /// Snapshots opened and fully validated while the writer was live.
+  size_t snapshots_checked = 0;
+  /// How many of them were non-empty (saw at least one durable batch).
+  size_t nonempty_snapshots = 0;
+  /// Distinct total record counts observed across cuts — > 1 proves the
+  /// auditor actually raced a moving store rather than a finished one.
+  size_t distinct_cuts = 0;
+};
+
+/// Asserts that `snapshot` is an *exact durable batch prefix* of the
+/// builder's request stream: for every shard, the cut's record count
+/// lies on a group-commit boundary (a multiple of `max_batch_records`,
+/// or the shard's whole subsequence), its chains are byte-identical to
+/// replaying exactly that prefix of the shard's requests, and the
+/// verification report over the cut is byte-identical to the report a
+/// quiesced store stopped at the same per-shard prefixes would produce
+/// (cross-shard aggregate-input resolution included). Requires the
+/// pipeline to be configured so only the record-count threshold can
+/// fire (huge max_batch_bytes, no interval flush).
+Status CheckSnapshotIsBatchPrefix(const provenance::StoreSnapshot& snapshot,
+                                  const IngestWorkloadBuilder& builder,
+                                  size_t max_batch_records);
+
+/// The concurrent-auditor differential proper: replays the builder's
+/// requests through a fresh pipeline at `root` on a ThreadPool writer
+/// task while the calling thread continuously opens snapshots and runs
+/// CheckSnapshotIsBatchPrefix on each. After the writer drains, the
+/// final cut must equal the full workload. Fails on the first cut that
+/// is not an exact durable batch prefix. Callers log their workload
+/// seed so failures replay.
+Result<ConcurrentAuditStats> RunConcurrentAuditDifferential(
+    storage::Env* env, const std::string& root,
+    const IngestWorkloadBuilder& builder, provenance::IngestOptions options);
+
 }  // namespace provdb::testing
 
 #endif  // PROVDB_TESTS_TESTING_DIFFERENTIAL_H_

@@ -28,9 +28,20 @@
 #                  every-byte-flip / every-truncation wire tamper matrix
 #   tsan           ThreadSanitizer over the parallel verify/audit paths,
 #                  the sharded ingest pipeline's parallel signing, the
-#                  concurrent metrics-recording tests, and the network
-#                  server's poll/executor/multi-client thread soup (the
-#                  Server* suites)
+#                  concurrent metrics-recording tests, the epoch/snapshot
+#                  suites, and the network server's poll/executor/
+#                  multi-client thread soup (the Server* suites)
+#   snapshot       the epoch-based snapshot read path (DESIGN.md §16)
+#                  under TSan: the epoch-domain reader/writer/reclaimer
+#                  stress suites, the snapshot byte-equality suites, and
+#                  the concurrent-auditor differential (an auditor racing
+#                  the live pipeline at 1/2/8 shards) — exactly where a
+#                  missed fence or a premature reclaim would hide
+#   soak           NOT in the default list (long-running): 30 seconds of
+#                  ingest + continuous snapshot audit + periodic
+#                  checkpoints (ctest -L soak, PROVDB_SOAK_SECONDS=30),
+#                  asserting the epoch retired backlog drains to zero at
+#                  quiescence and RSS stays flat
 #   crypto         the bignum kernel sweep under strict UBSan: for every
 #                  PROVDB_BIGNUM_KERNEL= spec (each multiply x ladder
 #                  combination plus the default), run the full crypto
@@ -54,7 +65,7 @@
 # Usage: tools/ci.sh [stage...]
 #   No arguments runs the default order:
 #     release-tests lint werror thread-safety format crash-recovery
-#     checkpoint server tsan crypto asan ubsan differential docs
+#     checkpoint server tsan snapshot crypto asan ubsan differential docs
 #   plus tidy when PROVDB_TIDY=1 (clang-tidy may be absent, so it is
 #   opt-in). Build trees go under $PROVDB_CI_OUT (default: ./ci-out).
 set -eu
@@ -191,10 +202,37 @@ stage_tsan() {
     -DPROVDB_BUILD_EXAMPLES=OFF
   run cmake --build "$OUT/tsan" -j "$JOBS" \
     --target common_test provenance_core_test provenance_security_test \
-    provenance_ext_test provenance_ingest_test observability_test \
-    net_server_test workload_load_generator_test
+    provenance_ext_test provenance_ingest_test provenance_snapshot_test \
+    observability_test net_server_test workload_load_generator_test
   run ctest --test-dir "$OUT/tsan" --output-on-failure -j "$JOBS" \
-    -R 'ThreadPool|Parallel|Audit|Concurrent|Ingest|Server'
+    -R 'ThreadPool|Parallel|Audit|Concurrent|Ingest|Server|Epoch|Snapshot'
+}
+
+stage_snapshot() {
+  # The snapshot read path's threading story end to end under TSan: the
+  # seeded epoch-domain stress (readers racing a publishing writer and a
+  # reclaimer), the snapshot suites, and the concurrent-auditor
+  # differential where an auditor validates batch-prefix cuts against a
+  # moving pipeline. Shares the tsan build tree.
+  run cmake -S "$ROOT" -B "$OUT/tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPROVDB_SANITIZE=thread -DPROVDB_BUILD_BENCHMARKS=OFF \
+    -DPROVDB_BUILD_EXAMPLES=OFF
+  run cmake --build "$OUT/tsan" -j "$JOBS" \
+    --target common_test provenance_snapshot_test \
+    integration_differential_test
+  run ctest --test-dir "$OUT/tsan" --output-on-failure -j "$JOBS" \
+    -R 'Epoch|Snapshot|ConcurrentAudit'
+}
+
+stage_soak() {
+  # Long-running; not in the default stage list. The seeded soak at its
+  # CI duration: 30s of ingest + continuous snapshot audits + periodic
+  # checkpoint/GC, then the quiesce + RSS assertions.
+  run cmake -S "$ROOT" -B "$OUT/release" -DCMAKE_BUILD_TYPE=Release
+  run cmake --build "$OUT/release" -j "$JOBS" \
+    --target integration_epoch_soak_test
+  run env PROVDB_SOAK_SECONDS=30 ctest --test-dir "$OUT/release" \
+    --output-on-failure -L soak
 }
 
 stage_crypto() {
@@ -288,6 +326,8 @@ run_stage() {
     checkpoint)    stage_checkpoint ;;
     server)        stage_server ;;
     tsan)          stage_tsan ;;
+    snapshot)      stage_snapshot ;;
+    soak)          stage_soak ;;
     crypto)        stage_crypto ;;
     asan)          stage_asan ;;
     ubsan)         stage_ubsan ;;
@@ -297,8 +337,8 @@ run_stage() {
     *)
       echo "tools/ci.sh: unknown stage '$1'" >&2
       echo "stages: release-tests lint werror thread-safety format" \
-        "crash-recovery checkpoint server tsan crypto asan ubsan" \
-        "differential docs tidy" >&2
+        "crash-recovery checkpoint server tsan snapshot soak crypto asan" \
+        "ubsan differential docs tidy" >&2
       exit 2
       ;;
   esac
@@ -307,7 +347,7 @@ run_stage() {
 if [ "$#" -gt 0 ]; then
   STAGES="$*"
 else
-  STAGES="release-tests lint werror thread-safety format crash-recovery checkpoint server tsan crypto asan ubsan differential docs"
+  STAGES="release-tests lint werror thread-safety format crash-recovery checkpoint server tsan snapshot crypto asan ubsan differential docs"
   if [ "${PROVDB_TIDY:-0}" = "1" ]; then
     STAGES="$STAGES tidy"
   fi

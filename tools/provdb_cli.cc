@@ -352,7 +352,13 @@ int Stats(bool as_json) {
     std::fprintf(stderr, "ingest pipeline close failed\n");
     return 1;
   }
-  auto ingest_verify = (*pipeline)->store().VerifyChains(registry);
+  // Verify the sharded run through a pinned snapshot — the live read
+  // path (DESIGN.md §16) — which also exercises the epoch.* instruments
+  // so they show up in the stats output.
+  auto ingest_verify = [&] {
+    provenance::StoreSnapshot snapshot = (*pipeline)->OpenSnapshot();
+    return verifier.VerifyStore(snapshot);
+  }();
   std::filesystem::remove_all(ingest_dir, ec);
   if (!ingest_verify.ok()) {
     std::fprintf(stderr, "sharded ingest failed verification:\n%s\n",
